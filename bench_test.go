@@ -1,0 +1,327 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Each benchmark iteration is a complete simulation, so run with
+//
+//	go test -bench=. -benchtime=1x .
+//
+// Reported custom metrics:
+//
+//	KIPS          simulated kilo-instructions per wall second (Table 2)
+//	speedup       wall-time speedup over the CC-on-1-host-core baseline (Figure 8)
+//	err_%         relative simulated-execution-time error vs the serial
+//	              cycle-by-cycle reference (Table 3)
+//	cycles        simulated execution time of the region of interest
+package slacksim_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/core"
+	"slacksim/internal/harness"
+	"slacksim/internal/stats"
+	"slacksim/internal/workloads"
+)
+
+func asmAssemble(src string) (*asm.Program, error) { return asm.Assemble(src, asm.Options{}) }
+
+// paperWorkloads are the four benchmarks of the paper's Table 2.
+func paperWorkloads() []string {
+	var names []string
+	for _, w := range workloads.Paper() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func newRunner(b *testing.B, names []string) *harness.Runner {
+	b.Helper()
+	r, err := harness.NewRunner(harness.Options{
+		Workloads:   names,
+		TargetCores: 8,
+		Verify:      true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// baselineCache shares baseline runs across benchmark functions within one
+// `go test -bench` invocation.
+var (
+	baselineMu    sync.Mutex
+	baselineRuns  = map[string]*harness.Run{}
+	referenceRuns = map[string]*harness.Run{}
+)
+
+func baseline(b *testing.B, r *harness.Runner, name string) *harness.Run {
+	b.Helper()
+	baselineMu.Lock()
+	defer baselineMu.Unlock()
+	if run, ok := baselineRuns[name]; ok {
+		return run
+	}
+	run, err := r.Baseline(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baselineRuns[name] = run
+	return run
+}
+
+func reference(b *testing.B, r *harness.Runner, name string) *harness.Run {
+	b.Helper()
+	baselineMu.Lock()
+	defer baselineMu.Unlock()
+	if run, ok := referenceRuns[name]; ok {
+		return run
+	}
+	run, err := r.SerialReference(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	referenceRuns[name] = run
+	return run
+}
+
+// BenchmarkTable2BaselineKIPS reproduces Table 2: the cycle-by-cycle
+// simulation throughput with all simulation threads on one host core, per
+// benchmark.
+func BenchmarkTable2BaselineKIPS(b *testing.B) {
+	for _, name := range paperWorkloads() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			r := newRunner(b, []string{name})
+			for i := 0; i < b.N; i++ {
+				run, err := r.Baseline(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(run.Result.KIPS(), "KIPS")
+				b.ReportMetric(float64(run.Result.ROICycles()), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8Speedup reproduces Figure 8(a-d): the wall-time speedup
+// of every scheme over the 1-host-core cycle-by-cycle baseline, per
+// benchmark (at this host's maximum usable parallelism).
+func BenchmarkFigure8Speedup(b *testing.B) {
+	schemes := []core.Scheme{
+		core.SchemeCC, core.SchemeQ10, core.SchemeL10,
+		core.SchemeS9, core.SchemeS9x, core.SchemeS100, core.SchemeSU,
+	}
+	for _, name := range paperWorkloads() {
+		for _, s := range schemes {
+			name, s := name, s
+			b.Run(fmt.Sprintf("%s/%v", name, s), func(b *testing.B) {
+				r := newRunner(b, []string{name})
+				base := baseline(b, r, name)
+				hc := r.Options().HostCores
+				host := hc[len(hc)-1]
+				for i := 0; i < b.N; i++ {
+					run, err := r.RunOne(name, s, host)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(base.Result.Wall.Seconds()/run.Result.Wall.Seconds(), "speedup")
+					b.ReportMetric(float64(run.Result.ROICycles()), "cycles")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure8eHarmonicMean reproduces Figure 8(e): the harmonic mean
+// of the benchmark speedups per scheme.
+func BenchmarkFigure8eHarmonicMean(b *testing.B) {
+	schemes := []core.Scheme{core.SchemeCC, core.SchemeQ10, core.SchemeS9, core.SchemeSU}
+	names := paperWorkloads()
+	for _, s := range schemes {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			r := newRunner(b, names)
+			hc := r.Options().HostCores
+			host := hc[len(hc)-1]
+			for i := 0; i < b.N; i++ {
+				var speedups []float64
+				for _, name := range names {
+					base := baseline(b, r, name)
+					run, err := r.RunOne(name, s, host)
+					if err != nil {
+						b.Fatal(err)
+					}
+					speedups = append(speedups, base.Result.Wall.Seconds()/run.Result.Wall.Seconds())
+				}
+				b.ReportMetric(stats.HarmonicMean(speedups), "hmean-speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Errors reproduces Table 3: the relative error in simulated
+// execution time of the optimistic schemes versus the deterministic serial
+// reference, per benchmark.
+func BenchmarkTable3Errors(b *testing.B) {
+	schemes := []core.Scheme{core.SchemeS9, core.SchemeS100, core.SchemeSU}
+	for _, name := range paperWorkloads() {
+		for _, s := range schemes {
+			name, s := name, s
+			b.Run(fmt.Sprintf("%s/%v", name, s), func(b *testing.B) {
+				r := newRunner(b, []string{name})
+				ref := reference(b, r, name)
+				hc := r.Options().HostCores
+				host := hc[len(hc)-1]
+				for i := 0; i < b.N; i++ {
+					run, err := r.RunOne(name, s, host)
+					if err != nil {
+						b.Fatal(err)
+					}
+					e := stats.RelErr(float64(run.Result.ROICycles()), float64(ref.Result.ROICycles()))
+					b.ReportMetric(100*e, "err_%")
+					if s.Conservative() && e != 0 {
+						b.Fatalf("conservative scheme %v diverged from the reference", s)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConservativeExactness is the quantitative companion of the
+// paper's accuracy argument (§3.2): conservative schemes with windows at or
+// below the 10-cycle critical latency must match cycle-by-cycle simulation
+// exactly. It reports the (always zero) error so regressions are loud.
+func BenchmarkConservativeExactness(b *testing.B) {
+	schemes := []core.Scheme{core.SchemeCC, core.SchemeQ10, core.SchemeL10, core.SchemeS9x}
+	const name = "fft"
+	for _, s := range schemes {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			r := newRunner(b, []string{name})
+			ref := reference(b, r, name)
+			for i := 0; i < b.N; i++ {
+				run, err := r.RunOne(name, s, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if run.Result.ROICycles() != ref.Result.ROICycles() {
+					b.Fatalf("%v: %d cycles != reference %d", s, run.Result.ROICycles(), ref.Result.ROICycles())
+				}
+				b.ReportMetric(0, "err_%")
+				b.ReportMetric(float64(run.Result.ROICycles()), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptiveScheme measures the adaptive-slack extension (DESIGN.md
+// §7, after Falcon et al.): error and speed should land between bounded
+// slack at the critical latency and unbounded slack.
+func BenchmarkAdaptiveScheme(b *testing.B) {
+	const name = "ocean"
+	r, err := harness.NewRunner(harness.Options{
+		Workloads:   []string{name},
+		TargetCores: 4,
+		Verify:      true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := r.SerialReference(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		run, err := r.RunOne(name, core.SchemeA1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := stats.RelErr(float64(run.Result.ROICycles()), float64(ref.Result.ROICycles()))
+		b.ReportMetric(100*e, "err_%")
+	}
+}
+
+// BenchmarkManagerSharding measures the §2.2 manager-split extension: the
+// same conservative simulation with 1, 2, and 4 memory-hierarchy shards
+// (simulated outcomes are bit-identical; only host-side concurrency
+// changes, which a one-CPU host cannot exploit).
+func BenchmarkManagerSharding(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			w, err := workloads.Get("ocean")
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := asmAssemble(w.Source(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{
+					NumCores:      4,
+					ManagerShards: shards,
+					MaxCycles:     200_000_000,
+				}
+				m, err := core.NewMachine(prog, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Init(m.Image(), 1); err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.RunParallel(core.SchemeS9x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Verify(m.Image(), res.Output, 1); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.ROICycles()), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkSlackWindowAblation sweeps the bounded-slack window across the
+// critical latency (the design's tuning knob, paper §6): error should be
+// ~0 below 10 cycles and grow beyond it while synchronisation gets
+// cheaper.
+func BenchmarkSlackWindowAblation(b *testing.B) {
+	const name = "ocean"
+	for _, window := range []int64{0, 5, 9, 50, 100, 1000, math.MaxInt32} {
+		window := window
+		s := core.Scheme{Kind: core.Bounded, Window: window}
+		label := s.String()
+		if window == math.MaxInt32 {
+			s, label = core.SchemeSU, "SU"
+		}
+		b.Run(label, func(b *testing.B) {
+			r, err := harness.NewRunner(harness.Options{
+				Workloads:   []string{name},
+				TargetCores: 4,
+				Verify:      true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ref, err := r.SerialReference(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				run, err := r.RunOne(name, s, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := stats.RelErr(float64(run.Result.ROICycles()), float64(ref.Result.ROICycles()))
+				b.ReportMetric(100*e, "err_%")
+			}
+		})
+	}
+}

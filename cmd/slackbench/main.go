@@ -1,0 +1,118 @@
+// Command slackbench regenerates the paper's evaluation (§4): Table 2
+// (benchmarks and baseline KIPS), Figure 8 (simulation speedups per scheme
+// and host-core count, per benchmark and harmonic mean), and Table 3
+// (relative execution-time errors of the optimistic schemes).
+//
+// Examples:
+//
+//	slackbench -all
+//	slackbench -figure8 -workloads fft,lu -hostcores 1,2
+//	slackbench -table3 -scale 2 -repeat 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"slacksim/internal/core"
+	"slacksim/internal/harness"
+)
+
+func main() {
+	var (
+		table2    = flag.Bool("table2", false, "reproduce Table 2 (benchmarks + baseline KIPS)")
+		figure8   = flag.Bool("figure8", false, "reproduce Figure 8 (speedup sweep + harmonic means + derived claims)")
+		table3    = flag.Bool("table3", false, "reproduce Table 3 (relative execution-time errors)")
+		all       = flag.Bool("all", false, "run every experiment")
+		wls       = flag.String("workloads", "", "comma-separated workloads (default: the paper's four)")
+		schemes   = flag.String("schemes", "", "comma-separated schemes (default: CC,Q10,L10,S9,S9*,S100,SU)")
+		hostCores = flag.String("hostcores", "", "comma-separated host-core counts (default: 2,4,8 clipped to this host)")
+		scale     = flag.Int("scale", 1, "workload input scale factor")
+		cores     = flag.Int("cores", 8, "target CMP cores")
+		repeat    = flag.Int("repeat", 1, "repetitions per configuration (best wall time kept)")
+		verify    = flag.Bool("verify", true, "verify workload results after every run")
+		progress  = flag.Bool("progress", true, "log each run as it completes")
+	)
+	flag.Parse()
+
+	if *all {
+		*table2, *figure8, *table3 = true, true, true
+	}
+	if !*table2 && !*figure8 && !*table3 {
+		fmt.Fprintln(os.Stderr, "slackbench: nothing to do; pass -table2, -figure8, -table3, or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := harness.Options{
+		Scale:       *scale,
+		TargetCores: *cores,
+		Repeat:      *repeat,
+		Verify:      *verify,
+	}
+	if *wls != "" {
+		opts.Workloads = splitList(*wls)
+	}
+	if *schemes != "" {
+		for _, s := range splitList(*schemes) {
+			sc, err := core.ParseScheme(s)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Schemes = append(opts.Schemes, sc)
+		}
+	}
+	if *hostCores != "" {
+		for _, s := range splitList(*hostCores) {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("bad host-core count %q", s))
+			}
+			opts.HostCores = append(opts.HostCores, n)
+		}
+	}
+
+	r, err := harness.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *progress {
+		r.Log = os.Stderr
+	}
+
+	if *table2 {
+		if err := r.Table2(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *figure8 {
+		if _, err := r.Figure8(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *table3 {
+		if err := r.Table3(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slackbench:", err)
+	os.Exit(1)
+}

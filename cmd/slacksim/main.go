@@ -1,0 +1,172 @@
+// Command slacksim runs a single simulation: one workload (built-in or an
+// assembly file) on the target CMP under a chosen slack scheme.
+//
+// Examples:
+//
+//	slacksim -workload fft -scheme S9
+//	slacksim -workload lu -scheme Q10 -cores 8 -host 2 -v
+//	slacksim -prog examples/quickstart/hello.s -scheme CC
+//	slacksim -workload water -scheme SU -model inorder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/cache"
+	"slacksim/internal/core"
+	"slacksim/internal/cpu"
+	"slacksim/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "built-in workload to run (see -list)")
+		progFile  = flag.String("prog", "", "assembly source file to run instead of a built-in workload")
+		schemeStr = flag.String("scheme", "S9", "slack scheme: CC, Q<n>, L<n>, S<n>, S<n>*, SU, or serial")
+		cores     = flag.Int("cores", 8, "number of target cores")
+		host      = flag.Int("host", runtime.NumCPU(), "host cores (GOMAXPROCS) for the parallel engine")
+		scale     = flag.Int("scale", 1, "workload input scale factor")
+		model     = flag.String("model", "ooo", "core timing model: ooo or inorder")
+		verbose   = flag.Bool("v", false, "print per-core statistics")
+		verify    = flag.Bool("verify", true, "verify workload results against the Go reference")
+		maxCycles = flag.Int64("max-cycles", 0, "abort after this many simulated cycles (0 = default)")
+		shards    = flag.Int("shards", 1, "manager shards for the memory hierarchy (paper §2.2)")
+		list      = flag.Bool("list", false, "list built-in workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-8s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	scheme, serial, err := parseScheme(*schemeStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	var prog *asm.Program
+	var wl *workloads.Workload
+	switch {
+	case *workload != "":
+		wl, err = workloads.Get(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = asm.Assemble(wl.Source(*scale), asm.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("assembling %s: %w", *workload, err))
+		}
+	case *progFile != "":
+		src, err := os.ReadFile(*progFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = asm.Assemble(string(src), asm.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("assembling %s: %w", *progFile, err))
+		}
+	default:
+		fatal(fmt.Errorf("need -workload or -prog (see -list)"))
+	}
+
+	cfg := core.Config{
+		NumCores:      *cores,
+		CPU:           cpu.DefaultConfig(),
+		Cache:         cache.DefaultConfig(*cores),
+		MaxCycles:     *maxCycles,
+		ManagerShards: *shards,
+	}
+	if *model == "inorder" {
+		cfg.Model = core.ModelInOrder
+	}
+	m, err := core.NewMachine(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if wl != nil {
+		if err := wl.Init(m.Image(), *scale); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	var res *core.Result
+	if serial {
+		res = m.RunSerial()
+	} else {
+		prev := runtime.GOMAXPROCS(*host)
+		res, err = m.RunParallel(scheme)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	res.Wall = time.Since(start)
+
+	if res.Output != "" {
+		fmt.Printf("output: %q\n", res.Output)
+	}
+	status := "ok"
+	if res.Aborted {
+		status = "ABORTED (cycle limit or stall)"
+	}
+	fmt.Printf("scheme %v: %s, exit code %d\n", *schemeStr, status, res.ExitCode)
+	fmt.Printf("simulated: %d cycles total, %d ROI cycles, %d ROI instructions\n",
+		res.EndTime, res.ROICycles(), res.Committed)
+	fmt.Printf("host: %v wall, %.1f KIPS, %d time warps\n", res.Wall.Round(time.Millisecond), res.KIPS(), res.TimeWarps)
+
+	if wl != nil && *verify {
+		if err := wl.Verify(m.Image(), res.Output, *scale); err != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", err))
+		}
+		fmt.Println("verification: PASS")
+	}
+
+	if *verbose {
+		for i, st := range res.CoreStats {
+			fmt.Printf("core %d: %d instrs, %d cycles (%d skipped), ipc %.2f, %d loads, %d stores, %d branches (%.1f%% mispredict), L1D %d/%d hits, %d syscalls\n",
+				i, st.Committed, st.Cycles, st.Skipped, ipc(st), st.Loads, st.Stores,
+				st.Branches, pct(st.Mispred, st.Branches), st.L1D.Hits, st.L1D.Hits+st.L1D.Misses, st.Syscalls)
+		}
+		l2 := res.L2Stats
+		fmt.Printf("L2: %d accesses (%.1f%% hits), %d DRAM reads, %d invalidations, %d downgrades\n",
+			l2.Accesses, pct(l2.Hits, l2.Accesses), l2.DRAMReads, l2.InvsSent, l2.Downgrades)
+	}
+}
+
+func ipc(st *cpu.Stats) float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return float64(st.Committed) / float64(st.Cycles)
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// parseScheme parses a scheme name, plus "serial" for the reference engine.
+func parseScheme(s string) (core.Scheme, bool, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "serial") {
+		return core.Scheme{}, true, nil
+	}
+	scheme, err := core.ParseScheme(s)
+	return scheme, false, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slacksim:", err)
+	os.Exit(1)
+}

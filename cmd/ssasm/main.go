@@ -1,0 +1,78 @@
+// Command ssasm assembles and disassembles SSA (SlackSim Architecture)
+// programs — the custom ISA the simulator executes, standing in for
+// SimpleScalar's PISA.
+//
+// Examples:
+//
+//	ssasm prog.s              # assemble; report sizes and symbols
+//	ssasm -d prog.s           # assemble then disassemble the text section
+//	ssasm -workload fft       # dump a built-in workload's generated source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/isa"
+	"slacksim/internal/workloads"
+)
+
+func main() {
+	var (
+		disasm   = flag.Bool("d", false, "disassemble the text section")
+		symbols  = flag.Bool("s", false, "print the symbol table")
+		workload = flag.String("workload", "", "dump the generated source of a built-in workload instead of reading a file")
+		scale    = flag.Int("scale", 1, "workload scale when using -workload")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *workload != "":
+		w, err := workloads.Get(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		src = w.Source(*scale)
+		if !*disasm && !*symbols {
+			fmt.Print(src)
+			return
+		}
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ssasm [-d] [-s] file.s | ssasm -workload <name>")
+		os.Exit(2)
+	}
+
+	prog, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("text: %d instructions (%d bytes at %#x)\n", len(prog.Text), len(prog.Text)*isa.InstBytes, prog.TextBase)
+	fmt.Printf("data: %d bytes at %#x\n", len(prog.Data), prog.DataBase)
+	fmt.Printf("entry: %#x\n", prog.Entry)
+
+	if *symbols {
+		for name, addr := range prog.Symbols {
+			fmt.Printf("%#08x  %s\n", addr, name)
+		}
+	}
+	if *disasm {
+		for i, in := range prog.Text {
+			pc := prog.TextBase + uint64(i)*isa.InstBytes
+			fmt.Printf("%#08x:  %s\n", pc, in.Disassemble(pc))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Package slacksim is a Go reproduction of "Exploiting Simulation Slack to
+// Improve Parallel Simulation Speed" (Chen, Annavaram, Dubois — ICPP 2009):
+// a parallel CMP-on-CMP microarchitecture simulator in which each target
+// core runs in its own host thread and the synchronisation between threads
+// is relaxed by a configurable simulation slack.
+//
+// The library lives under internal/:
+//
+//	internal/core         the slack engine (schemes, manager, drivers)
+//	internal/cpu          out-of-order and in-order target core models
+//	internal/cache        L1/MESI-directory/NUCA-L2 hierarchy
+//	internal/interconnect crossbar and occupancy contention models
+//	internal/isa,asm      the SSA target ISA and its assembler
+//	internal/loader,mem   program loading and shared functional memory
+//	internal/sysemu       the emulated OS and Pthread-style workload API
+//	internal/workloads    the seven parallel benchmarks
+//	internal/harness      the paper's evaluation sweeps
+//
+// Executables: cmd/slacksim (single runs), cmd/slackbench (the paper's
+// tables and figures), cmd/ssasm (assembler tool). Runnable walkthroughs
+// live in examples/. The benchmarks regenerating each table and figure are
+// in bench_test.go; run them with
+//
+//	go test -bench=. -benchtime=1x .
+package slacksim

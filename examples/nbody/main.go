@@ -1,0 +1,68 @@
+// Nbody runs the barnes workload (the paper's Barnes analogue: cell-
+// aggregated n-body with per-cell lock contention) standalone, comparing a
+// conservative and an optimistic scheme on the same input and verifying
+// both against the Go reference — a realistic "science workload on the
+// simulator" scenario.
+//
+//	go run ./examples/nbody [-scale 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/cache"
+	"slacksim/internal/core"
+	"slacksim/internal/cpu"
+	"slacksim/internal/workloads"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "input scale (bodies = 128*scale)")
+	cores := flag.Int("cores", 4, "target cores")
+	flag.Parse()
+
+	w, err := workloads.Get("barnes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(w.Source(*scale), asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("barnes: %s on %d cores\n\n", w.InputDesc(*scale), *cores)
+	for _, s := range []core.Scheme{core.SchemeS9x, core.SchemeSU} {
+		m, err := core.NewMachine(prog, core.Config{
+			NumCores: *cores,
+			CPU:      cpu.DefaultConfig(),
+			Cache:    cache.DefaultConfig(*cores),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Init(m.Image(), *scale); err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.RunParallel(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "PASS"
+		if err := w.Verify(m.Image(), res.Output, *scale); err != nil {
+			verdict = "FAIL: " + err.Error()
+		}
+		var locks int64
+		for _, st := range res.CoreStats {
+			locks += st.Syscalls
+		}
+		fmt.Printf("%-4v %8d cycles  %8d instrs  wall %-12v  %5d syscalls  verify %s\n",
+			s, res.EndTime, res.Committed, res.Wall.Round(time.Microsecond), locks, verdict)
+	}
+	fmt.Println("\nBoth schemes produce physically valid trajectories; the optimistic")
+	fmt.Println("scheme's per-cell lock grants happen in a distorted order, which")
+	fmt.Println("reorders floating-point accumulation — within tolerance (§3.2.3).")
+}

@@ -1,0 +1,167 @@
+// Schemes visualises how the slack simulation schemes pace core threads —
+// a live rendition of the paper's Figure 2. It runs the same 4-core
+// workload under cycle-by-cycle, quantum, bounded-slack, and unbounded
+// simulation, sampling every core's local time as the manager updates the
+// windows, then draws simulated-time progress against manager updates.
+//
+//	go run ./examples/schemes
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/cache"
+	"slacksim/internal/core"
+	"slacksim/internal/cpu"
+)
+
+// prog gives each core a different amount of work per barrier phase, so the
+// schemes' different tolerance for load imbalance is visible, as in the
+// paper's P1..P4 timelines.
+const prog = `
+.equ SYS_EXIT, 0
+.equ SYS_TCREATE, 1
+.equ SYS_TEXIT, 2
+.equ SYS_TJOIN, 3
+.equ SYS_BARRIER_INIT, 7
+.equ SYS_BARRIER, 8
+.equ SYS_NUM_CORES, 20
+
+main:
+    syscall SYS_NUM_CORES
+    mv   r16, rv
+    la   a0, bar
+    mv   a1, r16
+    syscall SYS_BARRIER_INIT
+    li   r17, 1
+spawn:
+    bge  r17, r16, spawned
+    la   a0, worker
+    mv   a1, r17
+    syscall SYS_TCREATE
+    addi r17, r17, 1
+    j    spawn
+spawned:
+    li   a0, 0
+    call phase_work
+    li   r17, 1
+join:
+    bge  r17, r16, joined
+    mv   a0, r17
+    syscall SYS_TJOIN
+    addi r17, r17, 1
+    j    join
+joined:
+    li   a0, 0
+    syscall SYS_EXIT
+
+# phase_work(id): 4 barrier phases; thread i spins (i+1)*300 ALU iterations
+# per phase, so higher-numbered threads always arrive later.
+phase_work:
+    addi r20, a0, 1
+    li   r21, 300
+    mul  r20, r20, r21      # iterations per phase
+    li   r22, 0             # phase
+pw_phase:
+    li   r8, 4
+    bge  r22, r8, pw_done
+    mv   r9, r20
+pw_spin:
+    addi r9, r9, -1
+    bnez r9, pw_spin
+    la   a0, bar
+    syscall SYS_BARRIER
+    addi r22, r22, 1
+    j    pw_phase
+pw_done:
+    ret
+
+worker:
+    call phase_work
+    syscall SYS_TEXIT
+
+.data
+.align 8
+bar: .dword 0
+`
+
+type sample struct {
+	global int64
+	locals []int64
+}
+
+func runScheme(s core.Scheme) ([]sample, *core.Result) {
+	program, err := asm.Assemble(prog, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{
+		NumCores: 4,
+		CPU:      cpu.DefaultConfig(),
+		Cache:    cache.DefaultConfig(4),
+	}
+	m, err := core.NewMachine(program, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var samples []sample
+	m.SetTrace(func(global int64, locals []int64) {
+		if len(samples) < 100000 {
+			samples = append(samples, sample{global, append([]int64(nil), locals...)})
+		}
+	})
+	res, err := m.RunParallel(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return samples, res
+}
+
+func main() {
+	fmt.Println("Slack scheme timelines (cf. paper Figure 2): each row is one")
+	fmt.Println("target core; each column is a manager pacing update (host")
+	fmt.Println("\"simulation time\"); the glyph encodes the core's simulated")
+	fmt.Println("cycle count at that instant, 0-9 scaled to the run's end time.")
+	fmt.Println()
+
+	for _, s := range []core.Scheme{core.SchemeCC, core.SchemeQ10, core.SchemeS9, core.SchemeS100, core.SchemeSU} {
+		samples, res := runScheme(s)
+		fmt.Printf("%s  (end %d cycles, wall %v, %d pacing updates)\n",
+			s, res.EndTime, res.Wall.Round(1000), len(samples))
+		render(samples, res.EndTime)
+		fmt.Println()
+	}
+}
+
+// render draws up to 72 evenly spaced samples as per-core digit strips.
+func render(samples []sample, end int64) {
+	if len(samples) == 0 || end == 0 {
+		fmt.Println("  (no samples)")
+		return
+	}
+	const width = 72
+	step := len(samples) / width
+	if step == 0 {
+		step = 1
+	}
+	cores := len(samples[0].locals)
+	for c := 0; c < cores; c++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "  P%d ", c+1)
+		for i := 0; i < len(samples); i += step {
+			v := samples[i].locals[c]
+			g := int(v * 9 / end)
+			if g > 9 {
+				g = 9
+			}
+			if g < 0 {
+				g = 0
+			}
+			b.WriteByte(byte('0' + g))
+		}
+		fmt.Println(b.String())
+	}
+}

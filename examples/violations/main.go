@@ -1,0 +1,157 @@
+// Violations demonstrates the simulated-time distortions of the paper's
+// §3.2 (Figures 3-7). Two target cores hammer the same data: core 0
+// repeatedly stores an incrementing value to a shared word while core 1
+// polls it (a Figure 7 conflicting Load/Store pair), and both contend for
+// a lock (the Figure 4 shared-resource conflict, with the lock playing the
+// bus). Under conservative schemes the observation pattern is identical to
+// cycle-by-cycle simulation; under bounded and unbounded slack the
+// interleaving — and therefore the values the workload reads — drifts,
+// while the workload still executes correctly (§3.2.3).
+//
+//	go run ./examples/violations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/cache"
+	"slacksim/internal/core"
+	"slacksim/internal/cpu"
+)
+
+// prog: core 0 performs 200 rounds of {lock; shared++; unlock}, core 1
+// performs 200 rounds of {lock; sample = shared; unlock; record sample}.
+// Core 1 records each sampled value into a trace array; how far the
+// producer ran ahead of each observation depends on the slack scheme.
+const prog = `
+.equ SYS_EXIT, 0
+.equ SYS_TCREATE, 1
+.equ SYS_TEXIT, 2
+.equ SYS_TJOIN, 3
+.equ SYS_LOCK_INIT, 4
+.equ SYS_LOCK, 5
+.equ SYS_UNLOCK, 6
+.equ ROUNDS, 200
+
+main:
+    la   a0, lk
+    syscall SYS_LOCK_INIT
+    la   a0, consumer
+    li   a1, 1
+    syscall SYS_TCREATE
+    # producer: 200 locked increments
+    li   r20, 0
+p_loop:
+    li   r8, ROUNDS
+    bge  r20, r8, p_done
+    la   a0, lk
+    syscall SYS_LOCK
+    la   r9, shared
+    ld   r10, 0(r9)
+    addi r10, r10, 1
+    sd   r10, 0(r9)
+    la   a0, lk
+    syscall SYS_UNLOCK
+    addi r20, r20, 1
+    j    p_loop
+p_done:
+    li   a0, 1
+    syscall SYS_TJOIN
+    li   a0, 0
+    syscall SYS_EXIT
+
+consumer:
+    li   r20, 0
+c_loop:
+    li   r8, ROUNDS
+    bge  r20, r8, c_done
+    la   a0, lk
+    syscall SYS_LOCK
+    la   r9, shared
+    ld   r21, 0(r9)
+    la   a0, lk
+    syscall SYS_UNLOCK
+    # trace[i] = sampled value
+    la   r9, trace
+    slli r10, r20, 3
+    add  r9, r9, r10
+    sd   r21, 0(r9)
+    addi r20, r20, 1
+    j    c_loop
+c_done:
+    syscall SYS_TEXIT
+
+.data
+.align 8
+lk:     .dword 0
+shared: .dword 0
+trace:  .space ROUNDS*8
+`
+
+const rounds = 200
+
+func run(s core.Scheme, serial bool) (*core.Result, []int64) {
+	program, err := asm.Assemble(prog, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := core.NewMachine(program, core.Config{
+		NumCores: 2,
+		CPU:      cpu.DefaultConfig(),
+		Cache:    cache.DefaultConfig(2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res *core.Result
+	if serial {
+		res = m.RunSerial()
+	} else {
+		res, err = m.RunParallel(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	addr, err := m.Image().Symbol("trace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := make([]int64, rounds)
+	for i := range trace {
+		v, _ := m.Image().Mem.LoadWord(addr + uint64(i)*8)
+		trace[i] = int64(v)
+	}
+	return res, trace
+}
+
+func main() {
+	fmt.Println("Producer/consumer conflicting accesses under slack (paper §3.2):")
+	fmt.Println("the consumer's sampled values depend on the simulated-time")
+	fmt.Println("interleaving of the two threads' lock acquisitions.")
+	fmt.Println()
+
+	_, ref := run(core.Scheme{}, true)
+
+	fmt.Printf("%-6s  %-10s  %-9s  %-9s  %-9s  %-11s  %s\n",
+		"scheme", "exec time", "warps", "cohwarps", "diverges", "final value", "first 12 samples")
+	for _, s := range []core.Scheme{core.SchemeCC, core.SchemeQ10, core.SchemeS9x, core.SchemeS9, core.SchemeS100, core.SchemeSU} {
+		res, trace := run(s, false)
+		div := 0
+		for i := range trace {
+			if trace[i] != ref[i] {
+				div++
+			}
+		}
+		fmt.Printf("%-6v  %-10d  %-9d  %-9d  %-9d  %-11d  %v\n",
+			s, res.EndTime, res.TimeWarps, res.CoherenceWarps, div, trace[rounds-1], trace[:12])
+	}
+	fmt.Println()
+	fmt.Println("\"warps\" counts synchronisation operations (§3.2.3) and \"cohwarps\"")
+	fmt.Println("directory requests (§3.2.2) processed out of timestamp order — both")
+	fmt.Println("zero under conservative schemes; \"diverges\"")
+	fmt.Println("counts samples that differ from the serial cycle-by-cycle reference.")
+	fmt.Println("Every run still executes the workload correctly — the distortion is")
+	fmt.Println("temporal, exactly as §3.2.3 argues.")
+}

@@ -1,0 +1,3 @@
+module slacksim
+
+go 1.22

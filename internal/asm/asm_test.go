@@ -1,0 +1,278 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"slacksim/internal/isa"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := assemble(t, `
+main:
+    li   r8, 42
+    addi r8, r8, -2
+    syscall 0
+`)
+	if len(p.Text) != 3 {
+		t.Fatalf("got %d instructions", len(p.Text))
+	}
+	if p.Text[0].Op != isa.OpLI || p.Text[0].Imm != 42 {
+		t.Errorf("li = %v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.OpADDI || p.Text[1].Imm != -2 {
+		t.Errorf("addi = %v", p.Text[1])
+	}
+	if p.Text[2].Op != isa.OpSYSCALL || p.Text[2].Rd != isa.RegRV {
+		t.Errorf("syscall = %v", p.Text[2])
+	}
+	if p.Entry != p.TextBase {
+		t.Errorf("entry %#x != text base %#x", p.Entry, p.TextBase)
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	p := assemble(t, `
+main:
+    li  r8, 3
+loop:
+    addi r8, r8, -1
+    bne r8, zero, loop
+    j   done
+    nop
+done:
+    syscall 0
+`)
+	// bne at index 2 targets loop at index 1: offset -8.
+	if p.Text[2].Imm != -8 {
+		t.Errorf("bne offset = %d, want -8", p.Text[2].Imm)
+	}
+	// j (jal zero) at index 3 targets done at index 5: offset +16.
+	if p.Text[3].Op != isa.OpJAL || p.Text[3].Rd != isa.RegZero || p.Text[3].Imm != 16 {
+		t.Errorf("j = %v", p.Text[3])
+	}
+}
+
+func TestDataDirectivesAndSymbols(t *testing.T) {
+	p := assemble(t, `
+.equ SIZE, 4
+main:
+    la r8, arr
+    ld r9, SIZE*8-8(r8)
+.data
+.align 8
+arr:  .dword 1, 2, 3, 0x10
+vals: .word 7, -1
+f:    .double 1.5
+s:    .asciiz "hi"
+buf:  .space SIZE*2
+end:
+`)
+	arr := p.Symbols["arr"]
+	if arr != p.DataBase {
+		t.Errorf("arr at %#x, want data base %#x", arr, p.DataBase)
+	}
+	if p.Text[0].Imm != int32(arr) {
+		t.Errorf("la imm = %#x, want %#x", p.Text[0].Imm, arr)
+	}
+	if p.Text[1].Imm != 24 {
+		t.Errorf("ld offset = %d, want 24", p.Text[1].Imm)
+	}
+	// 4 dwords + 2 words + 1 double + "hi\0" + 8 space = 32+8+8+3+8 = 59.
+	if got := p.Symbols["end"] - arr; got != 59 {
+		t.Errorf("data layout size = %d, want 59", got)
+	}
+	// Check stored dword values.
+	if p.Data[0] != 1 || p.Data[24] != 0x10 {
+		t.Errorf("dword bytes = % x", p.Data[:32])
+	}
+	if string(p.Data[48:50]) != "hi" || p.Data[50] != 0 {
+		t.Errorf("asciiz bytes = % x", p.Data[48:51])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := assemble(t, `
+main:
+    mv   r8, r9
+    not  r10, r11
+    neg  r12, r13
+    beqz r8, main
+    bnez r8, main
+    bgt  r8, r9, main
+    ble  r8, r9, main
+    jr   r15
+    ret
+    call main
+`)
+	want := []isa.Op{isa.OpADDI, isa.OpXORI, isa.OpSUB, isa.OpBEQ, isa.OpBNE,
+		isa.OpBLT, isa.OpBGE, isa.OpJALR, isa.OpJALR, isa.OpJAL}
+	for i, op := range want {
+		if p.Text[i].Op != op {
+			t.Errorf("pseudo %d: got %v, want %v", i, p.Text[i].Op, op)
+		}
+	}
+	// bgt swaps operands: blt r9, r8.
+	if p.Text[5].Rs1 != 9 || p.Text[5].Rs2 != 8 {
+		t.Errorf("bgt operands = %v", p.Text[5])
+	}
+	// ret = jalr zero, ra, 0.
+	if p.Text[8].Rd != isa.RegZero || p.Text[8].Rs1 != isa.RegRA {
+		t.Errorf("ret = %v", p.Text[8])
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	p := assemble(t, `
+main:
+    ld  r8, 16(sp)
+    sd  r9, -8(sp)
+    fld f1, 0(r8)
+    fsd f2, 24(r8)
+    lw  r10, (r11)
+`)
+	if p.Text[0].Rs1 != isa.RegSP || p.Text[0].Imm != 16 || p.Text[0].Rd != 8 {
+		t.Errorf("ld = %v", p.Text[0])
+	}
+	if p.Text[1].Rs2 != 9 || p.Text[1].Imm != -8 {
+		t.Errorf("sd = %v", p.Text[1])
+	}
+	if p.Text[3].Rs2 != 2 || p.Text[3].Imm != 24 {
+		t.Errorf("fsd = %v", p.Text[3])
+	}
+	if p.Text[4].Imm != 0 {
+		t.Errorf("empty offset = %v", p.Text[4])
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	p := assemble(t, `
+.equ A, 10
+.equ B, A*4+2
+.equ C, 1<<6
+main:
+    li r8, B
+    li r9, C-A
+    li r10, 100/7
+    li r11, 100%7
+    li r12, 'x'
+`)
+	for i, want := range []int32{42, 54, 14, 2, 'x'} {
+		if p.Text[i].Imm != want {
+			t.Errorf("expr %d = %d, want %d", i, p.Text[i].Imm, want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined symbol":   "main:\n j nowhere\n",
+		"bad register":       "main:\n add r8, r99, r1\n",
+		"duplicate label":    "a:\n nop\na:\n nop\n",
+		"unknown mnemonic":   "main:\n frobnicate r1\n",
+		"bad operand count":  "main:\n add r1, r2\n",
+		"bad directive":      ".bogus 12\n",
+		"instr in data":      ".data\n add r1, r2, r3\n",
+		"div by zero":        ".equ X, 1/0\n",
+		"bad memory operand": "main:\n ld r1, r2\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src, Options{}); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestErrorsIncludeLineNumbers(t *testing.T) {
+	_, err := Assemble("main:\n nop\n bad r1\n", Options{})
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v does not carry the line number", err)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := assemble(t, `
+# full line
+main:            ; trailing
+    nop          # trailing too
+    li r8, 1     // c++ style
+.data
+s: .asciiz "a#b;c"   # comment after string
+`)
+	if len(p.Text) != 2 {
+		t.Fatalf("got %d instructions", len(p.Text))
+	}
+	if string(p.Data[:5]) != "a#b;c" {
+		t.Errorf("string with comment chars = %q", p.Data[:5])
+	}
+}
+
+func TestEntryDefaultsToMain(t *testing.T) {
+	p := assemble(t, `
+helper:
+    ret
+main:
+    nop
+`)
+	if p.Entry != p.Symbols["main"] {
+		t.Errorf("entry %#x != main %#x", p.Entry, p.Symbols["main"])
+	}
+}
+
+func TestCustomBases(t *testing.T) {
+	p, err := Assemble("main:\n nop\n.data\nx: .dword 1\n", Options{TextBase: 0x10000, DataBase: 0x40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextBase != 0x10000 || p.Symbols["main"] != 0x10000 {
+		t.Errorf("text base %#x main %#x", p.TextBase, p.Symbols["main"])
+	}
+	if p.Symbols["x"] != 0x40000 {
+		t.Errorf("x at %#x", p.Symbols["x"])
+	}
+}
+
+func TestTextBytesRoundTrip(t *testing.T) {
+	p := assemble(t, "main:\n add r1, r2, r3\n li r4, -7\n")
+	b := p.TextBytes()
+	if len(b) != 16 {
+		t.Fatalf("text bytes = %d", len(b))
+	}
+	in := isa.Decode(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+	if in.Op != isa.OpADD {
+		t.Errorf("first decoded = %v", in)
+	}
+}
+
+func TestAllWorkloadOpsDisassemble(t *testing.T) {
+	// Every opcode must survive an assemble -> disassemble -> reference
+	// check for at least one operand form.
+	p := assemble(t, `
+main:
+    add r1, r2, r3
+    fadd f1, f2, f3
+    fsqrt f4, f5
+    fcvt.d.w f6, r7
+    fcvt.w.d r8, f9
+    fmv.x.d r10, f11
+    fmv.d.x f12, r13
+    feq r14, f15, f16
+    amoadd r17, r18, r19
+    cas r20, r21, r22
+`)
+	for _, in := range p.Text {
+		if in.Disassemble(0) == "" {
+			t.Errorf("%v: no disassembly", in.Op)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+
+	"slacksim/internal/isa"
+)
+
+// TestDisassembleReassembleRoundTrip: for every opcode, a randomly
+// populated instruction must survive disassemble -> assemble with an
+// identical encoding (branch targets render as absolute addresses, so each
+// instruction is placed at the same pc it was disassembled at).
+func TestDisassembleReassembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const pc = 0x1000
+	for op := isa.Op(1); op < isa.Op(isa.NumOps()); op++ {
+		if op == isa.OpInvalid {
+			continue
+		}
+		for trial := 0; trial < 50; trial++ {
+			in := isa.Inst{
+				Op:  op,
+				Rd:  uint8(rng.Intn(isa.NumIntRegs)),
+				Rs1: uint8(rng.Intn(isa.NumIntRegs)),
+				Rs2: uint8(rng.Intn(isa.NumIntRegs)),
+			}
+			// Keep immediates well-formed for the format: branch targets
+			// must land on instruction boundaries and stay positive.
+			switch op.Format() {
+			case isa.FmtB, isa.FmtJ:
+				in.Imm = int32(rng.Intn(1<<16)) * isa.InstBytes
+			case isa.FmtSys:
+				in.Imm = int32(rng.Intn(1 << 10))
+				in.Rd = isa.RegRV // the assembler pins syscall rd
+				in.Rs1, in.Rs2 = 0, 0
+			case isa.FmtNone:
+				in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+			case isa.FmtLI:
+				in.Imm = rng.Int31()
+				if rng.Intn(2) == 0 {
+					in.Imm = -in.Imm
+				}
+			default:
+				in.Imm = int32(rng.Intn(1<<20)) - 1<<19
+			}
+			// Normalise unused fields the way the assembler emits them.
+			switch op.Format() {
+			case isa.FmtR, isa.FmtAMO, isa.FmtFR, isa.FmtFCmp:
+				in.Imm = 0
+			case isa.FmtF2, isa.FmtFCvtIF, isa.FmtFCvtFI:
+				in.Imm, in.Rs2 = 0, 0
+			case isa.FmtLI, isa.FmtJ:
+				in.Rs1, in.Rs2 = 0, 0
+			case isa.FmtLoad, isa.FmtFLoad, isa.FmtI, isa.FmtJR:
+				in.Rs2 = 0
+			case isa.FmtStore, isa.FmtFStore, isa.FmtB:
+				in.Rd = 0
+			}
+
+			text := in.Disassemble(pc)
+			prog, err := Assemble("main:\n    "+text+"\n", Options{TextBase: pc})
+			if err != nil {
+				t.Fatalf("%v: reassembling %q: %v", op, text, err)
+			}
+			if len(prog.Text) != 1 {
+				t.Fatalf("%v: %q assembled to %d instructions", op, text, len(prog.Text))
+			}
+			if got := prog.Text[0]; got != in {
+				t.Fatalf("%v: round trip %+v -> %q -> %+v", op, in, text, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package cache models the target CMP's memory hierarchy: private L1
+// instruction/data caches kept coherent with a directory-based MESI
+// protocol, and a shared L2 organised as NUCA banks behind a crossbar
+// (paper §2). Caches are timing-directories — they track tags, MESI state,
+// presence bits and latencies but carry no data; functional values live in
+// the shared mem.Memory, the same split Graphite and Sniper later adopted.
+package cache
+
+import "fmt"
+
+// Protocol selects how L1 coherence requests reach the shared level
+// (paper §2: "with either a snooping or a directory protocol"). Both use
+// the same MESI state machines; they differ in interconnect timing.
+type Protocol uint8
+
+const (
+	// Directory routes requests over the banked crossbar to a full-map
+	// directory at the NUCA L2 (the default target).
+	Directory Protocol = iota
+	// SnoopBus serialises every coherence transaction on one shared bus:
+	// each request arbitrates for the bus (a single occupancy resource)
+	// before its bank access, and NUCA distance no longer applies. The
+	// bus is the §3.2.1 shared-resource example.
+	SnoopBus
+)
+
+// State is a MESI coherence state (plus Pending for in-flight fills).
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	// Pending marks a way reserved for an outstanding miss: the request has
+	// been sent to the manager but the fill has not yet been applied.
+	Pending
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Pending:
+		return "P"
+	}
+	return "?"
+}
+
+// Config describes the target memory hierarchy. The zero value is not
+// usable; call DefaultConfig for the paper's target.
+type Config struct {
+	LineSize int // bytes per cache line (power of two)
+
+	L1Size int // per-core L1 data (and instruction) capacity in bytes
+	L1Ways int
+
+	L2Size  int // total shared L2 capacity in bytes
+	L2Ways  int
+	L2Banks int
+
+	L1HitLat int64 // L1 load-to-use latency
+	ReqNet   int64 // minimum one-way core->bank latency
+	NetHop   int64 // extra latency per unit of NUCA distance
+	PortOcc  int64 // bank input-port occupancy per message
+	BankLat  int64 // L2 bank access latency
+	BankOcc  int64 // L2 bank occupancy per access
+	RespNet  int64 // minimum one-way bank->core latency
+	InvLat   int64 // request-to-invalidation-visible latency at a peer L1
+	DirtyLat int64 // extra latency when data must come from a peer's M line
+	DRAMLat  int64 // DRAM access latency on L2 miss
+	DRAMOcc  int64 // DRAM channel occupancy per access
+	// DRAMChannels is the number of independent memory controllers; banks
+	// map to channels by bank index modulo channels. Defaults to 1. The
+	// sharded manager (core.Config.ManagerShards) requires channels ==
+	// shards so each shard owns its channels outright.
+	DRAMChannels int
+	NumCores     int
+	// Protocol selects Directory (default) or SnoopBus coherence timing.
+	Protocol Protocol
+	// BusOcc is the shared bus occupancy per transaction (SnoopBus only).
+	BusOcc int64
+}
+
+// DefaultConfig returns the paper's target hierarchy: 16 KB 4-way L1s,
+// 256 KB 8-way shared L2 in 8 NUCA banks, 64 B lines, and an unloaded L2
+// access latency of 10 cycles — the critical latency used to size the
+// quantum/lookahead/slack (§4.2: "we choose a 10-cycle quantum because the
+// critical latency ... is 10, the latency of an L2 cache access").
+func DefaultConfig(numCores int) Config {
+	return Config{
+		LineSize:     64,
+		L1Size:       16 << 10,
+		L1Ways:       4,
+		L2Size:       256 << 10,
+		L2Ways:       8,
+		L2Banks:      8,
+		L1HitLat:     2,
+		ReqNet:       2,
+		NetHop:       1,
+		PortOcc:      1,
+		BankLat:      6,
+		BankOcc:      2,
+		RespNet:      2,
+		InvLat:       10,
+		DirtyLat:     10,
+		DRAMLat:      80,
+		DRAMOcc:      8,
+		DRAMChannels: 1,
+		NumCores:     numCores,
+		Protocol:     Directory,
+		BusOcc:       4,
+	}
+}
+
+// CriticalLatency returns the unloaded L2 access latency — the minimum
+// number of cycles before an event at one core can affect another, used to
+// parameterise the conservative schemes.
+func (c Config) CriticalLatency() int64 { return c.ReqNet + c.BankLat + c.RespNet }
+
+// LineAddr masks addr down to its cache-line address.
+func (c Config) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.LineSize-1) }
+
+func (c Config) validate() error {
+	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
+	if !pow2(c.LineSize) {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	}
+	if c.L1Size%(c.LineSize*c.L1Ways) != 0 {
+		return fmt.Errorf("cache: L1 %dB not divisible into %d ways of %dB lines", c.L1Size, c.L1Ways, c.LineSize)
+	}
+	if c.L2Banks < 1 || c.L2Size%(c.L2Banks*c.LineSize*c.L2Ways) != 0 {
+		return fmt.Errorf("cache: L2 %dB not divisible into %d banks x %d ways of %dB lines", c.L2Size, c.L2Banks, c.L2Ways, c.LineSize)
+	}
+	if !pow2(c.L1Size/(c.LineSize*c.L1Ways)) || !pow2(c.L2Size/(c.L2Banks*c.LineSize*c.L2Ways)) {
+		return fmt.Errorf("cache: set counts must be powers of two")
+	}
+	if c.NumCores < 1 || c.NumCores > 64 {
+		return fmt.Errorf("cache: NumCores %d outside 1..64 (presence bits are a uint64)", c.NumCores)
+	}
+	if c.DRAMChannels < 0 || (c.DRAMChannels > 0 && c.L2Banks%c.DRAMChannels != 0) {
+		return fmt.Errorf("cache: %d DRAM channels must divide %d banks", c.DRAMChannels, c.L2Banks)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package cache
+
+import "testing"
+
+func BenchmarkL1ProbeHit(b *testing.B) {
+	l1 := NewL1(DefaultConfig(8))
+	l1.Reserve(0x1000)
+	l1.Fill(0x1000, Exclusive)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l1.Probe(0x1000, i&1 == 0)
+	}
+}
+
+func BenchmarkL2AccessHit(b *testing.B) {
+	s := NewL2System(DefaultConfig(8))
+	s.Access(0, 0x4000, GetS, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Access(i&7, 0x4000, GetS, int64(i))
+		s.DrainBackInvs()
+	}
+}

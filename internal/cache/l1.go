@@ -1,0 +1,257 @@
+package cache
+
+// Outcome classifies an L1 probe.
+type Outcome uint8
+
+const (
+	// Hit: access can complete locally.
+	Hit Outcome = iota
+	// MissShared: line absent; a GetS request must be sent.
+	MissShared
+	// MissExcl: line absent and the access is a write; send GetM.
+	MissExcl
+	// NeedUpgrade: line present Shared but the access is a write; send an
+	// Upgrade request.
+	NeedUpgrade
+	// Blocked: the line has an outstanding fill (Pending); the access must
+	// wait for the fill (merged through the core's MSHRs).
+	Blocked
+)
+
+// L1Stats counts L1 events.
+type L1Stats struct {
+	Hits        int64
+	Misses      int64
+	Upgrades    int64
+	Evictions   int64
+	Writebacks  int64 // dirty evictions
+	InvsApplied int64
+	Downgrades  int64
+}
+
+type l1Line struct {
+	tag   uint64
+	state State
+	lru   int64
+	// invWhilePending records an invalidation that raced an outstanding
+	// fill (possible under optimistic slack schemes): the fill then
+	// installs the line as Invalid.
+	invWhilePending bool
+}
+
+// L1 is one core's private L1 cache (timing + MESI state, no data). It is
+// owned by its core's simulation thread; the directory reaches it only via
+// InQ events that the core thread itself applies.
+type L1 struct {
+	cfg       Config
+	sets      [][]l1Line
+	setMask   uint64
+	lineShift uint
+	clock     int64 // LRU tick
+	Stats     L1Stats
+}
+
+// NewL1 builds an L1 from cfg.
+func NewL1(cfg Config) *L1 {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.L1Size / (cfg.LineSize * cfg.L1Ways)
+	sets := make([][]l1Line, numSets)
+	for i := range sets {
+		sets[i] = make([]l1Line, cfg.L1Ways)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	return &L1{cfg: cfg, sets: sets, setMask: uint64(numSets - 1), lineShift: shift}
+}
+
+func (c *L1) locate(addr uint64) (set []l1Line, tag uint64) {
+	idx := (addr >> c.lineShift) & c.setMask
+	return c.sets[idx], addr >> c.lineShift
+}
+
+// Probe classifies an access without modifying tag state (except LRU on
+// hits). write=true for stores.
+func (c *L1) Probe(addr uint64, write bool) Outcome {
+	set, tag := c.locate(addr)
+	c.clock++
+	for i := range set {
+		l := &set[i]
+		if l.tag != tag || l.state == Invalid {
+			continue
+		}
+		if l.state == Pending {
+			return Blocked
+		}
+		if write {
+			switch l.state {
+			case Modified:
+				l.lru = c.clock
+				c.Stats.Hits++
+				return Hit
+			case Exclusive:
+				l.state = Modified // silent E->M upgrade
+				l.lru = c.clock
+				c.Stats.Hits++
+				return Hit
+			case Shared:
+				return NeedUpgrade
+			}
+		}
+		l.lru = c.clock
+		c.Stats.Hits++
+		return Hit
+	}
+	if write {
+		return MissExcl
+	}
+	return MissShared
+}
+
+// Reserve allocates a way for an incoming fill of addr's line, evicting the
+// LRU victim. It returns the victim's line address and dirtiness so the
+// miss request can carry the eviction notice to the directory. The way is
+// left in Pending state until Fill.
+func (c *L1) Reserve(addr uint64) (victimAddr uint64, victimDirty, victimValid bool) {
+	set, tag := c.locate(addr)
+	c.Stats.Misses++
+	// Prefer an invalid way.
+	victim := -1
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		best := int64(1<<62 - 1)
+		for i := range set {
+			if set[i].state == Pending {
+				continue // never evict a line with an outstanding fill
+			}
+			if set[i].lru < best {
+				best = set[i].lru
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		// All ways pending: cannot happen when MSHRs < associativity per
+		// set is enforced by the core; fall back to way 0 defensively.
+		victim = 0
+	}
+	l := &set[victim]
+	if l.state != Invalid && l.state != Pending {
+		victimValid = true
+		victimAddr = (l.tag << c.lineShift)
+		victimDirty = l.state == Modified
+		c.Stats.Evictions++
+		if victimDirty {
+			c.Stats.Writebacks++
+		}
+	}
+	c.clock++
+	*l = l1Line{tag: tag, state: Pending, lru: c.clock}
+	return victimAddr, victimDirty, victimValid
+}
+
+// Fill completes an outstanding miss, installing the line with the granted
+// state. A racing invalidation observed while pending makes the line
+// install as Invalid.
+func (c *L1) Fill(addr uint64, st State) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		l := &set[i]
+		if l.tag == tag && l.state == Pending {
+			if l.invWhilePending {
+				l.state = Invalid
+				l.invWhilePending = false
+			} else {
+				l.state = st
+			}
+			return
+		}
+	}
+	// Fill for a line we no longer track (way reused after a squash merge);
+	// ignore — the next access will simply miss again.
+}
+
+// UpgradeDone completes an Upgrade request: the Shared line becomes
+// Modified. If the line was invalidated while the upgrade was in flight
+// (another core won the race), the state stays Invalid and the store will
+// re-miss.
+func (c *L1) UpgradeDone(addr uint64) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		l := &set[i]
+		if l.tag == tag && l.state == Shared {
+			l.state = Modified
+			c.Stats.Upgrades++
+			return
+		}
+	}
+}
+
+// Invalidate applies a directory invalidation. It returns whether the line
+// was dirty (the writeback is timed by the directory side).
+func (c *L1) Invalidate(addr uint64) (wasDirty bool) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		l := &set[i]
+		if l.tag != tag {
+			continue
+		}
+		switch l.state {
+		case Pending:
+			l.invWhilePending = true
+			c.Stats.InvsApplied++
+			return false
+		case Invalid:
+			return false
+		default:
+			wasDirty = l.state == Modified
+			l.state = Invalid
+			c.Stats.InvsApplied++
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// Downgrade applies a directory M/E -> S demotion.
+func (c *L1) Downgrade(addr uint64) (wasDirty bool) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		l := &set[i]
+		if l.tag != tag {
+			continue
+		}
+		switch l.state {
+		case Modified:
+			wasDirty = true
+			fallthrough
+		case Exclusive:
+			l.state = Shared
+			c.Stats.Downgrades++
+		}
+		return wasDirty
+	}
+	return false
+}
+
+// StateOf returns the MESI state of addr's line (for tests and debugging).
+func (c *L1) StateOf(addr uint64) State {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].tag == tag && set[i].state != Invalid {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// NumSets returns the number of sets (for tests).
+func (c *L1) NumSets() int { return len(c.sets) }

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/core"
+)
+
+// Example assembles a small program, runs it on a 2-core target under the
+// paper's recommended bounded-slack scheme, and prints what the workload
+// printed.
+func Example() {
+	prog, err := asm.Assemble(`
+main:
+    li   r8, 0
+    li   r9, 1
+loop:
+    add  r8, r8, r9
+    addi r9, r9, 1
+    li   r10, 101
+    blt  r9, r10, loop
+    mv   a0, r8
+    syscall 12          # print_int
+    li   a0, 0
+    syscall 0           # exit
+`, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.NumCores = 2
+	cfg.Cache.NumCores = 2
+	m, err := core.NewMachine(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.RunParallel(core.SchemeS9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Output)
+	// Output: 5050
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/cache"
+	"slacksim/internal/cpu"
+	"slacksim/internal/event"
+	"slacksim/internal/loader"
+	"slacksim/internal/sysemu"
+)
+
+// CoreModel selects the per-core timing model.
+type CoreModel int
+
+const (
+	// ModelOoO is the paper's 4-wide out-of-order target core.
+	ModelOoO CoreModel = iota
+	// ModelInOrder is a single-issue blocking core (validation/ablation).
+	ModelInOrder
+)
+
+// Config describes a target machine and simulation limits.
+type Config struct {
+	NumCores   int
+	NumThreads int // reported by SysNumThreads; defaults to NumCores
+	Model      CoreModel
+	CPU        cpu.Config
+	Cache      cache.Config
+	MemSize    uint64
+	StackSize  uint64
+	// MaxCycles aborts a runaway simulation (0 = a large default).
+	MaxCycles int64
+	// RingCap sizes the InQ/OutQ rings.
+	RingCap int
+	// StallTimeout aborts a parallel run whose simulated time stops
+	// advancing (deadlocked workload); defaults to 60s of host time.
+	StallTimeout time.Duration
+	// SyscallLat is the round-trip latency of a system call through the
+	// manager; defaults to the cache hierarchy's critical latency, which
+	// keeps conservative schemes exact.
+	SyscallLat int64
+	// ManagerShards splits the memory-hierarchy side of the simulation
+	// manager across this many worker goroutines, each owning a disjoint
+	// set of NUCA banks and memory channels (the paper's §2.2 scaling
+	// hook). 0 or 1 keeps the single manager thread. Requires the L2 bank
+	// count to be divisible by the shard count; the cache configuration's
+	// DRAMChannels is pinned to the shard count so channel ownership is
+	// exact.
+	ManagerShards int
+}
+
+// DefaultConfig returns the paper's target: an 8-core CMP of 4-way OoO
+// cores with the hierarchy of cache.DefaultConfig.
+func DefaultConfig() Config {
+	return Config{
+		NumCores: 8,
+		Model:    ModelOoO,
+		CPU:      cpu.DefaultConfig(),
+		Cache:    cache.DefaultConfig(8),
+	}
+}
+
+func (c *Config) fillDefaults() error {
+	if c.NumCores < 1 {
+		return fmt.Errorf("core: NumCores must be >= 1")
+	}
+	if c.NumThreads == 0 {
+		c.NumThreads = c.NumCores
+	}
+	if c.Cache.NumCores == 0 {
+		c.Cache = cache.DefaultConfig(c.NumCores)
+	}
+	if c.Cache.NumCores != c.NumCores {
+		return fmt.Errorf("core: cache config is for %d cores, machine has %d", c.Cache.NumCores, c.NumCores)
+	}
+	if c.CPU.ROBSize == 0 {
+		c.CPU = cpu.DefaultConfig()
+	}
+	if c.MemSize == 0 {
+		c.MemSize = loader.DefaultMemSize
+	}
+	if c.StackSize == 0 {
+		c.StackSize = loader.DefaultStackSize
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 20_000_000_000
+	}
+	if c.RingCap == 0 {
+		c.RingCap = 512
+	}
+	if c.SyscallLat == 0 {
+		c.SyscallLat = c.Cache.CriticalLatency()
+	}
+	if c.ManagerShards > 1 {
+		if c.Cache.L2Banks%c.ManagerShards != 0 {
+			return fmt.Errorf("core: %d manager shards must divide %d L2 banks", c.ManagerShards, c.Cache.L2Banks)
+		}
+		if c.Cache.DRAMChannels == 0 || c.Cache.DRAMChannels == 1 {
+			c.Cache.DRAMChannels = c.ManagerShards
+		}
+		if c.Cache.DRAMChannels != c.ManagerShards {
+			return fmt.Errorf("core: %d DRAM channels incompatible with %d manager shards", c.Cache.DRAMChannels, c.ManagerShards)
+		}
+	}
+	return nil
+}
+
+// skipRec records a fast-forward for diagnostics.
+type skipRec struct {
+	from, to, gSnap, limit int64
+	kind                   byte
+}
+
+// padded is an atomic.Int64 padded to a cache line to avoid false sharing
+// between the manager and core threads on the host CMP.
+type padded struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Machine is an instantiated target system ready to simulate. A Machine is
+// single-use: build one per simulation run.
+type Machine struct {
+	cfg    Config
+	scheme Scheme
+
+	img    *loader.Image
+	kernel *sysemu.Kernel
+	l2     *cache.L2System
+	cores  []cpu.Core
+
+	outQ []*event.Ring // core -> manager
+	inQ  []*event.Ring // manager -> core
+
+	local    []padded
+	maxLocal []padded
+	// blocked[i] marks a core whose thread is asleep inside a blocking
+	// system call (the kernel holds it on a wait queue). Blocked cores are
+	// excluded from the global-time minimum — their clocks are frozen and
+	// meaningless until the grant, whose timestamp they then jump to.
+	blocked []padded
+	// resumeFloor[i] is the timestamp of core i's most recent blocking-
+	// syscall grant. From the instant the grant is pushed, the core
+	// rejoins the global minimum at this time (its frozen clock will jump
+	// there), so the global time cannot race past the core's resume point
+	// while its goroutine is waiting to be scheduled — which would let it
+	// inject events into the manager's past and break the conservative
+	// schemes' determinism.
+	resumeFloor []padded
+	global      atomic.Int64
+	done        atomic.Bool
+	roiTime     atomic.Int64 // simulated time the ROI began (-1 until then)
+
+	gq evHeap
+	// lastProcGlobal is the bound of the previous conservative processing
+	// pass (used only by diagnostics).
+	lastProcGlobal int64
+	// serialMode marks a RunSerial drive (diagnostics).
+	serialMode bool
+	// lastSkip records each core's most recent fast-forward (diagnostics).
+	lastSkip []skipRec
+
+	// shards holds the §2.2 sharded-manager plumbing (nil when unsharded).
+	shards *shardState
+	// coreRings lists, per core, every reply ring the core must drain: the
+	// main manager's InQ plus one ring per shard.
+	coreRings [][]*event.Ring
+
+	endTime  int64 // simulated time of SysExit
+	exitCode int64
+	aborted  bool // MaxCycles hit
+
+	// Per-core park/wake plumbing (parallel runs).
+	parkMu   []sync.Mutex
+	parkCond []*sync.Cond
+
+	// Per-core engine-level counters.
+	waitCycles []int64 // simulated cycles spent blocked at the window edge
+
+	// trace, when non-nil, receives manager snapshots (used by the Figure 2
+	// style visualisation example).
+	trace func(global int64, locals []int64)
+	// debugDeliver, when non-nil, observes every InQ delivery (tests).
+	debugDeliver func(core int, ev event.Event, local int64)
+}
+
+// NewMachine loads prog into a fresh machine.
+func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	img, err := loader.Load(prog, loader.Config{
+		MemSize:   cfg.MemSize,
+		StackSize: cfg.StackSize,
+		NumCores:  cfg.NumCores,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:         cfg,
+		img:         img,
+		kernel:      sysemu.NewKernel(sysemu.KernelImage(img), cfg.NumCores, cfg.NumThreads),
+		l2:          cache.NewL2System(cfg.Cache),
+		cores:       make([]cpu.Core, cfg.NumCores),
+		outQ:        make([]*event.Ring, cfg.NumCores),
+		inQ:         make([]*event.Ring, cfg.NumCores),
+		local:       make([]padded, cfg.NumCores),
+		maxLocal:    make([]padded, cfg.NumCores),
+		blocked:     make([]padded, cfg.NumCores),
+		resumeFloor: make([]padded, cfg.NumCores),
+		lastSkip:    make([]skipRec, cfg.NumCores),
+		parkMu:      make([]sync.Mutex, cfg.NumCores),
+		parkCond:    make([]*sync.Cond, cfg.NumCores),
+		waitCycles:  make([]int64, cfg.NumCores),
+	}
+	m.roiTime.Store(-1)
+	for i := 0; i < cfg.NumCores; i++ {
+		m.outQ[i] = event.NewRing(cfg.RingCap)
+		m.inQ[i] = event.NewRing(cfg.RingCap)
+		env := cpu.Env{
+			ID:       i,
+			Mem:      img.Mem,
+			CacheCfg: cfg.Cache,
+			Send:     m.outQ[i].MustPush,
+		}
+		switch cfg.Model {
+		case ModelInOrder:
+			m.cores[i] = cpu.NewInOrder(cfg.CPU, env)
+		default:
+			m.cores[i] = cpu.NewOoO(cfg.CPU, env)
+		}
+		m.parkCond[i] = sync.NewCond(&m.parkMu[i])
+	}
+	// Deferred grants for blocked syscalls (lock handoff, barrier release,
+	// semaphore signal, join) come back through the same InQ reply path.
+	m.kernel.Notify = func(core int, t int64, ret int64) {
+		if m.kernel.Trace != nil {
+			m.kernel.Trace(fmt.Sprintf("  grant core=%d t=%d ret=%d", core, t, ret))
+		}
+		grantAt := t + m.cfg.SyscallLat
+		m.inQ[core].MustPush(event.Event{
+			Kind: event.KSyscallDone,
+			Core: int32(core),
+			Time: grantAt,
+			Aux:  ret,
+		})
+		m.resumeFloor[core].v.Store(grantAt)
+		m.blocked[core].v.Store(0)
+	}
+	if cfg.ManagerShards > 1 {
+		m.shards = newShardState(cfg)
+	}
+	m.coreRings = make([][]*event.Ring, cfg.NumCores)
+	for i := 0; i < cfg.NumCores; i++ {
+		rings := []*event.Ring{m.inQ[i]}
+		if m.shards != nil {
+			for s := 0; s < m.shards.n; s++ {
+				rings = append(rings, m.shards.out[s][i])
+			}
+		}
+		m.coreRings[i] = rings
+	}
+	// Core 0 runs the initial workload thread.
+	m.cores[0].Start(img.Entry, img.StackTop(0), 0)
+	return m, nil
+}
+
+// Image returns the loaded program image (for input poking and output
+// inspection by workloads and tests).
+func (m *Machine) Image() *loader.Image { return m.img }
+
+// Kernel returns the emulated OS (workload output, violation counters).
+func (m *Machine) Kernel() *sysemu.Kernel { return m.kernel }
+
+// L2 returns the shared hierarchy model (statistics).
+func (m *Machine) L2() *cache.L2System { return m.l2 }
+
+// Cores returns the per-core models (statistics).
+func (m *Machine) Cores() []cpu.Core { return m.cores }
+
+// DebugState renders the engine's pacing state plus each core's debug dump
+// (diagnostics for aborted runs).
+func (m *Machine) DebugState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "global=%d gq=%d\n", m.global.Load(), m.gq.Len())
+	for i := range m.cores {
+		fmt.Fprintf(&b, "core %d: local=%d maxLocal=%d blocked=%d floor=%d inQ=%d outQ=%d\n",
+			i, m.local[i].v.Load(), m.maxLocal[i].v.Load(), m.blocked[i].v.Load(),
+			m.resumeFloor[i].v.Load(), m.inQ[i].Len(), m.outQ[i].Len())
+		if d, ok := m.cores[i].(interface{ DebugState() string }); ok {
+			b.WriteString("  " + d.DebugState())
+		}
+	}
+	return b.String()
+}
+
+// SetTrace installs a manager-side snapshot hook. Parallel runs invoke it
+// from the manager goroutine on every pacing update.
+func (m *Machine) SetTrace(fn func(global int64, locals []int64)) { m.trace = fn }
+
+// evHeap is a binary min-heap of events ordered by (Time, Core, Seq) — the
+// manager's GQ.
+type evHeap struct {
+	a []event.Event
+}
+
+func (h *evHeap) Len() int { return len(h.a) }
+
+func (h *evHeap) Push(ev event.Event) {
+	h.a = append(h.a, ev)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !event.Less(&h.a[i], &h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *evHeap) Peek() *event.Event {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return &h.a[0]
+}
+
+func (h *evHeap) Pop() event.Event {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h.a) && event.Less(&h.a[l], &h.a[s]) {
+			s = l
+		}
+		if r < len(h.a) && event.Less(&h.a[r], &h.a[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.a[i], h.a[s] = h.a[s], h.a[i]
+		i = s
+	}
+	return top
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/event"
+	"slacksim/internal/sysemu"
+)
+
+// debugSlowFill, when non-nil, observes fills with suspiciously large
+// latencies (test diagnostics only).
+var debugSlowFill func(core int, addr uint64, reqT, fillT int64)
+
+// debugProcess, when non-nil, observes every processed GQ event (tests).
+var debugProcess func(ev event.Event)
+
+// debugLate, when non-nil, observes events applied after their timestamp
+// (test diagnostics; must never fire under conservative schemes).
+var debugLate func(core int, ev event.Event, local int64)
+
+// debugLateProc, when non-nil, observes requests that entered the GQ after
+// the global time had already passed them (visibility violations).
+var debugLateProc func(ev event.Event, prevGlobal int64)
+
+// SetDebugLateProc installs a late-arrival observer (tests; nil to clear).
+func SetDebugLateProc(fn func(string)) {
+	if fn == nil {
+		debugLateProc = nil
+		return
+	}
+	debugLateProc = func(ev event.Event, prevG int64) {
+		fn(fmt.Sprintf("%v core=%d ts=%d prevG=%d addr=%#x", ev.Kind, ev.Core, ev.Time, prevG, ev.Addr))
+	}
+}
+
+// SetDebugLate installs a formatted observer of late event deliveries
+// (test diagnostics only; pass nil to clear).
+func SetDebugLate(fn func(string)) {
+	if fn == nil {
+		debugLate = nil
+		return
+	}
+	debugLate = func(core int, ev event.Event, local int64) {
+		fn(fmt.Sprintf("core=%d %v ts=%d local=%d addr=%#x aux=%d", core, ev.Kind, ev.Time, local, ev.Addr, ev.Aux))
+	}
+}
+
+// SetDebugProcess installs a formatted observer of processed GQ events
+// (test diagnostics only; pass nil to clear).
+func SetDebugProcess(fn func(string)) {
+	if fn == nil {
+		debugProcess = nil
+		return
+	}
+	debugProcess = func(ev event.Event) {
+		fn(fmt.Sprintf("%v c%d t=%d a=%#x x=%d", ev.Kind, ev.Core, ev.Time, ev.Addr, ev.Aux))
+	}
+}
+
+// This file is the simulation-manager logic shared by the parallel and
+// serial drivers: draining OutQs into the GQ, processing GQ entries
+// (directory/L2 accesses and system calls) and emitting InQ notifications.
+// Conservative schemes call processConservative, which consumes events
+// strictly in (timestamp, core, seq) order once the global time has passed
+// them; optimistic schemes call processAll, which makes every queued
+// request globally visible immediately — the source of the timing
+// distortions of §3.2.
+
+// drainOutQs moves all pending core requests into the GQ. Returns whether
+// anything moved.
+func (m *Machine) drainOutQs() bool {
+	moved := false
+	for i := range m.outQ {
+		for {
+			ev, ok := m.outQ[i].Pop()
+			if !ok {
+				break
+			}
+			m.gq.Push(ev)
+			moved = true
+		}
+	}
+	return moved
+}
+
+// processConservative handles every queued event with Time < global, oldest
+// first. Deterministic given the event set.
+func (m *Machine) processConservative(global int64) bool {
+	did := false
+	for {
+		top := m.gq.Peek()
+		if top == nil || top.Time >= global {
+			return did
+		}
+		ev := m.gq.Pop()
+		if debugLateProc != nil && m.lastProcGlobal > ev.Time+1 {
+			debugLateProc(ev, m.lastProcGlobal)
+		}
+		m.processEvent(ev)
+		did = true
+	}
+}
+
+func (m *Machine) noteProcBound(g int64) {
+	if g > m.lastProcGlobal {
+		m.lastProcGlobal = g
+	}
+}
+
+// (noteProcBound is called by the drivers after each conservative pass.)
+
+// processAll handles every queued event immediately (optimistic schemes).
+func (m *Machine) processAll() bool {
+	did := false
+	for m.gq.Len() > 0 {
+		ev := m.gq.Pop()
+		m.processEvent(ev)
+		did = true
+	}
+	return did
+}
+
+// processEvent applies one request: memory-hierarchy traffic goes to the
+// L2/directory model; system calls go to the emulated kernel. Replies and
+// coherence actions are pushed onto the destination cores' InQs.
+func (m *Machine) processEvent(ev event.Event) {
+	if debugProcess != nil {
+		debugProcess(ev)
+	}
+	switch ev.Kind {
+	case event.KReadShared, event.KReadExcl, event.KUpgrade, event.KFetch:
+		m.processMem(ev)
+	case event.KSyscall:
+		m.processSyscall(ev)
+	}
+}
+
+func (m *Machine) processMem(ev event.Event) {
+	m.processMemVia(m.l2, func(core int, out event.Event) {
+		m.inQ[core].MustPush(out)
+	}, ev)
+}
+
+// processMemVia applies one memory-hierarchy request against the given
+// L2/directory instance, emitting the fill and coherence notifications
+// through push. The shard workers use their own instances and rings.
+func (m *Machine) processMemVia(l2 *cache.L2System, push func(int, event.Event), ev event.Event) {
+	core := int(ev.Core)
+	// Retire the piggybacked victim first so the directory's presence bits
+	// reflect the eviction before the new request is processed.
+	if ev.VictimFlags&event.VictimValid != 0 {
+		l2.RetireVictim(core, ev.VictimAddr, ev.VictimFlags&event.VictimDirty != 0, ev.Time)
+	}
+	var kind cache.ReqKind
+	switch ev.Kind {
+	case event.KReadExcl:
+		kind = cache.GetM
+	case event.KUpgrade:
+		kind = cache.Upgrade
+	default:
+		kind = cache.GetS
+	}
+	fill, invs := l2.Access(core, ev.Addr, kind, ev.Time)
+	if debugSlowFill != nil && fill.Time-ev.Time > 200 {
+		debugSlowFill(core, ev.Addr, ev.Time, fill.Time)
+	}
+	for _, inv := range invs {
+		sendInvVia(push, inv)
+	}
+	for _, inv := range l2.DrainBackInvs() {
+		sendInvVia(push, inv)
+	}
+	push(core, event.Event{
+		Kind: event.KFill,
+		Core: ev.Core,
+		Time: fill.Time,
+		Addr: ev.Addr,
+		Aux:  int64(fill.Grant),
+	})
+}
+
+func sendInvVia(push func(int, event.Event), inv cache.InvMsg) {
+	kind := event.KInv
+	if inv.Downgrade {
+		kind = event.KDowngrade
+	}
+	push(inv.Core, event.Event{
+		Kind: kind,
+		Core: int32(inv.Core),
+		Time: inv.Time,
+		Addr: inv.Addr,
+	})
+}
+
+func (m *Machine) processSyscall(ev event.Event) {
+	core := int(ev.Core)
+	res := m.kernel.Syscall(core, ev.Time, ev.Aux, ev.Args)
+	replyAt := ev.Time + m.cfg.SyscallLat
+	for _, eff := range res.Effects {
+		switch eff.Kind {
+		case sysemu.EffectStartCore:
+			m.inQ[eff.Core].MustPush(event.Event{
+				Kind: event.KStart,
+				Core: int32(eff.Core),
+				Time: replyAt,
+				Addr: eff.PC,
+				Aux:  eff.Arg,
+			})
+		case sysemu.EffectStopCore:
+			m.inQ[eff.Core].MustPush(event.Event{
+				Kind: event.KStop,
+				Core: int32(eff.Core),
+				Time: replyAt,
+			})
+		case sysemu.EffectEndSim:
+			m.endTime = ev.Time
+			m.exitCode = eff.Code
+			m.done.Store(true)
+		case sysemu.EffectResetStats:
+			m.roiTime.Store(ev.Time)
+		}
+	}
+	if res.Block {
+		// The kernel queued the caller; the grant arrives via Notify when
+		// another thread releases it. Until then the core's frozen clock
+		// must not hold back the global time (the releaser could never
+		// reach its releasing operation otherwise).
+		m.blocked[core].v.Store(1)
+		return
+	}
+	m.inQ[core].MustPush(event.Event{
+		Kind: event.KSyscallDone,
+		Core: ev.Core,
+		Time: replyAt,
+		Aux:  res.Ret,
+		Flag: res.Retry,
+	})
+}
+
+// minLocal computes the global time: the smallest local time of all core
+// threads (§2.1), excluding cores asleep in blocking system calls (their
+// clocks are frozen until the grant and would deadlock the releaser).
+// When every core is blocked the current global time is returned unchanged
+// (a workload deadlock; the watchdog eventually aborts).
+func (m *Machine) minLocal() int64 {
+	min := int64(-1)
+	for i := range m.local {
+		if m.blocked[i].v.Load() != 0 {
+			continue
+		}
+		v := m.local[i].v.Load()
+		// A core granted out of a blocking wait counts at its resume time
+		// until its (possibly still frozen) clock catches up.
+		if f := m.resumeFloor[i].v.Load(); f > v {
+			v = f
+		}
+		if min < 0 || v < min {
+			min = v
+		}
+	}
+	if min < 0 {
+		return m.global.Load()
+	}
+	return min
+}
+
+// oldestPendingTime returns the timestamp of the oldest queued event, or
+// fallback when the GQ is empty (diagnostics; the Lookahead scheme no
+// longer anchors on it — see Scheme.maxLocal).
+func (m *Machine) oldestPendingTime(fallback int64) int64 {
+	if top := m.gq.Peek(); top != nil {
+		return top.Time
+	}
+	return fallback
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"slacksim/internal/event"
+)
+
+// debugBigJump, when non-nil, observes large fast-forward jumps (tests).
+var debugBigJump func(core int, from, to, nextWork int64)
+
+// parkSpinIters bounds the busy-wait phase before a blocked core thread
+// parks on its condition variable. Shared-memory spinning is the cheap
+// common case the paper's design exploits; parking only matters when the
+// host is oversubscribed (e.g. 9 simulation threads on 1 host core).
+const parkSpinIters = 128
+
+// RunParallel executes the simulation with one goroutine per target core
+// plus the manager on the calling goroutine, paced by the given slack
+// scheme.
+func (m *Machine) RunParallel(s Scheme) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m.scheme = s
+	start := time.Now()
+
+	// Initial windows.
+	init := s.maxLocal(0)
+	for i := range m.maxLocal {
+		m.maxLocal[i].v.Store(init)
+	}
+
+	var wg sync.WaitGroup
+	for i := range m.cores {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.coreLoop(i)
+		}(i)
+	}
+	if m.shards != nil {
+		for sidx := 0; sidx < m.shards.n; sidx++ {
+			wg.Add(1)
+			go func(sidx int) {
+				defer wg.Done()
+				m.shardWorker(sidx)
+			}(sidx)
+		}
+		m.runShardedManager(s)
+	} else {
+		m.managerLoop(s)
+	}
+	m.wakeAll()
+	wg.Wait()
+	// Process any straggler events so kernel/directory state is final.
+	m.drainOutQs()
+	m.processAll()
+	return m.result(time.Since(start)), nil
+}
+
+// coreLoop is one core thread: deliver InQ events whose time has come,
+// simulate one cycle, publish the new local time; block at the window edge.
+//
+// Two regime controls keep the simulation faithful and live on any host:
+//
+//   - A core whose Tick made no progress (fully stalled pipeline) does not
+//     burn simulated cycles at host speed. It fast-forwards to the next
+//     deterministic work time — a scheduled completion, a queued event's
+//     timestamp — or, when only a not-yet-arrived reply can unblock it,
+//     yields the host CPU without advancing its clock. This reproduces the
+//     paper's regime (simulating a cycle was expensive relative to the
+//     manager's reply latency, so a stalled core observed replies at their
+//     timestamps) and prevents unbounded-slack runs from inflating the
+//     simulated time by host-speed-dependent amounts.
+//
+//   - A core with no workload thread is additionally clamped to global +
+//     the critical latency, whatever the scheme: letting it free-run under
+//     large or unbounded slack would poison shared-resource occupancy
+//     clocks with far-future timestamps.
+func (m *Machine) coreLoop(i int) {
+	c := m.cores[i]
+	st := c.Stats()
+	var inbox []event.Event
+	local := m.local[i].v.Load()
+	idleClamp := m.cfg.Cache.CriticalLatency()
+	includeInvs := m.scheme.Conservative()
+	ticks := 0
+	for !m.done.Load() {
+		// Yield periodically so an oversubscribed host (the paper's 1- and
+		// 2-host-core configurations) cannot starve the manager.
+		if ticks++; ticks&63 == 0 {
+			runtime.Gosched()
+		}
+
+		// Read the global time before draining the inbox: every reply
+		// pushed before this value was published is then guaranteed to be
+		// in the drain below, which makes gSnap + criticalLatency - 1 a
+		// safe skip horizon (later pushes are stamped >= gSnap + critical
+		// latency by the manager's process-then-publish order).
+		gSnap := m.global.Load()
+		limit := m.maxLocal[i].v.Load()
+		if !c.Active() {
+			if idleMax := gSnap + idleClamp; idleMax < limit {
+				limit = idleMax
+			}
+		}
+		if local >= limit {
+			if !c.Active() {
+				// Following the global time, which other cores advance.
+				runtime.Gosched()
+				continue
+			}
+			m.waitCycles[i]++
+			m.parkCore(i, local)
+			continue
+		}
+
+		delivered := m.deliverInbox(i, &inbox, local)
+		if roi := m.roiTime.Load(); roi >= 0 && !st.ROIMarked {
+			c.MarkROI(local)
+		}
+		progressed := c.Tick(local)
+		local++
+		m.local[i].v.Store(local)
+		if progressed || delivered {
+			continue
+		}
+
+		// Fully stalled: fast-forward to the next actionable time.
+		next := c.NextWork(local)
+		if t, ok := earliestEvent(inbox, includeInvs); ok && t < next {
+			next = t
+		}
+		if next == math.MaxInt64 {
+			switch {
+			case !c.Active():
+				next = limit // idle core: follow the window edge
+			case m.scheme.Conservative() && m.blocked[i].v.Load() == 0:
+				// Conservative schemes process requests only once the
+				// global time passes them, and the global time includes
+				// every core that is not asleep in the kernel — so slide
+				// (skip, never tick) to the window edge and park there;
+				// the quantum barrier or the window slide then lets the
+				// manager answer us. The skip targets are pure simulated-
+				// time quantities, so the outcome stays deterministic.
+				next = limit
+			default:
+				// Optimistic schemes answer requests on arrival, and a
+				// kernel-blocked thread is excluded from the global time
+				// under every scheme, so in either case the reply needs
+				// nothing from this core: freeze the clock entirely — no
+				// ticking — until an event arrives, then jump precisely
+				// to its timestamp. Ticking once per wait poll would
+				// advance the clock at host-schedule speed — exactly the
+				// nondeterminism that must not leak into the simulation.
+				for !m.done.Load() && !m.coreHasEvents(i) {
+					runtime.Gosched()
+				}
+				continue
+			}
+		}
+		if next > limit {
+			next = limit
+		}
+		if includeInvs {
+			// Conservative schemes: cap the skip at the pre-drain global
+			// snapshot plus the critical latency, so no event pushed after
+			// this iteration's drain can land inside the skipped range.
+			// The loop re-drains and extends the skip as the global time
+			// advances.
+			if cap := gSnap + idleClamp - 1; next > cap {
+				next = cap
+			}
+		}
+		if next > local {
+			if debugBigJump != nil && next-local > 2000 {
+				debugBigJump(i, local, next, c.NextWork(local))
+			}
+			if debugLate != nil {
+				m.lastSkip[i] = skipRec{from: local, to: next, gSnap: gSnap, limit: limit, kind: 'S'}
+			}
+			c.Skip(next - local)
+			local = next
+			m.local[i].v.Store(local)
+		}
+	}
+}
+
+// earliestEvent returns the smallest timestamp among queued events that
+// should bound a stalled core's fast-forward jump. Under conservative
+// schemes every event participates, so invalidations and downgrades are
+// applied exactly at their timestamps — the serial reference and the
+// parallel engine then agree on every L1 state transition. Under
+// optimistic schemes invalidations are excluded: they unblock nothing, and
+// jumping a frozen core's clock to a far-future invalidation from a core
+// running ahead would inflate its simulated time by exactly the skew the
+// scheme allows; applying them late is part of the measured distortion.
+func earliestEvent(inbox []event.Event, includeInvs bool) (int64, bool) {
+	min, ok := int64(0), false
+	for i := range inbox {
+		if !includeInvs {
+			switch inbox[i].Kind {
+			case event.KInv, event.KDowngrade:
+				continue
+			}
+		}
+		if !ok || inbox[i].Time < min {
+			min, ok = inbox[i].Time, true
+		}
+	}
+	return min, ok
+}
+
+// parkCore waits until the manager raises the core's max local time: a
+// bounded spin (with yields) followed by a condition-variable park.
+func (m *Machine) parkCore(i int, local int64) {
+	for s := 0; s < parkSpinIters; s++ {
+		if m.done.Load() || m.maxLocal[i].v.Load() > local {
+			return
+		}
+		runtime.Gosched()
+	}
+	m.parkMu[i].Lock()
+	for !m.done.Load() && m.maxLocal[i].v.Load() <= local {
+		m.parkCond[i].Wait()
+	}
+	m.parkMu[i].Unlock()
+}
+
+func (m *Machine) wakeAll() {
+	for i := range m.parkCond {
+		m.parkMu[i].Lock()
+		m.parkCond[i].Broadcast()
+		m.parkMu[i].Unlock()
+	}
+}
+
+// managerLoop is the simulation manager thread (§2.1): it consolidates the
+// OutQs into the GQ, advances the global time, makes requests globally
+// visible according to the scheme, and slides every core's window.
+func (m *Machine) managerLoop(s Scheme) {
+	conservative := s.Conservative()
+	var tracedLocals []int64
+	idleRounds := 0
+	lastChange := time.Now()
+	lastGlobal := int64(-1)
+	ad := adaptState{window: s.Window}
+	for !m.done.Load() {
+		// Snapshot the global-time candidate BEFORE draining: every event
+		// with a timestamp below this minimum was pushed before its core's
+		// clock passed it — and that store precedes this read — so the
+		// drain below is guaranteed to contain it. Draining first would
+		// let cores advance between the drain and the minimum, overstating
+		// the bound past events still sitting in their OutQs.
+		g := m.minLocal()
+		moved := m.drainOutQs()
+		if g >= m.cfg.MaxCycles {
+			m.aborted = true
+			m.done.Store(true)
+			break
+		}
+
+		var processed bool
+		switch {
+		case s.Kind == Adaptive:
+			processed = m.processAllCounting(&ad)
+			ad.adapt(g)
+		case s.Kind == Quantum:
+			// Requests become visible only at the barrier (§3.1): when
+			// every thread has finished the quantum, i.e. the global time
+			// sits on a quantum boundary.
+			if g > 0 && g%s.Window == 0 {
+				processed = m.processConservative(g)
+			}
+		case conservative:
+			processed = m.processConservative(g)
+			m.noteProcBound(g)
+		default:
+			processed = m.processAll()
+		}
+
+		// Publish the new global time only after this pass's replies are
+		// pushed: a core reading global = g may then rely on every request
+		// stamped below g having been answered, which makes global +
+		// critical latency a safe fast-forward horizon (see coreLoop).
+		if g > m.global.Load() {
+			m.global.Store(g)
+		}
+
+		changed := m.updateWindows(s, g, &ad)
+
+		if m.trace != nil && (changed || processed) {
+			if tracedLocals == nil {
+				tracedLocals = make([]int64, len(m.local))
+			}
+			for i := range m.local {
+				tracedLocals[i] = m.local[i].v.Load()
+			}
+			m.trace(g, tracedLocals)
+		}
+
+		if moved || processed || changed || g != lastGlobal {
+			idleRounds = 0
+			lastGlobal = g
+			lastChange = time.Now()
+			continue
+		}
+		idleRounds++
+		if idleRounds > 4 {
+			runtime.Gosched()
+		}
+		if idleRounds&1023 == 0 && time.Since(lastChange) > m.stallTimeout() {
+			// Watchdog: the simulated time has not moved for a long host
+			// time — a deadlocked workload or a simulator bug. Abort
+			// rather than hang.
+			m.aborted = true
+			m.done.Store(true)
+			break
+		}
+	}
+	m.wakeAll()
+}
+
+func (m *Machine) stallTimeout() time.Duration {
+	if m.cfg.StallTimeout > 0 {
+		return m.cfg.StallTimeout
+	}
+	// Generous default: the watchdog exists for genuinely deadlocked
+	// workloads, and must not fire on hosts slowed by load or the race
+	// detector.
+	return 60 * time.Second
+}
+
+// adaptState is the Adaptive scheme's controller: it measures processed
+// events per simulated cycle over epochs of global-time progress and
+// halves or doubles the window accordingly (within [1, ceiling]).
+type adaptState struct {
+	window     int64
+	epochStart int64
+	events     int64
+}
+
+// Adaptation thresholds: above high, synchronise tightly; below low, relax.
+const (
+	adaptEpoch    = 2048  // simulated cycles per adaptation decision
+	adaptHighRate = 0.02  // events per cycle
+	adaptLowRate  = 0.005 //
+)
+
+func (a *adaptState) adapt(g int64) {
+	if g-a.epochStart < adaptEpoch {
+		return
+	}
+	rate := float64(a.events) / float64(g-a.epochStart)
+	switch {
+	case rate > adaptHighRate && a.window > 1:
+		a.window /= 2
+		if a.window < 1 {
+			a.window = 1
+		}
+	case rate < adaptLowRate:
+		a.window *= 2
+	}
+	a.epochStart = g
+	a.events = 0
+}
+
+// processAllCounting is processAll with event accounting for adaptation.
+func (m *Machine) processAllCounting(ad *adaptState) bool {
+	did := false
+	for m.gq.Len() > 0 {
+		ev := m.gq.Pop()
+		m.processEvent(ev)
+		ad.events++
+		did = true
+	}
+	return did
+}
+
+// updateWindows recomputes every core's max local time for the scheme and
+// wakes cores whose window moved.
+func (m *Machine) updateWindows(s Scheme, g int64, ad *adaptState) bool {
+	var target int64
+	switch s.Kind {
+	case Unbounded:
+		return false // set once at start; never moves
+	case Adaptive:
+		w := ad.window
+		if w > s.Window {
+			w = s.Window
+		}
+		target = g + w + 1
+	default:
+		target = s.maxLocal(g)
+	}
+	if target < 0 { // overflow guard
+		target = math.MaxInt64
+	}
+	changed := false
+	for i := range m.maxLocal {
+		if m.maxLocal[i].v.Load() < target {
+			m.maxLocal[i].v.Store(target)
+			changed = true
+			// Publish under the park mutex so a core checking the
+			// condition cannot miss the wakeup.
+			m.parkMu[i].Lock()
+			m.parkCond[i].Signal()
+			m.parkMu[i].Unlock()
+		}
+	}
+	return changed
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"time"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/cpu"
+)
+
+// Result summarises one simulation run.
+type Result struct {
+	Scheme   Scheme
+	ExitCode int64
+	// EndTime is the simulated cycle of the workload's exit syscall (the
+	// paper's "execution time", the metric Table 3 compares across
+	// schemes). When the run aborts at MaxCycles it is the global time at
+	// abort.
+	EndTime int64
+	// ROIStart is the simulated cycle at which the workload reset
+	// statistics (after spawning its threads, §4.1); 0 if never.
+	ROIStart int64
+	// Committed is the total instructions committed in the region of
+	// interest, summed over cores.
+	Committed int64
+	// Wall is the host wall-clock duration of the run.
+	Wall time.Duration
+	// Aborted reports the MaxCycles safety abort.
+	Aborted bool
+	// Output is everything the workload printed.
+	Output string
+	// TimeWarps counts kernel synchronisation operations processed out of
+	// timestamp order — the workload-level distortion indicator of §3.2.3
+	// (0 under conservative schemes).
+	TimeWarps int64
+	// CoherenceWarps counts directory requests processed out of timestamp
+	// order per line — the simulated-system-state distortion of §3.2.2
+	// (0 under conservative schemes).
+	CoherenceWarps int64
+	// BlockedParks counts, per core, how often the core thread hit the
+	// window edge and had to wait for the manager.
+	BlockedParks []int64
+	// CoreStats exposes the per-core counters.
+	CoreStats []*cpu.Stats
+	// L2Stats exposes the shared-hierarchy counters.
+	L2Stats cache.L2Stats
+}
+
+// ROICycles is the simulated execution time of the region of interest.
+func (r *Result) ROICycles() int64 { return r.EndTime - r.ROIStart }
+
+// KIPS returns simulated kilo-instructions committed per wall-clock second
+// (the Table 2 metric).
+func (r *Result) KIPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / 1e3 / r.Wall.Seconds()
+}
+
+func (m *Machine) result(wall time.Duration) *Result {
+	res := &Result{
+		Scheme:       m.scheme,
+		ExitCode:     m.exitCode,
+		EndTime:      m.endTime,
+		Wall:         wall,
+		Aborted:      m.aborted,
+		Output:       m.kernel.Output(),
+		TimeWarps:    m.kernel.TimeWarps,
+		BlockedParks: m.waitCycles,
+		L2Stats:      m.aggregateL2Stats(),
+	}
+	res.CoherenceWarps = res.L2Stats.OrderViolations
+	if m.aborted || m.endTime == 0 {
+		res.EndTime = m.global.Load()
+	}
+	if t := m.roiTime.Load(); t > 0 {
+		res.ROIStart = t
+	}
+	for _, c := range m.cores {
+		st := c.Stats()
+		res.CoreStats = append(res.CoreStats, st)
+		res.Committed += st.ROICommitted()
+	}
+	return res
+}

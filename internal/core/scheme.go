@@ -1,0 +1,198 @@
+// Package core implements the paper's contribution: the SlackSim parallel
+// simulation engine. Each target core is simulated by one host goroutine;
+// one simulation-manager goroutine models the shared L2/directory/
+// interconnect and paces the simulation through three shared variables per
+// core — local time, max local time, and the global time — with the
+// invariant Global <= Local(i) <= MaxLocal(i) (§2.1). The slack schemes
+// differ only in how the manager updates max local times and in when queued
+// events become globally visible (§3.1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SchemeKind enumerates the slack simulation schemes of §3.1.
+type SchemeKind int
+
+const (
+	// CC is cycle-by-cycle simulation: every thread synchronises after
+	// every simulated cycle. The accuracy gold standard (Figure 2a).
+	CC SchemeKind = iota
+	// Quantum is barrier synchronisation every Window cycles (Figure 2b),
+	// the WWT-II approach. Accurate while Window <= critical latency.
+	Quantum
+	// Lookahead is the conservative event-driven scheme: requests are
+	// processed only at the global time, in timestamp order, and threads
+	// may advance up to Window cycles past it (the sound form of
+	// "lookahead from the oldest event"; see maxLocal).
+	Lookahead
+	// Bounded is the paper's bounded-slack proposal (Figure 2c): a sliding
+	// window of Window cycles with no barriers; events are processed the
+	// moment they arrive, so small timing distortions are possible.
+	Bounded
+	// OldestFirst is bounded slack plus conservative event processing in
+	// timestamp order at the global time; with Window < critical latency
+	// it eliminates all violations while keeping the sliding window.
+	OldestFirst
+	// Unbounded is bounded slack with an infinite window (Figure 2d): no
+	// synchronisation at all; fastest, largest distortions.
+	Unbounded
+	// Adaptive is bounded slack whose window adjusts itself between 1 and
+	// Window cycles from the observed inter-core event traffic, after the
+	// adaptive quantum of Falcon et al. [8] (cited in the paper's §5):
+	// communication-heavy phases shrink the window toward cycle-accuracy,
+	// compute-only phases stretch it for speed. An extension beyond the
+	// paper's evaluated schemes.
+	Adaptive
+)
+
+// Scheme selects a slack simulation scheme and its cycle window.
+type Scheme struct {
+	Kind SchemeKind
+	// Window is the scheme parameter: the quantum size for Quantum, the
+	// lookahead for Lookahead, and the maximum slack for Bounded and
+	// OldestFirst. Ignored by CC (0) and Unbounded (infinite).
+	Window int64
+}
+
+// Standard schemes from the paper's evaluation (§4.2).
+var (
+	SchemeCC   = Scheme{Kind: CC}
+	SchemeQ10  = Scheme{Kind: Quantum, Window: 10}
+	SchemeL10  = Scheme{Kind: Lookahead, Window: 10}
+	SchemeS9   = Scheme{Kind: Bounded, Window: 9}
+	SchemeS9x  = Scheme{Kind: OldestFirst, Window: 9}
+	SchemeS100 = Scheme{Kind: Bounded, Window: 100}
+	SchemeSU   = Scheme{Kind: Unbounded}
+	// SchemeA1000 is the adaptive scheme with a 1000-cycle ceiling.
+	SchemeA1000 = Scheme{Kind: Adaptive, Window: 1000}
+)
+
+// String renders the paper's scheme names (CC, Q10, L10, S9, S9*, S100, SU).
+func (s Scheme) String() string {
+	switch s.Kind {
+	case CC:
+		return "CC"
+	case Quantum:
+		return fmt.Sprintf("Q%d", s.Window)
+	case Lookahead:
+		return fmt.Sprintf("L%d", s.Window)
+	case Bounded:
+		return fmt.Sprintf("S%d", s.Window)
+	case OldestFirst:
+		return fmt.Sprintf("S%d*", s.Window)
+	case Unbounded:
+		return "SU"
+	case Adaptive:
+		return fmt.Sprintf("A%d", s.Window)
+	}
+	return "?"
+}
+
+// Conservative reports whether the scheme processes events strictly in
+// timestamp order at the global time, which (with Window <= the target's
+// critical latency) makes the simulated cycle counts deterministic and
+// equal to cycle-by-cycle simulation.
+func (s Scheme) Conservative() bool {
+	switch s.Kind {
+	case CC, Quantum, Lookahead, OldestFirst:
+		return true
+	}
+	return false
+}
+
+// maxLocal computes a core's new max local time given the scheme and the
+// current global time. A core may simulate cycle t while t < maxLocal.
+func (s Scheme) maxLocal(global int64) int64 {
+	switch s.Kind {
+	case CC:
+		return global + 1
+	case Quantum:
+		// Barrier at the next multiple of the quantum.
+		return (global/s.Window + 1) * s.Window
+	case Lookahead:
+		// The textbook anchor is the oldest unprocessed event plus the
+		// lookahead, but an anchor beyond the global time is unsound in a
+		// running engine: a request still in flight toward the manager
+		// (not yet visible as "pending") would not bound it, and its
+		// issuer could outrun its own reply. The global time is the
+		// tightest sound anchor — the oldest event that can still exist
+		// is never older than it.
+		return global + s.Window
+	case Bounded, OldestFirst:
+		// Sliding window [global, global+Window] inclusive.
+		return global + s.Window + 1
+	case Unbounded:
+		return math.MaxInt64
+	case Adaptive:
+		// The manager substitutes its current adapted window; this is the
+		// ceiling.
+		return global + s.Window + 1
+	}
+	return global + 1
+}
+
+// ParseScheme parses the paper's scheme notation: "CC", "Q10", "L10",
+// "S9", "S9*", "S100", "SU" (case-insensitive).
+func ParseScheme(s string) (Scheme, error) {
+	up := strings.ToUpper(strings.TrimSpace(s))
+	switch up {
+	case "CC":
+		return SchemeCC, nil
+	case "SU":
+		return SchemeSU, nil
+	}
+	if len(up) < 2 {
+		return Scheme{}, fmt.Errorf("core: bad scheme %q", s)
+	}
+	kind, rest := up[0], up[1:]
+	oldestFirst := strings.HasSuffix(rest, "*")
+	rest = strings.TrimSuffix(rest, "*")
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return Scheme{}, fmt.Errorf("core: bad scheme %q", s)
+	}
+	var out Scheme
+	switch {
+	case kind == 'Q' && !oldestFirst:
+		out = Scheme{Kind: Quantum, Window: n}
+	case kind == 'L' && !oldestFirst:
+		out = Scheme{Kind: Lookahead, Window: n}
+	case kind == 'S' && oldestFirst:
+		out = Scheme{Kind: OldestFirst, Window: n}
+	case kind == 'S':
+		out = Scheme{Kind: Bounded, Window: n}
+	case kind == 'A' && !oldestFirst:
+		out = Scheme{Kind: Adaptive, Window: n}
+	default:
+		return Scheme{}, fmt.Errorf("core: bad scheme %q (want CC, Q<n>, L<n>, S<n>, S<n>*, SU)", s)
+	}
+	return out, out.Validate()
+}
+
+// Validate checks the scheme parameters.
+func (s Scheme) Validate() error {
+	switch s.Kind {
+	case CC, Unbounded:
+		return nil
+	case Quantum, Lookahead:
+		if s.Window < 1 {
+			return fmt.Errorf("core: scheme %v needs Window >= 1", s.Kind)
+		}
+	case Bounded, OldestFirst:
+		if s.Window < 0 {
+			return fmt.Errorf("core: scheme %v needs Window >= 0", s.Kind)
+		}
+	case Adaptive:
+		if s.Window < 1 {
+			return fmt.Errorf("core: adaptive scheme needs Window >= 1")
+		}
+	default:
+		return fmt.Errorf("core: unknown scheme kind %d", s.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slacksim/internal/event"
+)
+
+func TestSchemeStrings(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		SchemeCC:   "CC",
+		SchemeQ10:  "Q10",
+		SchemeL10:  "L10",
+		SchemeS9:   "S9",
+		SchemeS9x:  "S9*",
+		SchemeS100: "S100",
+		SchemeSU:   "SU",
+	} {
+		if s.String() != want {
+			t.Errorf("%v != %s", s, want)
+		}
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for in, want := range map[string]Scheme{
+		"CC": SchemeCC, "cc": SchemeCC,
+		"Q10": SchemeQ10, "q10": SchemeQ10,
+		"L10": SchemeL10,
+		"S9":  SchemeS9, "s9*": SchemeS9x,
+		"S100": SchemeS100,
+		"SU":   SchemeSU, "su": SchemeSU,
+		" S42 ": {Kind: Bounded, Window: 42},
+	} {
+		got, err := ParseScheme(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "X9", "Q", "Q0", "L-1", "S9**", "Q10*", "carrots"} {
+		if _, err := ParseScheme(bad); err == nil {
+			t.Errorf("ParseScheme(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConservativeClassification(t *testing.T) {
+	for s, want := range map[Scheme]bool{
+		SchemeCC: true, SchemeQ10: true, SchemeL10: true, SchemeS9x: true,
+		SchemeS9: false, SchemeS100: false, SchemeSU: false,
+	} {
+		if s.Conservative() != want {
+			t.Errorf("%v conservative = %v", s, !want)
+		}
+	}
+}
+
+func TestMaxLocalRules(t *testing.T) {
+	if got := SchemeCC.maxLocal(7); got != 8 {
+		t.Errorf("CC window = %d", got)
+	}
+	// Quantum: barrier at the next multiple.
+	if got := SchemeQ10.maxLocal(0); got != 10 {
+		t.Errorf("Q10 at 0 = %d", got)
+	}
+	if got := SchemeQ10.maxLocal(9); got != 10 {
+		t.Errorf("Q10 at 9 = %d", got)
+	}
+	if got := SchemeQ10.maxLocal(10); got != 20 {
+		t.Errorf("Q10 at 10 = %d", got)
+	}
+	// Bounded: sliding window of Window cycles.
+	if got := SchemeS9.maxLocal(100); got != 110 {
+		t.Errorf("S9 at 100 = %d", got)
+	}
+	// Lookahead anchors at the global time (the sound anchor; see
+	// Scheme.maxLocal).
+	if got := SchemeL10.maxLocal(100); got != 110 {
+		t.Errorf("L10 = %d", got)
+	}
+	if got := SchemeSU.maxLocal(5); got != math.MaxInt64 {
+		t.Errorf("SU window = %d", got)
+	}
+}
+
+// TestMaxLocalMonotone: every scheme's window edge is nondecreasing in the
+// global time — the invariant that keeps cores from being pulled backward.
+func TestMaxLocalMonotone(t *testing.T) {
+	schemes := []Scheme{SchemeCC, SchemeQ10, SchemeL10, SchemeS9, SchemeS9x, SchemeS100}
+	f := func(g1raw, g2raw uint32) bool {
+		g1, g2 := int64(g1raw%1_000_000), int64(g2raw%1_000_000)
+		if g1 > g2 {
+			g1, g2 = g2, g1
+		}
+		for _, s := range schemes {
+			if s.maxLocal(g1) > s.maxLocal(g2) {
+				return false
+			}
+			if s.maxLocal(g1) <= g1 {
+				return false // window must always admit at least one cycle
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeValidate(t *testing.T) {
+	bad := []Scheme{
+		{Kind: Quantum, Window: 0},
+		{Kind: Lookahead, Window: -1},
+		{Kind: Bounded, Window: -1},
+		{Kind: SchemeKind(99)},
+	}
+	for _, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("%+v validated", s)
+		}
+	}
+	good := []Scheme{SchemeCC, SchemeSU, {Kind: Bounded, Window: 0}, {Kind: Quantum, Window: 1}}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", s, err)
+		}
+	}
+}
+
+// TestEvHeapOrdering: the GQ pops in (Time, Core, Seq) order for arbitrary
+// push sequences.
+func TestEvHeapOrdering(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var h evHeap
+		for i, r := range raw {
+			h.Push(event.Event{
+				Time: int64(r % 64),
+				Core: int32(r / 64 % 8),
+				Seq:  int64(i),
+			})
+		}
+		var prev *event.Event
+		for h.Len() > 0 {
+			ev := h.Pop()
+			if prev != nil && event.Less(&ev, prev) {
+				return false
+			}
+			cp := ev
+			prev = &cp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvHeapPeek(t *testing.T) {
+	var h evHeap
+	if h.Peek() != nil {
+		t.Fatal("peek on empty heap")
+	}
+	h.Push(event.Event{Time: 5})
+	h.Push(event.Event{Time: 2})
+	if h.Peek().Time != 2 {
+		t.Fatalf("peek = %d", h.Peek().Time)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"slacksim/internal/cpu"
+	"slacksim/internal/event"
+)
+
+// RunSerial executes the whole simulation on the calling goroutine:
+// round-robin over the cores each cycle, then the manager. It implements
+// cycle-by-cycle semantics with a total order even within a cycle, so it is
+// fully deterministic — the testing reference against which the parallel
+// schemes' accuracy is measured, and the closest analogue of simulating all
+// target cores in a single host thread (the paper's Table 2 baseline).
+//
+// When every core reports a stalled cycle and the manager has nothing
+// eligible, the loop fast-forwards the global clock to the next scheduled
+// event — a pure function of simulator state, so determinism is preserved.
+func (m *Machine) RunSerial() *Result {
+	start := time.Now()
+	m.serialMode = true
+	m.scheme = SchemeCC
+	inboxes := make([][]event.Event, len(m.cores))
+	stats := make([]*cpu.Stats, len(m.cores))
+	for i, c := range m.cores {
+		stats[i] = c.Stats()
+	}
+	t := int64(0)
+	for !m.done.Load() {
+		if t >= m.cfg.MaxCycles {
+			m.aborted = true
+			break
+		}
+		roi := m.roiTime.Load()
+		anyProgress := false
+		for i, c := range m.cores {
+			if m.deliverInbox(i, &inboxes[i], t) {
+				anyProgress = true
+			}
+			if roi >= 0 && !stats[i].ROIMarked {
+				c.MarkROI(t)
+			}
+			if c.Tick(t) {
+				anyProgress = true
+			}
+			m.local[i].v.Store(t + 1)
+		}
+		if m.drainOutQs() {
+			anyProgress = true
+		}
+		t++
+		m.global.Store(t)
+		if m.processConservative(t) {
+			anyProgress = true
+		}
+		m.noteProcBound(t)
+		if anyProgress || m.done.Load() {
+			continue
+		}
+
+		// Everything is stalled: jump to the earliest future work item.
+		// Drain the InQ rings first — replies pushed this very cycle must
+		// bound the jump, or it would overshoot their timestamps.
+		next := int64(math.MaxInt64)
+		for i, c := range m.cores {
+			m.drainRing(i, &inboxes[i])
+			if n := c.NextWork(t); n < next {
+				next = n
+			}
+			if ts, ok := earliestEvent(inboxes[i], true); ok && ts < next {
+				next = ts
+			}
+		}
+		if top := m.gq.Peek(); top != nil && top.Time+1 < next {
+			// A queued request becomes eligible once global passes it.
+			next = top.Time + 1
+		}
+		if next == math.MaxInt64 || next <= t {
+			// True deadlock (workload bug): crawl until the MaxCycles
+			// abort fires.
+			continue
+		}
+		if next > m.cfg.MaxCycles {
+			next = m.cfg.MaxCycles
+		}
+		for i, c := range m.cores {
+			c.Skip(next - t)
+			m.local[i].v.Store(next)
+		}
+		t = next
+		m.global.Store(t)
+		m.processConservative(t)
+	}
+	return m.result(time.Since(start))
+}
+
+// deliverInbox drains core i's InQ into its inbox and applies every event
+// whose timestamp has been reached, in arrival order among the eligible —
+// the manager's deterministic processing order under conservative schemes.
+// It reports whether anything was delivered.
+func (m *Machine) deliverInbox(i int, inbox *[]event.Event, local int64) bool {
+	m.drainRing(i, inbox)
+	if len(*inbox) == 0 {
+		return false
+	}
+	delivered := false
+	kept := (*inbox)[:0]
+	for _, ev := range *inbox {
+		if ev.Time > local {
+			kept = append(kept, ev)
+			continue
+		}
+		delivered = true
+		if debugLate != nil && ev.Time < local {
+			mode := i
+			if m.serialMode {
+				mode = -1 - i // negative core ids mark the serial engine
+			}
+			debugLate(mode, ev, local)
+			if !m.serialMode {
+				r := m.lastSkip[i]
+				debugLate(1000+i, event.Event{Kind: event.Kind(r.kind), Time: r.from, Addr: uint64(r.to), Aux: r.gSnap, Seq: r.limit}, local)
+			}
+		}
+		if m.debugDeliver != nil {
+			m.debugDeliver(i, ev, local)
+		}
+		switch ev.Kind {
+		case event.KStart:
+			m.cores[i].Start(ev.Addr, m.img.StackTop(i), ev.Aux)
+		case event.KStop:
+			m.cores[i].Stop()
+		default:
+			m.cores[i].Deliver(ev, local)
+		}
+	}
+	*inbox = kept
+	return delivered
+}
+
+// drainRing moves all queued reply events for core i into its inbox (the
+// main manager's ring plus, when sharded, every shard's ring).
+func (m *Machine) drainRing(i int, inbox *[]event.Event) {
+	for _, r := range m.coreRings[i] {
+		for {
+			ev, ok := r.Pop()
+			if !ok {
+				break
+			}
+			*inbox = append(*inbox, ev)
+		}
+	}
+}
+
+// coreHasEvents reports whether any reply ring for core i is non-empty.
+func (m *Machine) coreHasEvents(i int) bool {
+	for _, r := range m.coreRings[i] {
+		if r.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}

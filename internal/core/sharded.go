@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/event"
+)
+
+// This file implements the paper's §2.2 scaling hook: "If the simulation
+// manager thread ever becomes a bottleneck it is possible to split the
+// functionality of the manager thread also into several threads."
+//
+// With Config.ManagerShards = S > 1, memory-hierarchy requests are routed
+// by NUCA bank to S shard worker goroutines, each owning a disjoint set of
+// L2 banks (bank mod S), their directory state, their crossbar ports, and
+// their memory channels (the cache config's DRAMChannels is pinned to S so
+// channel ownership is exact). The main manager thread keeps the kernel
+// (system calls), the global time, and the window pacing.
+//
+// Determinism for conservative schemes is preserved because the state the
+// shards mutate is disjoint per line, each shard processes its events in
+// (timestamp, core, seq) order, and the pacing thread raises the windows
+// only after every shard's watermark has passed the newly allowed time —
+// so every reply is still in flight before any core is allowed to reach
+// its timestamp. A sharded run is bit-identical to the serial reference
+// built from the same cache configuration.
+
+// shardState is the per-machine sharding plumbing (nil when unsharded).
+type shardState struct {
+	n    int
+	l2   []*cache.L2System
+	in   []*event.Ring   // main -> shard s
+	out  [][]*event.Ring // shard s -> core i
+	gate []padded        // per-shard allowed-time target
+	mark []padded        // per-shard processed-through watermark
+}
+
+func newShardState(cfg Config) *shardState {
+	s := &shardState{n: cfg.ManagerShards}
+	for i := 0; i < s.n; i++ {
+		s.l2 = append(s.l2, cache.NewL2System(cfg.Cache))
+		s.in = append(s.in, event.NewRing(cfg.RingCap*cfg.NumCores))
+		rings := make([]*event.Ring, cfg.NumCores)
+		for c := range rings {
+			rings[c] = event.NewRing(cfg.RingCap)
+		}
+		s.out = append(s.out, rings)
+	}
+	s.gate = make([]padded, s.n)
+	s.mark = make([]padded, s.n)
+	return s
+}
+
+// shardOf returns the shard owning addr's bank.
+func (m *Machine) shardOf(addr uint64) int {
+	return m.shards.l2[0].BankOf(addr) % m.shards.n
+}
+
+// runShardedManager is the sharded replacement for managerLoop: it routes
+// memory events to the shard workers, keeps system calls and pacing, and
+// synchronises the shards' watermarks with the window updates.
+func (m *Machine) runShardedManager(s Scheme) {
+	sh := m.shards
+	conservative := s.Conservative()
+	optimistic := !conservative
+	if optimistic {
+		for i := 0; i < sh.n; i++ {
+			sh.gate[i].v.Store(math.MaxInt64)
+		}
+	}
+
+	ad := adaptState{window: s.Window}
+	idleRounds := 0
+	lastChange := time.Now()
+	lastGlobal := int64(-1)
+	for !m.done.Load() {
+		// Min-before-drain, as in managerLoop: the bound must not pass
+		// events still in flight toward the queues.
+		g := m.minLocal()
+		moved := m.drainAndRoute()
+		if g >= m.cfg.MaxCycles {
+			m.aborted = true
+			m.done.Store(true)
+			break
+		}
+
+		var processed bool
+		if conservative {
+			allowed := g
+			if s.Kind == Quantum {
+				// Visibility only at quantum boundaries.
+				allowed = g - g%s.Window
+			}
+			if allowed > 0 {
+				for i := 0; i < sh.n; i++ {
+					if sh.gate[i].v.Load() < allowed {
+						sh.gate[i].v.Store(allowed)
+					}
+				}
+				m.waitWatermarks(allowed)
+				processed = m.processConservative(allowed)
+			}
+		} else {
+			if s.Kind == Adaptive {
+				processed = m.processAllCounting(&ad)
+				ad.adapt(g)
+			} else {
+				processed = m.processAll()
+			}
+		}
+
+		// As in managerLoop: publish global only after the pass's replies
+		// (including the shard watermark wait) so cores can use it as a
+		// safe fast-forward horizon.
+		if g > m.global.Load() {
+			m.global.Store(g)
+		}
+
+		changed := m.updateWindows(s, g, &ad)
+
+		if moved || processed || changed || g != lastGlobal {
+			idleRounds = 0
+			lastGlobal = g
+			lastChange = time.Now()
+			continue
+		}
+		idleRounds++
+		if idleRounds > 4 {
+			runtime.Gosched()
+		}
+		if idleRounds&1023 == 0 && time.Since(lastChange) > m.stallTimeout() {
+			m.aborted = true
+			m.done.Store(true)
+			break
+		}
+	}
+	m.wakeAll()
+}
+
+// drainAndRoute moves core requests to their processors: memory traffic to
+// the owning shard, system calls to the manager's own queue.
+func (m *Machine) drainAndRoute() bool {
+	moved := false
+	for i := range m.outQ {
+		for {
+			ev, ok := m.outQ[i].Pop()
+			if !ok {
+				break
+			}
+			moved = true
+			if ev.Kind == event.KSyscall {
+				m.gq.Push(ev)
+				continue
+			}
+			m.shards.in[m.shardOf(ev.Addr)].MustPush(ev)
+		}
+	}
+	return moved
+}
+
+// waitWatermarks blocks until every shard has processed through allowed.
+func (m *Machine) waitWatermarks(allowed int64) {
+	for s := 0; s < m.shards.n; s++ {
+		for m.shards.mark[s].v.Load() < allowed && !m.done.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// shardWorker owns one bank shard: it consumes routed requests in
+// timestamp order up to the published gate and emits replies on its own
+// per-core rings.
+func (m *Machine) shardWorker(sidx int) {
+	sh := m.shards
+	l2 := sh.l2[sidx]
+	var gq evHeap
+	push := func(core int, ev event.Event) {
+		sh.out[sidx][core].MustPush(ev)
+	}
+	for !m.done.Load() {
+		allowed := sh.gate[sidx].v.Load()
+		moved := false
+		for {
+			ev, ok := sh.in[sidx].Pop()
+			if !ok {
+				break
+			}
+			gq.Push(ev)
+			moved = true
+		}
+		did := false
+		for {
+			top := gq.Peek()
+			if top == nil || top.Time >= allowed {
+				break
+			}
+			ev := gq.Pop()
+			m.processMemVia(l2, push, ev)
+			did = true
+		}
+		if sh.mark[sidx].v.Load() < allowed {
+			sh.mark[sidx].v.Store(allowed)
+			did = true
+		}
+		if !moved && !did {
+			runtime.Gosched()
+		}
+	}
+}
+
+// aggregateL2Stats sums the hierarchy counters across shards (or returns
+// the single manager's stats).
+func (m *Machine) aggregateL2Stats() cache.L2Stats {
+	if m.shards == nil {
+		return m.l2.Stats
+	}
+	var total cache.L2Stats
+	for _, l2 := range m.shards.l2 {
+		st := l2.Stats
+		total.Accesses += st.Accesses
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.DRAMReads += st.DRAMReads
+		total.DRAMWrites += st.DRAMWrites
+		total.InvsSent += st.InvsSent
+		total.Downgrades += st.Downgrades
+		total.L2Evictions += st.L2Evictions
+		total.L1Writebacks += st.L1Writebacks
+		total.OrderViolations += st.OrderViolations
+	}
+	return total
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// deadlockProg acquires a lock twice: the second acquisition can never be
+// granted, so the machine must abort via the stall watchdog instead of
+// hanging the host.
+const deadlockProg = `
+main:
+    li   a0, 8192
+    syscall 5        # lock
+    li   a0, 8192
+    syscall 5        # self-deadlock
+    li   a0, 0
+    syscall 0
+.data
+.align 8
+lk: .dword 0
+`
+
+func TestWatchdogAbortsDeadlock(t *testing.T) {
+	cfg := smallConfig(2, ModelOoO)
+	cfg.StallTimeout = 2 * time.Second
+	m := mustMachine(t, deadlockProg, cfg)
+	start := time.Now()
+	res, err := m.RunParallel(SchemeS9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Fatal("deadlocked workload did not abort")
+	}
+	if wall := time.Since(start); wall > 20*time.Second {
+		t.Fatalf("watchdog took %v", wall)
+	}
+}
+
+func TestMaxCyclesAbort(t *testing.T) {
+	// An infinite loop must hit the cycle limit, not spin the host forever.
+	cfg := smallConfig(1, ModelOoO)
+	cfg.MaxCycles = 20000
+	m := mustMachine(t, "main:\n j main\n", cfg)
+	res, err := m.RunParallel(SchemeSU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Fatal("infinite loop did not abort")
+	}
+	res2 := mustMachine(t, "main:\n j main\n", cfg).RunSerial()
+	if !res2.Aborted {
+		t.Fatal("serial infinite loop did not abort")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	prog := mustMachine(t, sumProg, smallConfig(1, ModelOoO)).Image().Prog
+	if _, err := NewMachine(prog, Config{NumCores: 0}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	bad := smallConfig(2, ModelOoO)
+	bad.Cache.NumCores = 4 // mismatched cache geometry
+	if _, err := NewMachine(prog, bad); err == nil {
+		t.Error("mismatched cache core count accepted")
+	}
+}
+
+func TestInvalidSchemeRejected(t *testing.T) {
+	m := mustMachine(t, sumProg, smallConfig(1, ModelOoO))
+	if _, err := m.RunParallel(Scheme{Kind: Quantum, Window: 0}); err == nil {
+		t.Error("Q0 accepted")
+	}
+}

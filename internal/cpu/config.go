@@ -1,0 +1,81 @@
+package cpu
+
+// Config sizes the out-of-order core. The defaults model the paper's
+// target: a 4-way issue OoO core with 64 in-flight instructions (§4.1).
+type Config struct {
+	FetchWidth  int
+	Width       int // dispatch/commit width
+	IssueWidth  int
+	ROBSize     int // in-flight instruction window
+	IQSize      int
+	LQSize      int
+	SQSize      int
+	PhysInt     int
+	PhysFP      int
+	FetchQSize  int
+	MaxBranches int // rename-map checkpoints (max unresolved CTIs)
+	MSHRs       int // outstanding L1D misses
+
+	// Predictor geometry.
+	BimodalSize int // entries in the 2-bit counter table (power of two)
+	BTBSize     int // entries in the indirect-target buffer (power of two)
+	RASSize     int
+
+	// Prefetch enables a next-line L1D prefetcher: each demand miss also
+	// requests the following line when an MSHR is free. An extension
+	// beyond the paper's target (default off).
+	Prefetch bool
+
+	// Latencies (cycles).
+	IntALULat int64
+	MulLat    int64
+	DivLat    int64
+	FPAddLat  int64
+	FPMulLat  int64
+	FPDivLat  int64
+	FPSqrtLat int64
+	AGULat    int64
+	AMOLat    int64 // commit-time atomic read-modify-write occupancy
+
+	// Functional unit counts (per cycle).
+	IntALUs  int
+	IntMuls  int
+	FPAdds   int
+	FPMuls   int
+	MemPorts int
+}
+
+// DefaultConfig returns the paper's target core.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  4,
+		Width:       4,
+		IssueWidth:  4,
+		ROBSize:     64,
+		IQSize:      32,
+		LQSize:      24,
+		SQSize:      24,
+		PhysInt:     128,
+		PhysFP:      128,
+		FetchQSize:  16,
+		MaxBranches: 8,
+		MSHRs:       8,
+		BimodalSize: 4096,
+		BTBSize:     512,
+		RASSize:     16,
+		IntALULat:   1,
+		MulLat:      3,
+		DivLat:      20,
+		FPAddLat:    2,
+		FPMulLat:    4,
+		FPDivLat:    12,
+		FPSqrtLat:   16,
+		AGULat:      1,
+		AMOLat:      20,
+		IntALUs:     4,
+		IntMuls:     1,
+		FPAdds:      2,
+		FPMuls:      1,
+		MemPorts:    2,
+	}
+}

@@ -1,0 +1,40 @@
+package cpu
+
+import "testing"
+
+// BenchmarkOoOTick measures the cost of one simulated cycle of the
+// out-of-order core on a tight ALU loop — the quantity that sets the
+// simulator's KIPS.
+func BenchmarkOoOTick(b *testing.B) {
+	bench := newBenchB(b, `
+main:
+    li   r8, 0
+loop:
+    addi r8, r8, 1
+    xor  r9, r8, r8
+    slli r10, r8, 1
+    and  r11, r10, r8
+    j    loop
+`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.step()
+	}
+}
+
+// BenchmarkInOrderTick is the in-order model's per-cycle cost.
+func BenchmarkInOrderTick(b *testing.B) {
+	bench := newBenchBInorder(b, `
+main:
+    li   r8, 0
+loop:
+    addi r8, r8, 1
+    j    loop
+`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.step()
+	}
+}

@@ -1,0 +1,37 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DebugState renders a one-look summary of the core's in-flight state; used
+// by engine diagnostics when a simulation aborts.
+func (c *OoO) DebugState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core %d active=%v fetchPC=%#x fetchMiss=%v(line %#x) fetchQ=%d rob=%d iq=%d lq=%d sq=%d serialize=%d sysIssued=%v sysDone=%v retryAt=%d pending=%d\n",
+		c.env.ID, c.active, c.fetchPC, c.fetchMiss, c.fetchMissLn, c.fetchQLen(),
+		c.robCount, c.iqCount, c.lqCount, c.sqCount, c.serializeSeq, c.sysIssued, c.sysDone, c.sysRetryAt, len(c.pending))
+	if c.robCount > 0 {
+		h := &c.rob[c.robHead]
+		fmt.Fprintf(&b, "  head: seq=%d pc=%#x %s done=%v sys=%v amo=%v\n",
+			h.seq, h.pc, h.inst.Disassemble(h.pc), h.done, h.isSys, h.isAMO)
+	}
+	for i := range c.mshrs {
+		if c.mshrs[i].valid {
+			m := &c.mshrs[i]
+			fmt.Fprintf(&b, "  mshr: line=%#x instr=%v upgrade=%v store=%v loads=%d\n", m.line, m.instr, m.upgrade, m.store, len(m.loads))
+		}
+	}
+	for i := range c.pending {
+		p := &c.pending[i]
+		fmt.Fprintf(&b, "  pending: at=%d kind=%d seq=%d\n", p.at, p.kind, p.seq)
+	}
+	return b.String()
+}
+
+// DebugState for the in-order core.
+func (c *InOrder) DebugState() string {
+	return fmt.Sprintf("core %d active=%v pc=%#x state=%d busyUntil=%d retryAt=%d cur=%s\n",
+		c.env.ID, c.active, c.pc, c.state, c.busyUntil, c.retryAt, c.cur.Disassemble(c.pc))
+}

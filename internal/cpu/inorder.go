@@ -1,0 +1,386 @@
+package cpu
+
+import (
+	"math"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/event"
+	"slacksim/internal/isa"
+)
+
+// InOrder is a simple single-issue, blocking in-order core: one instruction
+// in flight, loads stall until their fill returns, no speculation. It
+// plugs into the same engine and event protocol as the OoO core and serves
+// as the validation reference and a fast-simulation ablation (the paper
+// notes the per-core simulation can be "as simple as incrementing the local
+// clock" for an in-order core that stalls on a miss, §2.2).
+type InOrder struct {
+	cfg Config
+	env Env
+
+	stats  Stats
+	active bool
+
+	l1d, l1i *cache.L1
+
+	regs  [isa.NumIntRegs]int64
+	fregs [isa.NumFPRegs]float64
+	pc    uint64
+
+	state     ioState
+	busyUntil int64
+	cur       isa.Inst
+	retryAt   int64 // blocking-syscall re-issue time (-1 none)
+	eventSeq  int64
+}
+
+type ioState uint8
+
+const (
+	ioFetch ioState = iota
+	ioWaitIFill
+	ioExec
+	ioWaitDFill
+	ioWaitSyscall
+)
+
+// NewInOrder builds an in-order core.
+func NewInOrder(cfg Config, env Env) *InOrder {
+	return &InOrder{
+		cfg:     cfg,
+		env:     env,
+		l1d:     cache.NewL1(env.CacheCfg),
+		l1i:     cache.NewL1(env.CacheCfg),
+		retryAt: -1,
+	}
+}
+
+// ID implements Core.
+func (c *InOrder) ID() int { return c.env.ID }
+
+// Stats implements Core. The returned pointer is stable; the L1 cache
+// counters are synchronised into it on each call.
+func (c *InOrder) Stats() *Stats {
+	c.stats.L1D = c.l1d.Stats
+	c.stats.L1I = c.l1i.Stats
+	return &c.stats
+}
+
+// Active implements Core.
+func (c *InOrder) Active() bool { return c.active }
+
+// MarkROI implements Core.
+func (c *InOrder) MarkROI(now int64) {
+	if !c.stats.ROIMarked {
+		c.stats.ROIMarked = true
+		c.stats.ROIStartCycles = c.stats.Cycles + c.stats.IdleCycles
+		c.stats.ROIStartCommitted = c.stats.Committed
+	}
+}
+
+// Start implements Core.
+func (c *InOrder) Start(pc, sp uint64, arg int64) {
+	c.regs = [isa.NumIntRegs]int64{}
+	c.fregs = [isa.NumFPRegs]float64{}
+	c.regs[isa.RegSP] = int64(sp)
+	c.regs[isa.RegA0] = arg
+	c.pc = pc
+	c.state = ioFetch
+	c.busyUntil = 0
+	c.retryAt = -1
+	c.active = true
+}
+
+// Stop implements Core.
+func (c *InOrder) Stop() { c.active = false }
+
+// Tick implements Core.
+func (c *InOrder) Tick(now int64) bool {
+	if !c.active {
+		c.stats.IdleCycles++
+		return false
+	}
+	c.stats.Cycles++
+	if now < c.busyUntil {
+		return false
+	}
+	switch c.state {
+	case ioFetch:
+		c.fetch(now)
+		return true
+	case ioExec:
+		c.exec(now)
+		return true
+	case ioWaitSyscall:
+		if c.retryAt >= 0 && now >= c.retryAt {
+			c.retryAt = -1
+			c.stats.Retries++
+			c.issueSyscall(now)
+			return true
+		}
+		return false
+	default:
+		// Waiting for a fill; Deliver advances the state.
+		return false
+	}
+}
+
+// NextWork implements Core. Work scheduled at exactly `now` is returned:
+// the caller has not yet simulated cycle `now`.
+func (c *InOrder) NextWork(now int64) int64 {
+	next := int64(math.MaxInt64)
+	if c.busyUntil >= now {
+		next = c.busyUntil
+	}
+	if c.retryAt >= now && c.retryAt < next {
+		next = c.retryAt
+	}
+	return next
+}
+
+// WaitingSyscall implements Core.
+func (c *InOrder) WaitingSyscall() bool {
+	return c.active && c.state == ioWaitSyscall && c.retryAt < 0
+}
+
+// Skip implements Core.
+func (c *InOrder) Skip(n int64) {
+	c.stats.Skipped += n
+	if c.active {
+		c.stats.Cycles += n
+	} else {
+		c.stats.IdleCycles += n
+	}
+}
+
+func (c *InOrder) fetch(now int64) {
+	switch c.l1i.Probe(c.pc, false) {
+	case cache.Hit:
+		word, ok := c.env.Mem.LoadWord(c.pc)
+		if !ok {
+			return // unmapped pc: hang rather than crash the host
+		}
+		c.cur = isa.Decode(word)
+		c.stats.Fetched++
+		c.state = ioExec
+		c.busyUntil = now + 1
+	case cache.Blocked:
+		// A previous wrong-line fill in flight; impossible with one
+		// instruction in flight, but harmless to wait.
+	default:
+		line := c.env.CacheCfg.LineAddr(c.pc)
+		victimAddr, victimDirty, victimValid := c.l1i.Reserve(line)
+		c.send(event.Event{Kind: event.KFetch, Time: now, Addr: line}, victimAddr, victimDirty, victimValid)
+		c.state = ioWaitIFill
+		c.stats.FetchStall++
+	}
+}
+
+func (c *InOrder) exec(now int64) {
+	in := c.cur
+	switch {
+	case in.IsMem() && !in.IsAMO():
+		c.execMem(now)
+	case in.IsAMO():
+		c.execAMO(now)
+	case in.IsSyscall():
+		c.stats.Syscalls++
+		c.issueSyscall(now)
+	case in.Op == isa.OpInvalid:
+		panic("cpu: in-order core executed invalid instruction")
+	default:
+		a, b := c.reg(in.Rs1), c.reg(in.Rs2)
+		fa, fb := c.fregs[in.Rs1], c.fregs[in.Rs2]
+		res := execALU(in, c.pc, a, b, fa, fb)
+		c.applyALU(in, res)
+		if res.isCTI {
+			c.stats.Branches++
+		}
+		c.complete(now, execLatency(&c.cfg, in), res.next)
+	}
+}
+
+func (c *InOrder) applyALU(in isa.Inst, res aluResult) {
+	if res.writesInt && in.IntDst() >= 0 {
+		c.regs[in.IntDst()] = res.intVal
+	}
+	if res.writesFP && in.FPDst() >= 0 {
+		c.fregs[in.FPDst()] = res.fpVal
+	}
+}
+
+func (c *InOrder) execMem(now int64) {
+	in := c.cur
+	addr := uint64(c.reg(in.Rs1) + int64(in.Imm))
+	write := in.IsStore()
+	switch c.l1d.Probe(addr, write) {
+	case cache.Hit:
+		if write {
+			c.writeMem(in, addr)
+			c.stats.Stores++
+		} else {
+			c.readMemInto(in, addr)
+			c.stats.Loads++
+		}
+		c.complete(now, c.env.CacheCfg.L1HitLat, c.pc+isa.InstBytes)
+	case cache.NeedUpgrade:
+		line := c.env.CacheCfg.LineAddr(addr)
+		c.send(event.Event{Kind: event.KUpgrade, Time: now, Addr: line}, 0, false, false)
+		c.state = ioWaitDFill
+	case cache.Blocked:
+		// Single instruction in flight: can only happen if an upgrade
+		// raced an invalidation; retry next cycle.
+		c.busyUntil = now + 1
+	default:
+		kind := event.KReadShared
+		if write {
+			kind = event.KReadExcl
+		}
+		line := c.env.CacheCfg.LineAddr(addr)
+		victimAddr, victimDirty, victimValid := c.l1d.Reserve(line)
+		c.send(event.Event{Kind: kind, Time: now, Addr: line}, victimAddr, victimDirty, victimValid)
+		c.state = ioWaitDFill
+	}
+}
+
+func (c *InOrder) execAMO(now int64) {
+	in := c.cur
+	addr := uint64(c.reg(in.Rs1))
+	rs2 := uint64(c.reg(in.Rs2))
+	var old uint64
+	var ok bool
+	switch in.Op {
+	case isa.OpAMOADD:
+		old, ok = c.env.Mem.AMOAdd(addr, rs2)
+	case isa.OpAMOSWAP:
+		old, ok = c.env.Mem.AMOSwap(addr, rs2)
+	case isa.OpCAS:
+		old, ok = c.env.Mem.CAS(addr, rs2, uint64(c.reg(in.Rd)))
+	}
+	if !ok {
+		c.stats.MemFaults++
+	}
+	if in.IntDst() >= 0 {
+		c.regs[in.IntDst()] = int64(old)
+	}
+	c.complete(now, c.cfg.AMOLat, c.pc+isa.InstBytes)
+}
+
+func (c *InOrder) issueSyscall(now int64) {
+	c.send(event.Event{
+		Kind: event.KSyscall,
+		Time: now,
+		Aux:  int64(c.cur.Imm),
+		Args: [4]int64{c.regs[isa.RegA0], c.regs[isa.RegA1], c.regs[isa.RegA2], c.regs[isa.RegA3]},
+	}, 0, false, false)
+	c.state = ioWaitSyscall
+}
+
+func (c *InOrder) readMemInto(in isa.Inst, addr uint64) {
+	switch in.Op {
+	case isa.OpFLD:
+		raw, _ := c.env.Mem.LoadWord(addr)
+		c.fregs[in.Rd] = math.Float64frombits(raw)
+	case isa.OpLD:
+		raw, _ := c.env.Mem.LoadWord(addr)
+		c.regs[in.Rd] = int64(raw)
+	case isa.OpLW, isa.OpLWU:
+		raw, _ := c.env.Mem.Load32(addr)
+		c.regs[in.Rd] = extend(in.Op, uint64(raw))
+	case isa.OpLB, isa.OpLBU:
+		raw, _ := c.env.Mem.Load8(addr)
+		c.regs[in.Rd] = extend(in.Op, uint64(raw))
+	}
+	if in.Op != isa.OpFLD {
+		c.regs[isa.RegZero] = 0
+	}
+}
+
+func (c *InOrder) writeMem(in isa.Inst, addr uint64) {
+	var ok bool
+	switch in.Op {
+	case isa.OpSD:
+		ok = c.env.Mem.StoreWord(addr, uint64(c.reg(in.Rs2)))
+	case isa.OpFSD:
+		ok = c.env.Mem.StoreWord(addr, math.Float64bits(c.fregs[in.Rs2]))
+	case isa.OpSW:
+		ok = c.env.Mem.Store32(addr, uint32(c.reg(in.Rs2)))
+	case isa.OpSB:
+		ok = c.env.Mem.Store8(addr, uint8(c.reg(in.Rs2)))
+	}
+	if !ok {
+		c.stats.MemFaults++
+	}
+}
+
+// complete retires the current instruction: charge lat cycles and continue
+// fetching at next.
+func (c *InOrder) complete(now, lat int64, next uint64) {
+	c.regs[isa.RegZero] = 0
+	c.busyUntil = now + lat
+	c.pc = next
+	c.state = ioFetch
+	c.stats.Committed++
+}
+
+func (c *InOrder) reg(r uint8) int64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return c.regs[r]
+}
+
+// Deliver implements Core.
+func (c *InOrder) Deliver(ev event.Event, now int64) {
+	switch ev.Kind {
+	case event.KFill:
+		switch c.state {
+		case ioWaitIFill:
+			c.l1i.Fill(ev.Addr, cache.State(ev.Aux))
+			c.state = ioFetch
+		case ioWaitDFill:
+			if ev.Aux == int64(cache.Modified) && c.l1d.StateOf(ev.Addr) == cache.Shared {
+				c.l1d.UpgradeDone(ev.Addr)
+			} else {
+				c.l1d.Fill(ev.Addr, cache.State(ev.Aux))
+			}
+			c.state = ioExec // re-run the access; it should now hit
+		default:
+			// Stale fill (e.g. after Stop); still install to keep the
+			// directory's view consistent.
+			c.l1d.Fill(ev.Addr, cache.State(ev.Aux))
+		}
+	case event.KInv:
+		c.l1d.Invalidate(ev.Addr)
+		c.l1i.Invalidate(ev.Addr)
+	case event.KDowngrade:
+		c.l1d.Downgrade(ev.Addr)
+		c.l1i.Downgrade(ev.Addr)
+	case event.KSyscallDone:
+		if c.state != ioWaitSyscall {
+			return
+		}
+		if ev.Flag {
+			c.retryAt = now + 1
+			return
+		}
+		if c.cur.IntDst() >= 0 {
+			c.regs[c.cur.IntDst()] = ev.Aux
+		}
+		c.complete(now, 1, c.pc+isa.InstBytes)
+	}
+}
+
+func (c *InOrder) send(ev event.Event, victimAddr uint64, victimDirty, victimValid bool) {
+	ev.Core = int32(c.env.ID)
+	c.eventSeq++
+	ev.Seq = c.eventSeq
+	if victimValid {
+		ev.VictimAddr = victimAddr
+		ev.VictimFlags = event.VictimValid
+		if victimDirty {
+			ev.VictimFlags |= event.VictimDirty
+		}
+	}
+	c.env.Send(ev)
+}

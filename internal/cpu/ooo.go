@@ -1,0 +1,1188 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/event"
+	"slacksim/internal/isa"
+)
+
+// OoO is the detailed out-of-order core model: 4-wide fetch/dispatch/
+// issue/commit, a 64-entry ROB, physical register files with rename-map
+// checkpoints for branch recovery, a unified issue queue, a load/store
+// queue with store-to-load forwarding, and non-blocking L1 caches with
+// MSHRs. As in the paper's NetBurst-like target, operand values are read
+// from the physical register file just before execution (§2.2), and loads
+// read the shared functional memory when their access completes — which is
+// exactly how slack-induced simulated-time distortions become visible to
+// the workload (§3.2.3).
+type OoO struct {
+	cfg Config
+	env Env
+
+	stats  Stats
+	active bool
+
+	l1d, l1i *cache.L1
+	pred     *predictor
+
+	// Register state.
+	physIntVal   []int64
+	physIntReady []bool
+	physFPVal    []float64
+	physFPReady  []bool
+	mapInt       [isa.NumIntRegs]int16
+	mapFP        [isa.NumFPRegs]int16
+	freeInt      []int16
+	freeFP       []int16
+
+	// Front end.
+	seqCounter   int64
+	fetchPC      uint64
+	fetchBlocked int64 // no fetch until this cycle (mispredict redirect)
+	fetchMiss    bool  // waiting for an instruction fill
+	fetchMissLn  uint64
+	fetchQ       []fetched
+	fetchHead    int // consumed prefix of fetchQ (compacted when drained)
+
+	// Window.
+	rob      []robEntry
+	robHead  int
+	robCount int
+	iq       []iqEntry
+	iqCount  int
+
+	lq                      []lqEntry
+	lqHead, lqTail, lqCount int
+	sq                      []sqEntry
+	sqHead, sqTail, sqCount int
+
+	ckpts    []checkpoint
+	ckptFree []int8
+
+	pending      []pendingOp // scheduled completions, unordered small slice
+	pendingSpare []pendingOp // double buffer for completePending
+	mshrs        []mshr
+	eventSeq     int64
+
+	// Commit-point serialisation (syscalls and atomics).
+	serializeSeq int64 // -1 when inactive
+	sysHoldFetch bool  // a dispatched syscall suspends fetch until it retires
+	prog         bool  // progress flag for the current Tick
+	drainRetryAt int64 // store-drain wants to retry at this cycle (-1 none)
+	sysIssued    bool
+	sysDone      bool
+	sysRetryAt   int64 // re-issue a blocking syscall at this cycle (-1: none)
+	sysResult    int64
+	amoDoneAt    int64 // -1 when no AMO in progress
+
+	divBusy   int64
+	fpDivBusy int64
+}
+
+type fetched struct {
+	inst   isa.Inst
+	pc     uint64
+	npc    uint64 // predicted next pc
+	rasTop int    // RAS top before this instruction's own push/pop
+}
+
+type robEntry struct {
+	valid   bool
+	seq     int64
+	inst    isa.Inst
+	pc      uint64
+	npc     uint64 // predicted next pc
+	physDst int16  // -1 if none
+	oldDst  int16
+	dstFP   bool
+	done    bool
+	lqIdx   int16 // -1
+	sqIdx   int16 // -1
+	ckpt    int8  // -1
+	isSys   bool
+	isAMO   bool
+}
+
+// iqEntry captures the dispatch-time rename of each operand role so that
+// execution reads the values this instruction's program-order position
+// requires, regardless of younger redefinitions in flight. A physical index
+// of -1 means "constant zero / unused".
+type iqEntry struct {
+	valid  bool
+	seq    int64
+	robIdx int16
+	ps1    int16 // integer rs1
+	ps2    int16 // integer rs2 (store data for integer stores)
+	pf1    int16 // fp fs1
+	pf2    int16 // fp fs2 (store data for fp stores)
+	fp1Use bool
+	fp2Use bool
+}
+
+type lqEntry struct {
+	valid  bool
+	seq    int64
+	robIdx int16
+	op     isa.Op
+	addr   uint64
+	width  int
+	done   bool
+	// parked marks a load waiting on a condition that clears via another
+	// micro-event (an older store's address/value, a store drain, a free
+	// MSHR) rather than the passage of cycles; kickParkedLoads requeues it
+	// when such an event fires. Event-driven waits keep a fully stalled
+	// core's Tick a no-op, so the engine can freeze it instead of letting
+	// it burn simulated cycles at host speed.
+	parked bool
+}
+
+type sqEntry struct {
+	valid     bool
+	seq       int64
+	robIdx    int16
+	op        isa.Op
+	addr      uint64
+	width     int
+	value     uint64 // raw bits
+	ready     bool   // address+value computed
+	committed bool
+	drainWait bool // waiting for an upgrade/fill reply
+}
+
+type checkpoint struct {
+	mapInt [isa.NumIntRegs]int16
+	mapFP  [isa.NumFPRegs]int16
+	rasTop int
+}
+
+type pendingKind uint8
+
+const (
+	pWriteback  pendingKind = iota // ALU/FP result
+	pCTI                           // control transfer resolution (+ link writeback)
+	pLoadIssue                     // address generated; run the load pipeline step
+	pLoadDone                      // load data available: functional read + writeback
+	pStoreReady                    // store address/value computed
+)
+
+type pendingOp struct {
+	at     int64
+	kind   pendingKind
+	seq    int64
+	robIdx int16
+	lqIdx  int16
+
+	valInt int64
+	valFP  float64
+
+	// CTI resolution data.
+	actualNext uint64
+	taken      bool
+}
+
+type mshr struct {
+	valid   bool
+	line    uint64
+	upgrade bool
+	instr   bool    // instruction-side fill
+	loads   []int16 // LQ indices waiting on this line
+	store   bool    // the committed-store drain head waits on this line
+}
+
+// NewOoO builds an out-of-order core.
+func NewOoO(cfg Config, env Env) *OoO {
+	c := &OoO{
+		cfg:  cfg,
+		env:  env,
+		l1d:  cache.NewL1(env.CacheCfg),
+		l1i:  cache.NewL1(env.CacheCfg),
+		pred: newPredictor(&cfg),
+
+		physIntVal:   make([]int64, cfg.PhysInt),
+		physIntReady: make([]bool, cfg.PhysInt),
+		physFPVal:    make([]float64, cfg.PhysFP),
+		physFPReady:  make([]bool, cfg.PhysFP),
+
+		rob:   make([]robEntry, cfg.ROBSize),
+		iq:    make([]iqEntry, cfg.IQSize),
+		lq:    make([]lqEntry, cfg.LQSize),
+		sq:    make([]sqEntry, cfg.SQSize),
+		ckpts: make([]checkpoint, cfg.MaxBranches),
+		mshrs: make([]mshr, cfg.MSHRs),
+
+		serializeSeq: -1,
+		sysRetryAt:   -1,
+		amoDoneAt:    -1,
+		drainRetryAt: -1,
+	}
+	for i := int8(0); i < int8(cfg.MaxBranches); i++ {
+		c.ckptFree = append(c.ckptFree, i)
+	}
+	c.resetRename()
+	return c
+}
+
+func (c *OoO) resetRename() {
+	for r := 0; r < isa.NumIntRegs; r++ {
+		c.mapInt[r] = int16(r)
+		c.physIntVal[r] = 0
+		c.physIntReady[r] = true
+	}
+	for r := 0; r < isa.NumFPRegs; r++ {
+		c.mapFP[r] = int16(r)
+		c.physFPVal[r] = 0
+		c.physFPReady[r] = true
+	}
+	c.freeInt = c.freeInt[:0]
+	for p := int16(isa.NumIntRegs); p < int16(c.cfg.PhysInt); p++ {
+		c.freeInt = append(c.freeInt, p)
+	}
+	c.freeFP = c.freeFP[:0]
+	for p := int16(isa.NumFPRegs); p < int16(c.cfg.PhysFP); p++ {
+		c.freeFP = append(c.freeFP, p)
+	}
+}
+
+// ID implements Core.
+func (c *OoO) ID() int { return c.env.ID }
+
+// Stats implements Core. The returned pointer is stable; the L1 cache
+// counters are synchronised into it on each call.
+func (c *OoO) Stats() *Stats {
+	c.stats.L1D = c.l1d.Stats
+	c.stats.L1I = c.l1i.Stats
+	return &c.stats
+}
+
+// Active implements Core.
+func (c *OoO) Active() bool { return c.active }
+
+// MarkROI implements Core.
+func (c *OoO) MarkROI(now int64) {
+	if !c.stats.ROIMarked {
+		c.stats.ROIMarked = true
+		c.stats.ROIStartCycles = c.stats.Cycles + c.stats.IdleCycles
+		c.stats.ROIStartCommitted = c.stats.Committed
+	}
+}
+
+// Start implements Core.
+func (c *OoO) Start(pc, sp uint64, arg int64) {
+	c.resetRename()
+	c.physIntVal[c.mapInt[isa.RegSP]] = int64(sp)
+	c.physIntVal[c.mapInt[isa.RegA0]] = arg
+	c.fetchPC = pc
+	c.active = true
+	c.fetchMiss = false
+	c.fetchBlocked = 0
+}
+
+// Stop implements Core.
+func (c *OoO) Stop() {
+	c.active = false
+	// Drop all in-flight state; the thread on this core is gone.
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchHead = 0
+	for i := range c.rob {
+		c.rob[i].valid = false
+	}
+	c.robHead, c.robCount = 0, 0
+	for i := range c.iq {
+		c.iq[i].valid = false
+	}
+	c.iqCount = 0
+	for i := range c.lq {
+		c.lq[i].valid = false
+	}
+	c.lqHead, c.lqTail, c.lqCount = 0, 0, 0
+	for i := range c.sq {
+		c.sq[i].valid = false
+	}
+	c.sqHead, c.sqTail, c.sqCount = 0, 0, 0
+	c.pending = c.pending[:0]
+	for i := range c.mshrs {
+		c.mshrs[i] = mshr{}
+	}
+	c.fetchMiss = false
+	c.serializeSeq = -1
+	c.sysHoldFetch = false
+	c.sysIssued, c.sysDone = false, false
+	c.sysRetryAt = -1
+	c.amoDoneAt = -1
+}
+
+// DebugTrace, when non-nil, receives a line per interesting micro-event on
+// cores whose id is in DebugCores (test diagnostics only; not used in
+// normal runs).
+var (
+	DebugTrace func(s string)
+	DebugCores = -1
+)
+
+// dbgOn reports whether tracing is enabled for this core. Call sites must
+// gate on it so trace-argument construction (disassembly, Sprintf) stays
+// entirely off the simulation's hot path.
+func (c *OoO) dbgOn() bool { return DebugTrace != nil && c.env.ID == DebugCores }
+
+func (c *OoO) dbg(now int64, format string, args ...any) {
+	DebugTrace(fmt.Sprintf("t=%d c%d ", now, c.env.ID) + fmt.Sprintf(format, args...))
+}
+
+// Tick implements Core: one simulated cycle. Stages run commit-first so
+// that each pipeline stage consumes the previous cycle's products.
+func (c *OoO) Tick(now int64) bool {
+	if !c.active {
+		c.stats.IdleCycles++
+		return false
+	}
+	c.stats.Cycles++
+	c.prog = false
+	c.commit(now)
+	c.drainStores(now)
+	c.completePending(now)
+	c.issue(now)
+	c.dispatch(now)
+	c.fetch(now)
+	return c.prog
+}
+
+// NextWork implements Core. Work scheduled at exactly `now` is returned:
+// the caller has not yet simulated cycle `now`.
+func (c *OoO) NextWork(now int64) int64 {
+	next := int64(math.MaxInt64)
+	min := func(t int64) {
+		if t >= now && t < next {
+			next = t
+		}
+	}
+	for i := range c.pending {
+		min(c.pending[i].at)
+	}
+	if c.sysRetryAt >= 0 {
+		min(c.sysRetryAt)
+	}
+	if c.amoDoneAt >= 0 {
+		min(c.amoDoneAt)
+	}
+	if c.drainRetryAt >= 0 {
+		min(c.drainRetryAt)
+	}
+	if c.fetchBlocked >= now && !c.fetchMiss {
+		min(c.fetchBlocked)
+	}
+	// An unpipelined divider can be busy with no corresponding pending op
+	// (a squash purges the op but not the busy horizon); a ready divide in
+	// the issue queue then becomes grantable only once the unit frees.
+	if c.iqCount > 0 {
+		min(c.divBusy)
+		min(c.fpDivBusy)
+	}
+	return next
+}
+
+// WaitingSyscall implements Core.
+func (c *OoO) WaitingSyscall() bool {
+	return c.active && c.sysIssued && !c.sysDone && c.sysRetryAt < 0
+}
+
+// Skip implements Core.
+func (c *OoO) Skip(n int64) {
+	c.stats.Skipped += n
+	if c.active {
+		c.stats.Cycles += n
+	} else {
+		c.stats.IdleCycles += n
+	}
+}
+
+// ---------------------------------------------------------------- fetch --
+
+func (c *OoO) fetch(now int64) {
+	if c.fetchMiss {
+		c.stats.FetchStall++
+		return
+	}
+	if c.sysHoldFetch {
+		// A system call is in flight: the front end is held so the core is
+		// fully quiescent — no new fetch misses — by the time the call
+		// reaches the kernel and possibly puts this thread to sleep. (The
+		// engine excludes sleeping cores from the global time; a straggler
+		// request emitted after that point would carry a stale timestamp.)
+		c.stats.SerializeOn++
+		return
+	}
+	if now < c.fetchBlocked {
+		return
+	}
+	var curLine uint64
+	haveLine := false
+	for n := 0; n < c.cfg.FetchWidth && c.fetchQLen() < c.cfg.FetchQSize; n++ {
+		line := c.env.CacheCfg.LineAddr(c.fetchPC)
+		if !haveLine || line != curLine {
+			switch c.l1i.Probe(c.fetchPC, false) {
+			case cache.Hit:
+				curLine, haveLine = line, true
+			case cache.Blocked:
+				// A fill for this line is already outstanding; wait.
+				c.stats.FetchStall++
+				return
+			default:
+				if !c.startFetchMiss(line, now) {
+					c.stats.FetchStall++
+				}
+				return
+			}
+		}
+		word, ok := c.env.Mem.LoadWord(c.fetchPC)
+		if !ok {
+			// Fetching unmapped memory: only reachable on a wrong path or
+			// in a broken workload; stall until a redirect rescues us.
+			return
+		}
+		in := isa.Decode(word)
+		rasTop := c.pred.snapshotRAS()
+		npc := c.fetchPC + isa.InstBytes
+		taken := false
+		if in.IsCTI() {
+			npc, taken = c.pred.predict(in, c.fetchPC)
+		}
+		c.fetchQ = append(c.fetchQ, fetched{inst: in, pc: c.fetchPC, npc: npc, rasTop: rasTop})
+		if c.dbgOn() {
+			c.dbg(now, "fetch pc=%#x %s npc=%#x", c.fetchPC, in.Disassemble(c.fetchPC), npc)
+		}
+		c.stats.Fetched++
+		c.prog = true
+		c.fetchPC = npc
+		if taken {
+			break // fetch group ends at a predicted-taken transfer
+		}
+	}
+}
+
+func (c *OoO) startFetchMiss(line uint64, now int64) bool {
+	if c.findMSHR(line) != nil {
+		c.fetchMiss, c.fetchMissLn = true, line
+		return true
+	}
+	m := c.allocMSHR(line)
+	if m == nil {
+		return false
+	}
+	m.instr = true
+	victimAddr, victimDirty, victimValid := c.l1i.Reserve(line)
+	c.fetchMiss, c.fetchMissLn = true, line
+	if c.dbgOn() {
+		c.dbg(now, "fetchmiss line=%#x", line)
+	}
+	c.send(event.Event{Kind: event.KFetch, Time: now, Addr: line}, victimAddr, victimDirty, victimValid)
+	c.prog = true
+	return true
+}
+
+func (c *OoO) fetchQLen() int { return len(c.fetchQ) - c.fetchHead }
+
+// ------------------------------------------------------------- dispatch --
+
+func (c *OoO) dispatch(now int64) {
+	for n := 0; n < c.cfg.Width && c.fetchQLen() > 0; n++ {
+		if c.serializeSeq >= 0 {
+			c.stats.SerializeOn++
+			return
+		}
+		if c.robCount >= c.cfg.ROBSize {
+			c.stats.ROBStall++
+			return
+		}
+		f := c.fetchQ[c.fetchHead]
+		in := f.inst
+
+		needsIQ := c.needsIQ(in)
+		if needsIQ && c.iqCount >= c.cfg.IQSize {
+			return
+		}
+		isLoad, isStore := in.IsLoad(), in.IsStore()
+		if isLoad && c.lqCount >= c.cfg.LQSize {
+			c.stats.LSQStall++
+			return
+		}
+		if isStore && c.sqCount >= c.cfg.SQSize {
+			c.stats.LSQStall++
+			return
+		}
+		needCkpt := in.IsBranch() || in.Op == isa.OpJALR
+		if needCkpt && len(c.ckptFree) == 0 {
+			return
+		}
+		intDst, fpDst := in.IntDst(), in.FPDst()
+		if intDst >= 0 && len(c.freeInt) == 0 {
+			return
+		}
+		if fpDst >= 0 && len(c.freeFP) == 0 {
+			return
+		}
+
+		// All resources available: dispatch.
+		c.prog = true
+		c.fetchHead++
+		if c.fetchHead == len(c.fetchQ) {
+			c.fetchQ = c.fetchQ[:0]
+			c.fetchHead = 0
+		}
+		c.seqCounter++
+		seq := c.seqCounter
+
+		e := robEntry{
+			valid: true, seq: seq, inst: in, pc: f.pc, npc: f.npc,
+			physDst: -1, oldDst: -1, lqIdx: -1, sqIdx: -1, ckpt: -1,
+		}
+		// Capture source renames before updating the destination mapping
+		// (an instruction may read the register it writes).
+		iqe := c.captureOperands(in)
+
+		switch {
+		case intDst >= 0:
+			p := c.freeInt[len(c.freeInt)-1]
+			c.freeInt = c.freeInt[:len(c.freeInt)-1]
+			c.physIntReady[p] = false
+			e.physDst, e.oldDst, e.dstFP = p, c.mapInt[intDst], false
+			c.mapInt[intDst] = p
+		case fpDst >= 0:
+			p := c.freeFP[len(c.freeFP)-1]
+			c.freeFP = c.freeFP[:len(c.freeFP)-1]
+			c.physFPReady[p] = false
+			e.physDst, e.oldDst, e.dstFP = p, c.mapFP[fpDst], true
+			c.mapFP[fpDst] = p
+		}
+
+		if needCkpt {
+			id := c.ckptFree[len(c.ckptFree)-1]
+			c.ckptFree = c.ckptFree[:len(c.ckptFree)-1]
+			ck := &c.ckpts[id]
+			ck.mapInt = c.mapInt
+			ck.mapFP = c.mapFP
+			ck.rasTop = f.rasTop
+			e.ckpt = id
+			c.stats.Branches++
+		} else if in.Op == isa.OpJAL {
+			c.stats.Branches++
+		}
+
+		robIdx := int16((c.robHead + c.robCount) % c.cfg.ROBSize)
+
+		if isLoad {
+			e.lqIdx = int16(c.lqTail)
+			c.lq[c.lqTail] = lqEntry{valid: true, seq: seq, robIdx: robIdx, op: in.Op, width: in.MemBytes()}
+			c.lqTail = (c.lqTail + 1) % c.cfg.LQSize
+			c.lqCount++
+			c.stats.Loads++
+		}
+		if isStore {
+			e.sqIdx = int16(c.sqTail)
+			c.sq[c.sqTail] = sqEntry{valid: true, seq: seq, robIdx: robIdx, op: in.Op, width: in.MemBytes()}
+			c.sqTail = (c.sqTail + 1) % c.cfg.SQSize
+			c.sqCount++
+			c.stats.Stores++
+		}
+
+		switch {
+		case in.IsSyscall():
+			e.isSys = true
+			c.serializeSeq = seq
+			c.sysHoldFetch = true
+			c.sysIssued, c.sysDone = false, false
+			c.sysRetryAt = -1
+		case in.IsAMO():
+			e.isAMO = true
+			c.serializeSeq = seq
+			c.amoDoneAt = -1
+		case in.Op == isa.OpNOP || in.Op == isa.OpInvalid:
+			e.done = true
+		}
+
+		c.rob[robIdx] = e
+		c.robCount++
+
+		if needsIQ {
+			iqe.valid = true
+			iqe.seq = seq
+			iqe.robIdx = robIdx
+			c.iqInsert(iqe)
+		}
+	}
+}
+
+// needsIQ reports whether in must pass through the issue queue. Syscalls
+// and AMOs execute at the commit point; NOPs complete at dispatch.
+func (c *OoO) needsIQ(in isa.Inst) bool {
+	if in.IsSyscall() || in.IsAMO() {
+		return false
+	}
+	switch in.Op {
+	case isa.OpNOP, isa.OpInvalid:
+		return false
+	}
+	return true
+}
+
+// captureOperands records the dispatch-time physical register of each
+// operand role. r0 maps to -1 (constant zero).
+func (c *OoO) captureOperands(in isa.Inst) iqEntry {
+	e := iqEntry{ps1: -1, ps2: -1, pf1: -1, pf2: -1}
+	pInt := func(r uint8) int16 {
+		if r == isa.RegZero {
+			return -1
+		}
+		return c.mapInt[r]
+	}
+	switch in.Op.Format() {
+	case isa.FmtR, isa.FmtB:
+		e.ps1, e.ps2 = pInt(in.Rs1), pInt(in.Rs2)
+	case isa.FmtI, isa.FmtJR, isa.FmtLoad, isa.FmtFLoad:
+		e.ps1 = pInt(in.Rs1)
+	case isa.FmtStore:
+		e.ps1, e.ps2 = pInt(in.Rs1), pInt(in.Rs2)
+	case isa.FmtFStore:
+		e.ps1 = pInt(in.Rs1)
+		e.pf2, e.fp2Use = c.mapFP[in.Rs2], true
+	case isa.FmtFR, isa.FmtFCmp:
+		e.pf1, e.fp1Use = c.mapFP[in.Rs1], true
+		e.pf2, e.fp2Use = c.mapFP[in.Rs2], true
+	case isa.FmtF2, isa.FmtFCvtFI:
+		e.pf1, e.fp1Use = c.mapFP[in.Rs1], true
+	case isa.FmtFCvtIF:
+		e.ps1 = pInt(in.Rs1)
+	}
+	return e
+}
+
+func (c *OoO) iqInsert(e iqEntry) {
+	for i := range c.iq {
+		if !c.iq[i].valid {
+			c.iq[i] = e
+			c.iqCount++
+			return
+		}
+	}
+	panic("cpu: issue queue overflow despite dispatch check")
+}
+
+// ---------------------------------------------------------------- issue --
+
+func (c *OoO) iqReady(e *iqEntry) bool {
+	if e.ps1 >= 0 && !c.physIntReady[e.ps1] {
+		return false
+	}
+	if e.ps2 >= 0 && !c.physIntReady[e.ps2] {
+		return false
+	}
+	if e.fp1Use && !c.physFPReady[e.pf1] {
+		return false
+	}
+	if e.fp2Use && !c.physFPReady[e.pf2] {
+		return false
+	}
+	return true
+}
+
+func (c *OoO) issue(now int64) {
+	intALU, intMul, fpAdd, fpMul, memPorts := c.cfg.IntALUs, c.cfg.IntMuls, c.cfg.FPAdds, c.cfg.FPMuls, c.cfg.MemPorts
+	for issued := 0; issued < c.cfg.IssueWidth; issued++ {
+		best := -1
+		var bestSeq int64 = math.MaxInt64
+		for i := range c.iq {
+			e := &c.iq[i]
+			if !e.valid || e.seq >= bestSeq || !c.iqReady(e) {
+				continue
+			}
+			if !c.fuAvailable(c.rob[e.robIdx].inst, now, intALU, intMul, fpAdd, fpMul, memPorts) {
+				continue
+			}
+			best, bestSeq = i, e.seq
+		}
+		if best < 0 {
+			return
+		}
+		e := c.iq[best]
+		c.iq[best].valid = false
+		c.iqCount--
+		c.prog = true
+		c.consumeFU(c.rob[e.robIdx].inst, now, &intALU, &intMul, &fpAdd, &fpMul, &memPorts)
+		c.execute(&e, now)
+	}
+}
+
+func (c *OoO) fuAvailable(in isa.Inst, now int64, intALU, intMul, fpAdd, fpMul, memPorts int) bool {
+	switch {
+	case in.IsMem():
+		return memPorts > 0
+	case in.Op == isa.OpMUL:
+		return intMul > 0
+	case in.Op == isa.OpDIV || in.Op == isa.OpREM:
+		return intMul > 0 && now >= c.divBusy
+	case in.Op == isa.OpFMUL:
+		return fpMul > 0
+	case in.Op == isa.OpFDIV || in.Op == isa.OpFSQRT:
+		return fpMul > 0 && now >= c.fpDivBusy
+	case isFPUnit(in):
+		return fpAdd > 0
+	default:
+		return intALU > 0
+	}
+}
+
+func (c *OoO) consumeFU(in isa.Inst, now int64, intALU, intMul, fpAdd, fpMul, memPorts *int) {
+	switch {
+	case in.IsMem():
+		*memPorts--
+	case in.Op == isa.OpMUL:
+		*intMul--
+	case in.Op == isa.OpDIV || in.Op == isa.OpREM:
+		*intMul--
+		c.divBusy = now + c.cfg.DivLat // unpipelined divider
+	case in.Op == isa.OpFMUL:
+		*fpMul--
+	case in.Op == isa.OpFDIV || in.Op == isa.OpFSQRT:
+		*fpMul--
+		c.fpDivBusy = now + c.cfg.FPSqrtLat
+	case isFPUnit(in):
+		*fpAdd--
+	default:
+		*intALU--
+	}
+}
+
+func isFPUnit(in isa.Inst) bool {
+	if in.FPDst() >= 0 {
+		return true
+	}
+	switch in.Op {
+	case isa.OpFEQ, isa.OpFLT, isa.OpFLE, isa.OpFCVTWD, isa.OpFMVXD:
+		return true
+	}
+	return false
+}
+
+// execute reads operand values just before execution (paper §2.2) from the
+// dispatch-time physical registers and schedules the result.
+func (c *OoO) execute(e *iqEntry, now int64) {
+	rb := &c.rob[e.robIdx]
+	in := rb.inst
+
+	a, b := c.physOrZero(e.ps1), c.physOrZero(e.ps2)
+	var fa, fb float64
+	if e.fp1Use {
+		fa = c.physFPVal[e.pf1]
+	}
+	if e.fp2Use {
+		fb = c.physFPVal[e.pf2]
+	}
+
+	if in.IsMem() {
+		c.executeMem(e, rb, a, b, fb, now)
+		return
+	}
+
+	res := execALU(in, rb.pc, a, b, fa, fb)
+	lat := execLatency(&c.cfg, in)
+	op := pendingOp{at: now + lat, seq: e.seq, robIdx: e.robIdx, lqIdx: -1, valInt: res.intVal, valFP: res.fpVal}
+	if res.isCTI {
+		op.kind = pCTI
+		op.actualNext = res.next
+		op.taken = res.taken
+	} else {
+		op.kind = pWriteback
+	}
+	c.pending = append(c.pending, op)
+}
+
+func (c *OoO) physOrZero(p int16) int64 {
+	if p < 0 {
+		return 0
+	}
+	return c.physIntVal[p]
+}
+
+func (c *OoO) executeMem(e *iqEntry, rb *robEntry, base, ival int64, fval float64, now int64) {
+	in := rb.inst
+	addr := uint64(base + int64(in.Imm))
+	if in.IsLoad() {
+		c.lq[rb.lqIdx].addr = addr
+		c.pending = append(c.pending, pendingOp{
+			at: now + c.cfg.AGULat, kind: pLoadIssue, seq: rb.seq, robIdx: e.robIdx, lqIdx: rb.lqIdx,
+		})
+		return
+	}
+	sqe := &c.sq[rb.sqIdx]
+	sqe.addr = addr
+	if in.Op == isa.OpFSD {
+		sqe.value = math.Float64bits(fval)
+	} else {
+		sqe.value = uint64(ival)
+	}
+	c.pending = append(c.pending, pendingOp{
+		at: now + c.cfg.AGULat, kind: pStoreReady, seq: rb.seq, robIdx: e.robIdx, lqIdx: -1,
+	})
+}
+
+// ----------------------------------------------------------- completion --
+
+func (c *OoO) completePending(now int64) {
+	// Swap buffers: handlers (and load retries) append to the fresh
+	// c.pending while we walk the old list.
+	cur := c.pending
+	c.pending = c.pendingSpare[:0]
+	for i := range cur {
+		op := cur[i]
+		if op.at > now {
+			c.pending = append(c.pending, op)
+			continue
+		}
+		c.prog = true
+		switch op.kind {
+		case pWriteback:
+			c.stats.OpsWB++
+			if rb := &c.rob[op.robIdx]; rb.valid && rb.seq == op.seq {
+				c.writeback(op.robIdx, op.valInt, op.valFP)
+				rb.done = true
+			}
+		case pCTI:
+			c.resolveCTI(op, now)
+		case pStoreReady:
+			if rb := &c.rob[op.robIdx]; rb.valid && rb.seq == op.seq {
+				c.sq[rb.sqIdx].ready = true
+				rb.done = true
+				c.kickParkedLoads(now)
+			}
+		case pLoadIssue:
+			c.stats.OpsLoadIssue++
+			c.loadStep(op, now)
+		case pLoadDone:
+			c.stats.OpsLoadDone++
+			c.finishLoad(op, now)
+		}
+	}
+	c.pendingSpare = cur[:0]
+}
+
+func (c *OoO) writeback(robIdx int16, vi int64, vf float64) {
+	rb := &c.rob[robIdx]
+	if rb.physDst < 0 {
+		return
+	}
+	if rb.dstFP {
+		c.physFPVal[rb.physDst] = vf
+		c.physFPReady[rb.physDst] = true
+	} else {
+		c.physIntVal[rb.physDst] = vi
+		c.physIntReady[rb.physDst] = true
+	}
+}
+
+func (c *OoO) resolveCTI(op pendingOp, now int64) {
+	rb := &c.rob[op.robIdx]
+	if !rb.valid || rb.seq != op.seq {
+		return
+	}
+	c.writeback(op.robIdx, op.valInt, op.valFP) // link register, if any
+	rb.done = true
+	c.pred.update(rb.inst, rb.pc, op.taken, op.actualNext)
+	if rb.ckpt >= 0 {
+		c.ckptFree = append(c.ckptFree, rb.ckpt)
+		ck := rb.ckpt
+		rb.ckpt = -1
+		if op.actualNext != rb.npc {
+			c.recover(op.robIdx, ck, op.actualNext, now)
+		}
+	} else if op.actualNext != rb.npc {
+		// JAL with an exact target cannot mispredict; defensive only.
+		panic(fmt.Sprintf("cpu: unpredicted mispredict at pc %#x", rb.pc))
+	}
+}
+
+// fmt is used by panics in this file.
+var _ = fmt.Sprintf
+
+// recover squashes everything younger than the mispredicted instruction at
+// rob index brIdx, restores the rename maps from its checkpoint, and
+// redirects fetch.
+func (c *OoO) recover(brIdx int16, ckpt int8, target uint64, now int64) {
+	c.stats.Mispred++
+	br := &c.rob[brIdx]
+	brSeq := br.seq
+
+	// Restore rename state.
+	ck := &c.ckpts[ckpt]
+	c.mapInt = ck.mapInt
+	c.mapFP = ck.mapFP
+	c.pred.restoreRAS(ck.rasTop)
+
+	// Walk the ROB tail-to-branch, undoing younger entries.
+	for c.robCount > 0 {
+		tailIdx := (c.robHead + c.robCount - 1) % c.cfg.ROBSize
+		e := &c.rob[tailIdx]
+		if e.seq <= brSeq {
+			break
+		}
+		if e.physDst >= 0 {
+			if e.dstFP {
+				c.freeFP = append(c.freeFP, e.physDst)
+			} else {
+				c.freeInt = append(c.freeInt, e.physDst)
+			}
+		}
+		if e.ckpt >= 0 {
+			c.ckptFree = append(c.ckptFree, e.ckpt)
+		}
+		if e.lqIdx >= 0 {
+			c.lq[e.lqIdx].valid = false
+			c.lqTail = int(e.lqIdx)
+			c.lqCount--
+		}
+		if e.sqIdx >= 0 {
+			c.sq[e.sqIdx].valid = false
+			c.sqTail = int(e.sqIdx)
+			c.sqCount--
+		}
+		if e.isSys || e.isAMO {
+			// A squashed serialising instruction releases the stall.
+			c.serializeSeq = -1
+			c.sysRetryAt = -1
+			c.amoDoneAt = -1
+			c.sysHoldFetch = false
+		}
+		e.valid = false
+		c.robCount--
+		c.stats.Squashed++
+	}
+
+	// Purge younger IQ entries and scheduled completions.
+	for i := range c.iq {
+		if c.iq[i].valid && c.iq[i].seq > brSeq {
+			c.iq[i].valid = false
+			c.iqCount--
+		}
+	}
+	kept := c.pending[:0]
+	for _, op := range c.pending {
+		if op.seq <= brSeq {
+			kept = append(kept, op)
+		}
+	}
+	c.pending = kept
+
+	// Drop squashed loads from MSHR waiter lists (fills still complete and
+	// install the line; nobody consumes the data).
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if !m.valid {
+			continue
+		}
+		keptLoads := m.loads[:0]
+		for _, lqi := range m.loads {
+			if c.lq[lqi].valid && c.lq[lqi].seq <= brSeq {
+				keptLoads = append(keptLoads, lqi)
+			}
+		}
+		m.loads = keptLoads
+	}
+
+	// Redirect the front end.
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchHead = 0
+	c.fetchPC = target
+	c.fetchBlocked = now + 1
+	c.fetchMiss = false
+}
+
+// ----------------------------------------------------------------- load --
+
+// loadStep runs after address generation: disambiguate against older
+// stores, then forward or access the L1.
+func (c *OoO) loadStep(op pendingOp, now int64) {
+	lq := &c.lq[op.lqIdx]
+	if !lq.valid || lq.seq != op.seq {
+		return // squashed
+	}
+	st, conflict, unknown := c.olderStore(lq)
+	if unknown {
+		// An older store address is still unresolved; the store's AGU
+		// completion kicks us.
+		lq.parked = true
+		return
+	}
+	if conflict {
+		if st == nil {
+			// Overlapping but non-forwardable store: wait for it to drain.
+			lq.parked = true
+			return
+		}
+		// Store-to-load forwarding.
+		done := op
+		done.kind = pLoadDone
+		done.at = now + 1
+		done.valInt = int64(st.value)
+		done.taken = true // flag: value forwarded, skip the memory read
+		c.reschedule(done)
+		return
+	}
+
+	// Access the L1 data cache.
+	switch c.l1d.Probe(lq.addr, false) {
+	case cache.Hit:
+		done := op
+		done.kind = pLoadDone
+		done.at = now + c.env.CacheCfg.L1HitLat
+		c.reschedule(done)
+	case cache.Blocked:
+		line := c.env.CacheCfg.LineAddr(lq.addr)
+		if m := c.findMSHR(line); m != nil {
+			m.loads = append(m.loads, op.lqIdx)
+			return
+		}
+		// Line pending with no MSHR (fill already applied this cycle);
+		// retry next cycle.
+		op.at = now + 1
+		c.reschedule(op)
+	default: // miss
+		line := c.env.CacheCfg.LineAddr(lq.addr)
+		if m := c.findMSHR(line); m != nil {
+			m.loads = append(m.loads, op.lqIdx)
+			return
+		}
+		m := c.allocMSHR(line)
+		if m == nil {
+			lq.parked = true // all MSHRs busy; a fill delivery kicks us
+			return
+		}
+		m.loads = append(m.loads, op.lqIdx)
+		victimAddr, victimDirty, victimValid := c.l1d.Reserve(line)
+		c.send(event.Event{Kind: event.KReadShared, Time: now, Addr: line}, victimAddr, victimDirty, victimValid)
+		c.maybePrefetch(line, now)
+	}
+}
+
+// maybePrefetch issues a next-line prefetch after a demand miss when the
+// prefetcher is enabled, the line is absent, and an MSHR is free.
+func (c *OoO) maybePrefetch(demand uint64, now int64) {
+	if !c.cfg.Prefetch {
+		return
+	}
+	next := demand + uint64(c.env.CacheCfg.LineSize)
+	if c.l1d.StateOf(next) != cache.Invalid || c.findMSHR(next) != nil {
+		return
+	}
+	m := c.allocMSHR(next)
+	if m == nil {
+		return
+	}
+	c.stats.Prefetches++
+	victimAddr, victimDirty, victimValid := c.l1d.Reserve(next)
+	c.send(event.Event{Kind: event.KReadShared, Time: now, Addr: next}, victimAddr, victimDirty, victimValid)
+}
+
+// olderStore scans the store queue for stores older than the load at the
+// same word. Returns (forwardableStore, conflict, unknownAddr).
+func (c *OoO) olderStore(lq *lqEntry) (st *sqEntry, conflict, unknown bool) {
+	wordAddr := lq.addr &^ 7
+	var best *sqEntry
+	var bestSeq int64 = -1
+	for i := range c.sq {
+		e := &c.sq[i]
+		if !e.valid || e.seq >= lq.seq {
+			continue
+		}
+		if !e.ready {
+			return nil, false, true
+		}
+		if e.addr&^7 != wordAddr {
+			continue
+		}
+		if e.seq > bestSeq {
+			best, bestSeq = e, e.seq
+		}
+	}
+	if best == nil {
+		return nil, false, false
+	}
+	if best.addr == lq.addr && best.width == lq.width {
+		return best, true, false
+	}
+	return nil, true, false // overlap, not forwardable: wait for drain
+}
+
+// finishLoad delivers the load's data: a forwarded value, or a functional
+// read of shared memory performed now — the simulated instant the data
+// arrives, so cross-thread value races resolve in simulation-time order.
+func (c *OoO) finishLoad(op pendingOp, now int64) {
+	lq := &c.lq[op.lqIdx]
+	if !lq.valid || lq.seq != op.seq {
+		return // squashed
+	}
+	var raw uint64
+	if op.taken {
+		raw = uint64(op.valInt) // forwarded
+	} else {
+		raw = c.readMem(lq.op, lq.addr)
+	}
+	rb := &c.rob[lq.robIdx]
+	if lq.op == isa.OpFLD {
+		c.writeback(lq.robIdx, 0, math.Float64frombits(raw))
+	} else {
+		c.writeback(lq.robIdx, extend(lq.op, raw), 0)
+	}
+	lq.done = true
+	rb.done = true
+}
+
+func (c *OoO) readMem(op isa.Op, addr uint64) uint64 {
+	switch op {
+	case isa.OpLD, isa.OpFLD:
+		v, _ := c.env.Mem.LoadWord(addr)
+		return v
+	case isa.OpLW, isa.OpLWU:
+		v, _ := c.env.Mem.Load32(addr)
+		return uint64(v)
+	case isa.OpLB, isa.OpLBU:
+		v, _ := c.env.Mem.Load8(addr)
+		return uint64(v)
+	}
+	return 0
+}
+
+// extend applies the load's sign/zero extension to raw bits.
+func extend(op isa.Op, raw uint64) int64 {
+	switch op {
+	case isa.OpLW:
+		return int64(int32(uint32(raw)))
+	case isa.OpLWU:
+		return int64(uint32(raw))
+	case isa.OpLB:
+		return int64(int8(uint8(raw)))
+	case isa.OpLBU:
+		return int64(uint8(raw))
+	}
+	return int64(raw)
+}
+
+// reschedule re-enqueues op on the (fresh) pending list.
+func (c *OoO) reschedule(op pendingOp) {
+	c.pending = append(c.pending, op)
+}
+
+// kickParkedLoads requeues every parked load for another loadStep pass.
+func (c *OoO) kickParkedLoads(now int64) {
+	for i := range c.lq {
+		lq := &c.lq[i]
+		if !lq.valid || !lq.parked {
+			continue
+		}
+		lq.parked = false
+		c.stats.Kicks++
+		c.pending = append(c.pending, pendingOp{
+			at: now, kind: pLoadIssue, seq: lq.seq, robIdx: lq.robIdx, lqIdx: int16(i),
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package cpu
+
+import "slacksim/internal/isa"
+
+// predictor is the front-end branch predictor: a bimodal table of 2-bit
+// saturating counters for conditional direction, a BTB for indirect
+// targets, and a return-address stack. Direct targets (branches, jal) are
+// computed from the instruction word at fetch, so the BTB serves only jalr.
+type predictor struct {
+	bimodal []uint8
+	btbTag  []uint64
+	btbTgt  []uint64
+	ras     []uint64
+	rasTop  int
+	bimMask uint64
+	btbMask uint64
+}
+
+func newPredictor(cfg *Config) *predictor {
+	return &predictor{
+		bimodal: initCounters(cfg.BimodalSize),
+		btbTag:  make([]uint64, cfg.BTBSize),
+		btbTgt:  make([]uint64, cfg.BTBSize),
+		ras:     make([]uint64, cfg.RASSize),
+		bimMask: uint64(cfg.BimodalSize - 1),
+		btbMask: uint64(cfg.BTBSize - 1),
+	}
+}
+
+func initCounters(n int) []uint8 {
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return c
+}
+
+func (p *predictor) bimIndex(pc uint64) uint64 { return (pc >> 3) & p.bimMask }
+func (p *predictor) btbIndex(pc uint64) uint64 { return (pc >> 3) & p.btbMask }
+
+// predict returns the predicted next pc after the control-transfer
+// instruction in at pc, and whether a conditional branch was predicted
+// taken.
+func (p *predictor) predict(in isa.Inst, pc uint64) (next uint64, taken bool) {
+	switch {
+	case in.IsBranch():
+		taken = p.bimodal[p.bimIndex(pc)] >= 2
+		if taken {
+			return pc + uint64(int64(in.Imm)), true
+		}
+		return pc + isa.InstBytes, false
+	case in.Op == isa.OpJAL:
+		if in.Rd == isa.RegRA {
+			p.push(pc + isa.InstBytes)
+		}
+		return pc + uint64(int64(in.Imm)), true
+	case in.Op == isa.OpJALR:
+		if in.Rd == isa.RegZero && in.Rs1 == isa.RegRA {
+			// Return: pop the RAS.
+			return p.pop(pc), true
+		}
+		if in.Rd == isa.RegRA {
+			p.push(pc + isa.InstBytes)
+		}
+		i := p.btbIndex(pc)
+		if p.btbTag[i] == pc && p.btbTgt[i] != 0 {
+			return p.btbTgt[i], true
+		}
+		return pc + isa.InstBytes, true // no prediction; will redirect at execute
+	}
+	return pc + isa.InstBytes, false
+}
+
+// update trains the predictor with the resolved outcome.
+func (p *predictor) update(in isa.Inst, pc uint64, taken bool, target uint64) {
+	if in.IsBranch() {
+		i := p.bimIndex(pc)
+		c := p.bimodal[i]
+		if taken {
+			if c < 3 {
+				p.bimodal[i] = c + 1
+			}
+		} else if c > 0 {
+			p.bimodal[i] = c - 1
+		}
+		return
+	}
+	if in.Op == isa.OpJALR {
+		i := p.btbIndex(pc)
+		p.btbTag[i] = pc
+		p.btbTgt[i] = target
+	}
+}
+
+func (p *predictor) push(v uint64) {
+	p.ras[p.rasTop%len(p.ras)] = v
+	p.rasTop++
+}
+
+func (p *predictor) pop(fallback uint64) uint64 {
+	if p.rasTop == 0 {
+		return fallback + isa.InstBytes
+	}
+	p.rasTop--
+	return p.ras[p.rasTop%len(p.ras)]
+}
+
+// snapshotRAS and restoreRAS checkpoint the stack pointer across
+// speculation; entries themselves may be clobbered by deep wrong paths,
+// which only costs accuracy of later predictions, never correctness.
+func (p *predictor) snapshotRAS() int   { return p.rasTop }
+func (p *predictor) restoreRAS(top int) { p.rasTop = top }

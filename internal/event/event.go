@@ -1,0 +1,109 @@
+// Package event defines the timestamped messages exchanged between core
+// threads and the simulation manager thread (the paper's InQ/OutQ/GQ
+// entries, §2.2), and a lock-free single-producer single-consumer ring used
+// to implement the InQ and OutQ on the host CMP's shared memory.
+package event
+
+// Kind identifies an event type (the paper's "event type field").
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+
+	// Core -> manager requests (OutQ entries).
+
+	// KReadShared is an L1 data-load miss: a GetS request for Addr's line.
+	KReadShared
+	// KReadExcl is an L1 store miss: a GetM request for Addr's line.
+	KReadExcl
+	// KUpgrade asks to upgrade Addr's line from Shared to Modified.
+	KUpgrade
+	// KFetch is an L1 instruction miss (GetS on the I-side).
+	KFetch
+	// KSyscall carries a system call: Aux = number, Args = a0..a3.
+	KSyscall
+
+	// Manager -> core notifications (InQ entries).
+
+	// KFill completes a miss: Addr's line may be installed with MESI state
+	// Aux at time Time.
+	KFill
+	// KInv invalidates Addr's line in the destination core's L1 at Time.
+	KInv
+	// KDowngrade demotes Addr's line from Modified/Exclusive to Shared.
+	KDowngrade
+	// KSyscallDone completes a syscall: Aux = return value; Flag set means
+	// the blocking call must be retried (the core keeps spinning).
+	KSyscallDone
+	// KStart activates a core: begin fetching at PC Addr with argument Aux.
+	KStart
+	// KStop halts the destination core.
+	KStop
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KReadShared:
+		return "GetS"
+	case KReadExcl:
+		return "GetM"
+	case KUpgrade:
+		return "Upg"
+	case KFetch:
+		return "IFetch"
+	case KSyscall:
+		return "Syscall"
+	case KFill:
+		return "Fill"
+	case KInv:
+		return "Inv"
+	case KDowngrade:
+		return "Downgrade"
+	case KSyscallDone:
+		return "SyscallDone"
+	case KStart:
+		return "Start"
+	case KStop:
+		return "Stop"
+	}
+	return "Invalid"
+}
+
+// Victim flag bits.
+const (
+	VictimValid uint8 = 1 << iota
+	VictimDirty
+)
+
+// Event is one queue entry. Time is the simulated cycle at which the event
+// initiates (requests) or takes effect (notifications). Seq breaks ties so
+// the manager's global ordering (Time, Core, Seq) is total and
+// deterministic.
+type Event struct {
+	Kind Kind
+	Core int32 // requesting core (requests) or destination core (notifications)
+	Time int64
+	Seq  int64
+	Addr uint64
+	Aux  int64
+	Flag bool
+	Args [4]int64
+
+	// Victim* piggyback an L1 eviction caused by the miss that generated
+	// this request, so the directory can retire the victim's presence bit
+	// (and account for the writeback if dirty).
+	VictimAddr  uint64
+	VictimFlags uint8
+}
+
+// Less orders events by (Time, Core, Seq); used by the manager's GQ.
+func Less(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Core != b.Core {
+		return a.Core < b.Core
+	}
+	return a.Seq < b.Seq
+}

@@ -1,0 +1,161 @@
+package event
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		if !r.Push(Event{Seq: int64(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Len() != 5 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i := 0; i < 5; i++ {
+		ev, ok := r.Peek()
+		if !ok || ev.Seq != int64(i) {
+			t.Fatalf("peek %d = %v, %v", i, ev.Seq, ok)
+		}
+		ev, ok = r.Pop()
+		if !ok || ev.Seq != int64(i) {
+			t.Fatalf("pop %d = %v, %v", i, ev.Seq, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestRingFullAndWrap(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Push(Event{Seq: int64(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(Event{}) {
+		t.Fatal("push to full ring succeeded")
+	}
+	// Wrap several times.
+	for i := 4; i < 40; i++ {
+		ev, _ := r.Pop()
+		if ev.Seq != int64(i-4) {
+			t.Fatalf("wrap pop = %d, want %d", ev.Seq, i-4)
+		}
+		if !r.Push(Event{Seq: int64(i)}) {
+			t.Fatalf("wrap push %d failed", i)
+		}
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	if NewRing(5).Cap() != 8 {
+		t.Error("capacity not rounded to power of two")
+	}
+	if NewRing(0).Cap() != 2 {
+		t.Error("minimum capacity wrong")
+	}
+}
+
+func TestMustPushPanicsWhenFull(t *testing.T) {
+	r := NewRing(2)
+	r.MustPush(Event{})
+	r.MustPush(Event{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on overflow")
+		}
+	}()
+	r.MustPush(Event{})
+}
+
+// TestRingSPSC hammers the ring with one producer and one consumer and
+// checks every event arrives exactly once, in order, with intact payloads.
+func TestRingSPSC(t *testing.T) {
+	r := NewRing(64)
+	const n = 50000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if r.Push(Event{Seq: int64(i), Addr: uint64(i) * 8, Aux: int64(i ^ 0x55)}) {
+				i++
+			} else {
+				runtime.Gosched() // single-CPU hosts need explicit yields
+			}
+		}
+	}()
+	for i := 0; i < n; {
+		ev, ok := r.Pop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if ev.Seq != int64(i) || ev.Addr != uint64(i)*8 || ev.Aux != int64(i^0x55) {
+			t.Fatalf("event %d corrupted: %+v", i, ev)
+		}
+		i++
+	}
+	wg.Wait()
+	if _, ok := r.Pop(); ok {
+		t.Fatal("ring not empty at end")
+	}
+}
+
+func TestLessOrdering(t *testing.T) {
+	a := &Event{Time: 1, Core: 2, Seq: 3}
+	cases := []struct {
+		b    Event
+		less bool
+	}{
+		{Event{Time: 2, Core: 0, Seq: 0}, true},
+		{Event{Time: 1, Core: 3, Seq: 0}, true},
+		{Event{Time: 1, Core: 2, Seq: 4}, true},
+		{Event{Time: 1, Core: 2, Seq: 3}, false},
+		{Event{Time: 0, Core: 9, Seq: 9}, false},
+	}
+	for _, c := range cases {
+		if got := Less(a, &c.b); got != c.less {
+			t.Errorf("Less(%+v, %+v) = %v", a, c.b, got)
+		}
+	}
+}
+
+// TestLessTotalOrder property-checks antisymmetry and transitivity-ish
+// behaviour of the GQ ordering on random events.
+func TestLessTotalOrder(t *testing.T) {
+	f := func(t1, t2 int64, c1, c2 int32, s1, s2 int64) bool {
+		a := &Event{Time: t1, Core: c1, Seq: s1}
+		b := &Event{Time: t2, Core: c2, Seq: s2}
+		la, lb := Less(a, b), Less(b, a)
+		if la && lb {
+			return false // antisymmetry
+		}
+		if !la && !lb {
+			// must be equal on all key fields
+			return t1 == t2 && c1 == c2 && s1 == s2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindInvalid; k <= KStop; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}

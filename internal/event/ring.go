@@ -1,0 +1,79 @@
+package event
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ring is a bounded lock-free single-producer single-consumer queue of
+// events. It implements the paper's per-core OutQ (core thread produces,
+// manager consumes) and InQ (manager produces, core thread consumes) on top
+// of the host CMP's coherent shared memory — the communication substrate
+// SlackSim exploits in place of MPI message passing.
+//
+// Exactly one goroutine may call Push and exactly one may call Peek/Pop.
+type Ring struct {
+	slots []Event
+	mask  int64
+	head  atomic.Int64 // next slot to read  (consumer-owned)
+	tail  atomic.Int64 // next slot to write (producer-owned)
+}
+
+// NewRing creates a ring with capacity rounded up to a power of two.
+func NewRing(capacity int) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{slots: make([]Event, n), mask: int64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns the current number of queued events (approximate if called by
+// neither endpoint).
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Push enqueues ev. It returns false when the ring is full.
+func (r *Ring) Push(ev Event) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= int64(len(r.slots)) {
+		return false
+	}
+	r.slots[t&r.mask] = ev
+	r.tail.Store(t + 1) // release: slot write is visible before the new tail
+	return true
+}
+
+// MustPush enqueues ev and panics if the ring is full. Ring capacities are
+// sized above the architectural bound on outstanding requests (MSHRs +
+// fetch + one syscall), so overflow indicates a simulator bug, not load.
+func (r *Ring) MustPush(ev Event) {
+	if !r.Push(ev) {
+		panic(fmt.Sprintf("event ring overflow (cap %d): dropping %v event", len(r.slots), ev.Kind))
+	}
+}
+
+// Peek returns a copy of the oldest event without consuming it.
+func (r *Ring) Peek() (Event, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return Event{}, false
+	}
+	return r.slots[h&r.mask], true
+}
+
+// Pop consumes and returns the oldest event.
+func (r *Ring) Pop() (Event, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return Event{}, false
+	}
+	ev := r.slots[h&r.mask]
+	r.head.Store(h + 1)
+	return ev, true
+}

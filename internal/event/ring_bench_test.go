@@ -1,0 +1,13 @@
+package event
+
+import "testing"
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := NewRing(256)
+	ev := Event{Kind: KFill, Time: 42, Addr: 0x1000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Push(ev)
+		r.Pop()
+	}
+}

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"slacksim/internal/core"
+	"slacksim/internal/stats"
+	"slacksim/internal/workloads"
+)
+
+// Table2 reproduces the paper's Table 2: each benchmark's input set and the
+// instruction throughput (KIPS) of the cycle-by-cycle simulation with all
+// simulation threads on one host core.
+func (r *Runner) Table2(out io.Writer) error {
+	fmt.Fprintln(out, "Table 2: Benchmarks (baseline = cycle-by-cycle on 1 host core)")
+	var t stats.Table
+	t.AddRow("Benchmark", "Input Set", "KIPS", "ROI instrs", "ROI cycles")
+	for _, name := range r.opts.Workloads {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return err
+		}
+		run, err := r.Baseline(name)
+		if err != nil {
+			return err
+		}
+		res := run.Result
+		t.AddRowf(name, w.InputDesc(r.opts.Scale), fmt.Sprintf("%.1f", res.KIPS()), res.Committed, res.ROICycles())
+	}
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+// Figure8Data holds the full speedup sweep.
+type Figure8Data struct {
+	Workloads []string
+	Schemes   []core.Scheme
+	HostCores []int
+	// Speedup[workload][scheme][host] = baseline wall / run wall.
+	Speedup map[string]map[string]map[int]float64
+	// Baseline wall time per workload.
+	BaselineWall map[string]time.Duration
+}
+
+// Figure8 runs the full sweep of the paper's Figure 8: every benchmark
+// under every scheme at every host-core count, reporting speedup over the
+// 1-host-core cycle-by-cycle baseline.
+func (r *Runner) Figure8(out io.Writer) (*Figure8Data, error) {
+	data := &Figure8Data{
+		Workloads:    r.opts.Workloads,
+		Schemes:      r.opts.Schemes,
+		HostCores:    r.opts.HostCores,
+		Speedup:      make(map[string]map[string]map[int]float64),
+		BaselineWall: make(map[string]time.Duration),
+	}
+	for _, name := range r.opts.Workloads {
+		base, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		data.BaselineWall[name] = base.Result.Wall
+		data.Speedup[name] = make(map[string]map[int]float64)
+		for _, s := range r.opts.Schemes {
+			data.Speedup[name][s.String()] = make(map[int]float64)
+			for _, hc := range r.opts.HostCores {
+				run, err := r.RunOne(name, s, hc)
+				if err != nil {
+					return nil, err
+				}
+				data.Speedup[name][s.String()][hc] =
+					base.Result.Wall.Seconds() / run.Result.Wall.Seconds()
+			}
+		}
+	}
+	data.Print(out)
+	return data, nil
+}
+
+// Print renders the Figure 8 panels: one speedup table per benchmark
+// (8a-8d) and the harmonic-mean panel (8e), followed by the derived
+// §4.2.1 scheme-ordering claims.
+func (d *Figure8Data) Print(out io.Writer) {
+	for _, name := range d.Workloads {
+		fmt.Fprintf(out, "\nFigure 8: simulation speedup of %s vs CC on 1 host core\n", name)
+		d.printPanel(out, func(scheme string, hc int) (float64, bool) {
+			v, ok := d.Speedup[name][scheme][hc]
+			return v, ok
+		})
+	}
+	fmt.Fprintf(out, "\nFigure 8(e): harmonic mean of benchmark speedups\n")
+	d.printPanel(out, func(scheme string, hc int) (float64, bool) {
+		var xs []float64
+		for _, name := range d.Workloads {
+			if v, ok := d.Speedup[name][scheme][hc]; ok {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return 0, false
+		}
+		return stats.HarmonicMean(xs), true
+	})
+	d.printClaims(out)
+}
+
+func (d *Figure8Data) printPanel(out io.Writer, get func(scheme string, hc int) (float64, bool)) {
+	var t stats.Table
+	header := []string{"Scheme"}
+	for _, hc := range d.HostCores {
+		header = append(header, fmt.Sprintf("%d host cores", hc))
+	}
+	t.AddRow(header...)
+	for _, s := range d.Schemes {
+		row := []string{s.String()}
+		for _, hc := range d.HostCores {
+			if v, ok := get(s.String(), hc); ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprint(out, t.String())
+}
+
+// printClaims derives the paper's §4.2.1 qualitative observations from the
+// measured data so a reader can check each one directly.
+func (d *Figure8Data) printClaims(out io.Writer) {
+	hc := d.HostCores[len(d.HostCores)-1]
+	hm := func(scheme string) float64 {
+		var xs []float64
+		for _, name := range d.Workloads {
+			if v, ok := d.Speedup[name][scheme][hc]; ok {
+				xs = append(xs, v)
+			}
+		}
+		return stats.HarmonicMean(xs)
+	}
+	have := func(scheme string) bool {
+		for _, s := range d.Schemes {
+			if s.String() == scheme {
+				return true
+			}
+		}
+		return false
+	}
+	fmt.Fprintf(out, "\nDerived claims (§4.2.1) at %d host cores:\n", hc)
+	if have("S9") && have("Q10") {
+		fmt.Fprintf(out, "  S9 vs Q10 speedup ratio: %.2fx (paper: ~1.2x)\n", hm("S9")/hm("Q10"))
+	}
+	if have("SU") && have("S100") {
+		fmt.Fprintf(out, "  SU vs S100:              %.2fx (paper: SU best everywhere)\n", hm("SU")/hm("S100"))
+	}
+	if have("S100") && have("S9") {
+		fmt.Fprintf(out, "  S100 vs S9:              %.2fx (paper: S100 outperforms S9)\n", hm("S100")/hm("S9"))
+	}
+	if have("L10") && have("Q10") {
+		fmt.Fprintf(out, "  L10 vs Q10:              %.2fx (paper: L10 slightly higher)\n", hm("L10")/hm("Q10"))
+	}
+	if have("S9*") && have("S9") {
+		fmt.Fprintf(out, "  S9* vs S9:               %.2fx (paper: almost the same)\n", hm("S9*")/hm("S9"))
+	}
+	if have("CC") {
+		fmt.Fprintf(out, "  CC at %d host cores:      %.2fx (paper: poor, up to 2.6)\n", hc, hm("CC"))
+	}
+}
+
+// Table3 reproduces the paper's Table 3: relative error in the simulated
+// execution time of the optimistic schemes (S9, S100, SU) at the largest
+// host-core count, versus the deterministic cycle-by-cycle reference.
+func (r *Runner) Table3(out io.Writer) error {
+	schemes := []core.Scheme{core.SchemeS9, core.SchemeS100, core.SchemeSU}
+	hc := r.opts.HostCores[len(r.opts.HostCores)-1]
+	fmt.Fprintf(out, "Table 3: relative error in execution time due to slack (%d host cores)\n", hc)
+	var t stats.Table
+	t.AddRow("Benchmark", "S9", "S100", "SU")
+	for _, name := range r.opts.Workloads {
+		ref, err := r.SerialReference(name)
+		if err != nil {
+			return err
+		}
+		row := []string{name}
+		for _, s := range schemes {
+			run, err := r.RunOne(name, s, hc)
+			if err != nil {
+				return err
+			}
+			e := stats.RelErr(float64(run.Result.ROICycles()), float64(ref.Result.ROICycles()))
+			row = append(row, fmt.Sprintf("%.2f%%", e*100))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprint(out, t.String())
+	return nil
+}

@@ -1,0 +1,201 @@
+// Package harness runs the paper's evaluation (§4): it sweeps slack
+// schemes and host-core counts over the benchmarks and regenerates Table 2
+// (baseline KIPS), Figure 8 (speedups per benchmark and their harmonic
+// mean), and Table 3 (relative execution-time error of the optimistic
+// schemes), plus the derived §4.2.1 claims.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/cache"
+	"slacksim/internal/core"
+	"slacksim/internal/cpu"
+	"slacksim/internal/workloads"
+)
+
+// Options configures an evaluation sweep.
+type Options struct {
+	// Workloads to run; defaults to the paper's four (Table 2).
+	Workloads []string
+	// Scale multiplies the workload input sizes.
+	Scale int
+	// Schemes to compare; defaults to the paper's seven (§4.2).
+	Schemes []core.Scheme
+	// HostCores values to sweep (GOMAXPROCS); defaults to {2, 4, 8}.
+	HostCores []int
+	// TargetCores is the simulated CMP size; defaults to 8 (§4.1).
+	TargetCores int
+	// Model selects the core timing model; defaults to the OoO target.
+	Model core.CoreModel
+	// Repeat runs each configuration this many times and keeps the best
+	// wall time (defaults to 1).
+	Repeat int
+	// Verify checks workload results after every run.
+	Verify bool
+	// MaxCycles bounds each run.
+	MaxCycles int64
+}
+
+func (o *Options) fillDefaults() {
+	if len(o.Workloads) == 0 {
+		for _, w := range workloads.Paper() {
+			o.Workloads = append(o.Workloads, w.Name)
+		}
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = []core.Scheme{
+			core.SchemeCC, core.SchemeQ10, core.SchemeL10,
+			core.SchemeS9, core.SchemeS9x, core.SchemeS100, core.SchemeSU,
+		}
+	}
+	if len(o.HostCores) == 0 {
+		// The paper sweeps 2, 4, and 8 host cores. Running more simulation
+		// parallelism than the host has physical CPUs hands scheduling to
+		// the OS's coarse timeslicer, which drifts core clocks by
+		// milliseconds and destroys the optimistic schemes' accuracy (see
+		// EXPERIMENTS.md), so the sweep is clipped to the host.
+		for _, hc := range []int{2, 4, 8} {
+			if hc <= runtime.NumCPU() {
+				o.HostCores = append(o.HostCores, hc)
+			}
+		}
+		if len(o.HostCores) == 0 {
+			o.HostCores = []int{1}
+		}
+	}
+	if o.TargetCores == 0 {
+		o.TargetCores = 8
+	}
+	if o.Repeat == 0 {
+		o.Repeat = 1
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 10_000_000_000
+	}
+}
+
+// Run is one simulation outcome.
+type Run struct {
+	Workload  string
+	Scheme    core.Scheme
+	HostCores int // 0 = serial reference engine
+	Result    *core.Result
+}
+
+// Runner executes simulations described by Options.
+type Runner struct {
+	opts  Options
+	progs map[string]*asm.Program
+	Log   io.Writer // optional progress log
+}
+
+// NewRunner pre-assembles the selected workloads.
+func NewRunner(opts Options) (*Runner, error) {
+	opts.fillDefaults()
+	r := &Runner{opts: opts, progs: make(map[string]*asm.Program)}
+	for _, name := range opts.Workloads {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := asm.Assemble(w.Source(opts.Scale), asm.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("harness: assemble %s: %w", name, err)
+		}
+		r.progs[name] = prog
+	}
+	return r, nil
+}
+
+// Options returns the resolved options.
+func (r *Runner) Options() Options { return r.opts }
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format, args...)
+	}
+}
+
+func (r *Runner) machine(name string) (*core.Machine, *workloads.Workload, error) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := core.Config{
+		NumCores:   r.opts.TargetCores,
+		NumThreads: r.opts.TargetCores,
+		Model:      r.opts.Model,
+		CPU:        cpu.DefaultConfig(),
+		Cache:      cache.DefaultConfig(r.opts.TargetCores),
+		MaxCycles:  r.opts.MaxCycles,
+	}
+	m, err := core.NewMachine(r.progs[name], cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := w.Init(m.Image(), r.opts.Scale); err != nil {
+		return nil, nil, err
+	}
+	return m, w, nil
+}
+
+// RunOne executes workload name under scheme with the given host-core
+// count (GOMAXPROCS). hostCores == 0 selects the serial reference engine.
+// The best of Repeat wall times is kept.
+func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, error) {
+	var best *core.Result
+	for rep := 0; rep < r.opts.Repeat; rep++ {
+		m, w, err := r.machine(name)
+		if err != nil {
+			return nil, err
+		}
+		var res *core.Result
+		start := time.Now()
+		if hostCores == 0 {
+			res = m.RunSerial()
+		} else {
+			prev := runtime.GOMAXPROCS(hostCores)
+			res, err = m.RunParallel(scheme)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res.Wall = time.Since(start)
+		if res.Aborted {
+			return nil, fmt.Errorf("harness: %s/%v aborted at %d cycles", name, scheme, res.EndTime)
+		}
+		if r.opts.Verify {
+			if err := w.Verify(m.Image(), res.Output, r.opts.Scale); err != nil {
+				return nil, fmt.Errorf("harness: %s/%v: %w", name, scheme, err)
+			}
+		}
+		if best == nil || res.Wall < best.Wall {
+			best = res
+		}
+	}
+	r.logf("  %-8s %-5v host=%d: %8d cycles  %8d instrs  wall %10v\n",
+		name, scheme, hostCores, best.ROICycles(), best.Committed, best.Wall.Round(time.Microsecond))
+	return &Run{Workload: name, Scheme: scheme, HostCores: hostCores, Result: best}, nil
+}
+
+// Baseline runs the paper's comparison baseline for the given workload:
+// cycle-by-cycle simulation with every simulation thread on one host core
+// (§4.2.1, Table 2).
+func (r *Runner) Baseline(name string) (*Run, error) {
+	return r.RunOne(name, core.SchemeCC, 1)
+}
+
+// SerialReference runs the deterministic serial engine (the accuracy
+// reference for Table 3).
+func (r *Runner) SerialReference(name string) (*Run, error) {
+	return r.RunOne(name, core.SchemeCC, 0)
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slacksim/internal/core"
+)
+
+func TestTable2Small(t *testing.T) {
+	r, err := NewRunner(Options{
+		Workloads:   []string{"ocean"},
+		TargetCores: 4,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ocean") || !strings.Contains(out, "KIPS") {
+		t.Fatalf("unexpected table: %s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestFigure8Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	r, err := NewRunner(Options{
+		Workloads:   []string{"ocean"},
+		Schemes:     []core.Scheme{core.SchemeCC, core.SchemeS9, core.SchemeSU},
+		HostCores:   []int{2},
+		TargetCores: 4,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	data, err := r.Figure8(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+	for _, s := range []string{"CC", "S9", "SU"} {
+		if data.Speedup["ocean"][s][2] <= 0 {
+			t.Fatalf("missing speedup for %s", s)
+		}
+	}
+}
+
+func TestTable3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	r, err := NewRunner(Options{
+		Workloads:   []string{"ocean"},
+		HostCores:   []int{2},
+		TargetCores: 4,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+}

@@ -1,0 +1,121 @@
+package loader
+
+import (
+	"testing"
+
+	"slacksim/internal/asm"
+	"slacksim/internal/isa"
+)
+
+func testProg(t *testing.T) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(`
+main:
+    li r8, 7
+    syscall 0
+.data
+.align 8
+x: .dword 0x1122334455667788
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadLayout(t *testing.T) {
+	prog := testProg(t)
+	im, err := Load(prog, Config{MemSize: 8 << 20, StackSize: 64 << 10, NumCores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text readable at the entry.
+	w, ok := im.Mem.LoadWord(im.Entry)
+	if !ok {
+		t.Fatal("entry unreadable")
+	}
+	if in := isa.Decode(w); in.Op != isa.OpLI || in.Imm != 7 {
+		t.Fatalf("first instruction = %v", in)
+	}
+	// Data placed and readable via symbol lookup.
+	xa, err := im.Symbol("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := im.Mem.LoadWord(xa); v != 0x1122334455667788 {
+		t.Fatalf("data word = %#x", v)
+	}
+	// Heap begins past the data, page aligned, below the stacks.
+	if im.HeapStart <= prog.DataEnd() || im.HeapStart%0x1000 != 0 {
+		t.Errorf("heap start %#x", im.HeapStart)
+	}
+	if im.HeapLimit != 8<<20-4*(64<<10) {
+		t.Errorf("heap limit %#x", im.HeapLimit)
+	}
+}
+
+func TestStacksDisjointAndAligned(t *testing.T) {
+	prog := testProg(t)
+	im, err := Load(prog, Config{MemSize: 8 << 20, StackSize: 64 << 10, NumCores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops := map[uint64]bool{}
+	for c := 0; c < 8; c++ {
+		top := im.StackTop(c)
+		if top%8 != 0 {
+			t.Errorf("stack %d top %#x misaligned", c, top)
+		}
+		if tops[top] {
+			t.Errorf("stack %d top %#x reused", c, top)
+		}
+		tops[top] = true
+		if c > 0 && im.StackTop(c-1)-top != 64<<10 {
+			t.Errorf("stacks %d/%d not %#x apart", c-1, c, 64<<10)
+		}
+		// A deep push must stay above the next stack's top.
+		if top-(60<<10) <= im.HeapLimit && c == 7 {
+			t.Errorf("lowest stack dips into the heap")
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	prog := testProg(t)
+	if _, err := Load(prog, Config{NumCores: 0}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := Load(prog, Config{MemSize: 1 << 16, StackSize: 1 << 20, NumCores: 8}); err == nil {
+		t.Error("stacks larger than memory accepted")
+	}
+	bad, err := asm.Assemble("main:\n nop\n", asm.Options{TextBase: 0x100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad, Config{NumCores: 1}); err == nil {
+		t.Error("text inside the null guard accepted")
+	}
+}
+
+func TestSymbolLookupError(t *testing.T) {
+	im, err := Load(testProg(t), Config{NumCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Symbol("nonexistent"); err == nil {
+		t.Error("missing symbol lookup succeeded")
+	}
+}
+
+func TestStackTopPanicsOutOfRange(t *testing.T) {
+	im, err := Load(testProg(t), Config{NumCores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range core")
+		}
+	}()
+	im.StackTop(2)
+}

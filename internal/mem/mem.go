@@ -1,0 +1,203 @@
+// Package mem implements the functional memory image shared by all simulated
+// cores. Memory is byte-addressed but backed by 64-bit words accessed with
+// sync/atomic: slack simulation schemes intentionally allow simulated-time
+// races between core threads (paper §3.2.3), and the atomics guarantee those
+// races stay well-defined on the host. Sub-word stores use a CAS loop so a
+// racing store to the neighbouring half-word can never be lost or torn.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Memory is a flat byte-addressed functional memory image.
+//
+// All Load*/Store*/atomic methods are safe for concurrent use by multiple
+// goroutines. The bulk helpers (WriteBytes, ReadBytes) are intended for
+// single-threaded setup and inspection.
+type Memory struct {
+	words []atomic.Uint64
+	size  uint64 // in bytes
+}
+
+// New creates a memory of the given size in bytes (rounded up to a multiple
+// of 8).
+func New(size uint64) *Memory {
+	size = (size + 7) &^ 7
+	return &Memory{
+		words: make([]atomic.Uint64, size/8),
+		size:  size,
+	}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint64 { return m.size }
+
+func (m *Memory) wordIndex(addr uint64, bytes uint64) (int, bool) {
+	if addr%bytes != 0 || addr+bytes > m.size {
+		return 0, false
+	}
+	return int(addr / 8), true
+}
+
+// LoadWord reads the 64-bit word at addr. ok is false on a misaligned or
+// out-of-range access (the value is then 0).
+func (m *Memory) LoadWord(addr uint64) (v uint64, ok bool) {
+	i, ok := m.wordIndex(addr, 8)
+	if !ok {
+		return 0, false
+	}
+	return m.words[i].Load(), true
+}
+
+// StoreWord writes the 64-bit word at addr.
+func (m *Memory) StoreWord(addr uint64, v uint64) bool {
+	i, ok := m.wordIndex(addr, 8)
+	if !ok {
+		return false
+	}
+	m.words[i].Store(v)
+	return true
+}
+
+// Load32 reads the 32-bit value at addr (must be 4-aligned).
+func (m *Memory) Load32(addr uint64) (uint32, bool) {
+	i, ok := m.wordIndex(addr, 4)
+	if !ok {
+		return 0, false
+	}
+	w := m.words[i].Load()
+	if addr%8 != 0 {
+		w >>= 32
+	}
+	return uint32(w), true
+}
+
+// Store32 writes the 32-bit value at addr (must be 4-aligned).
+func (m *Memory) Store32(addr uint64, v uint32) bool {
+	i, ok := m.wordIndex(addr, 4)
+	if !ok {
+		return false
+	}
+	shift := (addr % 8) * 8
+	mask := uint64(0xFFFFFFFF) << shift
+	nv := uint64(v) << shift
+	for {
+		old := m.words[i].Load()
+		if m.words[i].CompareAndSwap(old, (old&^mask)|nv) {
+			return true
+		}
+	}
+}
+
+// Load8 reads the byte at addr.
+func (m *Memory) Load8(addr uint64) (uint8, bool) {
+	if addr >= m.size {
+		return 0, false
+	}
+	w := m.words[addr/8].Load()
+	return uint8(w >> ((addr % 8) * 8)), true
+}
+
+// Store8 writes the byte at addr.
+func (m *Memory) Store8(addr uint64, v uint8) bool {
+	if addr >= m.size {
+		return false
+	}
+	i := int(addr / 8)
+	shift := (addr % 8) * 8
+	mask := uint64(0xFF) << shift
+	nv := uint64(v) << shift
+	for {
+		old := m.words[i].Load()
+		if m.words[i].CompareAndSwap(old, (old&^mask)|nv) {
+			return true
+		}
+	}
+}
+
+// AMOAdd atomically adds delta to the 64-bit word at addr, returning the old
+// value.
+func (m *Memory) AMOAdd(addr uint64, delta uint64) (old uint64, ok bool) {
+	i, ok := m.wordIndex(addr, 8)
+	if !ok {
+		return 0, false
+	}
+	return m.words[i].Add(delta) - delta, true
+}
+
+// AMOSwap atomically replaces the 64-bit word at addr, returning the old
+// value.
+func (m *Memory) AMOSwap(addr uint64, v uint64) (old uint64, ok bool) {
+	i, ok := m.wordIndex(addr, 8)
+	if !ok {
+		return 0, false
+	}
+	return m.words[i].Swap(v), true
+}
+
+// CAS atomically compares the word at addr with expect and, if equal, stores
+// replace. It returns the previous value.
+func (m *Memory) CAS(addr uint64, expect, replace uint64) (old uint64, ok bool) {
+	i, ok := m.wordIndex(addr, 8)
+	if !ok {
+		return 0, false
+	}
+	for {
+		cur := m.words[i].Load()
+		if cur != expect {
+			return cur, true
+		}
+		if m.words[i].CompareAndSwap(cur, replace) {
+			return cur, true
+		}
+	}
+}
+
+// LoadFloat64 reads the float64 at addr.
+func (m *Memory) LoadFloat64(addr uint64) (float64, bool) {
+	v, ok := m.LoadWord(addr)
+	return math.Float64frombits(v), ok
+}
+
+// StoreFloat64 writes the float64 at addr.
+func (m *Memory) StoreFloat64(addr uint64, f float64) bool {
+	return m.StoreWord(addr, math.Float64bits(f))
+}
+
+// WriteBytes copies b into memory starting at addr. Intended for program
+// loading and input setup before the simulation starts.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	if addr+uint64(len(b)) > m.size {
+		return fmt.Errorf("mem: write of %d bytes at %#x exceeds size %#x", len(b), addr, m.size)
+	}
+	for len(b) > 0 && addr%8 != 0 {
+		m.Store8(addr, b[0])
+		addr, b = addr+1, b[1:]
+	}
+	for len(b) >= 8 {
+		m.words[addr/8].Store(binary.LittleEndian.Uint64(b))
+		addr, b = addr+8, b[8:]
+	}
+	for _, c := range b {
+		m.Store8(addr, c)
+		addr++
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
+	if addr+uint64(n) > m.size {
+		return nil, fmt.Errorf("mem: read of %d bytes at %#x exceeds size %#x", n, addr, m.size)
+	}
+	out := make([]byte, n)
+	for i := range out {
+		b, _ := m.Load8(addr + uint64(i))
+		out[i] = b
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package mem
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New(4096)
+	if !m.StoreWord(8, 0xDEADBEEFCAFEF00D) {
+		t.Fatal("store failed")
+	}
+	v, ok := m.LoadWord(8)
+	if !ok || v != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("load = %#x, %v", v, ok)
+	}
+}
+
+func TestAlignmentAndBounds(t *testing.T) {
+	m := New(64)
+	if _, ok := m.LoadWord(4); ok {
+		t.Error("misaligned 64-bit load accepted")
+	}
+	if _, ok := m.Load32(2); ok {
+		t.Error("misaligned 32-bit load accepted")
+	}
+	if _, ok := m.LoadWord(64); ok {
+		t.Error("out-of-range load accepted")
+	}
+	if m.StoreWord(60, 1) { // crosses the end
+		t.Error("out-of-range store accepted")
+	}
+	if _, ok := m.Load8(63); !ok {
+		t.Error("last byte rejected")
+	}
+	if _, ok := m.Load8(64); ok {
+		t.Error("byte past end accepted")
+	}
+}
+
+// TestSubWordInsertion checks 32-bit and 8-bit stores only modify their
+// slice of the containing 64-bit word.
+func TestSubWordInsertion(t *testing.T) {
+	m := New(64)
+	m.StoreWord(0, 0x1111111122222222)
+	m.Store32(0, 0xAAAAAAAA)
+	if v, _ := m.LoadWord(0); v != 0x11111111AAAAAAAA {
+		t.Errorf("low half store: %#x", v)
+	}
+	m.Store32(4, 0xBBBBBBBB)
+	if v, _ := m.LoadWord(0); v != 0xBBBBBBBBAAAAAAAA {
+		t.Errorf("high half store: %#x", v)
+	}
+	m.Store8(1, 0xFF)
+	if v, _ := m.LoadWord(0); v != 0xBBBBBBBBAAAAFFAA {
+		t.Errorf("byte store: %#x", v)
+	}
+	if b, _ := m.Load8(1); b != 0xFF {
+		t.Errorf("byte load: %#x", b)
+	}
+	if w, _ := m.Load32(4); w != 0xBBBBBBBB {
+		t.Errorf("32-bit load: %#x", w)
+	}
+}
+
+func TestSubWordQuick(t *testing.T) {
+	m := New(1 << 16)
+	f := func(addr uint16, v uint32, b uint8) bool {
+		a := uint64(addr) &^ 3
+		if !m.Store32(a, v) {
+			return false
+		}
+		got, ok := m.Load32(a)
+		if !ok || got != v {
+			return false
+		}
+		ba := uint64(addr)
+		if !m.Store8(ba, b) {
+			return false
+		}
+		gb, ok := m.Load8(ba)
+		return ok && gb == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	m := New(64)
+	m.StoreWord(0, 10)
+	if old, ok := m.AMOAdd(0, 5); !ok || old != 10 {
+		t.Errorf("amoadd old = %d, %v", old, ok)
+	}
+	if v, _ := m.LoadWord(0); v != 15 {
+		t.Errorf("after amoadd: %d", v)
+	}
+	if old, _ := m.AMOSwap(0, 99); old != 15 {
+		t.Errorf("amoswap old = %d", old)
+	}
+	if old, _ := m.CAS(0, 99, 1); old != 99 {
+		t.Errorf("cas success old = %d", old)
+	}
+	if v, _ := m.LoadWord(0); v != 1 {
+		t.Errorf("after cas: %d", v)
+	}
+	if old, _ := m.CAS(0, 42, 7); old != 1 {
+		t.Errorf("cas failure old = %d", old)
+	}
+	if v, _ := m.LoadWord(0); v != 1 {
+		t.Errorf("failed cas must not store: %d", v)
+	}
+}
+
+// TestConcurrentAMO checks atomicity under contention: N goroutines each
+// add 1 to the same word M times.
+func TestConcurrentAMO(t *testing.T) {
+	m := New(64)
+	const goroutines, adds = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				m.AMOAdd(0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := m.LoadWord(0); v != goroutines*adds {
+		t.Fatalf("lost updates: %d != %d", v, goroutines*adds)
+	}
+}
+
+// TestConcurrentSubWord checks racing byte stores to different bytes of one
+// word never clobber each other (the CAS loop in Store8).
+func TestConcurrentSubWord(t *testing.T) {
+	m := New(64)
+	var wg sync.WaitGroup
+	for b := 0; b < 8; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				m.Store8(uint64(b), uint8(b+1))
+			}
+		}(b)
+	}
+	wg.Wait()
+	for b := 0; b < 8; b++ {
+		if v, _ := m.Load8(uint64(b)); v != uint8(b+1) {
+			t.Fatalf("byte %d = %d", b, v)
+		}
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	m := New(64)
+	for _, f := range []float64{0, 1.5, -math.Pi, math.Inf(1), math.SmallestNonzeroFloat64} {
+		m.StoreFloat64(16, f)
+		got, ok := m.LoadFloat64(16)
+		if !ok || got != f {
+			t.Errorf("float round trip %v -> %v", f, got)
+		}
+	}
+	m.StoreFloat64(16, math.NaN())
+	if got, _ := m.LoadFloat64(16); !math.IsNaN(got) {
+		t.Errorf("NaN round trip -> %v", got)
+	}
+}
+
+func TestBulkBytes(t *testing.T) {
+	m := New(256)
+	src := make([]byte, 99)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	// Unaligned start exercises the head/body/tail paths.
+	if err := m.WriteBytes(3, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(3, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("byte %d: %d != %d", i, got[i], src[i])
+		}
+	}
+	if err := m.WriteBytes(250, make([]byte, 10)); err == nil {
+		t.Error("overflowing WriteBytes accepted")
+	}
+	if _, err := m.ReadBytes(250, 10); err == nil {
+		t.Error("overflowing ReadBytes accepted")
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	m := New(13)
+	if m.Size() != 16 {
+		t.Errorf("size = %d, want 16", m.Size())
+	}
+}

@@ -1,0 +1,146 @@
+package sysemu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLockModelEquivalence drives random lock/unlock traffic from several
+// cores against a simple reference model and checks mutual exclusion,
+// FIFO handoff, and grant accounting.
+func TestLockModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const cores = 6
+	const addr = 512
+
+	k, grants := newTestKernel(cores)
+
+	owner := -1
+	var queue []int
+	holds := make([]bool, cores)   // model: core holds the lock
+	waiting := make([]bool, cores) // model: core queued
+
+	now := int64(0)
+	for step := 0; step < 20000; step++ {
+		now++
+		c := rng.Intn(cores)
+		if holds[c] {
+			// Sometimes release.
+			if rng.Intn(3) == 0 {
+				before := len(*grants)
+				call(k, c, now, SysUnlock, addr)
+				holds[c] = false
+				if len(queue) > 0 {
+					next := queue[0]
+					queue = queue[1:]
+					waiting[next] = false
+					holds[next] = true
+					owner = next
+					if len(*grants) != before+1 {
+						t.Fatalf("step %d: unlock with waiters produced %d grants", step, len(*grants)-before)
+					}
+					g := (*grants)[len(*grants)-1]
+					if g.core != next || g.t != now {
+						t.Fatalf("step %d: grant %+v, want core %d at %d", step, g, next, now)
+					}
+				} else {
+					owner = -1
+					if len(*grants) != before {
+						t.Fatalf("step %d: unlock with no waiters granted", step)
+					}
+				}
+			}
+			continue
+		}
+		if waiting[c] {
+			continue // a queued core cannot issue anything else
+		}
+		// Acquire attempt.
+		res := call(k, c, now, SysLock, addr)
+		if owner == -1 {
+			if res.Block || res.Ret != 1 {
+				t.Fatalf("step %d: free lock blocked core %d: %+v", step, c, res)
+			}
+			owner = c
+			holds[c] = true
+		} else {
+			if !res.Block {
+				t.Fatalf("step %d: held lock granted to core %d", step, c)
+			}
+			waiting[c] = true
+			queue = append(queue, c)
+		}
+		// Invariant: exactly one holder when owner set.
+		n := 0
+		for _, h := range holds {
+			if h {
+				n++
+			}
+		}
+		if (owner >= 0 && n != 1) || (owner < 0 && n != 0) {
+			t.Fatalf("step %d: mutual exclusion broken (owner %d, holders %d)", step, owner, n)
+		}
+	}
+}
+
+// TestSemaModelEquivalence drives random wait/signal traffic and checks the
+// counting-semaphore invariant: grants + banked count == signals, and no
+// waiter is granted while the count is positive.
+func TestSemaModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const cores = 5
+	const addr = 1024
+
+	k, grants := newTestKernel(cores)
+	call(k, 0, 0, SysSemaInit, addr, 2)
+
+	count := int64(2)
+	var queue []int
+	busy := make([]bool, cores) // waiting in the kernel
+
+	now := int64(0)
+	immediate := 0
+	for step := 0; step < 20000; step++ {
+		now++
+		c := rng.Intn(cores)
+		if rng.Intn(2) == 0 {
+			// signal (any core may signal)
+			before := len(*grants)
+			call(k, c, now, SysSemaSignal, addr)
+			if len(queue) > 0 {
+				next := queue[0]
+				queue = queue[1:]
+				busy[next] = false
+				if len(*grants) != before+1 || (*grants)[len(*grants)-1].core != next {
+					t.Fatalf("step %d: signal did not grant head waiter", step)
+				}
+			} else {
+				count++
+				if len(*grants) != before {
+					t.Fatalf("step %d: signal with no waiters granted", step)
+				}
+			}
+			continue
+		}
+		if busy[c] {
+			continue
+		}
+		res := call(k, c, now, SysSemaWait, addr)
+		if count > 0 {
+			if res.Block {
+				t.Fatalf("step %d: positive semaphore blocked", step)
+			}
+			count--
+			immediate++
+		} else {
+			if !res.Block {
+				t.Fatalf("step %d: zero semaphore did not block", step)
+			}
+			busy[c] = true
+			queue = append(queue, c)
+		}
+	}
+	if immediate == 0 || len(*grants) == 0 {
+		t.Fatal("test exercised no interesting paths")
+	}
+}

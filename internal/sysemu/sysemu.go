@@ -1,0 +1,458 @@
+// Package sysemu emulates the user-level "operating system" of the simulated
+// machine, mirroring the paper's approach of handling system functions and
+// the Pthread-style workload API (Table 1: lock/unlock, barrier,
+// semaphores) outside the simulator proper.
+//
+// All kernel operations are plain state transitions invoked by whatever
+// agent plays the simulation-manager role (the manager goroutine of the
+// parallel engine, or the serial reference engine). Blocking primitives
+// never block the host: a blocked thread is queued inside the kernel and
+// its grant is delivered later through the Notify callback, timestamped
+// with the releasing action's simulated time. (See DESIGN.md: sleeping
+// rather than spinning synchronisation is a deliberate substitution — in a
+// fast simulator, spin-retry loops advance a blocked core's simulated
+// clock at host speed, which inverts the cost regime the paper's
+// spin-based SPLASH-2 binaries ran under.)
+package sysemu
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"slacksim/internal/loader"
+)
+
+// System call numbers (the imm field of the SYSCALL instruction).
+const (
+	SysExit         = 0  // a0 = exit code; ends the whole simulation
+	SysThreadCreate = 1  // a0 = start pc, a1 = argument; rv = tid or -1
+	SysThreadExit   = 2  // terminates the calling thread's core
+	SysThreadJoin   = 3  // a0 = tid; blocks (retries) until that thread exits
+	SysLockInit     = 4  // a0 = lock address
+	SysLock         = 5  // a0 = lock address; blocks until acquired
+	SysUnlock       = 6  // a0 = lock address
+	SysBarrierInit  = 7  // a0 = barrier address, a1 = participant count
+	SysBarrier      = 8  // a0 = barrier address; blocks until all arrive
+	SysSemaInit     = 9  // a0 = semaphore address, a1 = initial value
+	SysSemaWait     = 10 // a0 = semaphore address; blocks until positive
+	SysSemaSignal   = 11 // a0 = semaphore address
+	SysPrintInt     = 12 // a0 = value
+	SysPrintChar    = 13 // a0 = character
+	SysPrintStr     = 14 // a0 = address of NUL-terminated string
+	SysPrintFloat   = 15 // a0 = raw float64 bits
+	SysSbrk         = 16 // a0 = bytes; rv = old break (8-aligned)
+	SysClock        = 17 // rv = current local cycle of the calling core
+	SysStatsReset   = 18 // marks the start of the measured region of interest
+	SysCoreID       = 19 // rv = calling core's id
+	SysNumCores     = 20 // rv = number of target cores
+	SysNumThreads   = 21 // rv = number of workload threads the harness asked for
+)
+
+// SyscallName returns a human-readable name for a syscall number.
+func SyscallName(num int64) string {
+	names := map[int64]string{
+		SysExit: "exit", SysThreadCreate: "thread_create", SysThreadExit: "thread_exit",
+		SysThreadJoin: "thread_join", SysLockInit: "lock_init", SysLock: "lock",
+		SysUnlock: "unlock", SysBarrierInit: "barrier_init", SysBarrier: "barrier",
+		SysSemaInit: "sema_init", SysSemaWait: "sema_wait", SysSemaSignal: "sema_signal",
+		SysPrintInt: "print_int", SysPrintChar: "print_char", SysPrintStr: "print_str",
+		SysPrintFloat: "print_float", SysSbrk: "sbrk", SysClock: "clock",
+		SysStatsReset: "stats_reset", SysCoreID: "core_id", SysNumCores: "num_cores",
+		SysNumThreads: "num_threads",
+	}
+	if n, ok := names[num]; ok {
+		return n
+	}
+	return fmt.Sprintf("sys(%d)", num)
+}
+
+// EffectKind enumerates engine-visible side effects of a system call.
+type EffectKind int
+
+const (
+	// EffectStartCore asks the engine to activate a core: set its pc to
+	// Effect.PC, a0 to Effect.Arg, sp to the core's stack top, and begin
+	// fetching.
+	EffectStartCore EffectKind = iota
+	// EffectStopCore asks the engine to halt the calling core.
+	EffectStopCore
+	// EffectEndSim asks the engine to end the whole simulation.
+	EffectEndSim
+	// EffectResetStats asks the engine to mark the start of the region of
+	// interest on every core.
+	EffectResetStats
+)
+
+// Effect is a side effect the engine must apply; the kernel cannot touch
+// core-private state (that state is owned by the core's simulation thread).
+type Effect struct {
+	Kind EffectKind
+	Core int
+	PC   uint64
+	Arg  int64
+	Code int64
+}
+
+// Result is the outcome of a system call.
+type Result struct {
+	Ret   int64
+	Retry bool // core must re-issue the call (currently unused; see Block)
+	// Block means the call did not complete and no reply should be sent
+	// now: the kernel has queued the caller and will deliver the grant via
+	// the Notify callback when another thread's action releases it (an
+	// unlock, the last barrier arrival, a semaphore signal, a thread
+	// exit). Blocked threads therefore sleep and resume at the releasing
+	// action's simulated time — the granting timestamps are pure functions
+	// of simulated time, which keeps conservative schemes deterministic
+	// and keeps blocking waits independent of host scheduling speed.
+	Block   bool
+	Effects []Effect
+}
+
+// Kernel holds all emulated OS state. Methods are not safe for concurrent
+// use; in the parallel engine every call is made from the manager thread
+// (system calls travel through the event queues), which also makes
+// conservative schemes deterministic.
+type Kernel struct {
+	// Notify delivers a deferred grant for a previously blocked call:
+	// core's syscall completes with return value ret; t is the simulated
+	// time of the action that granted it (the engine adds its syscall
+	// latency). Must be set before the first blocking call.
+	Notify func(core int, t int64, ret int64)
+
+	img      *Image
+	numCores int
+
+	brk      uint64
+	brkLimit uint64
+
+	locks    map[uint64]*lockState
+	barriers map[uint64]*barrierState
+	semas    map[uint64]*semaState
+	joiners  map[int][]int // exiting-thread id -> cores blocked in join
+
+	coreBusy   []bool // core is running a workload thread
+	coreExited []bool // thread on this core has exited
+	numThreads int    // requested workload thread count (SysNumThreads)
+
+	out strings.Builder
+	mu  sync.Mutex // protects out (examples may read it concurrently)
+
+	exited   bool
+	exitCode int64
+
+	// Violation bookkeeping (paper §3.2): lastOpTime records, per
+	// synchronisation object, the timestamp of the last processed
+	// operation. An operation arriving with an older timestamp was
+	// processed out of simulated-time order — the timing distortion slack
+	// introduces.
+	lastOpTime   map[uint64]int64
+	TimeWarps    int64 // ops processed with a timestamp older than a prior op on the same object
+	LockMismatch int64 // unlock by a non-owner (should be 0 for correct workloads)
+
+	Calls int64 // total syscalls processed
+
+	// Trace, when non-nil, receives one line per processed syscall and
+	// deferred grant (diagnostics and the violation examples).
+	Trace func(s string)
+}
+
+// Image is the subset of the loaded image the kernel needs.
+type Image struct {
+	HeapStart uint64
+	HeapLimit uint64
+	StackTop  func(core int) uint64
+	LoadByte  func(addr uint64) (byte, bool)
+}
+
+type lockState struct {
+	owner   int // core id, or -1
+	waiters []int
+}
+
+type barrierState struct {
+	n       int64
+	count   int64
+	waiters []int
+}
+
+type semaState struct {
+	value   int64
+	waiters []int
+}
+
+// NewKernel creates a kernel for a machine with numCores target cores.
+func NewKernel(img *Image, numCores, numThreads int) *Kernel {
+	k := &Kernel{
+		img:        img,
+		numCores:   numCores,
+		brk:        img.HeapStart,
+		brkLimit:   img.HeapLimit,
+		locks:      make(map[uint64]*lockState),
+		barriers:   make(map[uint64]*barrierState),
+		semas:      make(map[uint64]*semaState),
+		joiners:    make(map[int][]int),
+		coreBusy:   make([]bool, numCores),
+		coreExited: make([]bool, numCores),
+		numThreads: numThreads,
+		lastOpTime: make(map[uint64]int64),
+	}
+	k.coreBusy[0] = true // core 0 runs the initial thread
+	return k
+}
+
+// KernelImage adapts a loader.Image for the kernel.
+func KernelImage(im *loader.Image) *Image {
+	return &Image{
+		HeapStart: im.HeapStart,
+		HeapLimit: im.HeapLimit,
+		StackTop:  im.StackTop,
+		LoadByte:  im.Mem.Load8,
+	}
+}
+
+// Exited reports whether SysExit has been called, and with what code.
+func (k *Kernel) Exited() (bool, int64) { return k.exited, k.exitCode }
+
+// Output returns everything the workload has printed so far.
+func (k *Kernel) Output() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.out.String()
+}
+
+func (k *Kernel) trackOrder(addr uint64, t int64) {
+	if last, ok := k.lastOpTime[addr]; ok && t < last {
+		k.TimeWarps++
+	} else {
+		k.lastOpTime[addr] = t
+	}
+}
+
+// Syscall executes system call num made by core at simulated time t with
+// arguments args (a0..a3).
+func (k *Kernel) Syscall(core int, t int64, num int64, args [4]int64) Result {
+	k.Calls++
+	if k.Trace != nil {
+		k.Trace(fmt.Sprintf("t=%d core=%d %s(%d,%d)", t, core, SyscallName(num), args[0], args[1]))
+	}
+	switch num {
+	case SysExit:
+		k.exited = true
+		k.exitCode = args[0]
+		return Result{Effects: []Effect{{Kind: EffectEndSim, Code: args[0]}}}
+
+	case SysThreadCreate:
+		target := -1
+		for c := 0; c < k.numCores; c++ {
+			if !k.coreBusy[c] {
+				target = c
+				break
+			}
+		}
+		if target < 0 {
+			return Result{Ret: -1}
+		}
+		k.coreBusy[target] = true
+		k.coreExited[target] = false
+		return Result{
+			Ret: int64(target),
+			Effects: []Effect{{
+				Kind: EffectStartCore,
+				Core: target,
+				PC:   uint64(args[0]),
+				Arg:  args[1],
+			}},
+		}
+
+	case SysThreadExit:
+		k.coreExited[core] = true
+		for _, waiter := range k.joiners[core] {
+			k.Notify(waiter, t, 0)
+		}
+		delete(k.joiners, core)
+		return Result{Effects: []Effect{{Kind: EffectStopCore, Core: core}}}
+
+	case SysThreadJoin:
+		tid := int(args[0])
+		if tid < 0 || tid >= k.numCores {
+			return Result{Ret: -1}
+		}
+		if k.coreExited[tid] {
+			return Result{Ret: 0}
+		}
+		k.joiners[tid] = append(k.joiners[tid], core)
+		return Result{Block: true}
+
+	case SysLockInit:
+		k.locks[uint64(args[0])] = &lockState{owner: -1}
+		return Result{}
+
+	case SysLock:
+		addr := uint64(args[0])
+		k.trackOrder(addr, t)
+		l := k.lock(addr)
+		if l.owner == -1 {
+			l.owner = core
+			return Result{Ret: 1}
+		}
+		l.waiters = append(l.waiters, core)
+		return Result{Block: true}
+
+	case SysUnlock:
+		addr := uint64(args[0])
+		k.trackOrder(addr, t)
+		l := k.lock(addr)
+		if l.owner != core {
+			k.LockMismatch++
+		}
+		if len(l.waiters) > 0 {
+			// Hand the lock to the oldest waiter; it resumes at the
+			// unlock's simulated time.
+			next := l.waiters[0]
+			l.waiters = l.waiters[1:]
+			l.owner = next
+			k.Notify(next, t, 1)
+		} else {
+			l.owner = -1
+		}
+		return Result{}
+
+	case SysBarrierInit:
+		k.barriers[uint64(args[0])] = newBarrier(args[1], k.numCores)
+		return Result{}
+
+	case SysBarrier:
+		addr := uint64(args[0])
+		k.trackOrder(addr, t)
+		b, ok := k.barriers[addr]
+		if !ok {
+			b = newBarrier(int64(k.numCores), k.numCores)
+			k.barriers[addr] = b
+		}
+		b.count++
+		if k.Trace != nil {
+			k.Trace(fmt.Sprintf("  barrier arrive core=%d t=%d count=%d/%d", core, t, b.count, b.n))
+		}
+		if b.count >= b.n {
+			// Last arrival releases everyone at its own timestamp.
+			for _, waiter := range b.waiters {
+				k.Notify(waiter, t, 1)
+			}
+			b.waiters = b.waiters[:0]
+			b.count = 0
+			return Result{Ret: 1}
+		}
+		b.waiters = append(b.waiters, core)
+		return Result{Block: true}
+
+	case SysSemaInit:
+		k.semas[uint64(args[0])] = &semaState{value: args[1]}
+		return Result{}
+
+	case SysSemaWait:
+		addr := uint64(args[0])
+		k.trackOrder(addr, t)
+		s := k.sema(addr)
+		if s.value > 0 {
+			s.value--
+			return Result{Ret: 1}
+		}
+		s.waiters = append(s.waiters, core)
+		return Result{Block: true}
+
+	case SysSemaSignal:
+		addr := uint64(args[0])
+		k.trackOrder(addr, t)
+		s := k.sema(addr)
+		if len(s.waiters) > 0 {
+			next := s.waiters[0]
+			s.waiters = s.waiters[1:]
+			k.Notify(next, t, 1)
+		} else {
+			s.value++
+		}
+		return Result{}
+
+	case SysPrintInt:
+		k.printf("%d", args[0])
+		return Result{}
+
+	case SysPrintChar:
+		k.printf("%c", rune(args[0]))
+		return Result{}
+
+	case SysPrintStr:
+		var sb strings.Builder
+		for a := uint64(args[0]); ; a++ {
+			c, ok := k.img.LoadByte(a)
+			if !ok || c == 0 || sb.Len() > 1<<16 {
+				break
+			}
+			sb.WriteByte(c)
+		}
+		k.printf("%s", sb.String())
+		return Result{}
+
+	case SysPrintFloat:
+		k.printf("%g", math.Float64frombits(uint64(args[0])))
+		return Result{}
+
+	case SysSbrk:
+		n := (uint64(args[0]) + 7) &^ 7
+		if k.brk+n > k.brkLimit {
+			return Result{Ret: -1}
+		}
+		old := k.brk
+		k.brk += n
+		return Result{Ret: int64(old)}
+
+	case SysClock:
+		return Result{Ret: t}
+
+	case SysStatsReset:
+		return Result{Effects: []Effect{{Kind: EffectResetStats}}}
+
+	case SysCoreID:
+		return Result{Ret: int64(core)}
+
+	case SysNumCores:
+		return Result{Ret: int64(k.numCores)}
+
+	case SysNumThreads:
+		return Result{Ret: int64(k.numThreads)}
+	}
+	// Unknown syscalls are ignored (returning -1) rather than fatal: a
+	// misbehaving wrong-path or corrupted workload should not kill the host.
+	return Result{Ret: -1}
+}
+
+func (k *Kernel) lock(addr uint64) *lockState {
+	l, ok := k.locks[addr]
+	if !ok {
+		l = &lockState{owner: -1}
+		k.locks[addr] = l
+	}
+	return l
+}
+
+func newBarrier(n int64, cores int) *barrierState {
+	return &barrierState{n: n}
+}
+
+func (k *Kernel) sema(addr uint64) *semaState {
+	s, ok := k.semas[addr]
+	if !ok {
+		s = &semaState{}
+		k.semas[addr] = s
+	}
+	return s
+}
+
+func (k *Kernel) printf(format string, args ...any) {
+	k.mu.Lock()
+	fmt.Fprintf(&k.out, format, args...)
+	k.mu.Unlock()
+}

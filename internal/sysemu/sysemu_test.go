@@ -1,0 +1,277 @@
+package sysemu
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+type grant struct {
+	core int
+	t    int64
+	ret  int64
+}
+
+func newTestKernel(cores int) (*Kernel, *[]grant) {
+	img := &Image{
+		HeapStart: 0x10000,
+		HeapLimit: 0x20000,
+		StackTop:  func(core int) uint64 { return 0x100000 },
+		LoadByte:  func(addr uint64) (byte, bool) { return 0, false },
+	}
+	k := NewKernel(img, cores, cores)
+	grants := &[]grant{}
+	k.Notify = func(core int, t int64, ret int64) {
+		*grants = append(*grants, grant{core, t, ret})
+	}
+	return k, grants
+}
+
+func call(k *Kernel, core int, t int64, num int64, args ...int64) Result {
+	var a [4]int64
+	copy(a[:], args)
+	return k.Syscall(core, t, num, a)
+}
+
+func TestLockHandoff(t *testing.T) {
+	k, grants := newTestKernel(4)
+	if r := call(k, 0, 10, SysLock, 100); r.Block || r.Ret != 1 {
+		t.Fatalf("free lock: %+v", r)
+	}
+	if r := call(k, 1, 20, SysLock, 100); !r.Block {
+		t.Fatalf("held lock not blocking: %+v", r)
+	}
+	if r := call(k, 2, 30, SysLock, 100); !r.Block {
+		t.Fatalf("second waiter not blocking: %+v", r)
+	}
+	call(k, 0, 40, SysUnlock, 100)
+	if len(*grants) != 1 || (*grants)[0] != (grant{1, 40, 1}) {
+		t.Fatalf("grants after unlock: %v", *grants)
+	}
+	// Core 1 now owns it; its unlock hands off to core 2.
+	call(k, 1, 50, SysUnlock, 100)
+	if len(*grants) != 2 || (*grants)[1] != (grant{2, 50, 1}) {
+		t.Fatalf("second handoff: %v", *grants)
+	}
+	call(k, 2, 60, SysUnlock, 100)
+	// Lock free again.
+	if r := call(k, 3, 70, SysLock, 100); r.Block {
+		t.Fatalf("released lock still blocking: %+v", r)
+	}
+}
+
+func TestUnlockByNonOwnerCounted(t *testing.T) {
+	k, _ := newTestKernel(2)
+	call(k, 0, 1, SysLock, 8)
+	call(k, 1, 2, SysUnlock, 8)
+	if k.LockMismatch != 1 {
+		t.Fatalf("mismatch count = %d", k.LockMismatch)
+	}
+}
+
+func TestBarrierRelease(t *testing.T) {
+	k, grants := newTestKernel(4)
+	call(k, 0, 1, SysBarrierInit, 200, 3)
+	if r := call(k, 0, 10, SysBarrier, 200); !r.Block {
+		t.Fatal("first arrival not blocked")
+	}
+	if r := call(k, 1, 20, SysBarrier, 200); !r.Block {
+		t.Fatal("second arrival not blocked")
+	}
+	r := call(k, 2, 30, SysBarrier, 200)
+	if r.Block || r.Ret != 1 {
+		t.Fatalf("last arrival: %+v", r)
+	}
+	if len(*grants) != 2 {
+		t.Fatalf("grants = %v", *grants)
+	}
+	for _, g := range *grants {
+		if g.t != 30 || g.ret != 1 {
+			t.Fatalf("grant %v not stamped with the release time", g)
+		}
+	}
+	// The barrier must be reusable for the next episode.
+	*grants = (*grants)[:0]
+	call(k, 2, 40, SysBarrier, 200)
+	call(k, 0, 50, SysBarrier, 200)
+	r = call(k, 1, 60, SysBarrier, 200)
+	if r.Block {
+		t.Fatal("second episode did not release")
+	}
+	if len(*grants) != 2 {
+		t.Fatalf("second episode grants = %v", *grants)
+	}
+}
+
+func TestBarrierDefaultsToAllCores(t *testing.T) {
+	k, _ := newTestKernel(2)
+	// No init: participant count defaults to all cores (2).
+	if r := call(k, 0, 10, SysBarrier, 300); !r.Block {
+		t.Fatal("first arrival not blocked")
+	}
+	if r := call(k, 1, 20, SysBarrier, 300); r.Block {
+		t.Fatal("second of two arrivals blocked")
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	k, grants := newTestKernel(2)
+	call(k, 0, 1, SysSemaInit, 400, 1)
+	if r := call(k, 0, 10, SysSemaWait, 400); r.Block {
+		t.Fatal("positive semaphore blocked")
+	}
+	if r := call(k, 1, 20, SysSemaWait, 400); !r.Block {
+		t.Fatal("zero semaphore not blocking")
+	}
+	call(k, 0, 30, SysSemaSignal, 400)
+	if len(*grants) != 1 || (*grants)[0] != (grant{1, 30, 1}) {
+		t.Fatalf("signal handoff: %v", *grants)
+	}
+	// Signal with no waiter increments the count.
+	call(k, 0, 40, SysSemaSignal, 400)
+	if r := call(k, 0, 50, SysSemaWait, 400); r.Block {
+		t.Fatal("banked signal not consumed")
+	}
+}
+
+func TestThreadLifecycle(t *testing.T) {
+	k, grants := newTestKernel(3)
+	r := call(k, 0, 10, SysThreadCreate, 0x2000, 7)
+	if r.Ret != 1 || len(r.Effects) != 1 || r.Effects[0].Kind != EffectStartCore {
+		t.Fatalf("create: %+v", r)
+	}
+	if r.Effects[0].PC != 0x2000 || r.Effects[0].Arg != 7 || r.Effects[0].Core != 1 {
+		t.Fatalf("start effect: %+v", r.Effects[0])
+	}
+	r = call(k, 0, 20, SysThreadCreate, 0x2000, 8)
+	if r.Ret != 2 {
+		t.Fatalf("second create on core %d", r.Ret)
+	}
+	r = call(k, 0, 30, SysThreadCreate, 0x2000, 9)
+	if r.Ret != -1 {
+		t.Fatalf("create with no free core returned %d", r.Ret)
+	}
+	// Join before exit blocks; exit grants it.
+	if r := call(k, 0, 40, SysThreadJoin, 1); !r.Block {
+		t.Fatal("join of running thread not blocked")
+	}
+	r = call(k, 1, 50, SysThreadExit)
+	if len(r.Effects) != 1 || r.Effects[0].Kind != EffectStopCore {
+		t.Fatalf("exit effects: %+v", r.Effects)
+	}
+	if len(*grants) != 1 || (*grants)[0] != (grant{0, 50, 0}) {
+		t.Fatalf("join grant: %v", *grants)
+	}
+	// Join after exit completes immediately.
+	if r := call(k, 0, 60, SysThreadJoin, 1); r.Block || r.Ret != 0 {
+		t.Fatalf("late join: %+v", r)
+	}
+	if r := call(k, 0, 70, SysThreadJoin, 99); r.Ret != -1 {
+		t.Fatalf("bad tid join: %+v", r)
+	}
+}
+
+func TestExitAndEffects(t *testing.T) {
+	k, _ := newTestKernel(1)
+	r := call(k, 0, 10, SysExit, 3)
+	if len(r.Effects) != 1 || r.Effects[0].Kind != EffectEndSim || r.Effects[0].Code != 3 {
+		t.Fatalf("exit: %+v", r)
+	}
+	exited, code := k.Exited()
+	if !exited || code != 3 {
+		t.Fatalf("Exited() = %v, %d", exited, code)
+	}
+	if r := call(k, 0, 20, SysStatsReset); len(r.Effects) != 1 || r.Effects[0].Kind != EffectResetStats {
+		t.Fatalf("stats reset: %+v", r)
+	}
+}
+
+func TestSbrk(t *testing.T) {
+	k, _ := newTestKernel(1)
+	r := call(k, 0, 1, SysSbrk, 100)
+	if r.Ret != 0x10000 {
+		t.Fatalf("first sbrk = %#x", r.Ret)
+	}
+	r = call(k, 0, 2, SysSbrk, 8)
+	if r.Ret != 0x10000+104 { // 100 rounded up to 104
+		t.Fatalf("second sbrk = %#x", r.Ret)
+	}
+	r = call(k, 0, 3, SysSbrk, 1<<30)
+	if r.Ret != -1 {
+		t.Fatalf("oversized sbrk = %d", r.Ret)
+	}
+}
+
+func TestInfoSyscalls(t *testing.T) {
+	k, _ := newTestKernel(4)
+	if r := call(k, 2, 123, SysClock); r.Ret != 123 {
+		t.Errorf("clock = %d", r.Ret)
+	}
+	if r := call(k, 2, 1, SysCoreID); r.Ret != 2 {
+		t.Errorf("core id = %d", r.Ret)
+	}
+	if r := call(k, 0, 1, SysNumCores); r.Ret != 4 {
+		t.Errorf("num cores = %d", r.Ret)
+	}
+	if r := call(k, 0, 1, SysNumThreads); r.Ret != 4 {
+		t.Errorf("num threads = %d", r.Ret)
+	}
+	if r := call(k, 0, 1, 999); r.Ret != -1 {
+		t.Errorf("unknown syscall = %d", r.Ret)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	k, _ := newTestKernel(1)
+	call(k, 0, 1, SysPrintInt, -42)
+	call(k, 0, 2, SysPrintChar, ' ')
+	call(k, 0, 3, SysPrintFloat, int64(floatBits(1.5)))
+	if got := k.Output(); got != "-42 1.5" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestPrintStr(t *testing.T) {
+	img := &Image{
+		HeapStart: 0x1000, HeapLimit: 0x2000,
+		StackTop: func(int) uint64 { return 0 },
+		LoadByte: func(addr uint64) (byte, bool) {
+			s := "hello\x00junk"
+			if addr < uint64(len(s)) {
+				return s[addr], true
+			}
+			return 0, false
+		},
+	}
+	k := NewKernel(img, 1, 1)
+	call(k, 0, 1, SysPrintStr, 0)
+	if got := k.Output(); got != "hello" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestTimeWarpDetection(t *testing.T) {
+	k, _ := newTestKernel(2)
+	call(k, 0, 100, SysLock, 64)
+	call(k, 0, 110, SysUnlock, 64)
+	if k.TimeWarps != 0 {
+		t.Fatalf("in-order ops warped: %d", k.TimeWarps)
+	}
+	call(k, 1, 90, SysLock, 64) // older timestamp arriving later
+	if k.TimeWarps != 1 {
+		t.Fatalf("out-of-order op not counted: %d", k.TimeWarps)
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	for n := int64(0); n <= SysNumThreads; n++ {
+		if SyscallName(n) == fmt.Sprintf("sys(%d)", n) {
+			t.Errorf("syscall %d unnamed", n)
+		}
+	}
+	if SyscallName(999) != "sys(999)" {
+		t.Error("unknown syscall name")
+	}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

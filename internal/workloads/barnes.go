@@ -1,0 +1,481 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"slacksim/internal/loader"
+)
+
+// barnes is an n-body force computation with spatial aggregation: bodies
+// are binned into a uniform grid of cells whose mass moments are built in
+// parallel under per-cell locks, and each body's force sums exact terms
+// for its own cell with monopole (centre-of-mass) approximations for all
+// others. It substitutes for SPLASH-2 Barnes-Hut (octree construction is
+// not tractable in hand-written assembly) while preserving the behaviours
+// slack simulation cares about: irregular lock contention on shared tree/
+// cell nodes, barrier-separated phases, and read-mostly sharing during the
+// force phase. See DESIGN.md §3 (substitutions).
+
+func barnesB(scale int) int { return 128 * scale }
+
+const (
+	barnesGrid  = 4
+	barnesCells = barnesGrid * barnesGrid * barnesGrid
+	barnesSteps = 2
+)
+
+func barnesSource(scale int) string {
+	params := fmt.Sprintf(".equ B, %d\n.equ C, %d\n.equ GRID, %d\n.equ S, %d\n",
+		barnesB(scale), barnesCells, barnesGrid, barnesSteps)
+	body := `
+bench_init:
+    # one lock per cell
+    li   r9, 0
+bi_loop:
+    li   r8, C
+    bge  r9, r8, bi_done
+    la   a0, celllocks
+    slli r10, r9, 3
+    add  a0, a0, r10
+    syscall SYS_LOCK_INIT
+    addi r9, r9, 1
+    j    bi_loop
+bi_done:
+    ret
+
+# cellof: a0 = body index -> rv = cell index. Clobbers r8, r10, r11, f0-f3.
+cellof:
+    slli r8, a0, 3
+    la   rv, bx
+    add  rv, rv, r8
+    fld  f0, 0(rv)
+    la   rv, by
+    add  rv, rv, r8
+    fld  f1, 0(rv)
+    la   rv, bz
+    add  rv, rv, r8
+    fld  f2, 0(rv)
+    la   rv, gridf
+    fld  f3, 0(rv)
+    fmul f0, f0, f3
+    fcvt.w.d r8, f0
+    fmul f1, f1, f3
+    fcvt.w.d r10, f1
+    fmul f2, f2, f3
+    fcvt.w.d r11, f2
+    # clamp to [0, GRID-1]
+    bge  r8, zero, c1
+    li   r8, 0
+c1: li   rv, GRID-1
+    ble  r8, rv, c2
+    mv   r8, rv
+c2: bge  r10, zero, c3
+    li   r10, 0
+c3: li   rv, GRID-1
+    ble  r10, rv, c4
+    mv   r10, rv
+c4: bge  r11, zero, c5
+    li   r11, 0
+c5: li   rv, GRID-1
+    ble  r11, rv, c6
+    mv   r11, rv
+c6: li   rv, GRID
+    mul  r8, r8, rv
+    add  r8, r8, r10
+    mul  r8, r8, rv
+    add  r8, r8, r11
+    mv   rv, r8
+    ret
+
+# work(a0 = tid)
+work:
+    addi sp, sp, -16
+    sd   ra, 0(sp)
+    mv   r24, a0
+` + chunkBounds("B", "r24", "r26", "r27", "r8", "r9", "bnb") + chunkBounds("C", "r24", "r28", "r31", "r8", "r9", "bnc") + `
+    la   r8, one
+    fld  f21, 0(r8)
+    la   r8, epsv
+    fld  f22, 0(r8)
+    la   r8, dtv
+    fld  f23, 0(r8)
+    li   r20, 0                   # step
+b_step:
+    li   r8, S
+    bge  r20, r8, b_done
+    la   a0, _bar
+    syscall SYS_BARRIER
+    # ---- zero own cells [r28, r31)
+    mv   r9, r28
+b_zero:
+    bge  r9, r31, b_zero_done
+    slli r10, r9, 3
+    fsub f0, f21, f21
+    la   r11, cm
+    add  r11, r11, r10
+    fsd  f0, 0(r11)
+    la   r11, cx
+    add  r11, r11, r10
+    fsd  f0, 0(r11)
+    la   r11, cy
+    add  r11, r11, r10
+    fsd  f0, 0(r11)
+    la   r11, cz
+    add  r11, r11, r10
+    fsd  f0, 0(r11)
+    addi r9, r9, 1
+    j    b_zero
+b_zero_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    # ---- accumulate own bodies into cells, under per-cell locks
+    mv   r9, r26
+b_acc:
+    bge  r9, r27, b_acc_done
+    mv   a0, r9
+    call cellof
+    mv   r21, rv                  # cell
+    la   a0, celllocks
+    slli r10, r21, 3
+    add  a0, a0, r10
+    mv   r22, a0                  # lock address
+    syscall SYS_LOCK
+    slli r10, r9, 3
+    la   r11, bm
+    add  r11, r11, r10
+    fld  f4, 0(r11)               # m
+    slli r12, r21, 3
+    la   r11, cm
+    add  r11, r11, r12
+    fld  f0, 0(r11)
+    fadd f0, f0, f4
+    fsd  f0, 0(r11)
+    la   r11, bx
+    add  r11, r11, r10
+    fld  f5, 0(r11)
+    fmul f5, f5, f4
+    la   r11, cx
+    add  r11, r11, r12
+    fld  f0, 0(r11)
+    fadd f0, f0, f5
+    fsd  f0, 0(r11)
+    la   r11, by
+    add  r11, r11, r10
+    fld  f5, 0(r11)
+    fmul f5, f5, f4
+    la   r11, cy
+    add  r11, r11, r12
+    fld  f0, 0(r11)
+    fadd f0, f0, f5
+    fsd  f0, 0(r11)
+    la   r11, bz
+    add  r11, r11, r10
+    fld  f5, 0(r11)
+    fmul f5, f5, f4
+    la   r11, cz
+    add  r11, r11, r12
+    fld  f0, 0(r11)
+    fadd f0, f0, f5
+    fsd  f0, 0(r11)
+    mv   a0, r22
+    syscall SYS_UNLOCK
+    addi r9, r9, 1
+    j    b_acc
+b_acc_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    # ---- force + integrate own bodies
+    mv   r9, r26
+b_force:
+    bge  r9, r27, b_force_done
+    mv   a0, r9
+    call cellof
+    mv   r21, rv                  # own cell
+    slli r10, r9, 3
+    la   r11, bx
+    add  r11, r11, r10
+    fld  f13, 0(r11)              # body position
+    la   r11, by
+    add  r11, r11, r10
+    fld  f14, 0(r11)
+    la   r11, bz
+    add  r11, r11, r10
+    fld  f15, 0(r11)
+    la   r11, bm
+    add  r11, r11, r10
+    fld  f16, 0(r11)              # body mass
+    fsub f10, f21, f21            # force accumulators
+    fsub f11, f21, f21
+    fsub f12, f21, f21
+    li   r12, 0                   # cell c
+b_cell:
+    li   r8, C
+    bge  r12, r8, b_cell_done
+    slli r13, r12, 3
+    la   r11, cm
+    add  r11, r11, r13
+    fld  f4, 0(r11)               # m'
+    la   r11, cx
+    add  r11, r11, r13
+    fld  f5, 0(r11)               # X
+    la   r11, cy
+    add  r11, r11, r13
+    fld  f6, 0(r11)
+    la   r11, cz
+    add  r11, r11, r13
+    fld  f7, 0(r11)
+    bne  r12, r21, b_cell_far
+    # own cell: remove self-contribution
+    fsub f4, f4, f16
+    fmul f0, f13, f16
+    fsub f5, f5, f0
+    fmul f0, f14, f16
+    fsub f6, f6, f0
+    fmul f0, f15, f16
+    fsub f7, f7, f0
+b_cell_far:
+    # skip (near-)empty cells
+    la   r11, tiny
+    fld  f0, 0(r11)
+    fle  r14, f4, f0
+    bnez r14, b_cell_next
+    fdiv f5, f5, f4               # COM
+    fdiv f6, f6, f4
+    fdiv f7, f7, f4
+    fsub f0, f5, f13              # d = com - p
+    fsub f1, f6, f14
+    fsub f2, f7, f15
+    fmul f3, f0, f0
+    fmul f8, f1, f1
+    fadd f3, f3, f8
+    fmul f8, f2, f2
+    fadd f3, f3, f8
+    fadd f3, f3, f22              # r2 + eps
+    fsqrt f8, f3
+    fdiv f8, f21, f8              # rinv
+    fmul f9, f8, f8
+    fmul f9, f9, f8               # rinv^3
+    fmul f9, f9, f4               # m' * rinv^3
+    fmul f8, f0, f9
+    fadd f10, f10, f8
+    fmul f8, f1, f9
+    fadd f11, f11, f8
+    fmul f8, f2, f9
+    fadd f12, f12, f8
+b_cell_next:
+    addi r12, r12, 1
+    j    b_cell
+b_cell_done:
+    # integrate: v += f*dt; p += v*dt
+    slli r10, r9, 3
+    la   r11, bvx
+    add  r11, r11, r10
+    fld  f0, 0(r11)
+    fmul f1, f10, f23
+    fadd f0, f0, f1
+    fsd  f0, 0(r11)
+    la   r11, bx
+    add  r11, r11, r10
+    fld  f2, 0(r11)
+    fmul f1, f0, f23
+    fadd f2, f2, f1
+    fsd  f2, 0(r11)
+    la   r11, bvy
+    add  r11, r11, r10
+    fld  f0, 0(r11)
+    fmul f1, f11, f23
+    fadd f0, f0, f1
+    fsd  f0, 0(r11)
+    la   r11, by
+    add  r11, r11, r10
+    fld  f2, 0(r11)
+    fmul f1, f0, f23
+    fadd f2, f2, f1
+    fsd  f2, 0(r11)
+    la   r11, bvz
+    add  r11, r11, r10
+    fld  f0, 0(r11)
+    fmul f1, f12, f23
+    fadd f0, f0, f1
+    fsd  f0, 0(r11)
+    la   r11, bz
+    add  r11, r11, r10
+    fld  f2, 0(r11)
+    fmul f1, f0, f23
+    fadd f2, f2, f1
+    fsd  f2, 0(r11)
+    addi r9, r9, 1
+    j    b_force
+b_force_done:
+    addi r20, r20, 1
+    j    b_step
+b_done:
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    ret
+
+bench_fini:
+    la   a0, done_msg
+    syscall SYS_PRINT_STR
+    ret
+
+.data
+.align 8
+done_msg: .asciiz "barnes-ok"
+.align 8
+one:   .double 1.0
+epsv:  .double 0.005
+dtv:   .double 0.0002
+tiny:  .double 0.000001
+gridf: .double 4.0
+bx:  .space B*8
+by:  .space B*8
+bz:  .space B*8
+bvx: .space B*8
+bvy: .space B*8
+bvz: .space B*8
+bm:  .space B*8
+cm:  .space C*8
+cx:  .space C*8
+cy:  .space C*8
+cz:  .space C*8
+celllocks: .space C*8
+`
+	return wrapParallel(params, body)
+}
+
+type barnesState struct {
+	x, y, z, vx, vy, vz, m []float64
+}
+
+func barnesInput(b int) *barnesState {
+	s := &barnesState{
+		x: make([]float64, b), y: make([]float64, b), z: make([]float64, b),
+		vx: make([]float64, b), vy: make([]float64, b), vz: make([]float64, b),
+		m: make([]float64, b),
+	}
+	for i := 0; i < b; i++ {
+		s.x[i] = float64((i*53)%97) / 97
+		s.y[i] = float64((i*71)%89) / 89
+		s.z[i] = float64((i*31)%83) / 83
+		s.m[i] = 1 + float64(i%4)/4
+	}
+	return s
+}
+
+func barnesCellOf(x, y, z float64) int {
+	clamp := func(v float64) int {
+		c := int(v * barnesGrid)
+		if c < 0 {
+			c = 0
+		}
+		if c > barnesGrid-1 {
+			c = barnesGrid - 1
+		}
+		return c
+	}
+	return (clamp(x)*barnesGrid+clamp(y))*barnesGrid + clamp(z)
+}
+
+// barnesReference replicates the simulated algorithm; cell-moment sums use
+// body order (lock-grant order differs in simulation), hence the loose
+// verification tolerance.
+func barnesReference(s *barnesState, b, steps int) {
+	const eps, dt, tiny = 0.005, 0.0002, 0.000001
+	cm := make([]float64, barnesCells)
+	cx := make([]float64, barnesCells)
+	cy := make([]float64, barnesCells)
+	cz := make([]float64, barnesCells)
+	for st := 0; st < steps; st++ {
+		for c := range cm {
+			cm[c], cx[c], cy[c], cz[c] = 0, 0, 0, 0
+		}
+		for i := 0; i < b; i++ {
+			c := barnesCellOf(s.x[i], s.y[i], s.z[i])
+			cm[c] += s.m[i]
+			cx[c] += s.x[i] * s.m[i]
+			cy[c] += s.y[i] * s.m[i]
+			cz[c] += s.z[i] * s.m[i]
+		}
+		for i := 0; i < b; i++ {
+			mine := barnesCellOf(s.x[i], s.y[i], s.z[i])
+			var fx, fy, fz float64
+			for c := 0; c < barnesCells; c++ {
+				m, X, Y, Z := cm[c], cx[c], cy[c], cz[c]
+				if c == mine {
+					m -= s.m[i]
+					X -= s.x[i] * s.m[i]
+					Y -= s.y[i] * s.m[i]
+					Z -= s.z[i] * s.m[i]
+				}
+				if m <= tiny {
+					continue
+				}
+				dx := X/m - s.x[i]
+				dy := Y/m - s.y[i]
+				dz := Z/m - s.z[i]
+				r2 := dx*dx + dy*dy + dz*dz + eps
+				rinv := 1 / math.Sqrt(r2)
+				g := m * rinv * rinv * rinv
+				fx += dx * g
+				fy += dy * g
+				fz += dz * g
+			}
+			s.vx[i] += fx * dt
+			s.x[i] += s.vx[i] * dt
+			s.vy[i] += fy * dt
+			s.y[i] += s.vy[i] * dt
+			s.vz[i] += fz * dt
+			s.z[i] += s.vz[i] * dt
+		}
+	}
+}
+
+func barnesInit(im *loader.Image, scale int) error {
+	s := barnesInput(barnesB(scale))
+	for _, p := range []struct {
+		sym  string
+		vals []float64
+	}{{"bx", s.x}, {"by", s.y}, {"bz", s.z}, {"bm", s.m}} {
+		if err := pokeFloats(im, p.sym, p.vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func barnesVerify(im *loader.Image, output string, scale int) error {
+	if output != "barnes-ok" {
+		return fmt.Errorf("barnes: output %q, want barnes-ok", output)
+	}
+	b := barnesB(scale)
+	want := barnesInput(b)
+	barnesReference(want, b, barnesSteps)
+	for _, p := range []struct {
+		sym  string
+		vals []float64
+	}{{"bx", want.x}, {"by", want.y}, {"bz", want.z}} {
+		got, err := peekFloats(im, p.sym, b)
+		if err != nil {
+			return err
+		}
+		if err := compareFloats(p.sym, got, p.vals, 1e-6); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(&Workload{
+		Name:        "barnes",
+		Description: "cell-aggregated n-body with per-cell lock contention and barrier phases (SPLASH-2 Barnes analogue; see DESIGN.md substitutions)",
+		InputDesc: func(scale int) string {
+			return fmt.Sprintf("%d bodies", barnesB(scale))
+		},
+		Source: barnesSource,
+		Init:   barnesInit,
+		Verify: barnesVerify,
+	})
+}

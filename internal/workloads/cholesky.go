@@ -1,0 +1,193 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"slacksim/internal/loader"
+)
+
+// cholesky is a dense right-looking Cholesky factorisation (A = L·Lᵀ on a
+// symmetric positive-definite matrix, lower triangle in place), row-cyclic
+// across threads with three barriers per column — the most synchronisation-
+// intensive benchmark in the suite (SPLASH-2 Cholesky's dense analogue; the
+// original is sparse with supernodal task queues, see DESIGN.md).
+
+func choleskyN(scale int) int { return 40 * scale }
+
+func choleskySource(scale int) string {
+	params := fmt.Sprintf(".equ N, %d\n", choleskyN(scale))
+	body := `
+bench_init:
+    ret
+
+# work(a0 = tid): for k: sqrt pivot / scale column k / trailing update.
+work:
+    mv   r24, a0                  # tid
+    la   r25, _nthreads
+    ld   r25, 0(r25)              # T
+    li   r20, 0                   # k
+ch_k_loop:
+    li   r8, N
+    bge  r20, r8, ch_done
+    la   a0, _bar
+    syscall SYS_BARRIER
+    # ---- pivot: owner of row k takes sqrt(A[k][k])
+    rem  r9, r20, r25
+    bne  r9, r24, ch_pivot_done
+    li   r10, N*8
+    mul  r11, r20, r10
+    la   r12, mat
+    add  r12, r12, r11
+    slli r13, r20, 3
+    add  r12, r12, r13            # &A[k][k]
+    fld  f0, 0(r12)
+    fsqrt f0, f0
+    fsd  f0, 0(r12)
+ch_pivot_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    # ---- scale column k: my rows i > k: A[i][k] /= A[k][k]
+    li   r10, N*8
+    mul  r11, r20, r10
+    la   r12, mat
+    add  r21, r12, r11            # row k base
+    slli r22, r20, 3              # k*8
+    add  r9, r21, r22
+    fld  f1, 0(r9)                # pivot
+    addi r13, r20, 1              # i
+ch_scale_i:
+    li   r8, N
+    bge  r13, r8, ch_scale_done
+    rem  r14, r13, r25
+    bne  r14, r24, ch_scale_next
+    mul  r15, r13, r10
+    add  r15, r12, r15
+    add  r15, r15, r22            # &A[i][k]
+    fld  f2, 0(r15)
+    fdiv f2, f2, f1
+    fsd  f2, 0(r15)
+ch_scale_next:
+    addi r13, r13, 1
+    j    ch_scale_i
+ch_scale_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    # ---- trailing update: my rows i > k: A[i][j] -= A[i][k]*A[j][k], j in (k, i]
+    addi r13, r20, 1              # i
+ch_upd_i:
+    li   r8, N
+    bge  r13, r8, ch_upd_done
+    rem  r14, r13, r25
+    bne  r14, r24, ch_upd_next
+    mul  r15, r13, r10
+    add  r23, r12, r15            # row i base
+    add  r16, r23, r22
+    fld  f3, 0(r16)               # A[i][k]
+    addi r17, r20, 1              # j
+ch_upd_j:
+    bgt  r17, r13, ch_upd_next
+    mul  r18, r17, r10
+    add  r18, r12, r18
+    add  r18, r18, r22
+    fld  f4, 0(r18)               # A[j][k]
+    slli r19, r17, 3
+    add  r26, r23, r19            # &A[i][j]
+    fld  f5, 0(r26)
+    fmul f6, f3, f4
+    fsub f5, f5, f6
+    fsd  f5, 0(r26)
+    addi r17, r17, 1
+    j    ch_upd_j
+ch_upd_next:
+    addi r13, r13, 1
+    j    ch_upd_i
+ch_upd_done:
+    addi r20, r20, 1
+    j    ch_k_loop
+ch_done:
+    ret
+
+bench_fini:
+    la   a0, done_msg
+    syscall SYS_PRINT_STR
+    ret
+
+.data
+.align 8
+done_msg: .asciiz "cholesky-ok"
+.align 8
+mat: .space N*N*8
+`
+	return wrapParallel(params, body)
+}
+
+func choleskyInput(n int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = 1 / (1 + math.Abs(float64(i-j)))
+			if i == j {
+				a[i*n+j] += float64(n)
+			}
+		}
+	}
+	return a
+}
+
+// choleskyReference mirrors the simulated algorithm operation for
+// operation (lower triangle only), so results compare bit-for-bit.
+func choleskyReference(a []float64, n int) {
+	for k := 0; k < n; k++ {
+		a[k*n+k] = math.Sqrt(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= a[k*n+k]
+		}
+		for i := k + 1; i < n; i++ {
+			l := a[i*n+k]
+			for j := k + 1; j <= i; j++ {
+				a[i*n+j] -= l * a[j*n+k]
+			}
+		}
+	}
+}
+
+func choleskyInit(im *loader.Image, scale int) error {
+	return pokeFloats(im, "mat", choleskyInput(choleskyN(scale)))
+}
+
+func choleskyVerify(im *loader.Image, output string, scale int) error {
+	if output != "cholesky-ok" {
+		return fmt.Errorf("cholesky: output %q, want cholesky-ok", output)
+	}
+	n := choleskyN(scale)
+	want := choleskyInput(n)
+	choleskyReference(want, n)
+	got, err := peekFloats(im, "mat", n*n)
+	if err != nil {
+		return err
+	}
+	// Compare the lower triangle (the factor); the upper is untouched.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if !closeEnough(got[i*n+j], want[i*n+j], 1e-9) {
+				return fmt.Errorf("cholesky: L[%d][%d] = %v, want %v", i, j, got[i*n+j], want[i*n+j])
+			}
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(&Workload{
+		Name:        "cholesky",
+		Description: "dense Cholesky factorisation, row-cyclic with three barriers per column (dense analogue of SPLASH-2 Cholesky)",
+		InputDesc: func(scale int) string {
+			n := choleskyN(scale)
+			return fmt.Sprintf("%d x %d SPD matrix", n, n)
+		},
+		Source: choleskySource,
+		Init:   choleskyInit,
+		Verify: choleskyVerify,
+	})
+}

@@ -1,0 +1,273 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"slacksim/internal/loader"
+)
+
+// fft is a barrier-phased radix-2 complex FFT, the communication analogue
+// of SPLASH-2 FFT: a parallel bit-reversal permutation followed by log2(N)
+// butterfly stages separated by barriers (the transposes of the six-step
+// SPLASH-2 kernel appear here as the all-to-all element exchanges between
+// stages). Twiddle factors and the bit-reversal table are inputs generated
+// by the host, as SPLASH-2 precomputes its roots-of-unity table.
+
+func fftN(scale int) int {
+	n := 1024
+	for ; scale > 1; scale-- {
+		n *= 4
+	}
+	return n
+}
+
+func fftSource(scale int) string {
+	n := fftN(scale)
+	params := fmt.Sprintf(".equ N, %d\n.equ NH, %d\n", n, n/2)
+	body := `
+bench_init:
+    ret
+
+# work(a0 = tid)
+work:
+    mv   r24, a0                  # tid
+` + chunkBounds("N", "r24", "r26", "r27", "r8", "r9", "fftrev") + `
+    # ---- parallel bit-reversal: swap (i, brev[i]) for brev[i] > i
+    mv   r9, r26
+fft_rev_loop:
+    bge  r9, r27, fft_rev_done
+    la   r10, brev
+    slli r11, r9, 3
+    add  r10, r10, r11
+    ld   r12, 0(r10)              # j = brev[i]
+    ble  r12, r9, fft_rev_next
+    la   r13, data_re
+    slli r14, r9, 3
+    slli r16, r12, 3
+    add  r15, r13, r14
+    add  r17, r13, r16
+    fld  f0, 0(r15)
+    fld  f1, 0(r17)
+    fsd  f1, 0(r15)
+    fsd  f0, 0(r17)
+    la   r13, data_im
+    add  r15, r13, r14
+    add  r17, r13, r16
+    fld  f0, 0(r15)
+    fld  f1, 0(r17)
+    fsd  f1, 0(r15)
+    fsd  f0, 0(r17)
+fft_rev_next:
+    addi r9, r9, 1
+    j    fft_rev_loop
+fft_rev_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+
+    # ---- butterfly stages: half-size h = 1, 2, 4, ... N/2
+    li   r20, 1                   # h
+` + chunkBounds("NH", "r24", "r11", "r12", "r8", "r9", "fftbf") + `
+fft_stage_loop:
+    li   r8, N
+    bge  r20, r8, fft_stages_done
+    mv   r13, r11                 # k = klo
+fft_bfly_loop:
+    bge  r13, r12, fft_bfly_done
+    div  r14, r13, r20            # group
+    rem  r15, r13, r20            # pos
+    slli r16, r20, 1
+    mul  r16, r14, r16
+    add  r16, r16, r15            # idx1
+    add  r17, r16, r20            # idx2
+    li   r18, NH
+    div  r18, r18, r20
+    mul  r18, r15, r18            # twiddle index
+    # twiddle
+    slli r21, r18, 3
+    la   r19, tw_re
+    add  r19, r19, r21
+    fld  f2, 0(r19)               # wr
+    la   r19, tw_im
+    add  r19, r19, r21
+    fld  f3, 0(r19)               # wi
+    # operands
+    slli r22, r16, 3
+    slli r23, r17, 3
+    la   r19, data_re
+    add  r28, r19, r22            # &re[idx1]
+    add  r31, r19, r23            # &re[idx2]
+    la   r19, data_im
+    add  r25, r19, r22            # &im[idx1]
+    add  r21, r19, r23            # &im[idx2]
+    fld  f0, 0(r28)               # ar
+    fld  f1, 0(r25)               # ai
+    fld  f4, 0(r31)               # br
+    fld  f5, 0(r21)               # bi
+    # t = w*b
+    fmul f6, f2, f4
+    fmul f7, f3, f5
+    fsub f6, f6, f7               # tr = wr*br - wi*bi
+    fmul f7, f2, f5
+    fmul f8, f3, f4
+    fadd f7, f7, f8               # ti = wr*bi + wi*br
+    # data[idx1] = a+t ; data[idx2] = a-t
+    fadd f8, f0, f6
+    fsd  f8, 0(r28)
+    fadd f9, f1, f7
+    fsd  f9, 0(r25)
+    fsub f8, f0, f6
+    fsd  f8, 0(r31)
+    fsub f9, f1, f7
+    fsd  f9, 0(r21)
+    addi r13, r13, 1
+    j    fft_bfly_loop
+fft_bfly_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    slli r20, r20, 1
+    j    fft_stage_loop
+fft_stages_done:
+    ret
+
+bench_fini:
+    la   a0, done_msg
+    syscall SYS_PRINT_STR
+    ret
+
+.data
+.align 8
+done_msg: .asciiz "fft-ok"
+.align 8
+data_re: .space N*8
+data_im: .space N*8
+tw_re:   .space NH*8
+tw_im:   .space NH*8
+brev:    .space N*8
+`
+	return wrapParallel(params, body)
+}
+
+// fftInput generates the deterministic input signal.
+func fftInput(n int) (re, im []float64) {
+	re = make([]float64, n)
+	im = make([]float64, n)
+	for i := 0; i < n; i++ {
+		re[i] = math.Sin(2*math.Pi*float64(i%64)/64) + 0.25*math.Cos(2*math.Pi*float64(i%16)/16)
+		im[i] = 0.5 * math.Sin(2*math.Pi*float64(i%32)/32)
+	}
+	return re, im
+}
+
+func bitRev(i, bits int) int {
+	r := 0
+	for b := 0; b < bits; b++ {
+		r = (r << 1) | (i & 1)
+		i >>= 1
+	}
+	return r
+}
+
+// fftReference runs the exact same radix-2 algorithm in Go (same operation
+// order per element, so results match the simulation bit-for-bit).
+func fftReference(re, im []float64) {
+	n := len(re)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		j := bitRev(i, bits)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	nh := n / 2
+	twr := make([]float64, nh)
+	twi := make([]float64, nh)
+	for k := 0; k < nh; k++ {
+		twr[k] = math.Cos(-2 * math.Pi * float64(k) / float64(n))
+		twi[k] = math.Sin(-2 * math.Pi * float64(k) / float64(n))
+	}
+	for h := 1; h < n; h *= 2 {
+		for k := 0; k < nh; k++ {
+			group, pos := k/h, k%h
+			i1 := group*2*h + pos
+			i2 := i1 + h
+			t := pos * (nh / h)
+			wr, wi := twr[t], twi[t]
+			tr := wr*re[i2] - wi*im[i2]
+			ti := wr*im[i2] + wi*re[i2]
+			re[i1], re[i2] = re[i1]+tr, re[i1]-tr
+			im[i1], im[i2] = im[i1]+ti, im[i1]-ti
+		}
+	}
+}
+
+func fftInit(im *loader.Image, scale int) error {
+	n := fftN(scale)
+	re, ims := fftInput(n)
+	if err := pokeFloats(im, "data_re", re); err != nil {
+		return err
+	}
+	if err := pokeFloats(im, "data_im", ims); err != nil {
+		return err
+	}
+	nh := n / 2
+	twr := make([]float64, nh)
+	twi := make([]float64, nh)
+	for k := 0; k < nh; k++ {
+		twr[k] = math.Cos(-2 * math.Pi * float64(k) / float64(n))
+		twi[k] = math.Sin(-2 * math.Pi * float64(k) / float64(n))
+	}
+	if err := pokeFloats(im, "tw_re", twr); err != nil {
+		return err
+	}
+	if err := pokeFloats(im, "tw_im", twi); err != nil {
+		return err
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	rev := make([]int64, n)
+	for i := range rev {
+		rev[i] = int64(bitRev(i, bits))
+	}
+	return pokeInts(im, "brev", rev)
+}
+
+func fftVerify(im *loader.Image, output string, scale int) error {
+	if output != "fft-ok" {
+		return fmt.Errorf("fft: output %q, want fft-ok", output)
+	}
+	n := fftN(scale)
+	wantRe, wantIm := fftInput(n)
+	fftReference(wantRe, wantIm)
+	gotRe, err := peekFloats(im, "data_re", n)
+	if err != nil {
+		return err
+	}
+	gotIm, err := peekFloats(im, "data_im", n)
+	if err != nil {
+		return err
+	}
+	if err := compareFloats("re", gotRe, wantRe, 1e-9); err != nil {
+		return err
+	}
+	return compareFloats("im", gotIm, wantIm, 1e-9)
+}
+
+func init() {
+	register(&Workload{
+		Name:        "fft",
+		Description: "radix-2 complex FFT with barrier-separated butterfly stages (SPLASH-2 FFT analogue)",
+		InputDesc: func(scale int) string {
+			return fmt.Sprintf("%dK points", fftN(scale)/1024)
+		},
+		Source: fftSource,
+		Init:   fftInit,
+		Verify: fftVerify,
+	})
+}

@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"slacksim/internal/loader"
+)
+
+// pokeFloats writes vals as consecutive float64s at the named symbol.
+func pokeFloats(im *loader.Image, sym string, vals []float64) error {
+	addr, err := im.Symbol(sym)
+	if err != nil {
+		return err
+	}
+	for i, v := range vals {
+		if !im.Mem.StoreFloat64(addr+uint64(i)*8, v) {
+			return fmt.Errorf("workloads: poke %s[%d] at %#x failed", sym, i, addr)
+		}
+	}
+	return nil
+}
+
+// pokeInts writes vals as consecutive int64s at the named symbol.
+func pokeInts(im *loader.Image, sym string, vals []int64) error {
+	addr, err := im.Symbol(sym)
+	if err != nil {
+		return err
+	}
+	for i, v := range vals {
+		if !im.Mem.StoreWord(addr+uint64(i)*8, uint64(v)) {
+			return fmt.Errorf("workloads: poke %s[%d] at %#x failed", sym, i, addr)
+		}
+	}
+	return nil
+}
+
+// peekFloats reads n consecutive float64s at the named symbol.
+func peekFloats(im *loader.Image, sym string, n int) ([]float64, error) {
+	addr, err := im.Symbol(sym)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		v, ok := im.Mem.LoadFloat64(addr + uint64(i)*8)
+		if !ok {
+			return nil, fmt.Errorf("workloads: peek %s[%d] failed", sym, i)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// peekInts reads n consecutive int64s at the named symbol.
+func peekInts(im *loader.Image, sym string, n int) ([]int64, error) {
+	addr, err := im.Symbol(sym)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	for i := range out {
+		v, ok := im.Mem.LoadWord(addr + uint64(i)*8)
+		if !ok {
+			return nil, fmt.Errorf("workloads: peek %s[%d] failed", sym, i)
+		}
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+// compareFloats checks got against want element-wise within a relative
+// tolerance (absolute near zero).
+func compareFloats(what string, got, want []float64, tol float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("workloads: %s length %d != %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if !closeEnough(got[i], want[i], tol) {
+			return fmt.Errorf("workloads: %s[%d] = %v, want %v (tol %g)", what, i, got[i], want[i], tol)
+		}
+	}
+	return nil
+}
+
+func closeEnough(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return d <= tol
+	}
+	return d <= tol*scale
+}

@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"fmt"
+
+	"slacksim/internal/loader"
+)
+
+// lu is dense LU factorisation without pivoting, row-cyclic across threads
+// with one barrier per elimination step — the dependence pattern of
+// SPLASH-2 LU (each step consumes the pivot row produced in the previous
+// step, so slack-scheme timing errors surface as barrier-latency changes).
+
+func luN(scale int) int { return 48 * scale }
+
+func luSource(scale int) string {
+	params := fmt.Sprintf(".equ N, %d\n", luN(scale))
+	body := `
+bench_init:
+    ret
+
+# work(a0 = tid): for k: rows i>k with i%T==tid eliminate; barrier per k.
+work:
+    mv   r24, a0                  # tid
+    la   r25, _nthreads
+    ld   r25, 0(r25)              # T
+    li   r20, 0                   # k
+lu_k_loop:
+    li   r8, N-1
+    bge  r20, r8, lu_done
+    # pivot row pointer: rowk = mat + k*N*8
+    li   r9, N*8
+    mul  r10, r20, r9
+    la   r11, mat
+    add  r21, r11, r10            # rowk
+    slli r22, r20, 3              # k*8
+    addi r12, r20, 1              # i = k+1
+lu_i_loop:
+    li   r8, N
+    bge  r12, r8, lu_i_done
+    rem  r13, r12, r25
+    bne  r13, r24, lu_i_next
+    # rowi = mat + i*N*8
+    li   r9, N*8
+    mul  r10, r12, r9
+    la   r11, mat
+    add  r23, r11, r10            # rowi
+    # l = A[i][k] / A[k][k]
+    add  r14, r23, r22
+    fld  f0, 0(r14)
+    add  r15, r21, r22
+    fld  f1, 0(r15)
+    fdiv f2, f0, f1
+    fsd  f2, 0(r14)
+    # trailing update: j in k+1..N-1
+    addi r16, r20, 1
+lu_j_loop:
+    li   r8, N
+    bge  r16, r8, lu_i_next
+    slli r17, r16, 3
+    add  r18, r21, r17            # &A[k][j]
+    fld  f3, 0(r18)
+    add  r19, r23, r17            # &A[i][j]
+    fld  f4, 0(r19)
+    fmul f5, f2, f3
+    fsub f4, f4, f5
+    fsd  f4, 0(r19)
+    addi r16, r16, 1
+    j    lu_j_loop
+lu_i_next:
+    addi r12, r12, 1
+    j    lu_i_loop
+lu_i_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    addi r20, r20, 1
+    j    lu_k_loop
+lu_done:
+    ret
+
+bench_fini:
+    la   a0, done_msg
+    syscall SYS_PRINT_STR
+    ret
+
+.data
+.align 8
+done_msg: .asciiz "lu-ok"
+.align 8
+mat: .space N*N*8
+`
+	return wrapParallel(params, body)
+}
+
+func luInput(n int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = 1 + float64((i*7+j*13)%19)/19
+			if i == j {
+				a[i*n+j] += float64(n)
+			}
+		}
+	}
+	return a
+}
+
+func luReference(a []float64, n int) {
+	for k := 0; k < n-1; k++ {
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= a[k*n+k]
+			l := a[i*n+k]
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= l * a[k*n+j]
+			}
+		}
+	}
+}
+
+func luInit(im *loader.Image, scale int) error {
+	return pokeFloats(im, "mat", luInput(luN(scale)))
+}
+
+func luVerify(im *loader.Image, output string, scale int) error {
+	if output != "lu-ok" {
+		return fmt.Errorf("lu: output %q, want lu-ok", output)
+	}
+	n := luN(scale)
+	want := luInput(n)
+	luReference(want, n)
+	got, err := peekFloats(im, "mat", n*n)
+	if err != nil {
+		return err
+	}
+	return compareFloats("mat", got, want, 1e-9)
+}
+
+func init() {
+	register(&Workload{
+		Name:        "lu",
+		Description: "dense LU factorisation, row-cyclic with a barrier per elimination step (SPLASH-2 LU analogue)",
+		InputDesc: func(scale int) string {
+			n := luN(scale)
+			return fmt.Sprintf("%d x %d matrix", n, n)
+		},
+		Source: luSource,
+		Init:   luInit,
+		Verify: luVerify,
+	})
+}

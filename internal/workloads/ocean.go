@@ -1,0 +1,166 @@
+package workloads
+
+import (
+	"fmt"
+
+	"slacksim/internal/loader"
+)
+
+// ocean is a red-black Gauss-Seidel iteration on a 2-D grid with fixed
+// boundaries — the nearest-neighbour communication pattern of SPLASH-2
+// Ocean's solver. Threads own interior row bands; every half-sweep (one
+// colour) ends at a barrier, so neighbouring bands exchange halo rows
+// through the coherence protocol each half-iteration.
+
+func oceanG(scale int) int { return 34 * scale }
+
+const oceanIters = 12
+
+func oceanSource(scale int) string {
+	params := fmt.Sprintf(".equ G, %d\n.equ ITERS, %d\n", oceanG(scale), oceanIters)
+	body := `
+bench_init:
+    ret
+
+# work(a0 = tid): interior rows are 1..G-2; partition G-2 rows.
+work:
+    mv   r24, a0
+` + chunkBounds("G-2", "r24", "r26", "r27", "r8", "r9", "ocean") + `
+    addi r26, r26, 1              # first owned row
+    addi r27, r27, 1              # one past last owned row
+    la   r8, quarter
+    fld  f21, 0(r8)
+    li   r20, 0                   # iteration
+oc_iter:
+    li   r8, ITERS
+    bge  r20, r8, oc_done
+    li   r21, 0                   # colour
+oc_colour:
+    li   r8, 2
+    bge  r21, r8, oc_colour_done
+    mv   r9, r26                  # row i
+oc_row:
+    bge  r9, r27, oc_row_done
+    # first column of this colour in row i: j with (i+j)%2 == colour
+    add  r10, r9, r21
+    andi r10, r10, 1
+    li   r11, 1
+    bnez r10, oc_first_ok
+    li   r11, 2
+oc_first_ok:
+    # row pointer: grid + i*G*8
+    li   r12, G*8
+    mul  r13, r9, r12
+    la   r14, grid
+    add  r13, r14, r13            # row base
+oc_col:
+    li   r8, G-1
+    bge  r11, r8, oc_col_done
+    slli r15, r11, 3
+    add  r16, r13, r15            # &g[i][j]
+    # neighbours
+    li   r12, G*8
+    sub  r17, r16, r12
+    fld  f0, 0(r17)               # up
+    add  r17, r16, r12
+    fld  f1, 0(r17)               # down
+    fld  f2, -8(r16)              # left
+    fld  f3, 8(r16)               # right
+    fadd f0, f0, f1
+    fadd f2, f2, f3
+    fadd f0, f0, f2
+    fmul f0, f0, f21
+    fsd  f0, 0(r16)
+    addi r11, r11, 2
+    j    oc_col
+oc_col_done:
+    addi r9, r9, 1
+    j    oc_row
+oc_row_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    addi r21, r21, 1
+    j    oc_colour
+oc_colour_done:
+    addi r20, r20, 1
+    j    oc_iter
+oc_done:
+    ret
+
+bench_fini:
+    la   a0, done_msg
+    syscall SYS_PRINT_STR
+    ret
+
+.data
+.align 8
+done_msg: .asciiz "ocean-ok"
+.align 8
+quarter: .double 0.25
+grid: .space G*G*8
+`
+	return wrapParallel(params, body)
+}
+
+func oceanInput(g int) []float64 {
+	grid := make([]float64, g*g)
+	for j := 0; j < g; j++ {
+		grid[j] = 1 + float64(j%7)/7         // top boundary
+		grid[(g-1)*g+j] = 2 + float64(j%5)/5 // bottom boundary
+	}
+	for i := 0; i < g; i++ {
+		grid[i*g] = 3 + float64(i%3)/3         // left boundary
+		grid[i*g+g-1] = 0.5 + float64(i%11)/11 // right boundary
+	}
+	return grid
+}
+
+// oceanReference replicates the red-black sweeps exactly; each point's
+// update has fixed inputs within a half-sweep, so results are bit-exact
+// regardless of thread interleaving.
+func oceanReference(grid []float64, g, iters int) {
+	for it := 0; it < iters; it++ {
+		for colour := 0; colour < 2; colour++ {
+			for i := 1; i < g-1; i++ {
+				for j := 1; j < g-1; j++ {
+					if (i+j)%2 != colour {
+						continue
+					}
+					grid[i*g+j] = 0.25 * ((grid[(i-1)*g+j] + grid[(i+1)*g+j]) + (grid[i*g+j-1] + grid[i*g+j+1]))
+				}
+			}
+		}
+	}
+}
+
+func oceanInit(im *loader.Image, scale int) error {
+	return pokeFloats(im, "grid", oceanInput(oceanG(scale)))
+}
+
+func oceanVerify(im *loader.Image, output string, scale int) error {
+	if output != "ocean-ok" {
+		return fmt.Errorf("ocean: output %q, want ocean-ok", output)
+	}
+	g := oceanG(scale)
+	want := oceanInput(g)
+	oceanReference(want, g, oceanIters)
+	got, err := peekFloats(im, "grid", g*g)
+	if err != nil {
+		return err
+	}
+	return compareFloats("grid", got, want, 1e-12)
+}
+
+func init() {
+	register(&Workload{
+		Name:        "ocean",
+		Description: "red-black Gauss-Seidel grid relaxation with halo exchange through coherence (SPLASH-2 Ocean-style solver)",
+		InputDesc: func(scale int) string {
+			g := oceanG(scale)
+			return fmt.Sprintf("%d x %d grid", g, g)
+		},
+		Source: oceanSource,
+		Init:   oceanInit,
+		Verify: oceanVerify,
+	})
+}

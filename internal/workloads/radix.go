@@ -1,0 +1,201 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"slacksim/internal/loader"
+)
+
+// radix is the SPLASH-2 Radix sort pattern: per-thread local histograms, a
+// serial rank computation, and a conflict-free parallel scatter (permute)
+// phase, with barriers between phases. Keys are 16-bit values in 64-bit
+// slots, sorted in two 8-bit passes so the result lands back in src.
+
+func radixN(scale int) int { return 4096 * scale }
+
+const (
+	radixRadix  = 256
+	radixPasses = 2
+	radixMaxT   = 64
+)
+
+func radixSource(scale int) string {
+	params := fmt.Sprintf(".equ N, %d\n.equ R, %d\n.equ P, %d\n.equ MAXT, %d\n",
+		radixN(scale), radixRadix, radixPasses, radixMaxT)
+	body := `
+bench_init:
+    ret
+
+# work(a0 = tid)
+work:
+    mv   r24, a0
+    la   r25, _nthreads
+    ld   r25, 0(r25)              # T
+` + chunkBounds("N", "r24", "r26", "r27", "r8", "r9", "radix") + `
+    la   r22, src                 # current source
+    la   r23, dst                 # current destination
+    li   r20, 0                   # pass
+    li   r21, 0                   # shift
+rx_pass:
+    li   r8, P
+    bge  r20, r8, rx_done
+    # ---- zero own histogram row: hist + tid*R*8
+    li   r9, R*8
+    mul  r10, r24, r9
+    la   r11, hist
+    add  r11, r11, r10            # my hist row
+    li   r12, 0
+rx_zero:
+    li   r8, R
+    bge  r12, r8, rx_zero_done
+    slli r13, r12, 3
+    add  r14, r11, r13
+    sd   zero, 0(r14)
+    addi r12, r12, 1
+    j    rx_zero
+rx_zero_done:
+    # ---- local histogram over [lo,hi)
+    mv   r12, r26
+rx_hist:
+    bge  r12, r27, rx_hist_done
+    slli r13, r12, 3
+    add  r14, r22, r13
+    ld   r15, 0(r14)              # key
+    srl  r16, r15, r21
+    andi r16, r16, R-1            # digit
+    slli r16, r16, 3
+    add  r17, r11, r16
+    ld   r18, 0(r17)
+    addi r18, r18, 1
+    sd   r18, 0(r17)
+    addi r12, r12, 1
+    j    rx_hist
+rx_hist_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    # ---- rank: thread 0 computes global offsets
+    bnez r24, rx_rank_done
+    li   r12, 0                   # running offset
+    li   r13, 0                   # digit
+rx_rank_d:
+    li   r8, R
+    bge  r13, r8, rx_rank_done
+    li   r14, 0                   # thread
+rx_rank_t:
+    bge  r14, r25, rx_rank_t_done
+    li   r9, R*8
+    mul  r15, r14, r9
+    slli r16, r13, 3
+    add  r15, r15, r16
+    la   r17, offs
+    add  r18, r17, r15
+    sd   r12, 0(r18)
+    la   r17, hist
+    add  r18, r17, r15
+    ld   r19, 0(r18)
+    add  r12, r12, r19
+    addi r14, r14, 1
+    j    rx_rank_t
+rx_rank_t_done:
+    addi r13, r13, 1
+    j    rx_rank_d
+rx_rank_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    # ---- scatter own chunk in order
+    li   r9, R*8
+    mul  r10, r24, r9
+    la   r11, offs
+    add  r11, r11, r10            # my offs row
+    mv   r12, r26
+rx_scat:
+    bge  r12, r27, rx_scat_done
+    slli r13, r12, 3
+    add  r14, r22, r13
+    ld   r15, 0(r14)              # key
+    srl  r16, r15, r21
+    andi r16, r16, R-1
+    slli r16, r16, 3
+    add  r17, r11, r16
+    ld   r18, 0(r17)              # slot
+    addi r19, r18, 1
+    sd   r19, 0(r17)
+    slli r18, r18, 3
+    add  r18, r23, r18
+    sd   r15, 0(r18)
+    addi r12, r12, 1
+    j    rx_scat
+rx_scat_done:
+    la   a0, _bar
+    syscall SYS_BARRIER
+    # swap src/dst registers locally
+    mv   r8, r22
+    mv   r22, r23
+    mv   r23, r8
+    addi r20, r20, 1
+    addi r21, r21, 8
+    j    rx_pass
+rx_done:
+    ret
+
+bench_fini:
+    la   a0, done_msg
+    syscall SYS_PRINT_STR
+    ret
+
+.data
+.align 8
+done_msg: .asciiz "radix-ok"
+.align 8
+src:  .space N*8
+dst:  .space N*8
+hist: .space MAXT*R*8
+offs: .space MAXT*R*8
+`
+	return wrapParallel(params, body)
+}
+
+func radixInput(n int) []int64 {
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64((uint64(i) * 2654435761) & 0xFFFF)
+	}
+	return keys
+}
+
+func radixInit(im *loader.Image, scale int) error {
+	return pokeInts(im, "src", radixInput(radixN(scale)))
+}
+
+func radixVerify(im *loader.Image, output string, scale int) error {
+	if output != "radix-ok" {
+		return fmt.Errorf("radix: output %q, want radix-ok", output)
+	}
+	n := radixN(scale)
+	want := radixInput(n)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got, err := peekInts(im, "src", n)
+	if err != nil {
+		return err
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("radix: src[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(&Workload{
+		Name:        "radix",
+		Description: "parallel radix sort: local histograms, serial rank, conflict-free scatter (SPLASH-2 Radix analogue)",
+		InputDesc: func(scale int) string {
+			return fmt.Sprintf("%dK 16-bit keys", radixN(scale)/1024)
+		},
+		Source: radixSource,
+		Init:   radixInit,
+		Verify: radixVerify,
+	})
+}

@@ -1,0 +1,320 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"slacksim/internal/loader"
+)
+
+// water is an O(n^2) molecular-dynamics step loop in the style of SPLASH-2
+// Water-Nsquared: every thread computes pairwise forces for its block of
+// molecules against all others, accumulates a potential-energy term into a
+// lock-protected global, and advances positions between barriers.
+
+func waterM(scale int) int { return 64 * scale }
+
+const waterSteps = 2
+
+func waterSource(scale int) string {
+	params := fmt.Sprintf(".equ M, %d\n.equ S, %d\n", waterM(scale), waterSteps)
+	body := `
+bench_init:
+    la   a0, pelock
+    syscall SYS_LOCK_INIT
+    ret
+
+# work(a0 = tid)
+work:
+    mv   r24, a0
+` + chunkBounds("M", "r24", "r26", "r27", "r8", "r9", "water") + `
+    la   r8, one
+    fld  f21, 0(r8)               # 1.0
+    la   r8, epsv
+    fld  f22, 0(r8)               # softening
+    la   r8, dtv
+    fld  f23, 0(r8)               # dt
+    li   r20, 0                   # step
+w_step_loop:
+    li   r8, S
+    bge  r20, r8, w_done
+    la   a0, _bar
+    syscall SYS_BARRIER           # positions stable
+    # ---- forces for own molecules
+    fsub f20, f21, f21            # pe_local = 0
+    mv   r9, r26                  # i
+w_force_i:
+    bge  r9, r27, w_force_done
+    slli r10, r9, 3
+    la   r11, px
+    add  r11, r11, r10
+    fld  f13, 0(r11)              # pxi
+    la   r11, py
+    add  r11, r11, r10
+    fld  f14, 0(r11)
+    la   r11, pz
+    add  r11, r11, r10
+    fld  f15, 0(r11)
+    fsub f10, f21, f21            # fxi = 0
+    fsub f11, f21, f21
+    fsub f12, f21, f21
+    li   r12, 0                   # j
+w_force_j:
+    li   r8, M
+    bge  r12, r8, w_force_j_done
+    beq  r12, r9, w_force_j_next
+    slli r13, r12, 3
+    la   r14, px
+    add  r14, r14, r13
+    fld  f0, 0(r14)
+    la   r14, py
+    add  r14, r14, r13
+    fld  f1, 0(r14)
+    la   r14, pz
+    add  r14, r14, r13
+    fld  f2, 0(r14)
+    fsub f0, f0, f13              # dx = px[j]-pxi (attraction toward j)
+    fsub f1, f1, f14
+    fsub f2, f2, f15
+    fmul f3, f0, f0
+    fmul f4, f1, f1
+    fadd f3, f3, f4
+    fmul f4, f2, f2
+    fadd f3, f3, f4
+    fadd f3, f3, f22              # r2 + eps
+    fsqrt f4, f3
+    fdiv f4, f21, f4              # rinv
+    fadd f20, f20, f4             # pe_local += rinv
+    fmul f5, f4, f4
+    fmul f5, f5, f4               # rinv^3
+    fmul f6, f0, f5
+    fadd f10, f10, f6
+    fmul f6, f1, f5
+    fadd f11, f11, f6
+    fmul f6, f2, f5
+    fadd f12, f12, f6
+w_force_j_next:
+    addi r12, r12, 1
+    j    w_force_j
+w_force_j_done:
+    slli r10, r9, 3
+    la   r11, fx
+    add  r11, r11, r10
+    fsd  f10, 0(r11)
+    la   r11, fy
+    add  r11, r11, r10
+    fsd  f11, 0(r11)
+    la   r11, fz
+    add  r11, r11, r10
+    fsd  f12, 0(r11)
+    addi r9, r9, 1
+    j    w_force_i
+w_force_done:
+    # ---- pe += pe_local under the lock (Table 1 lock/unlock)
+    la   a0, pelock
+    syscall SYS_LOCK
+    la   r8, pe
+    fld  f0, 0(r8)
+    fadd f0, f0, f20
+    fsd  f0, 0(r8)
+    la   a0, pelock
+    syscall SYS_UNLOCK
+    la   a0, _bar
+    syscall SYS_BARRIER           # all forces done
+    # ---- integrate own molecules
+    mv   r9, r26
+w_upd_i:
+    bge  r9, r27, w_upd_done
+    slli r10, r9, 3
+    la   r11, fx
+    add  r11, r11, r10
+    fld  f0, 0(r11)
+    la   r11, vx
+    add  r11, r11, r10
+    fld  f1, 0(r11)
+    fmul f0, f0, f23
+    fadd f1, f1, f0
+    fsd  f1, 0(r11)
+    la   r12, px
+    add  r12, r12, r10
+    fld  f2, 0(r12)
+    fmul f3, f1, f23
+    fadd f2, f2, f3
+    fsd  f2, 0(r12)
+    la   r11, fy
+    add  r11, r11, r10
+    fld  f0, 0(r11)
+    la   r11, vy
+    add  r11, r11, r10
+    fld  f1, 0(r11)
+    fmul f0, f0, f23
+    fadd f1, f1, f0
+    fsd  f1, 0(r11)
+    la   r12, py
+    add  r12, r12, r10
+    fld  f2, 0(r12)
+    fmul f3, f1, f23
+    fadd f2, f2, f3
+    fsd  f2, 0(r12)
+    la   r11, fz
+    add  r11, r11, r10
+    fld  f0, 0(r11)
+    la   r11, vz
+    add  r11, r11, r10
+    fld  f1, 0(r11)
+    fmul f0, f0, f23
+    fadd f1, f1, f0
+    fsd  f1, 0(r11)
+    la   r12, pz
+    add  r12, r12, r10
+    fld  f2, 0(r12)
+    fmul f3, f1, f23
+    fadd f2, f2, f3
+    fsd  f2, 0(r12)
+    addi r9, r9, 1
+    j    w_upd_i
+w_upd_done:
+    addi r20, r20, 1
+    j    w_step_loop
+w_done:
+    ret
+
+bench_fini:
+    la   a0, done_msg
+    syscall SYS_PRINT_STR
+    ret
+
+.data
+.align 8
+done_msg: .asciiz "water-ok"
+.align 8
+one:  .double 1.0
+epsv: .double 0.01
+dtv:  .double 0.0005
+pe:   .double 0.0
+pelock: .dword 0
+px: .space M*8
+py: .space M*8
+pz: .space M*8
+vx: .space M*8
+vy: .space M*8
+vz: .space M*8
+fx: .space M*8
+fy: .space M*8
+fz: .space M*8
+`
+	return wrapParallel(params, body)
+}
+
+type waterState struct {
+	px, py, pz []float64
+	vx, vy, vz []float64
+	pe         float64
+}
+
+func waterInput(m int) *waterState {
+	s := &waterState{
+		px: make([]float64, m), py: make([]float64, m), pz: make([]float64, m),
+		vx: make([]float64, m), vy: make([]float64, m), vz: make([]float64, m),
+	}
+	for i := 0; i < m; i++ {
+		s.px[i] = float64((i*37)%101) / 101
+		s.py[i] = float64((i*61)%103) / 103
+		s.pz[i] = float64((i*89)%107) / 107
+	}
+	return s
+}
+
+// waterReference replicates the simulated arithmetic exactly (same
+// per-molecule operation order); only pe depends on thread interleaving.
+func waterReference(s *waterState, m, steps int) {
+	const eps, dt = 0.01, 0.0005
+	fx := make([]float64, m)
+	fy := make([]float64, m)
+	fz := make([]float64, m)
+	for st := 0; st < steps; st++ {
+		for i := 0; i < m; i++ {
+			var fxi, fyi, fzi float64
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				dx := s.px[j] - s.px[i]
+				dy := s.py[j] - s.py[i]
+				dz := s.pz[j] - s.pz[i]
+				r2 := dx*dx + dy*dy + dz*dz + eps
+				rinv := 1 / math.Sqrt(r2)
+				s.pe += rinv // reference order; verified with tolerance
+				r3 := rinv * rinv * rinv
+				fxi += dx * r3
+				fyi += dy * r3
+				fzi += dz * r3
+			}
+			fx[i], fy[i], fz[i] = fxi, fyi, fzi
+		}
+		for i := 0; i < m; i++ {
+			s.vx[i] += fx[i] * dt
+			s.px[i] += s.vx[i] * dt
+			s.vy[i] += fy[i] * dt
+			s.py[i] += s.vy[i] * dt
+			s.vz[i] += fz[i] * dt
+			s.pz[i] += s.vz[i] * dt
+		}
+	}
+}
+
+func waterInit(im *loader.Image, scale int) error {
+	s := waterInput(waterM(scale))
+	for _, p := range []struct {
+		sym  string
+		vals []float64
+	}{{"px", s.px}, {"py", s.py}, {"pz", s.pz}, {"vx", s.vx}, {"vy", s.vy}, {"vz", s.vz}} {
+		if err := pokeFloats(im, p.sym, p.vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func waterVerify(im *loader.Image, output string, scale int) error {
+	if output != "water-ok" {
+		return fmt.Errorf("water: output %q, want water-ok", output)
+	}
+	m := waterM(scale)
+	want := waterInput(m)
+	waterReference(want, m, waterSteps)
+	for _, p := range []struct {
+		sym  string
+		vals []float64
+	}{{"px", want.px}, {"py", want.py}, {"pz", want.pz}, {"vx", want.vx}, {"vy", want.vy}, {"vz", want.vz}} {
+		got, err := peekFloats(im, p.sym, m)
+		if err != nil {
+			return err
+		}
+		if err := compareFloats(p.sym, got, p.vals, 1e-9); err != nil {
+			return err
+		}
+	}
+	// pe accumulates in lock-grant order: verify with a loose tolerance.
+	pe, err := peekFloats(im, "pe", 1)
+	if err != nil {
+		return err
+	}
+	if !closeEnough(pe[0], want.pe, 1e-6) {
+		return fmt.Errorf("water: pe = %v, want ~%v", pe[0], want.pe)
+	}
+	return nil
+}
+
+func init() {
+	register(&Workload{
+		Name:        "water",
+		Description: "O(n^2) pairwise-force molecular dynamics with a lock-protected energy reduction (SPLASH-2 Water-Nsquared analogue)",
+		InputDesc: func(scale int) string {
+			return fmt.Sprintf("%d molecules", waterM(scale))
+		},
+		Source: waterSource,
+		Init:   waterInit,
+		Verify: waterVerify,
+	})
+}

@@ -1,0 +1,183 @@
+// Package workloads provides the parallel benchmarks the simulator runs:
+// SSA-assembly analogues of the SPLASH-2 programs the paper evaluates
+// (Barnes, FFT, LU, Water-Nsquared, §4.1) plus Radix and an Ocean-style
+// grid solver to round out the six benchmarks mentioned in §4, and a
+// dense Cholesky as a seventh, synchronisation-heavy extension. Every
+// workload uses the paper's Table 1 synchronisation API (locks, barriers,
+// semaphores as emulated system calls), generates its inputs from Go, and
+// verifies its results against a Go reference after the simulation.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"slacksim/internal/loader"
+)
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	Name        string
+	Description string
+	// InputDesc describes the input set at the given scale (the paper's
+	// Table 2 "Input Set" column).
+	InputDesc func(scale int) string
+	// Source returns the benchmark's assembly at the given scale.
+	Source func(scale int) string
+	// Init pokes the benchmark's input data into the loaded image.
+	Init func(im *loader.Image, scale int) error
+	// Verify checks the benchmark's results (memory and printed output)
+	// against a Go reference.
+	Verify func(im *loader.Image, output string, scale int) error
+}
+
+var registry []*Workload
+
+func register(w *Workload) { registry = append(registry, w) }
+
+// All returns the registered workloads, sorted by name.
+func All() []*Workload {
+	out := append([]*Workload(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Paper returns the four benchmarks of the paper's Table 2, in table order.
+func Paper() []*Workload {
+	names := []string{"barnes", "fft", "lu", "water"}
+	out := make([]*Workload, 0, len(names))
+	for _, n := range names {
+		w, err := Get(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Get returns the named workload.
+func Get(name string) (*Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (have %s)", name, names())
+}
+
+func names() string {
+	var ns []string
+	for _, w := range All() {
+		ns = append(ns, w.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+// syscallEqus defines the system-call numbers for assembly sources.
+const syscallEqus = `
+.equ SYS_EXIT, 0
+.equ SYS_TCREATE, 1
+.equ SYS_TEXIT, 2
+.equ SYS_TJOIN, 3
+.equ SYS_LOCK_INIT, 4
+.equ SYS_LOCK, 5
+.equ SYS_UNLOCK, 6
+.equ SYS_BARRIER_INIT, 7
+.equ SYS_BARRIER, 8
+.equ SYS_SEMA_INIT, 9
+.equ SYS_SEMA_WAIT, 10
+.equ SYS_SEMA_SIGNAL, 11
+.equ SYS_PRINT_INT, 12
+.equ SYS_PRINT_CHAR, 13
+.equ SYS_PRINT_STR, 14
+.equ SYS_PRINT_FLOAT, 15
+.equ SYS_SBRK, 16
+.equ SYS_CLOCK, 17
+.equ SYS_STATS_RESET, 18
+.equ SYS_CORE_ID, 19
+.equ SYS_NUM_CORES, 20
+.equ SYS_NUM_THREADS, 21
+`
+
+// wrapParallel builds the standard benchmark scaffold around a body that
+// must define:
+//
+//	bench_init:  one-time setup run by the main thread (may be empty; ret)
+//	work:        the per-thread function, a0 = thread id (0..T-1)
+//	bench_fini:  run by main after all threads joined (prints results; ret)
+//
+// The scaffold: main reads the thread count, initialises the shared barrier
+// `_bar`, runs bench_init, spawns T-1 workers, resets statistics (the
+// paper's ROI starts right after all workload threads are created, §4.1),
+// contributes as thread 0, joins the workers, runs bench_fini, and exits.
+// The thread count is available to the body at `_nthreads`.
+func wrapParallel(params string, body string) string {
+	return syscallEqus + params + `
+.text
+main:
+    syscall SYS_NUM_THREADS
+    la   r8, _nthreads
+    sd   rv, 0(r8)
+    la   a0, _bar
+    mv   a1, rv
+    syscall SYS_BARRIER_INIT
+    call bench_init
+    li   r9, 1
+_spawn:
+    la   r8, _nthreads
+    ld   r10, 0(r8)
+    bge  r9, r10, _spawned
+    la   a0, _work_entry
+    mv   a1, r9
+    syscall SYS_TCREATE
+    addi r9, r9, 1
+    j    _spawn
+_spawned:
+    syscall SYS_STATS_RESET
+    li   a0, 0
+    call work
+    li   r9, 1
+_join:
+    la   r8, _nthreads
+    ld   r10, 0(r8)
+    bge  r9, r10, _joined
+    mv   a0, r9
+    syscall SYS_TJOIN
+    addi r9, r9, 1
+    j    _join
+_joined:
+    call bench_fini
+    li   a0, 0
+    syscall SYS_EXIT
+
+_work_entry:
+    call work
+    syscall SYS_TEXIT
+` + body + `
+.data
+.align 8
+_nthreads: .dword 1
+_bar:      .dword 0
+`
+}
+
+// chunkBounds emits assembly computing a thread's block partition of
+// [0, n): lo -> loReg, hi -> hiReg, given tid in tidReg. The last thread
+// absorbs the remainder. Clobbers t1 and t2. uniq must be unique per
+// expansion site (it names the internal label).
+func chunkBounds(n string, tidReg, loReg, hiReg, t1, t2, uniq string) string {
+	return fmt.Sprintf(`
+    la   %[4]s, _nthreads
+    ld   %[4]s, 0(%[4]s)          # T
+    li   %[5]s, %[1]s             # n
+    div  %[5]s, %[5]s, %[4]s      # chunk = n/T
+    mul  %[2]s, %[6]s, %[5]s      # lo = tid*chunk
+    add  %[3]s, %[2]s, %[5]s      # hi = lo+chunk
+    addi %[4]s, %[4]s, -1
+    bne  %[6]s, %[4]s, _cb_%[7]s
+    li   %[3]s, %[1]s             # last thread: hi = n
+_cb_%[7]s:
+`, n, loReg, hiReg, t1, t2, tidReg, uniq)
+}
