@@ -35,14 +35,17 @@ func main() {
 		repeat    = flag.Int("repeat", 1, "repetitions per configuration (best wall time kept)")
 		verify    = flag.Bool("verify", true, "verify workload results after every run")
 		progress  = flag.Bool("progress", true, "log each run as it completes")
+		breakdown = flag.Bool("breakdown", false, "print the per-scheme sync-overhead breakdown (simulate/wait/manager)")
+		metricsOn = flag.Bool("metrics", false, "attach a metrics registry to every run and log per-run breakdowns")
+		traceDir  = flag.String("tracedir", "", "write a Chrome trace-event JSON per run into this directory")
 	)
 	flag.Parse()
 
 	if *all {
 		*table2, *figure8, *table3 = true, true, true
 	}
-	if !*table2 && !*figure8 && !*table3 {
-		fmt.Fprintln(os.Stderr, "slackbench: nothing to do; pass -table2, -figure8, -table3, or -all")
+	if !*table2 && !*figure8 && !*table3 && !*breakdown {
+		fmt.Fprintln(os.Stderr, "slackbench: nothing to do; pass -table2, -figure8, -table3, -breakdown, or -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -52,6 +55,8 @@ func main() {
 		TargetCores: *cores,
 		Repeat:      *repeat,
 		Verify:      *verify,
+		Metrics:     *metricsOn,
+		TraceDir:    *traceDir,
 	}
 	if *wls != "" {
 		opts.Workloads = splitList(*wls)
@@ -98,6 +103,19 @@ func main() {
 	if *table3 {
 		if err := r.Table3(os.Stdout); err != nil {
 			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *breakdown {
+		ro := r.Options()
+		for _, wl := range ro.Workloads {
+			for _, hc := range ro.HostCores {
+				tbl, err := r.SyncOverheadSweep(wl, hc)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(tbl)
+			}
 		}
 	}
 }

@@ -7,11 +7,13 @@
 //	slacksim -workload lu -scheme Q10 -cores 8 -host 2 -v
 //	slacksim -prog examples/quickstart/hello.s -scheme CC
 //	slacksim -workload water -scheme SU -model inorder
+//	slacksim -workload fft -scheme S9 -trace out.json -metrics -timeline
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -21,36 +23,53 @@ import (
 	"slacksim/internal/cache"
 	"slacksim/internal/core"
 	"slacksim/internal/cpu"
+	"slacksim/internal/metrics"
+	"slacksim/internal/trace"
 	"slacksim/internal/workloads"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "slacksim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI, factored out of main so tests can drive it.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("slacksim", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		workload  = flag.String("workload", "", "built-in workload to run (see -list)")
-		progFile  = flag.String("prog", "", "assembly source file to run instead of a built-in workload")
-		schemeStr = flag.String("scheme", "S9", "slack scheme: CC, Q<n>, L<n>, S<n>, S<n>*, SU, or serial")
-		cores     = flag.Int("cores", 8, "number of target cores")
-		host      = flag.Int("host", runtime.NumCPU(), "host cores (GOMAXPROCS) for the parallel engine")
-		scale     = flag.Int("scale", 1, "workload input scale factor")
-		model     = flag.String("model", "ooo", "core timing model: ooo or inorder")
-		verbose   = flag.Bool("v", false, "print per-core statistics")
-		verify    = flag.Bool("verify", true, "verify workload results against the Go reference")
-		maxCycles = flag.Int64("max-cycles", 0, "abort after this many simulated cycles (0 = default)")
-		shards    = flag.Int("shards", 1, "manager shards for the memory hierarchy (paper §2.2)")
-		list      = flag.Bool("list", false, "list built-in workloads and exit")
+		workload  = fs.String("workload", "", "built-in workload to run (see -list)")
+		progFile  = fs.String("prog", "", "assembly source file to run instead of a built-in workload")
+		schemeStr = fs.String("scheme", "S9", "slack scheme: CC, Q<n>, L<n>, S<n>, S<n>*, SU, or serial")
+		cores     = fs.Int("cores", 8, "number of target cores")
+		host      = fs.Int("host", runtime.NumCPU(), "host cores (GOMAXPROCS) for the parallel engine")
+		scale     = fs.Int("scale", 1, "workload input scale factor")
+		model     = fs.String("model", "ooo", "core timing model: ooo or inorder")
+		verbose   = fs.Bool("v", false, "print per-core statistics")
+		verify    = fs.Bool("verify", true, "verify workload results against the Go reference")
+		maxCycles = fs.Int64("max-cycles", 0, "abort after this many simulated cycles (0 = default)")
+		shards    = fs.Int("shards", 1, "manager shards for the memory hierarchy (paper §2.2)")
+		list      = fs.Bool("list", false, "list built-in workloads and exit")
+		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
+		useMet    = fs.Bool("metrics", false, "collect engine/CPU/cache metrics and print the registry + sync-overhead breakdown")
+		timeline  = fs.Bool("timeline", false, "print an ASCII per-core slack timeline (implies tracing)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
-			fmt.Printf("%-8s %s\n", w.Name, w.Description)
+			fmt.Fprintf(out, "%-8s %s\n", w.Name, w.Description)
 		}
-		return
+		return nil
 	}
 
 	scheme, serial, err := parseScheme(*schemeStr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var prog *asm.Program
@@ -59,23 +78,23 @@ func main() {
 	case *workload != "":
 		wl, err = workloads.Get(*workload)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		prog, err = asm.Assemble(wl.Source(*scale), asm.Options{})
 		if err != nil {
-			fatal(fmt.Errorf("assembling %s: %w", *workload, err))
+			return fmt.Errorf("assembling %s: %w", *workload, err)
 		}
 	case *progFile != "":
 		src, err := os.ReadFile(*progFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		prog, err = asm.Assemble(string(src), asm.Options{})
 		if err != nil {
-			fatal(fmt.Errorf("assembling %s: %w", *progFile, err))
+			return fmt.Errorf("assembling %s: %w", *progFile, err)
 		}
 	default:
-		fatal(fmt.Errorf("need -workload or -prog (see -list)"))
+		return fmt.Errorf("need -workload or -prog (see -list)")
 	}
 
 	cfg := core.Config{
@@ -90,12 +109,33 @@ func main() {
 	}
 	m, err := core.NewMachine(prog, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if wl != nil {
 		if err := wl.Init(m.Image(), *scale); err != nil {
-			fatal(err)
+			return err
 		}
+	}
+
+	var tc *trace.Collector
+	var traceFile *os.File
+	if *traceOut != "" || *timeline {
+		tc = trace.New()
+		m.EnableTrace(tc)
+		if *traceOut != "" {
+			// Open before the run so a bad path fails fast, not after
+			// minutes of simulation.
+			traceFile, err = os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer traceFile.Close()
+		}
+	}
+	var reg *metrics.Registry
+	if *useMet {
+		reg = metrics.NewRegistry()
+		m.EnableMetrics(reg)
 	}
 
 	start := time.Now()
@@ -107,40 +147,73 @@ func main() {
 		res, err = m.RunParallel(scheme)
 		runtime.GOMAXPROCS(prev)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	res.Wall = time.Since(start)
 
 	if res.Output != "" {
-		fmt.Printf("output: %q\n", res.Output)
+		fmt.Fprintf(out, "output: %q\n", res.Output)
 	}
 	status := "ok"
 	if res.Aborted {
 		status = "ABORTED (cycle limit or stall)"
 	}
-	fmt.Printf("scheme %v: %s, exit code %d\n", *schemeStr, status, res.ExitCode)
-	fmt.Printf("simulated: %d cycles total, %d ROI cycles, %d ROI instructions\n",
+	fmt.Fprintf(out, "scheme %v: %s, exit code %d\n", *schemeStr, status, res.ExitCode)
+	fmt.Fprintf(out, "simulated: %d cycles total, %d ROI cycles, %d ROI instructions\n",
 		res.EndTime, res.ROICycles(), res.Committed)
-	fmt.Printf("host: %v wall, %.1f KIPS, %d time warps\n", res.Wall.Round(time.Millisecond), res.KIPS(), res.TimeWarps)
+	fmt.Fprintf(out, "host: %v wall, %.1f KIPS, %d time warps\n", res.Wall.Round(time.Millisecond), res.KIPS(), res.TimeWarps)
 
 	if wl != nil && *verify {
 		if err := wl.Verify(m.Image(), res.Output, *scale); err != nil {
-			fatal(fmt.Errorf("verification FAILED: %w", err))
+			return fmt.Errorf("verification FAILED: %w", err)
 		}
-		fmt.Println("verification: PASS")
+		fmt.Fprintln(out, "verification: PASS")
 	}
 
 	if *verbose {
 		for i, st := range res.CoreStats {
-			fmt.Printf("core %d: %d instrs, %d cycles (%d skipped), ipc %.2f, %d loads, %d stores, %d branches (%.1f%% mispredict), L1D %d/%d hits, %d syscalls\n",
+			fmt.Fprintf(out, "core %d: %d instrs, %d cycles (%d skipped), ipc %.2f, %d loads, %d stores, %d branches (%.1f%% mispredict), L1D %d/%d hits, %d syscalls\n",
 				i, st.Committed, st.Cycles, st.Skipped, ipc(st), st.Loads, st.Stores,
 				st.Branches, pct(st.Mispred, st.Branches), st.L1D.Hits, st.L1D.Hits+st.L1D.Misses, st.Syscalls)
 		}
 		l2 := res.L2Stats
-		fmt.Printf("L2: %d accesses (%.1f%% hits), %d DRAM reads, %d invalidations, %d downgrades\n",
+		fmt.Fprintf(out, "L2: %d accesses (%.1f%% hits), %d DRAM reads, %d invalidations, %d downgrades\n",
 			l2.Accesses, pct(l2.Hits, l2.Accesses), l2.DRAMReads, l2.InvsSent, l2.Downgrades)
 	}
+
+	if reg != nil {
+		var busy, wait time.Duration
+		for i := range res.CoreBusy {
+			busy += res.CoreBusy[i]
+			wait += res.CoreWait[i]
+		}
+		// The serial driver has no core goroutines, so no breakdown.
+		if busy > 0 {
+			fmt.Fprintf(out, "sync overhead: simulate %.1f%%, wait %.1f%%, manager %v, %d events processed\n",
+				100*float64(busy-wait)/float64(busy), 100*float64(wait)/float64(busy),
+				res.ManagerBusy.Round(time.Microsecond), res.EventsProcessed)
+		}
+		fmt.Fprintln(out, "metrics:")
+		if err := reg.Write(out); err != nil {
+			return err
+		}
+	}
+	if *timeline {
+		if err := tc.SlackTimeline(out, 72); err != nil {
+			return err
+		}
+	}
+	if traceFile != nil {
+		if err := tc.WriteChrome(traceFile); err != nil {
+			return fmt.Errorf("writing trace %s: %w", *traceOut, err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %s (load in Perfetto / chrome://tracing)\n", *traceOut)
+	}
+	return nil
 }
 
 func ipc(st *cpu.Stats) float64 {
@@ -164,9 +237,4 @@ func parseScheme(s string) (core.Scheme, bool, error) {
 	}
 	scheme, err := core.ParseScheme(s)
 	return scheme, false, err
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "slacksim:", err)
-	os.Exit(1)
 }

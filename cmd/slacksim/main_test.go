@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTraceMetricsSmoke drives the full CLI on a tiny workload with
+// the observability flags on and checks the trace file is a valid Chrome
+// trace-event JSON with the promised tracks.
+func TestRunTraceMetricsSmoke(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	var out, errw bytes.Buffer
+	args := []string{
+		"-workload", "fft", "-scheme", "S9", "-cores", "2", "-host", "2",
+		"-trace", tracePath, "-metrics", "-timeline",
+	}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("run: %v\nstdout:\n%s\nstderr:\n%s", err, out.String(), errw.String())
+	}
+
+	for _, want := range []string{"verification: PASS", "sync overhead:", "metrics:", "slack timeline", "trace: " + tracePath} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "engine.events.processed") {
+		t.Errorf("metrics dump missing engine counters:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("trace file holds no events")
+	}
+	names := make(map[string]bool)
+	phases := make(map[string]bool)
+	for _, ev := range evs {
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+		if ph, ok := ev["ph"].(string); ok {
+			phases[ph] = true
+		}
+	}
+	for _, want := range []string{"slack core 0", "global manager"} {
+		if !names[want] {
+			t.Errorf("trace missing %q events", want)
+		}
+	}
+	if !phases["C"] || !phases["X"] || !phases["M"] {
+		t.Errorf("trace missing phases, got %v", phases)
+	}
+}
+
+// TestRunSerialScheme keeps the serial reference path working through
+// the same entry point.
+func TestRunSerialScheme(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-workload", "fft", "-scheme", "serial", "-cores", "2"}, &out, &errw); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "verification: PASS") {
+		t.Errorf("stdout:\n%s", out.String())
+	}
+}
+
+// TestRunBadScheme reports parse errors instead of exiting.
+func TestRunBadScheme(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-workload", "fft", "-scheme", "bogus"}, &out, &errw); err == nil {
+		t.Fatal("expected an error for a bogus scheme")
+	}
+}

@@ -15,9 +15,13 @@
 //	internal/sysemu       the emulated OS and Pthread-style workload API
 //	internal/workloads    the seven parallel benchmarks
 //	internal/harness      the paper's evaluation sweeps
+//	internal/trace        per-goroutine trace rings, Chrome + ASCII export
+//	internal/metrics      atomic metrics registry (near-zero when disabled)
 //
-// Executables: cmd/slacksim (single runs), cmd/slackbench (the paper's
-// tables and figures), cmd/ssasm (assembler tool). Runnable walkthroughs
+// Executables: cmd/slacksim (single runs; -trace/-metrics/-timeline attach
+// the observability subsystem, see docs/observability.md), cmd/slackbench
+// (the paper's tables and figures, plus -breakdown for the per-scheme
+// sync-overhead split), cmd/ssasm (assembler tool). Runnable walkthroughs
 // live in examples/. The benchmarks regenerating each table and figure are
 // in bench_test.go; run them with
 //

@@ -1,0 +1,23 @@
+package cache
+
+import "slacksim/internal/metrics"
+
+// PublishL2Stats registers the shared-hierarchy miss/evict/coherence
+// counters in r under cache.l2.*. The engine calls it when a run finishes
+// with metrics enabled; on a nil registry it is a no-op.
+func PublishL2Stats(r *metrics.Registry, st L2Stats) {
+	if r == nil {
+		return
+	}
+	set := func(name string, v int64) { r.Gauge("cache.l2." + name).Set(v) }
+	set("accesses", st.Accesses)
+	set("hits", st.Hits)
+	set("misses", st.Misses)
+	set("dram_reads", st.DRAMReads)
+	set("dram_writes", st.DRAMWrites)
+	set("invs_sent", st.InvsSent)
+	set("downgrades", st.Downgrades)
+	set("evictions", st.L2Evictions)
+	set("l1_writebacks", st.L1Writebacks)
+	set("order_violations", st.OrderViolations)
+}

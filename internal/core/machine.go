@@ -13,6 +13,7 @@ import (
 	"slacksim/internal/event"
 	"slacksim/internal/loader"
 	"slacksim/internal/sysemu"
+	"slacksim/internal/trace"
 )
 
 // CoreModel selects the per-core timing model.
@@ -188,6 +189,23 @@ type Machine struct {
 	trace func(global int64, locals []int64)
 	// debugDeliver, when non-nil, observes every InQ delivery (tests).
 	debugDeliver func(core int, ev event.Event, local int64)
+
+	// Observability subsystem (all nil/zero when disabled; see observe.go).
+	met     *engineMet
+	tracer  *trace.Collector
+	coreTW  []*trace.Writer // per-core trace rings
+	mgrTW   *trace.Writer   // manager trace ring
+	shardTW []*trace.Writer // per-shard-worker trace rings
+	// Host-time sync-overhead breakdown, filled only when metrics are
+	// enabled. Each slot is written solely by its owning goroutine and
+	// read after the run's WaitGroup join.
+	coreHostNS []int64 // total host ns each core goroutine ran
+	waitHostNS []int64 // host ns each core spent blocked on the manager
+	mgrBusyNS  int64   // host ns of productive manager rounds
+	// evProcessed counts manager-thread GQ events (manager/serial
+	// goroutine only); evShard counts shard-worker events.
+	evProcessed int64
+	evShard     atomic.Int64
 }
 
 // NewMachine loads prog into a fresh machine.

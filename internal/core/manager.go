@@ -128,6 +128,11 @@ func (m *Machine) processEvent(ev event.Event) {
 	if debugProcess != nil {
 		debugProcess(ev)
 	}
+	// Manager-goroutine-only counter (observability; see observe.go).
+	m.evProcessed++
+	if m.met != nil {
+		m.met.events.Inc()
+	}
 	switch ev.Kind {
 	case event.KReadShared, event.KReadExcl, event.KUpgrade, event.KFetch:
 		m.processMem(ev)

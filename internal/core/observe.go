@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/cpu"
+	"slacksim/internal/metrics"
+	"slacksim/internal/trace"
+)
+
+func durNS(ns int64) time.Duration { return time.Duration(ns) }
+
+// This file is the engine's observability surface: opt-in tracing and
+// metrics with a nil-check fast path. When neither EnableTrace nor
+// EnableMetrics has been called, the hot loops pay one predictable nil
+// check per instrumentation site (see the overhead test in
+// internal/metrics); when enabled, every simulation goroutine writes to
+// its own lock-free trace ring and to shared atomic counters, so the
+// engine's parallel timing is perturbed as little as possible.
+
+// engineMet holds the engine's typed metric handles (nil when disabled).
+type engineMet struct {
+	reg          *metrics.Registry
+	events       *metrics.Counter   // engine.events.processed
+	globalAdv    *metrics.Counter   // engine.global.advances
+	windowSlides *metrics.Counter   // engine.window.slides
+	barriers     *metrics.Counter   // engine.quantum.barriers
+	parks        *metrics.Counter   // engine.window.parks
+	freezes      *metrics.Counter   // engine.reply.freezes
+	adaptResizes *metrics.Counter   // engine.adapt.resizes
+	slack        *metrics.Histogram // engine.slack.sample
+	gqDepth      *metrics.Histogram // engine.gq.depth
+}
+
+// EnableMetrics attaches a metrics registry to the machine. Must be
+// called before Run*; nil leaves metrics disabled. The engine registers
+// its pacing counters plus queue-depth histograms, and publishes the
+// per-core CPU and cache counters into the registry when the run ends.
+func (m *Machine) EnableMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	m.met = &engineMet{
+		reg:          r,
+		events:       r.Counter("engine.events.processed"),
+		globalAdv:    r.Counter("engine.global.advances"),
+		windowSlides: r.Counter("engine.window.slides"),
+		barriers:     r.Counter("engine.quantum.barriers"),
+		parks:        r.Counter("engine.window.parks"),
+		freezes:      r.Counter("engine.reply.freezes"),
+		adaptResizes: r.Counter("engine.adapt.resizes"),
+		slack:        r.Histogram("engine.slack.sample"),
+		gqDepth:      r.Histogram("engine.gq.depth"),
+	}
+	outDepth := r.Histogram("event.outq.depth")
+	inDepth := r.Histogram("event.inq.depth")
+	for i := range m.outQ {
+		m.outQ[i].ObserveDepth(outDepth)
+		m.inQ[i].ObserveDepth(inDepth)
+	}
+	if m.shards != nil {
+		shardDepth := r.Histogram("event.shardq.depth")
+		for s := 0; s < m.shards.n; s++ {
+			m.shards.in[s].ObserveDepth(shardDepth)
+		}
+	}
+	m.coreHostNS = make([]int64, m.cfg.NumCores)
+	m.waitHostNS = make([]int64, m.cfg.NumCores)
+}
+
+// EnableTrace attaches a trace collector to the machine. Must be called
+// before Run*; nil leaves tracing disabled. One writer is registered per
+// core thread, one for the manager, and one per shard worker.
+func (m *Machine) EnableTrace(c *trace.Collector) {
+	if c == nil {
+		return
+	}
+	m.tracer = c
+	n := m.cfg.NumCores
+	m.coreTW = make([]*trace.Writer, n)
+	for i := 0; i < n; i++ {
+		m.coreTW[i] = c.Writer(fmt.Sprintf("core %d", i), int32(i))
+	}
+	m.mgrTW = c.Writer("manager", int32(n))
+	if m.shards != nil {
+		m.shardTW = make([]*trace.Writer, m.shards.n)
+		for s := 0; s < m.shards.n; s++ {
+			m.shardTW[s] = c.Writer(fmt.Sprintf("shard %d", s), int32(n+1+s))
+		}
+	}
+}
+
+// coreWriter returns core i's trace writer (nil when tracing is off).
+func (m *Machine) coreWriter(i int) *trace.Writer {
+	if m.coreTW == nil {
+		return nil
+	}
+	return m.coreTW[i]
+}
+
+// publishObservability fills the Result's observability fields and
+// publishes the end-of-run counter snapshot into the metrics registry.
+// No-op when metrics are disabled.
+func (m *Machine) publishObservability(res *Result) {
+	if m.met == nil {
+		return
+	}
+	r := m.met.reg
+	res.Metrics = r
+	res.EventsProcessed = m.evProcessed + m.evShard.Load()
+	res.ManagerBusy = durNS(m.mgrBusyNS)
+	for i := range m.coreHostNS {
+		res.CoreBusy = append(res.CoreBusy, durNS(m.coreHostNS[i]))
+		res.CoreWait = append(res.CoreWait, durNS(m.waitHostNS[i]))
+	}
+
+	r.Gauge("engine.global.final").Set(m.global.Load())
+	r.Gauge("engine.gq.final_depth").Set(int64(m.gq.Len()))
+	r.Gauge("engine.time_warps").Set(m.kernel.TimeWarps)
+	for i := range m.waitCycles {
+		r.Gauge(fmt.Sprintf("engine.c%d.wait_cycles", i)).Set(m.waitCycles[i])
+	}
+	for i, c := range m.cores {
+		cpu.PublishStats(r, i, c.Stats())
+	}
+	cache.PublishL2Stats(r, m.aggregateL2Stats())
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"slacksim/internal/event"
+	"slacksim/internal/trace"
 )
 
 // debugBigJump, when non-nil, observes large fast-forward jumps (tests).
@@ -89,6 +90,13 @@ func (m *Machine) coreLoop(i int) {
 	idleClamp := m.cfg.Cache.CriticalLatency()
 	includeInvs := m.scheme.Conservative()
 	ticks := 0
+	tw := m.coreWriter(i)
+	measure := m.met != nil
+	var loopT0 time.Time
+	if measure {
+		loopT0 = time.Now()
+		defer func() { m.coreHostNS[i] = time.Since(loopT0).Nanoseconds() }()
+	}
 	for !m.done.Load() {
 		// Yield periodically so an oversubscribed host (the paper's 1- and
 		// 2-host-core configurations) cannot starve the manager.
@@ -108,6 +116,19 @@ func (m *Machine) coreLoop(i int) {
 				limit = idleMax
 			}
 		}
+		// Slack sampling (1 in 64 iterations when tracing/metrics are on):
+		// the headroom MaxLocal(i) − Local(i) and the lead over the last
+		// published global time — the paper's per-core slack observables.
+		if ticks&63 == 0 && (tw != nil || measure) {
+			if limit != math.MaxInt64 {
+				slack := limit - local
+				tw.Count(trace.KSlack, slack)
+				if measure {
+					m.met.slack.Observe(slack)
+				}
+			}
+			tw.Count(trace.KLead, local-gSnap)
+		}
 		if local >= limit {
 			if !c.Active() {
 				// Following the global time, which other cores advance.
@@ -115,7 +136,17 @@ func (m *Machine) coreLoop(i int) {
 				continue
 			}
 			m.waitCycles[i]++
+			ws := tw.Begin()
+			var pt0 time.Time
+			if measure {
+				pt0 = time.Now()
+			}
 			m.parkCore(i, local)
+			if measure {
+				m.waitHostNS[i] += time.Since(pt0).Nanoseconds()
+				m.met.parks.Inc()
+			}
+			tw.Span(trace.KWait, ws, local)
 			continue
 		}
 
@@ -157,9 +188,19 @@ func (m *Machine) coreLoop(i int) {
 				// to its timestamp. Ticking once per wait poll would
 				// advance the clock at host-schedule speed — exactly the
 				// nondeterminism that must not leak into the simulation.
+				fs := tw.Begin()
+				var ft0 time.Time
+				if measure {
+					ft0 = time.Now()
+				}
 				for !m.done.Load() && !m.coreHasEvents(i) {
 					runtime.Gosched()
 				}
+				if measure {
+					m.waitHostNS[i] += time.Since(ft0).Nanoseconds()
+					m.met.freezes.Inc()
+				}
+				tw.Span(trace.KFreeze, fs, local)
 				continue
 			}
 		}
@@ -249,7 +290,16 @@ func (m *Machine) managerLoop(s Scheme) {
 	lastChange := time.Now()
 	lastGlobal := int64(-1)
 	ad := adaptState{window: s.Window}
+	mw := m.mgrTW
+	measure := m.met != nil
+	lastWindow := ad.window
 	for !m.done.Load() {
+		var t0 time.Time
+		if measure {
+			t0 = time.Now()
+		}
+		ps := mw.Begin()
+		evBefore := m.evProcessed
 		// Snapshot the global-time candidate BEFORE draining: every event
 		// with a timestamp below this minimum was pushed before its core's
 		// clock passed it — and that store precedes this read — so the
@@ -269,18 +319,37 @@ func (m *Machine) managerLoop(s Scheme) {
 		case s.Kind == Adaptive:
 			processed = m.processAllCounting(&ad)
 			ad.adapt(g)
+			if ad.window != lastWindow {
+				lastWindow = ad.window
+				mw.Count(trace.KWindow, ad.window)
+				mw.Instant(trace.KPhase, ad.window)
+				if measure {
+					m.met.adaptResizes.Inc()
+				}
+			}
 		case s.Kind == Quantum:
 			// Requests become visible only at the barrier (§3.1): when
 			// every thread has finished the quantum, i.e. the global time
 			// sits on a quantum boundary.
 			if g > 0 && g%s.Window == 0 {
 				processed = m.processConservative(g)
+				mw.Instant(trace.KBarrier, g)
+				if measure {
+					m.met.barriers.Inc()
+				}
 			}
 		case conservative:
 			processed = m.processConservative(g)
 			m.noteProcBound(g)
 		default:
 			processed = m.processAll()
+		}
+		if processed {
+			mw.Span(trace.KProcess, ps, m.evProcessed-evBefore)
+			mw.Count(trace.KQDepth, int64(m.gq.Len()))
+			if measure {
+				m.met.gqDepth.Observe(int64(m.gq.Len()))
+			}
 		}
 
 		// Publish the new global time only after this pass's replies are
@@ -289,9 +358,16 @@ func (m *Machine) managerLoop(s Scheme) {
 		// critical latency a safe fast-forward horizon (see coreLoop).
 		if g > m.global.Load() {
 			m.global.Store(g)
+			mw.Count(trace.KGlobal, g)
+			if measure {
+				m.met.globalAdv.Inc()
+			}
 		}
 
 		changed := m.updateWindows(s, g, &ad)
+		if changed && measure {
+			m.met.windowSlides.Inc()
+		}
 
 		if m.trace != nil && (changed || processed) {
 			if tracedLocals == nil {
@@ -307,6 +383,9 @@ func (m *Machine) managerLoop(s Scheme) {
 			idleRounds = 0
 			lastGlobal = g
 			lastChange = time.Now()
+			if measure {
+				m.mgrBusyNS += time.Since(t0).Nanoseconds()
+			}
 			continue
 		}
 		idleRounds++

@@ -5,6 +5,7 @@ import (
 
 	"slacksim/internal/cache"
 	"slacksim/internal/cpu"
+	"slacksim/internal/metrics"
 )
 
 // Result summarises one simulation run.
@@ -43,6 +44,27 @@ type Result struct {
 	CoreStats []*cpu.Stats
 	// L2Stats exposes the shared-hierarchy counters.
 	L2Stats cache.L2Stats
+
+	// Observability results, filled only when EnableMetrics was called
+	// before the run (see observe.go).
+
+	// Metrics is the registry attached with EnableMetrics, now holding
+	// the end-of-run counter snapshot.
+	Metrics *metrics.Registry
+	// EventsProcessed is the total number of GQ events the manager (and
+	// shard workers) processed.
+	EventsProcessed int64
+	// ManagerBusy is the host time the manager thread spent on rounds
+	// that drained, processed, or slid windows (its productive share of
+	// the run; the rest of its time is idle polling).
+	ManagerBusy time.Duration
+	// CoreBusy is, per core, the total host time its simulation
+	// goroutine ran, and CoreWait the share of that spent blocked on the
+	// manager (window-edge parks plus optimistic reply freezes).
+	// CoreBusy − CoreWait is host time spent actually simulating — the
+	// simulate/wait/manager sync-overhead breakdown of the paper's §4.2.
+	CoreBusy []time.Duration
+	CoreWait []time.Duration
 }
 
 // ROICycles is the simulated execution time of the region of interest.
@@ -81,5 +103,6 @@ func (m *Machine) result(wall time.Duration) *Result {
 		res.CoreStats = append(res.CoreStats, st)
 		res.Committed += st.ROICommitted()
 	}
+	m.publishObservability(res)
 	return res
 }

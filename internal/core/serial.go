@@ -6,6 +6,7 @@ import (
 
 	"slacksim/internal/cpu"
 	"slacksim/internal/event"
+	"slacksim/internal/trace"
 )
 
 // RunSerial executes the whole simulation on the calling goroutine:
@@ -28,10 +29,23 @@ func (m *Machine) RunSerial() *Result {
 		stats[i] = c.Stats()
 	}
 	t := int64(0)
+	mw := m.mgrTW
+	measure := m.met != nil
 	for !m.done.Load() {
 		if t >= m.cfg.MaxCycles {
 			m.aborted = true
 			break
+		}
+		// Observability sampling: the serial engine has no slack by
+		// construction, but its global-time profile and queue depths use
+		// the same trace/metric names as the parallel drivers so runs are
+		// directly comparable.
+		if t&255 == 0 && (mw != nil || measure) {
+			mw.Count(trace.KGlobal, t)
+			mw.Count(trace.KQDepth, int64(m.gq.Len()))
+			if measure {
+				m.met.gqDepth.Observe(int64(m.gq.Len()))
+			}
 		}
 		roi := m.roiTime.Load()
 		anyProgress := false

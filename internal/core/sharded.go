@@ -7,6 +7,7 @@ import (
 
 	"slacksim/internal/cache"
 	"slacksim/internal/event"
+	"slacksim/internal/trace"
 )
 
 // This file implements the paper's §2.2 scaling hook: "If the simulation
@@ -76,7 +77,17 @@ func (m *Machine) runShardedManager(s Scheme) {
 	idleRounds := 0
 	lastChange := time.Now()
 	lastGlobal := int64(-1)
+	mw := m.mgrTW
+	measure := m.met != nil
+	lastWindow := ad.window
+	lastBarrier := int64(0)
 	for !m.done.Load() {
+		var t0 time.Time
+		if measure {
+			t0 = time.Now()
+		}
+		ps := mw.Begin()
+		evBefore := m.evProcessed
 		// Min-before-drain, as in managerLoop: the bound must not pass
 		// events still in flight toward the queues.
 		g := m.minLocal()
@@ -93,6 +104,13 @@ func (m *Machine) runShardedManager(s Scheme) {
 			if s.Kind == Quantum {
 				// Visibility only at quantum boundaries.
 				allowed = g - g%s.Window
+				if allowed > lastBarrier {
+					lastBarrier = allowed
+					mw.Instant(trace.KBarrier, allowed)
+					if measure {
+						m.met.barriers.Inc()
+					}
+				}
 			}
 			if allowed > 0 {
 				for i := 0; i < sh.n; i++ {
@@ -107,8 +125,23 @@ func (m *Machine) runShardedManager(s Scheme) {
 			if s.Kind == Adaptive {
 				processed = m.processAllCounting(&ad)
 				ad.adapt(g)
+				if ad.window != lastWindow {
+					lastWindow = ad.window
+					mw.Count(trace.KWindow, ad.window)
+					mw.Instant(trace.KPhase, ad.window)
+					if measure {
+						m.met.adaptResizes.Inc()
+					}
+				}
 			} else {
 				processed = m.processAll()
+			}
+		}
+		if processed {
+			mw.Span(trace.KProcess, ps, m.evProcessed-evBefore)
+			mw.Count(trace.KQDepth, int64(m.gq.Len()))
+			if measure {
+				m.met.gqDepth.Observe(int64(m.gq.Len()))
 			}
 		}
 
@@ -117,14 +150,24 @@ func (m *Machine) runShardedManager(s Scheme) {
 		// safe fast-forward horizon.
 		if g > m.global.Load() {
 			m.global.Store(g)
+			mw.Count(trace.KGlobal, g)
+			if measure {
+				m.met.globalAdv.Inc()
+			}
 		}
 
 		changed := m.updateWindows(s, g, &ad)
+		if changed && measure {
+			m.met.windowSlides.Inc()
+		}
 
 		if moved || processed || changed || g != lastGlobal {
 			idleRounds = 0
 			lastGlobal = g
 			lastChange = time.Now()
+			if measure {
+				m.mgrBusyNS += time.Since(t0).Nanoseconds()
+			}
 			continue
 		}
 		idleRounds++
@@ -180,6 +223,11 @@ func (m *Machine) shardWorker(sidx int) {
 	push := func(core int, ev event.Event) {
 		sh.out[sidx][core].MustPush(ev)
 	}
+	var sw *trace.Writer
+	if m.shardTW != nil {
+		sw = m.shardTW[sidx]
+	}
+	measure := m.met != nil
 	for !m.done.Load() {
 		allowed := sh.gate[sidx].v.Load()
 		moved := false
@@ -192,6 +240,8 @@ func (m *Machine) shardWorker(sidx int) {
 			moved = true
 		}
 		did := false
+		ps := sw.Begin()
+		n := int64(0)
 		for {
 			top := gq.Peek()
 			if top == nil || top.Time >= allowed {
@@ -200,6 +250,14 @@ func (m *Machine) shardWorker(sidx int) {
 			ev := gq.Pop()
 			m.processMemVia(l2, push, ev)
 			did = true
+			n++
+		}
+		if n > 0 {
+			m.evShard.Add(n)
+			sw.Span(trace.KProcess, ps, n)
+			if measure {
+				m.met.events.Add(n)
+			}
 		}
 		if sh.mark[sidx].v.Load() < allowed {
 			sh.mark[sidx].v.Store(allowed)

@@ -1,0 +1,46 @@
+package cpu
+
+import (
+	"fmt"
+
+	"slacksim/internal/metrics"
+)
+
+// PublishStats registers core id's retire and stall counters in r under
+// cpu.c<id>.* and aggregates across cores under cpu.total.*. The engine
+// calls it when a run finishes with metrics enabled; on a nil registry it
+// is a no-op (the disabled fast path).
+func PublishStats(r *metrics.Registry, id int, st *Stats) {
+	if r == nil || st == nil {
+		return
+	}
+	p := fmt.Sprintf("cpu.c%d.", id)
+	set := func(name string, v int64) {
+		r.Gauge(p + name).Set(v)
+		r.Counter("cpu.total." + name).Add(v)
+	}
+	set("cycles", st.Cycles)
+	set("idle_cycles", st.IdleCycles)
+	set("skipped_cycles", st.Skipped)
+	set("committed", st.Committed)
+	set("fetched", st.Fetched)
+	set("squashed", st.Squashed)
+	set("loads", st.Loads)
+	set("stores", st.Stores)
+	set("branches", st.Branches)
+	set("branch_mispredicts", st.Mispred)
+	set("syscalls", st.Syscalls)
+	set("stall.fetch", st.FetchStall)
+	set("stall.rob", st.ROBStall)
+	set("stall.lsq", st.LSQStall)
+	set("stall.head", st.HeadStall)
+	set("stall.serialize", st.SerializeOn)
+	set("l1d.hits", st.L1D.Hits)
+	set("l1d.misses", st.L1D.Misses)
+	set("l1d.evictions", st.L1D.Evictions)
+	set("l1d.writebacks", st.L1D.Writebacks)
+	set("l1d.invs_applied", st.L1D.InvsApplied)
+	set("l1d.downgrades", st.L1D.Downgrades)
+	set("l1i.hits", st.L1I.Hits)
+	set("l1i.misses", st.L1I.Misses)
+}

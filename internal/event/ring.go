@@ -17,7 +17,23 @@ type Ring struct {
 	mask  int64
 	head  atomic.Int64 // next slot to read  (consumer-owned)
 	tail  atomic.Int64 // next slot to write (producer-owned)
+
+	// depth, when non-nil, observes the queue depth after every Push —
+	// the observability subsystem's queue-occupancy metric. Set it
+	// before the simulation starts; the observer must be safe for calls
+	// from the producer goroutine.
+	depth DepthObserver
 }
+
+// DepthObserver receives post-Push queue depths (metrics.Histogram
+// satisfies it without this package importing metrics).
+type DepthObserver interface {
+	Observe(depth int64)
+}
+
+// ObserveDepth installs obs as the ring's depth observer (nil to clear).
+// Must not be called concurrently with Push.
+func (r *Ring) ObserveDepth(obs DepthObserver) { r.depth = obs }
 
 // NewRing creates a ring with capacity rounded up to a power of two.
 func NewRing(capacity int) *Ring {
@@ -46,6 +62,9 @@ func (r *Ring) Push(ev Event) bool {
 	}
 	r.slots[t&r.mask] = ev
 	r.tail.Store(t + 1) // release: slot write is visible before the new tail
+	if r.depth != nil {
+		r.depth.Observe(t + 1 - r.head.Load())
+	}
 	return true
 }
 

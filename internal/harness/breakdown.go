@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"slacksim/internal/core"
+	"slacksim/internal/stats"
+)
+
+// This file turns the engine's observability results (Result.CoreBusy /
+// CoreWait / ManagerBusy, filled when Options.Metrics is on) into the
+// per-scheme sync-overhead breakdown: how much host time each scheme
+// spends simulating versus waiting on the pacing protocol versus in the
+// manager thread. This is the measurement behind the paper's §4.2
+// discussion of why larger slack buys speed — smaller wait share.
+
+// breakdown is one run's host-time split.
+type breakdown struct {
+	busy    time.Duration // sum of per-core goroutine host time
+	wait    time.Duration // share of busy spent parked or frozen
+	manager time.Duration // manager's productive host time
+}
+
+func breakdownOf(res *core.Result) breakdown {
+	var bd breakdown
+	for i := range res.CoreBusy {
+		bd.busy += res.CoreBusy[i]
+		bd.wait += res.CoreWait[i]
+	}
+	bd.manager = res.ManagerBusy
+	return bd
+}
+
+// simPct is the share of core host time spent actually simulating.
+func (bd breakdown) simPct() float64 {
+	if bd.busy <= 0 {
+		return 0
+	}
+	return 100 * float64(bd.busy-bd.wait) / float64(bd.busy)
+}
+
+// waitPct is the share of core host time spent blocked on the manager.
+func (bd breakdown) waitPct() float64 {
+	if bd.busy <= 0 {
+		return 0
+	}
+	return 100 * float64(bd.wait) / float64(bd.busy)
+}
+
+// SyncOverhead renders the per-scheme sync-overhead breakdown table for
+// a set of runs of one workload/host-core configuration. Runs without
+// breakdown data (Options.Metrics off, or serial runs) are skipped.
+func SyncOverhead(runs []*Run) string {
+	var t stats.Table
+	t.AddRow("Scheme", "Wall", "Simulate", "Wait", "Manager", "Events")
+	rows := 0
+	for _, run := range runs {
+		res := run.Result
+		if res == nil || res.CoreBusy == nil {
+			continue
+		}
+		bd := breakdownOf(res)
+		t.AddRow(
+			run.Scheme.String(),
+			res.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f%%", bd.simPct()),
+			fmt.Sprintf("%.1f%%", bd.waitPct()),
+			bd.manager.Round(time.Millisecond).String(),
+			fmt.Sprint(res.EventsProcessed),
+		)
+		rows++
+	}
+	if rows == 0 {
+		return ""
+	}
+	return t.String()
+}
+
+// SyncOverheadSweep runs every configured scheme for one workload and
+// host-core count with metrics attached (regardless of Options.Metrics)
+// and returns the rendered breakdown table. It is the harness entry
+// point behind slackbench's -breakdown flag.
+func (r *Runner) SyncOverheadSweep(workload string, hostCores int) (string, error) {
+	saved := r.opts.Metrics
+	r.opts.Metrics = true
+	defer func() { r.opts.Metrics = saved }()
+	var runs []*Run
+	for _, s := range r.opts.Schemes {
+		run, err := r.RunOne(workload, s, hostCores)
+		if err != nil {
+			return "", err
+		}
+		runs = append(runs, run)
+	}
+	header := fmt.Sprintf("Sync-overhead breakdown: %s, %d host cores\n", workload, hostCores)
+	return header + SyncOverhead(runs), nil
+}

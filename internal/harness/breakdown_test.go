@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slacksim/internal/core"
+)
+
+// TestRunOneObservability checks the harness plumbing for Options.Metrics
+// and Options.TraceDir: the registry rides on the Run, the breakdown line
+// reaches the log, and a valid Chrome trace lands in the directory (with
+// the scheme's "*" sanitised out of the file name).
+func TestRunOneObservability(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRunner(Options{
+		Workloads:   []string{"ocean"},
+		TargetCores: 4,
+		Verify:      true,
+		Metrics:     true,
+		TraceDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	r.Log = &log
+
+	run, err := r.RunOne("ocean", core.SchemeS9x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.Metrics == nil {
+		t.Error("Run is missing its metrics registry")
+	}
+	if run.Result.Metrics.Counter("engine.events.processed").Value() == 0 {
+		t.Error("registry holds no engine counters")
+	}
+	if !strings.Contains(log.String(), "sync: simulate") {
+		t.Errorf("log missing the breakdown line:\n%s", log.String())
+	}
+
+	path := filepath.Join(dir, "ocean_S9x_h2.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		t.Fatalf("trace %s is not valid JSON: %v", path, err)
+	}
+	if len(evs) == 0 {
+		t.Error("trace holds no events")
+	}
+
+	tbl := SyncOverhead([]*Run{run})
+	for _, want := range []string{"Scheme", "Simulate", "Wait", "Manager", "S9*"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("breakdown table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+// TestSyncOverheadSweep exercises the slackbench -breakdown entry point.
+func TestSyncOverheadSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	r, err := NewRunner(Options{
+		Workloads:   []string{"ocean"},
+		Schemes:     []core.Scheme{core.SchemeCC, core.SchemeS9},
+		HostCores:   []int{2},
+		TargetCores: 4,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := r.SyncOverheadSweep("ocean", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+	for _, s := range []string{"CC", "S9"} {
+		if !strings.Contains(tbl, s) {
+			t.Errorf("breakdown table missing scheme %s:\n%s", s, tbl)
+		}
+	}
+	if r.Options().Metrics {
+		t.Error("SyncOverheadSweep must restore Options.Metrics")
+	}
+}
+
+// TestSyncOverheadEmpty returns nothing for runs without breakdown data.
+func TestSyncOverheadEmpty(t *testing.T) {
+	if got := SyncOverhead([]*Run{{Result: &core.Result{}}}); got != "" {
+		t.Errorf("want empty table, got:\n%s", got)
+	}
+}

@@ -8,13 +8,18 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"slacksim/internal/asm"
 	"slacksim/internal/cache"
 	"slacksim/internal/core"
 	"slacksim/internal/cpu"
+	"slacksim/internal/metrics"
+	"slacksim/internal/trace"
 	"slacksim/internal/workloads"
 )
 
@@ -39,6 +44,14 @@ type Options struct {
 	Verify bool
 	// MaxCycles bounds each run.
 	MaxCycles int64
+	// Metrics attaches a metrics registry to every run; the registry
+	// (with the run's sync-overhead breakdown) is kept on each Run and a
+	// per-row breakdown is appended to the progress log.
+	Metrics bool
+	// TraceDir, when non-empty, writes a Chrome trace-event JSON per run
+	// into this directory (created if missing), named
+	// <workload>_<scheme>_h<hostcores>.json.
+	TraceDir string
 }
 
 func (o *Options) fillDefaults() {
@@ -149,13 +162,25 @@ func (r *Runner) machine(name string) (*core.Machine, *workloads.Workload, error
 
 // RunOne executes workload name under scheme with the given host-core
 // count (GOMAXPROCS). hostCores == 0 selects the serial reference engine.
-// The best of Repeat wall times is kept.
+// The best of Repeat wall times is kept. With Options.Metrics set, each
+// run carries a metrics registry and the kept result's sync-overhead
+// breakdown is appended to the progress log; with Options.TraceDir set,
+// the kept run's Chrome trace is written there.
 func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, error) {
 	var best *core.Result
+	var bestTrace *trace.Collector
 	for rep := 0; rep < r.opts.Repeat; rep++ {
 		m, w, err := r.machine(name)
 		if err != nil {
 			return nil, err
+		}
+		if r.opts.Metrics {
+			m.EnableMetrics(metrics.NewRegistry())
+		}
+		var tc *trace.Collector
+		if r.opts.TraceDir != "" {
+			tc = trace.New()
+			m.EnableTrace(tc)
 		}
 		var res *core.Result
 		start := time.Now()
@@ -180,11 +205,42 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 		}
 		if best == nil || res.Wall < best.Wall {
 			best = res
+			bestTrace = tc
 		}
 	}
 	r.logf("  %-8s %-5v host=%d: %8d cycles  %8d instrs  wall %10v\n",
 		name, scheme, hostCores, best.ROICycles(), best.Committed, best.Wall.Round(time.Microsecond))
+	if r.opts.Metrics && best.CoreBusy != nil {
+		bd := breakdownOf(best)
+		r.logf("           sync: simulate %5.1f%%  wait %5.1f%%  manager %8v  events %d\n",
+			bd.simPct(), bd.waitPct(), best.ManagerBusy.Round(time.Microsecond), best.EventsProcessed)
+	}
+	if bestTrace != nil {
+		if err := r.writeTrace(bestTrace, name, scheme, hostCores); err != nil {
+			return nil, err
+		}
+	}
 	return &Run{Workload: name, Scheme: scheme, HostCores: hostCores, Result: best}, nil
+}
+
+// writeTrace dumps one run's collector into Options.TraceDir.
+func (r *Runner) writeTrace(tc *trace.Collector, name string, scheme core.Scheme, hostCores int) error {
+	if err := os.MkdirAll(r.opts.TraceDir, 0o755); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	// "S9*" must survive as a file name.
+	sname := strings.ReplaceAll(scheme.String(), "*", "x")
+	path := filepath.Join(r.opts.TraceDir, fmt.Sprintf("%s_%s_h%d.json", name, sname, hostCores))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	defer f.Close()
+	if err := tc.WriteChrome(f); err != nil {
+		return fmt.Errorf("harness: writing %s: %w", path, err)
+	}
+	r.logf("           trace: %s\n", path)
+	return nil
 }
 
 // Baseline runs the paper's comparison baseline for the given workload:

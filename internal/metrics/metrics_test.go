@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("engine.events")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Errorf("counter = %d, want 10", got)
+	}
+	if r.Counter("engine.events") != c {
+		t.Error("second lookup should return the same counter")
+	}
+	g := r.Gauge("engine.global")
+	g.Set(5)
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge after SetMax(3) = %d, want 5", got)
+	}
+	g.SetMax(8)
+	if got := g.Value(); got != 8 {
+		t.Errorf("gauge after SetMax(8) = %d, want 8", got)
+	}
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// Every operation on a nil handle must be a safe no-op.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if h.Mean() != 0 {
+		t.Error("nil histogram mean must be 0")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry dump = %q, want empty", buf.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("slack")
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 100, -5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Errorf("count = %d, want 8", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("sum = %d, want 106", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("max = %d, want 100", got)
+	}
+	s := h.Snapshot()
+	if s.Buckets[0] != 2 { // 0 and -5
+		t.Errorf("bucket 0 = %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[1] != 2 { // the two 1s
+		t.Errorf("bucket 1 = %d, want 2", s.Buckets[1])
+	}
+	if q := s.Quantile(0.5); q <= 0 || q > 4 {
+		t.Errorf("p50 = %d, want in (0, 4]", q)
+	}
+	if q := s.Quantile(1.0); q < 100 {
+		t.Errorf("p100 = %d, want >= 100", q)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Errorf("p0 = %d, want 0", q)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 40, 41}, {1<<62 + 1, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 10000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist")
+			g := r.Gauge("max")
+			for j := 0; j < per; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+				g.SetMax(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("hist").Count(); got != workers*per {
+		t.Errorf("hist count = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("max").Value(); got != per-1 {
+		t.Errorf("gauge = %d, want %d", got, per-1)
+	}
+}
+
+func TestWriteSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Gauge("a.gauge").Set(1)
+	r.Histogram("c.hist").Observe(4)
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "a.gauge") ||
+		!strings.HasPrefix(lines[1], "b.count") ||
+		!strings.HasPrefix(lines[2], "c.hist") {
+		t.Errorf("dump not sorted:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[2], "count=1") {
+		t.Errorf("histogram line missing summary: %q", lines[2])
+	}
+}
+
+func BenchmarkDisabledCounterAdd(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkEnabledCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkDisabledHistogramObserve(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package metrics_test
+
+// raceEnabled reports whether the race detector is compiled in (timing
+// tests skip themselves under it).
+const raceEnabled = true

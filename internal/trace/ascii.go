@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// ASCII slack timeline: one row per writer that sampled slack (or lead),
+// one column per host-time bucket, glyph density proportional to the
+// bucket's mean value. A terminal-friendly rendering of the Shchur/Novotny
+// time-horizon profile — where the dark bands are, synchronisation is
+// cheap; where a row goes blank while others are dark, that core is the
+// horizon holding everyone back.
+
+// timelineGlyphs maps relative magnitude (low → high) to density.
+const timelineGlyphs = " .:-=+*#%@"
+
+// SlackTimeline renders the KSlack samples (falling back to KLead when a
+// writer recorded no KSlack, e.g. under the Unbounded scheme) as a
+// width-column ASCII heat strip per writer. Writers with no samples are
+// omitted. It must not run concurrently with recording.
+func (c *Collector) SlackTimeline(w io.Writer, width int) error {
+	return c.timeline(w, width, KSlack, KLead)
+}
+
+func (c *Collector) timeline(w io.Writer, width int, kind, fallback Kind) error {
+	if width < 8 {
+		width = 8
+	}
+	type row struct {
+		name    string
+		recs    []Rec
+		dropped int64
+	}
+	var rows []row
+	var tMin, tMax, vMax int64
+	tMin = -1
+	for _, wr := range c.Writers() {
+		recs := wr.Records()
+		picked := filterKind(recs, kind)
+		if len(picked) == 0 {
+			picked = filterKind(recs, fallback)
+		}
+		if len(picked) == 0 {
+			continue
+		}
+		for _, r := range picked {
+			if tMin < 0 || r.TS < tMin {
+				tMin = r.TS
+			}
+			if r.TS > tMax {
+				tMax = r.TS
+			}
+			if r.Arg > vMax {
+				vMax = r.Arg
+			}
+		}
+		rows = append(rows, row{name: wr.name, recs: picked, dropped: wr.Dropped()})
+	}
+	if len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "slack timeline: no samples recorded")
+		return err
+	}
+	span := tMax - tMin
+	if span <= 0 {
+		span = 1
+	}
+	if vMax <= 0 {
+		vMax = 1
+	}
+	fmt.Fprintf(w, "slack timeline: %v span, peak %d cycles, log scale %q\n",
+		time.Duration(span).Round(time.Microsecond), vMax, timelineGlyphs)
+	nameW := 0
+	for _, r := range rows {
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+	for _, r := range rows {
+		sum := make([]int64, width)
+		cnt := make([]int64, width)
+		for _, rec := range r.recs {
+			b := int((rec.TS - tMin) * int64(width-1) / span)
+			sum[b] += rec.Arg
+			cnt[b]++
+		}
+		var sb strings.Builder
+		for b := 0; b < width; b++ {
+			if cnt[b] == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			mean := sum[b] / cnt[b]
+			g := glyphIndex(mean, vMax)
+			if g < 0 {
+				g = 0
+			}
+			if g >= len(timelineGlyphs) {
+				g = len(timelineGlyphs) - 1
+			}
+			sb.WriteByte(timelineGlyphs[g])
+		}
+		note := ""
+		if r.dropped > 0 {
+			note = fmt.Sprintf("  (ring wrapped, %d oldest records lost)", r.dropped)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|%s\n", nameW, r.name, sb.String(), note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// glyphIndex maps a bucket mean to a glyph on a log2 scale. Slack spans
+// orders of magnitude within one run (a window-bounded ~10 cycles most of
+// the time, thousands across an idle fast-forward), so a linear scale
+// would render the typical band as all-blank whenever one spike sets the
+// peak; log keeps both visible.
+func glyphIndex(mean, vMax int64) int {
+	if mean <= 0 {
+		return 0
+	}
+	den := math.Log2(float64(vMax) + 1)
+	if den <= 0 {
+		return len(timelineGlyphs) - 1
+	}
+	return int(math.Log2(float64(mean)+1) * float64(len(timelineGlyphs)-1) / den)
+}
+
+func filterKind(recs []Rec, k Kind) []Rec {
+	var out []Rec
+	for _, r := range recs {
+		if r.Kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export (the JSON array format of
+// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// one process per simulation run, one thread track per writer, counter
+// tracks for the sampled quantities. The output loads in chrome://tracing
+// and in Perfetto via its legacy JSON importer.
+
+// chromeEvent is one trace-event object. Timestamps and durations are in
+// microseconds, as the format requires.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChrome exports every writer's surviving records as a Chrome
+// trace-event JSON array. It must not run concurrently with recording.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	if c == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	var evs []chromeEvent
+	for _, wr := range c.Writers() {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  0,
+			TID:  int(wr.tid),
+			Args: map[string]any{"name": wr.name},
+		})
+		// Order the track list by tid in trace viewers.
+		evs = append(evs, chromeEvent{
+			Name: "thread_sort_index",
+			Ph:   "M",
+			PID:  0,
+			TID:  int(wr.tid),
+			Args: map[string]any{"sort_index": int(wr.tid)},
+		})
+		for _, r := range wr.Records() {
+			evs = append(evs, chromeeventFor(wr, r))
+		}
+	}
+	// Stable order: metadata first, then by timestamp. Viewers do not
+	// require sorted input but diffs and golden tests do.
+	sort.SliceStable(evs, func(i, j int) bool {
+		mi, mj := evs[i].Ph == "M", evs[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		return evs[i].TID < evs[j].TID
+	})
+	enc, err := json.MarshalIndent(evs, "", " ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(enc); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+func chromeeventFor(wr *Writer, r Rec) chromeEvent {
+	switch {
+	case r.Kind.counter():
+		// Counter tracks are keyed by (pid, name), so fold the writer
+		// name in to get one track per core.
+		return chromeEvent{
+			Name: fmt.Sprintf("%s %s", r.Kind, wr.name),
+			Ph:   "C",
+			TS:   usec(r.TS),
+			PID:  0,
+			TID:  int(wr.tid),
+			Args: map[string]any{"value": r.Arg},
+		}
+	case r.Kind.span():
+		d := usec(r.Dur)
+		return chromeEvent{
+			Name: r.Kind.String(),
+			Cat:  "engine",
+			Ph:   "X",
+			TS:   usec(r.TS),
+			Dur:  &d,
+			PID:  0,
+			TID:  int(wr.tid),
+			Args: map[string]any{"arg": r.Arg},
+		}
+	default:
+		return chromeEvent{
+			Name: r.Kind.String(),
+			Cat:  "engine",
+			Ph:   "i",
+			TS:   usec(r.TS),
+			PID:  0,
+			TID:  int(wr.tid),
+			Args: map[string]any{"arg": r.Arg},
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock returns a deterministic clock advancing step ns per call.
+func fakeClock(step int64) func() int64 {
+	var t int64
+	return func() int64 {
+		t += step
+		return t
+	}
+}
+
+func TestWriterBasics(t *testing.T) {
+	c := NewWithCapacity(8)
+	c.SetClock(fakeClock(1000))
+	w := c.Writer("core 0", 0)
+	w.Count(KSlack, 7)
+	start := w.Begin()
+	w.Span(KWait, start, 3)
+	w.Instant(KBarrier, 42)
+	recs := w.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Kind != KSlack || recs[0].Arg != 7 {
+		t.Errorf("counter record = %+v", recs[0])
+	}
+	if recs[1].Kind != KWait || recs[1].Dur != 1000 {
+		t.Errorf("span record = %+v (want dur 1000)", recs[1])
+	}
+	if recs[2].Kind != KBarrier || recs[2].Arg != 42 {
+		t.Errorf("instant record = %+v", recs[2])
+	}
+	if d := w.Dropped(); d != 0 {
+		t.Errorf("Dropped = %d, want 0", d)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	c := NewWithCapacity(8)
+	c.SetClock(fakeClock(1))
+	w := c.Writer("core 0", 0)
+	for i := 0; i < 100; i++ {
+		w.Count(KSlack, int64(i))
+	}
+	if got := w.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	if got := w.Dropped(); got != 92 {
+		t.Fatalf("Dropped = %d, want 92", got)
+	}
+	recs := w.Records()
+	if len(recs) != 8 {
+		t.Fatalf("got %d surviving records, want 8", len(recs))
+	}
+	// The survivors are the newest 8 samples, oldest-first.
+	for i, r := range recs {
+		if want := int64(92 + i); r.Arg != want {
+			t.Errorf("record %d: Arg = %d, want %d", i, r.Arg, want)
+		}
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	c := NewWithCapacity(5)
+	w := c.Writer("x", 0)
+	if len(w.recs) != 8 {
+		t.Errorf("capacity 5 rounded to %d, want 8", len(w.recs))
+	}
+	c = NewWithCapacity(0)
+	w = c.Writer("x", 0)
+	if len(w.recs) != 2 {
+		t.Errorf("capacity 0 rounded to %d, want 2", len(w.recs))
+	}
+}
+
+// TestConcurrentWriters exercises many goroutines writing to their own
+// rings (and registering them) in parallel; run under -race this verifies
+// the single-producer discipline needs no locking across writers.
+func TestConcurrentWriters(t *testing.T) {
+	c := NewWithCapacity(1 << 10)
+	const writers = 16
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	ws := make([]*Writer, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer("w", int32(i))
+			ws[i] = w
+			for j := 0; j < perWriter; j++ {
+				w.Count(KSlack, int64(j))
+				if j%100 == 0 {
+					s := w.Begin()
+					w.Span(KWait, s, int64(j))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, w := range ws {
+		total := w.Dropped() + int64(w.Len())
+		if want := int64(perWriter + perWriter/100); total != want {
+			t.Errorf("writer %d: dropped+len = %d, want %d", i, total, want)
+		}
+	}
+	if got := len(c.Writers()); got != writers {
+		t.Errorf("registered %d writers, want %d", got, writers)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var w *Writer
+	w.Count(KSlack, 1)
+	w.Span(KWait, w.Begin(), 0)
+	w.Instant(KBarrier, 0)
+	if w.Len() != 0 || w.Dropped() != 0 || w.Records() != nil {
+		t.Error("nil writer should observe as empty")
+	}
+	var c *Collector
+	if c.Writer("x", 0) != nil {
+		t.Error("nil collector should hand out nil writers")
+	}
+	if c.Now() != 0 {
+		t.Error("nil collector Now should be 0")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("nil collector export = %q, want []", buf.String())
+	}
+}
+
+const chromeGolden = `[
+ {
+  "name": "thread_name",
+  "ph": "M",
+  "ts": 0,
+  "pid": 0,
+  "tid": 0,
+  "args": {
+   "name": "core 0"
+  }
+ },
+ {
+  "name": "thread_sort_index",
+  "ph": "M",
+  "ts": 0,
+  "pid": 0,
+  "tid": 0,
+  "args": {
+   "sort_index": 0
+  }
+ },
+ {
+  "name": "thread_name",
+  "ph": "M",
+  "ts": 0,
+  "pid": 0,
+  "tid": 8,
+  "args": {
+   "name": "manager"
+  }
+ },
+ {
+  "name": "thread_sort_index",
+  "ph": "M",
+  "ts": 0,
+  "pid": 0,
+  "tid": 8,
+  "args": {
+   "sort_index": 8
+  }
+ },
+ {
+  "name": "slack core 0",
+  "ph": "C",
+  "ts": 1,
+  "pid": 0,
+  "tid": 0,
+  "args": {
+   "value": 9
+  }
+ },
+ {
+  "name": "window_wait",
+  "cat": "engine",
+  "ph": "X",
+  "ts": 2,
+  "dur": 1,
+  "pid": 0,
+  "tid": 0,
+  "args": {
+   "arg": 5
+  }
+ },
+ {
+  "name": "global manager",
+  "ph": "C",
+  "ts": 4,
+  "pid": 0,
+  "tid": 8,
+  "args": {
+   "value": 100
+  }
+ },
+ {
+  "name": "barrier",
+  "cat": "engine",
+  "ph": "i",
+  "ts": 5,
+  "pid": 0,
+  "tid": 8,
+  "args": {
+   "arg": 100
+  }
+ }
+]
+`
+
+func TestWriteChromeGolden(t *testing.T) {
+	c := NewWithCapacity(16)
+	c.SetClock(fakeClock(1000)) // 1 µs per clock read
+	core := c.Writer("core 0", 0)
+	mgr := c.Writer("manager", 8)
+	core.Count(KSlack, 9)      // ts 1µs
+	start := core.Begin()      // ts 2µs
+	core.Span(KWait, start, 5) // ends 3µs → dur 1µs
+	mgr.Count(KGlobal, 100)    // ts 4µs
+	mgr.Instant(KBarrier, 100) // ts 5µs
+
+	var buf bytes.Buffer
+	if err := c.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != chromeGolden {
+		t.Errorf("chrome export mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), chromeGolden)
+	}
+	// And it must be valid JSON of the expected shape.
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(evs) != 8 {
+		t.Errorf("got %d events, want 8", len(evs))
+	}
+}
+
+func TestSlackTimeline(t *testing.T) {
+	c := NewWithCapacity(64)
+	c.SetClock(fakeClock(1000))
+	c0 := c.Writer("core 0", 0)
+	c1 := c.Writer("core 1", 1)
+	mgr := c.Writer("manager", 8)
+	for i := 0; i < 20; i++ {
+		c0.Count(KSlack, 10) // constantly at max slack
+		c1.Count(KSlack, int64(i)%3)
+	}
+	mgr.Count(KGlobal, 5) // no slack samples: omitted from the timeline
+
+	var buf bytes.Buffer
+	if err := c.SlackTimeline(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "peak 10 cycles") {
+		t.Errorf("header missing peak: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "core 0") || !strings.Contains(lines[1], "@") {
+		t.Errorf("core 0 row should be saturated: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "@") {
+		t.Errorf("core 1 row should be far from saturated: %q", lines[2])
+	}
+	if strings.Contains(out, "manager") {
+		t.Errorf("manager row (no slack samples) should be omitted:\n%s", out)
+	}
+}
+
+func TestSlackTimelineLeadFallback(t *testing.T) {
+	c := NewWithCapacity(64)
+	c.SetClock(fakeClock(1000))
+	w := c.Writer("core 0", 0)
+	for i := 0; i < 10; i++ {
+		w.Count(KLead, 4) // Unbounded scheme: no KSlack, only KLead
+	}
+	var buf bytes.Buffer
+	if err := c.SlackTimeline(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "core 0") {
+		t.Errorf("lead fallback row missing:\n%s", buf.String())
+	}
+}
+
+func TestSlackTimelineEmpty(t *testing.T) {
+	c := New()
+	var buf bytes.Buffer
+	if err := c.SlackTimeline(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Errorf("empty timeline = %q", buf.String())
+	}
+}
+
+func BenchmarkDisabledWriterCount(b *testing.B) {
+	var w *Writer
+	for i := 0; i < b.N; i++ {
+		w.Count(KSlack, int64(i))
+	}
+}
+
+func BenchmarkEnabledWriterCount(b *testing.B) {
+	c := New()
+	w := c.Writer("bench", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Count(KSlack, int64(i))
+	}
+}
