@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 		breakdown = flag.Bool("breakdown", false, "print the per-scheme sync-overhead breakdown (simulate/wait/manager)")
 		metricsOn = flag.Bool("metrics", false, "attach a metrics registry to every run and log per-run breakdowns")
 		traceDir  = flag.String("tracedir", "", "write a Chrome trace-event JSON per run into this directory")
+		jsonPath  = flag.String("json", "", "also write the numbers of every requested experiment to this file as JSON")
 	)
 	flag.Parse()
 
@@ -88,26 +90,50 @@ func main() {
 		r.Log = os.Stderr
 	}
 
+	ro := r.Options()
+	report := harness.Report{
+		TargetCores: ro.TargetCores,
+		HostCores:   ro.HostCores,
+		Scale:       ro.Scale,
+	}
 	if *table2 {
-		if err := r.Table2(os.Stdout); err != nil {
+		rows, err := r.Table2Data()
+		if err != nil {
 			fatal(err)
 		}
+		report.Table2 = rows
+		harness.PrintTable2(os.Stdout, rows)
 		fmt.Println()
 	}
 	if *figure8 {
-		if _, err := r.Figure8(os.Stdout); err != nil {
+		data, err := r.Figure8(os.Stdout)
+		if err != nil {
 			fatal(err)
 		}
+		report.Figure8 = data
 		fmt.Println()
 	}
 	if *table3 {
-		if err := r.Table3(os.Stdout); err != nil {
+		rows, err := r.Table3Data()
+		if err != nil {
 			fatal(err)
 		}
+		report.Table3 = rows
+		harness.PrintTable3(os.Stdout, rows, ro.HostCores[len(ro.HostCores)-1])
 		fmt.Println()
 	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "slackbench: wrote %s\n", *jsonPath)
+	}
 	if *breakdown {
-		ro := r.Options()
 		for _, wl := range ro.Workloads {
 			for _, hc := range ro.HostCores {
 				tbl, err := r.SyncOverheadSweep(wl, hc)

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"slacksim/internal/event"
+)
+
+// TestEvHeapProperty drives the GQ heap with pseudo-random push/pop mixes —
+// including the timestamp-sorted streams that exercise the no-sift-up
+// append fast path — and checks every pop against a sorted reference.
+func TestEvHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mkEvent := func(timeRange int64) event.Event {
+		return event.Event{
+			Kind: event.KReadShared,
+			Time: rng.Int63n(timeRange),
+			Core: int32(rng.Intn(8)),
+			Seq:  rng.Int63n(1000),
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		var h evHeap
+		var ref []event.Event
+		n := 1 + rng.Intn(64)
+		sorted := trial%2 == 0 // alternate: sorted streams hit the fast path
+		nextTime := int64(0)
+		for j := 0; j < n; j++ {
+			var ev event.Event
+			if sorted {
+				nextTime += rng.Int63n(4) // nondecreasing, as cores emit
+				ev = mkEvent(100)
+				ev.Time = nextTime
+			} else {
+				ev = mkEvent(100)
+			}
+			h.Push(ev)
+			ref = append(ref, ev)
+			// Interleave pops so the heap is exercised at many shapes.
+			if rng.Intn(4) == 0 && h.Len() > 0 {
+				got := h.Pop()
+				sort.SliceStable(ref, func(a, b int) bool { return event.Less(&ref[a], &ref[b]) })
+				want := ref[0]
+				ref = ref[1:]
+				if got != want {
+					t.Fatalf("trial %d: interleaved pop = %+v, want %+v", trial, got, want)
+				}
+			}
+		}
+		sort.SliceStable(ref, func(a, b int) bool { return event.Less(&ref[a], &ref[b]) })
+		for j := range ref {
+			got := h.Pop()
+			if got != ref[j] {
+				t.Fatalf("trial %d: pop %d = %+v, want %+v", trial, j, got, ref[j])
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("trial %d: heap not empty after draining", trial)
+		}
+	}
+}
+
+// TestEvHeapFastPathAppend pins the fast-path condition itself: an event
+// not below its would-be parent must append without breaking the heap
+// order even when it is below the current top (the case where a
+// "not-below-top" shortcut would corrupt the heap).
+func TestEvHeapFastPathAppend(t *testing.T) {
+	var h evHeap
+	for _, ti := range []int64{10, 20, 30, 40, 50, 60, 70} {
+		h.Push(event.Event{Kind: event.KFetch, Time: ti})
+	}
+	// Parent of the next slot (index 7) is index 3 (Time 40): Time 45 is
+	// above its parent but below Times 50..70 elsewhere in the heap.
+	h.Push(event.Event{Kind: event.KFetch, Time: 45})
+	var got []int64
+	for h.Len() > 0 {
+		got = append(got, h.Pop().Time)
+	}
+	want := []int64{10, 20, 30, 40, 45, 50, 60, 70}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}

@@ -177,9 +177,23 @@ type Machine struct {
 	exitCode int64
 	aborted  bool // MaxCycles hit
 
-	// Per-core park/wake plumbing (parallel runs).
-	parkMu   []sync.Mutex
-	parkCond []*sync.Cond
+	// Per-core park/wake plumbing (parallel runs). parkCond wakes a core
+	// waiting for its window to slide (signalled by updateWindows);
+	// freezeCond wakes a core frozen waiting for an InQ event (signalled by
+	// notifyCore after every reply push). frozen[i] != 0 marks a waiter on
+	// freezeCond so the push path can skip the mutex when nobody waits;
+	// parked[i] serves the same role for parkCond, letting updateWindows
+	// slide a spinning (not yet parked) core's window without touching its
+	// mutex.
+	parkMu     []sync.Mutex
+	parkCond   []*sync.Cond
+	freezeCond []*sync.Cond
+	frozen     []padded
+	parked     []padded
+
+	// drainBuf is the manager-side reusable buffer for Ring.PopBatch
+	// (manager goroutine only).
+	drainBuf []event.Event
 
 	// Per-core engine-level counters.
 	waitCycles []int64 // simulated cycles spent blocked at the window edge
@@ -236,6 +250,9 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 		lastSkip:    make([]skipRec, cfg.NumCores),
 		parkMu:      make([]sync.Mutex, cfg.NumCores),
 		parkCond:    make([]*sync.Cond, cfg.NumCores),
+		freezeCond:  make([]*sync.Cond, cfg.NumCores),
+		frozen:      make([]padded, cfg.NumCores),
+		parked:      make([]padded, cfg.NumCores),
 		waitCycles:  make([]int64, cfg.NumCores),
 	}
 	m.roiTime.Store(-1)
@@ -247,6 +264,8 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 			Mem:      img.Mem,
 			CacheCfg: cfg.Cache,
 			Send:     m.outQ[i].MustPush,
+			TextBase: prog.TextBase,
+			TextEnd:  prog.TextEnd(),
 		}
 		switch cfg.Model {
 		case ModelInOrder:
@@ -255,6 +274,7 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 			m.cores[i] = cpu.NewOoO(cfg.CPU, env)
 		}
 		m.parkCond[i] = sync.NewCond(&m.parkMu[i])
+		m.freezeCond[i] = sync.NewCond(&m.parkMu[i])
 	}
 	// Deferred grants for blocked syscalls (lock handoff, barrier release,
 	// semaphore signal, join) come back through the same InQ reply path.
@@ -271,6 +291,7 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 		})
 		m.resumeFloor[core].v.Store(grantAt)
 		m.blocked[core].v.Store(0)
+		m.notifyCore(core)
 	}
 	if cfg.ManagerShards > 1 {
 		m.shards = newShardState(cfg)
@@ -332,6 +353,14 @@ type evHeap struct {
 func (h *evHeap) Len() int { return len(h.a) }
 
 func (h *evHeap) Push(ev event.Event) {
+	// Fast path: cores emit their requests in nondecreasing timestamp order,
+	// so most pushes are not below their parent slot and append without any
+	// sift-up. (Not-below-parent is the exact heap condition; not-below-top
+	// is necessary but not sufficient.)
+	if n := len(h.a); n > 0 && !event.Less(&ev, &h.a[(n-1)/2]) {
+		h.a = append(h.a, ev)
+		return
+	}
 	h.a = append(h.a, ev)
 	i := len(h.a) - 1
 	for i > 0 {

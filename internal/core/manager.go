@@ -67,19 +67,17 @@ func SetDebugProcess(fn func(string)) {
 // request globally visible immediately — the source of the timing
 // distortions of §3.2.
 
-// drainOutQs moves all pending core requests into the GQ. Returns whether
+// drainOutQs moves all pending core requests into the GQ. Each OutQ is
+// drained in one PopBatch pass into a reusable buffer. Returns whether
 // anything moved.
 func (m *Machine) drainOutQs() bool {
 	moved := false
 	for i := range m.outQ {
-		for {
-			ev, ok := m.outQ[i].Pop()
-			if !ok {
-				break
-			}
-			m.gq.Push(ev)
-			moved = true
+		m.drainBuf = m.outQ[i].PopBatch(m.drainBuf[:0])
+		for j := range m.drainBuf {
+			m.gq.Push(m.drainBuf[j])
 		}
+		moved = moved || len(m.drainBuf) > 0
 	}
 	return moved
 }
@@ -144,6 +142,7 @@ func (m *Machine) processEvent(ev event.Event) {
 func (m *Machine) processMem(ev event.Event) {
 	m.processMemVia(m.l2, func(core int, out event.Event) {
 		m.inQ[core].MustPush(out)
+		m.notifyCore(core)
 	}, ev)
 }
 
@@ -212,12 +211,14 @@ func (m *Machine) processSyscall(ev event.Event) {
 				Addr: eff.PC,
 				Aux:  eff.Arg,
 			})
+			m.notifyCore(eff.Core)
 		case sysemu.EffectStopCore:
 			m.inQ[eff.Core].MustPush(event.Event{
 				Kind: event.KStop,
 				Core: int32(eff.Core),
 				Time: replyAt,
 			})
+			m.notifyCore(eff.Core)
 		case sysemu.EffectEndSim:
 			m.endTime = ev.Time
 			m.exitCode = eff.Code
@@ -241,6 +242,7 @@ func (m *Machine) processSyscall(ev event.Event) {
 		Aux:  res.Ret,
 		Flag: res.Retry,
 	})
+	m.notifyCore(core)
 }
 
 // minLocal computes the global time: the smallest local time of all core
@@ -249,7 +251,7 @@ func (m *Machine) processSyscall(ev event.Event) {
 // When every core is blocked the current global time is returned unchanged
 // (a workload deadlock; the watchdog eventually aborts).
 func (m *Machine) minLocal() int64 {
-	min := int64(-1)
+	lo := int64(-1)
 	for i := range m.local {
 		if m.blocked[i].v.Load() != 0 {
 			continue
@@ -260,14 +262,14 @@ func (m *Machine) minLocal() int64 {
 		if f := m.resumeFloor[i].v.Load(); f > v {
 			v = f
 		}
-		if min < 0 || v < min {
-			min = v
+		if lo < 0 || v < lo {
+			lo = v
 		}
 	}
-	if min < 0 {
+	if lo < 0 {
 		return m.global.Load()
 	}
-	return min
+	return lo
 }
 
 // oldestPendingTime returns the timestamp of the oldest queued event, or

@@ -19,6 +19,23 @@ var debugBigJump func(core int, from, to, nextWork int64)
 // host is oversubscribed (e.g. 9 simulation threads on 1 host core).
 const parkSpinIters = 128
 
+// optimisticBatch caps the batched inner loop for schemes with no safe
+// conservative horizon (the window may be unbounded). The batch also breaks
+// as soon as a reply lands in the core's rings, so this only bounds the
+// uninterrupted hit-streak run length.
+const optimisticBatch = 256
+
+// localPublishMask publishes the core's local clock every 32 batched cycles
+// (in addition to every batch end), bounding how stale the manager's view of
+// a long-running batch can get. Lazy publication is safe: the published
+// value is always <= the true local clock, so the global-time minimum it
+// feeds stays conservative.
+const localPublishMask = 31
+
+// batchDisabled forces coreLoop to its single-cycle path (test hook for the
+// batching determinism cross-check; see TestBatchedSteppingDeterminism).
+var batchDisabled bool
+
 // RunParallel executes the simulation with one goroutine per target core
 // plus the manager on the calling goroutine, paced by the given slack
 // scheme.
@@ -64,7 +81,23 @@ func (m *Machine) RunParallel(s Scheme) (*Result, error) {
 }
 
 // coreLoop is one core thread: deliver InQ events whose time has come,
-// simulate one cycle, publish the new local time; block at the window edge.
+// simulate up to a safe horizon of cycles in a tight batch, publish the new
+// local time; block at the window edge.
+//
+// Batched stepping: each outer iteration computes a horizon end =
+// min(window edge, safe event horizon, earliest kept inbox timestamp) and
+// runs Tick in an inner loop up to it, hoisting the done/global/maxLocal
+// atomic loads, the inbox drain, the trace/metric sampling, and (mostly)
+// the local-clock publication out of the per-cycle path. Under conservative
+// schemes the safe event horizon is gSnap + critical latency: every event
+// pushed after this iteration's drain is stamped >= that (the manager's
+// process-then-publish order), and events already drained bound the horizon
+// by their own timestamps — so every event is still applied exactly at its
+// timestamp and conservative schemes stay bit-exact against the serial
+// reference. Under optimistic schemes there is no such bound; the batch is
+// capped at optimisticBatch cycles and additionally breaks as soon as a
+// reply lands in the core's rings, preserving the current cycle-granularity
+// delivery of replies on arrival.
 //
 // Two regime controls keep the simulation faithful and live on any host:
 //
@@ -151,11 +184,46 @@ func (m *Machine) coreLoop(i int) {
 		}
 
 		delivered := m.deliverInbox(i, &inbox, local)
+
+		// Batch horizon. Kept inbox events all have timestamps > local, and
+		// bound the horizon below, so no event ever becomes deliverable in
+		// the middle of a batch under a conservative scheme.
+		end := local + 1
+		if !batchDisabled {
+			end = limit
+			if includeInvs {
+				if hz := gSnap + idleClamp; hz < end {
+					end = hz
+				}
+			} else if hz := local + optimisticBatch; hz < end {
+				end = hz
+			}
+			if t, ok := earliestEvent(inbox, true); ok && t < end {
+				end = t
+			}
+			if end <= local {
+				end = local + 1
+			}
+		}
+
 		if roi := m.roiTime.Load(); roi >= 0 && !st.ROIMarked {
 			c.MarkROI(local)
 		}
 		progressed := c.Tick(local)
 		local++
+		for progressed && local < end {
+			if !includeInvs && m.coreHasEvents(i) {
+				break // optimistic: deliver the arrival promptly
+			}
+			if local&localPublishMask == 0 {
+				m.local[i].v.Store(local)
+			}
+			if !st.ROIMarked && m.roiTime.Load() >= 0 {
+				c.MarkROI(local)
+			}
+			progressed = c.Tick(local)
+			local++
+		}
 		m.local[i].v.Store(local)
 		if progressed || delivered {
 			continue
@@ -193,9 +261,7 @@ func (m *Machine) coreLoop(i int) {
 				if measure {
 					ft0 = time.Now()
 				}
-				for !m.done.Load() && !m.coreHasEvents(i) {
-					runtime.Gosched()
-				}
+				m.freezeWait(i)
 				if measure {
 					m.waitHostNS[i] += time.Since(ft0).Nanoseconds()
 					m.met.freezes.Inc()
@@ -213,8 +279,8 @@ func (m *Machine) coreLoop(i int) {
 			// this iteration's drain can land inside the skipped range.
 			// The loop re-drains and extends the skip as the global time
 			// advances.
-			if cap := gSnap + idleClamp - 1; next > cap {
-				next = cap
+			if horizon := gSnap + idleClamp - 1; next > horizon {
+				next = horizon
 			}
 		}
 		if next > local {
@@ -241,7 +307,7 @@ func (m *Machine) coreLoop(i int) {
 // running ahead would inflate its simulated time by exactly the skew the
 // scheme allows; applying them late is part of the measured distortion.
 func earliestEvent(inbox []event.Event, includeInvs bool) (int64, bool) {
-	min, ok := int64(0), false
+	best, ok := int64(0), false
 	for i := range inbox {
 		if !includeInvs {
 			switch inbox[i].Kind {
@@ -249,11 +315,11 @@ func earliestEvent(inbox []event.Event, includeInvs bool) (int64, bool) {
 				continue
 			}
 		}
-		if !ok || inbox[i].Time < min {
-			min, ok = inbox[i].Time, true
+		if !ok || inbox[i].Time < best {
+			best, ok = inbox[i].Time, true
 		}
 	}
-	return min, ok
+	return best, ok
 }
 
 // parkCore waits until the manager raises the core's max local time: a
@@ -265,10 +331,54 @@ func (m *Machine) parkCore(i int, local int64) {
 		}
 		runtime.Gosched()
 	}
+	// Publish the waiter flag before the locked predicate check (same
+	// lost-wakeup-free pattern as freezeWait): updateWindows either sees the
+	// flag and signals under the mutex, or raised maxLocal before our check.
+	m.parked[i].v.Store(1)
 	m.parkMu[i].Lock()
 	for !m.done.Load() && m.maxLocal[i].v.Load() <= local {
 		m.parkCond[i].Wait()
 	}
+	m.parkMu[i].Unlock()
+	m.parked[i].v.Store(0)
+}
+
+// freezeWait blocks core i until an InQ event arrives (or the run ends):
+// a bounded spin, then a park on the core's freeze condition, which every
+// reply push signals through notifyCore. Barrier- and lock-blocked threads
+// wait here for hundreds of simulated cycles, so parking them takes their
+// goroutines out of the host scheduler's rotation instead of burning it
+// with yields.
+func (m *Machine) freezeWait(i int) {
+	for s := 0; s < parkSpinIters; s++ {
+		if m.done.Load() || m.coreHasEvents(i) {
+			return
+		}
+		runtime.Gosched()
+	}
+	// Publish the waiter flag before the final predicate check: a concurrent
+	// pusher either sees the flag (and signals under the mutex) or pushed
+	// before our check (and we see the event). Sequentially consistent
+	// atomics on both sides make missing both impossible.
+	m.frozen[i].v.Store(1)
+	m.parkMu[i].Lock()
+	for !m.done.Load() && !m.coreHasEvents(i) {
+		m.freezeCond[i].Wait()
+	}
+	m.parkMu[i].Unlock()
+	m.frozen[i].v.Store(0)
+}
+
+// notifyCore wakes core i if it is parked waiting for an InQ event. Called
+// by every goroutine that pushes a reply into one of the core's rings,
+// after the push. The atomic flag keeps the common no-waiter case free of
+// the mutex.
+func (m *Machine) notifyCore(i int) {
+	if m.frozen[i].v.Load() == 0 {
+		return
+	}
+	m.parkMu[i].Lock()
+	m.freezeCond[i].Signal()
 	m.parkMu[i].Unlock()
 }
 
@@ -276,6 +386,7 @@ func (m *Machine) wakeAll() {
 	for i := range m.parkCond {
 		m.parkMu[i].Lock()
 		m.parkCond[i].Broadcast()
+		m.freezeCond[i].Broadcast()
 		m.parkMu[i].Unlock()
 	}
 }
@@ -484,11 +595,14 @@ func (m *Machine) updateWindows(s Scheme, g int64, ad *adaptState) bool {
 		if m.maxLocal[i].v.Load() < target {
 			m.maxLocal[i].v.Store(target)
 			changed = true
-			// Publish under the park mutex so a core checking the
-			// condition cannot miss the wakeup.
-			m.parkMu[i].Lock()
-			m.parkCond[i].Signal()
-			m.parkMu[i].Unlock()
+			// Signal under the park mutex so a core checking the condition
+			// cannot miss the wakeup — but only when the core has actually
+			// parked; a spinning core observes the new maxLocal directly.
+			if m.parked[i].v.Load() != 0 {
+				m.parkMu[i].Lock()
+				m.parkCond[i].Signal()
+				m.parkMu[i].Unlock()
+			}
 		}
 	}
 	return changed

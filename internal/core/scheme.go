@@ -9,6 +9,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
@@ -91,6 +92,12 @@ func (s Scheme) String() string {
 		return fmt.Sprintf("A%d", s.Window)
 	}
 	return "?"
+}
+
+// MarshalJSON renders a scheme by its paper notation ("S9*", not the
+// internal Kind/Window pair), matching the keys of harness result maps.
+func (s Scheme) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
 }
 
 // Conservative reports whether the scheme processes events strictly in

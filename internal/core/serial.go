@@ -158,13 +158,7 @@ func (m *Machine) deliverInbox(i int, inbox *[]event.Event, local int64) bool {
 // main manager's ring plus, when sharded, every shard's ring).
 func (m *Machine) drainRing(i int, inbox *[]event.Event) {
 	for _, r := range m.coreRings[i] {
-		for {
-			ev, ok := r.Pop()
-			if !ok {
-				break
-			}
-			*inbox = append(*inbox, ev)
-		}
+		*inbox = r.PopBatch(*inbox)
 	}
 }
 

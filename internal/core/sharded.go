@@ -188,18 +188,16 @@ func (m *Machine) runShardedManager(s Scheme) {
 func (m *Machine) drainAndRoute() bool {
 	moved := false
 	for i := range m.outQ {
-		for {
-			ev, ok := m.outQ[i].Pop()
-			if !ok {
-				break
-			}
-			moved = true
+		m.drainBuf = m.outQ[i].PopBatch(m.drainBuf[:0])
+		for j := range m.drainBuf {
+			ev := m.drainBuf[j]
 			if ev.Kind == event.KSyscall {
 				m.gq.Push(ev)
 				continue
 			}
 			m.shards.in[m.shardOf(ev.Addr)].MustPush(ev)
 		}
+		moved = moved || len(m.drainBuf) > 0
 	}
 	return moved
 }
@@ -220,8 +218,10 @@ func (m *Machine) shardWorker(sidx int) {
 	sh := m.shards
 	l2 := sh.l2[sidx]
 	var gq evHeap
+	var drainBuf []event.Event
 	push := func(core int, ev event.Event) {
 		sh.out[sidx][core].MustPush(ev)
+		m.notifyCore(core)
 	}
 	var sw *trace.Writer
 	if m.shardTW != nil {
@@ -230,15 +230,11 @@ func (m *Machine) shardWorker(sidx int) {
 	measure := m.met != nil
 	for !m.done.Load() {
 		allowed := sh.gate[sidx].v.Load()
-		moved := false
-		for {
-			ev, ok := sh.in[sidx].Pop()
-			if !ok {
-				break
-			}
-			gq.Push(ev)
-			moved = true
+		drainBuf = sh.in[sidx].PopBatch(drainBuf[:0])
+		for j := range drainBuf {
+			gq.Push(drainBuf[j])
 		}
+		moved := len(drainBuf) > 0
 		did := false
 		ps := sw.Begin()
 		n := int64(0)

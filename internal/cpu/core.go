@@ -66,6 +66,12 @@ type Env struct {
 	// capacity bounds are sized above the maximum number of outstanding
 	// requests.
 	Send func(event.Event)
+	// TextBase and TextEnd delimit the program's static text section. Cores
+	// predecode fetched instructions in this range one cache line at a time
+	// (see predecode.go) instead of calling Mem.LoadWord + isa.Decode per
+	// fetch. Leave both zero to disable predecoding (unit tests that build
+	// cores directly).
+	TextBase, TextEnd uint64
 }
 
 // Stats aggregates one core's activity.

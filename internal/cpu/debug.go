@@ -11,7 +11,7 @@ func (c *OoO) DebugState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "core %d active=%v fetchPC=%#x fetchMiss=%v(line %#x) fetchQ=%d rob=%d iq=%d lq=%d sq=%d serialize=%d sysIssued=%v sysDone=%v retryAt=%d pending=%d\n",
 		c.env.ID, c.active, c.fetchPC, c.fetchMiss, c.fetchMissLn, c.fetchQLen(),
-		c.robCount, c.iqCount, c.lqCount, c.sqCount, c.serializeSeq, c.sysIssued, c.sysDone, c.sysRetryAt, len(c.pending))
+		c.robCount, len(c.iq), c.lqCount, c.sqCount, c.serializeSeq, c.sysIssued, c.sysDone, c.sysRetryAt, len(c.pending))
 	if c.robCount > 0 {
 		h := &c.rob[c.robHead]
 		fmt.Fprintf(&b, "  head: seq=%d pc=%#x %s done=%v sys=%v amo=%v\n",

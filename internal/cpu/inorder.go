@@ -22,6 +22,7 @@ type InOrder struct {
 	active bool
 
 	l1d, l1i *cache.L1
+	pd       *predecode
 
 	regs  [isa.NumIntRegs]int64
 	fregs [isa.NumFPRegs]float64
@@ -51,6 +52,7 @@ func NewInOrder(cfg Config, env Env) *InOrder {
 		env:     env,
 		l1d:     cache.NewL1(env.CacheCfg),
 		l1i:     cache.NewL1(env.CacheCfg),
+		pd:      newPredecode(&env),
 		retryAt: -1,
 	}
 }
@@ -156,11 +158,15 @@ func (c *InOrder) Skip(n int64) {
 func (c *InOrder) fetch(now int64) {
 	switch c.l1i.Probe(c.pc, false) {
 	case cache.Hit:
-		word, ok := c.env.Mem.LoadWord(c.pc)
+		in, ok := c.pd.lookup(c.pc)
 		if !ok {
-			return // unmapped pc: hang rather than crash the host
+			word, ok := c.env.Mem.LoadWord(c.pc)
+			if !ok {
+				return // unmapped pc: hang rather than crash the host
+			}
+			in = isa.Decode(word)
 		}
-		c.cur = isa.Decode(word)
+		c.cur = in
 		c.stats.Fetched++
 		c.state = ioExec
 		c.busyUntil = now + 1
@@ -353,6 +359,7 @@ func (c *InOrder) Deliver(ev event.Event, now int64) {
 	case event.KInv:
 		c.l1d.Invalidate(ev.Addr)
 		c.l1i.Invalidate(ev.Addr)
+		c.pd.invalidate(ev.Addr)
 	case event.KDowngrade:
 		c.l1d.Downgrade(ev.Addr)
 		c.l1i.Downgrade(ev.Addr)

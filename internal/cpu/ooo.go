@@ -27,6 +27,7 @@ type OoO struct {
 
 	l1d, l1i *cache.L1
 	pred     *predictor
+	pd       *predecode
 
 	// Register state.
 	physIntVal   []int64
@@ -51,8 +52,18 @@ type OoO struct {
 	rob      []robEntry
 	robHead  int
 	robCount int
-	iq       []iqEntry
-	iqCount  int
+	// iq holds waiting instructions in dispatch (= seq) order: dispatch
+	// appends, issue compacts in place, recovery truncates the squashed
+	// suffix. Order is invariant, which lets issue run a single in-order
+	// pass instead of IssueWidth oldest-ready scans.
+	iq []iqEntry
+	// iqUnready short-circuits issue while no queued entry has all source
+	// operands ready. Readiness only changes through writeback/writebackAt,
+	// dispatch of a new entry, recovery, or Start — each of which clears the
+	// flag. (Source physical registers of a waiting entry cannot be
+	// reallocated before it issues: the next definer of the same
+	// architectural register commits after this entry does.)
+	iqUnready bool
 
 	lq                      []lqEntry
 	lqHead, lqTail, lqCount int
@@ -111,7 +122,6 @@ type robEntry struct {
 // requires, regardless of younger redefinitions in flight. A physical index
 // of -1 means "constant zero / unused".
 type iqEntry struct {
-	valid  bool
 	seq    int64
 	robIdx int16
 	ps1    int16 // integer rs1
@@ -200,6 +210,7 @@ func NewOoO(cfg Config, env Env) *OoO {
 		l1d:  cache.NewL1(env.CacheCfg),
 		l1i:  cache.NewL1(env.CacheCfg),
 		pred: newPredictor(&cfg),
+		pd:   newPredecode(&env),
 
 		physIntVal:   make([]int64, cfg.PhysInt),
 		physIntReady: make([]bool, cfg.PhysInt),
@@ -207,7 +218,7 @@ func NewOoO(cfg Config, env Env) *OoO {
 		physFPReady:  make([]bool, cfg.PhysFP),
 
 		rob:   make([]robEntry, cfg.ROBSize),
-		iq:    make([]iqEntry, cfg.IQSize),
+		iq:    make([]iqEntry, 0, cfg.IQSize),
 		lq:    make([]lqEntry, cfg.LQSize),
 		sq:    make([]sqEntry, cfg.SQSize),
 		ckpts: make([]checkpoint, cfg.MaxBranches),
@@ -278,6 +289,7 @@ func (c *OoO) Start(pc, sp uint64, arg int64) {
 	c.active = true
 	c.fetchMiss = false
 	c.fetchBlocked = 0
+	c.iqUnready = false
 }
 
 // Stop implements Core.
@@ -290,10 +302,8 @@ func (c *OoO) Stop() {
 		c.rob[i].valid = false
 	}
 	c.robHead, c.robCount = 0, 0
-	for i := range c.iq {
-		c.iq[i].valid = false
-	}
-	c.iqCount = 0
+	c.iq = c.iq[:0]
+	c.iqUnready = false
 	for i := range c.lq {
 		c.lq[i].valid = false
 	}
@@ -353,32 +363,32 @@ func (c *OoO) Tick(now int64) bool {
 // the caller has not yet simulated cycle `now`.
 func (c *OoO) NextWork(now int64) int64 {
 	next := int64(math.MaxInt64)
-	min := func(t int64) {
+	consider := func(t int64) {
 		if t >= now && t < next {
 			next = t
 		}
 	}
 	for i := range c.pending {
-		min(c.pending[i].at)
+		consider(c.pending[i].at)
 	}
 	if c.sysRetryAt >= 0 {
-		min(c.sysRetryAt)
+		consider(c.sysRetryAt)
 	}
 	if c.amoDoneAt >= 0 {
-		min(c.amoDoneAt)
+		consider(c.amoDoneAt)
 	}
 	if c.drainRetryAt >= 0 {
-		min(c.drainRetryAt)
+		consider(c.drainRetryAt)
 	}
 	if c.fetchBlocked >= now && !c.fetchMiss {
-		min(c.fetchBlocked)
+		consider(c.fetchBlocked)
 	}
 	// An unpipelined divider can be busy with no corresponding pending op
 	// (a squash purges the op but not the busy horizon); a ready divide in
 	// the issue queue then becomes grantable only once the unit frees.
-	if c.iqCount > 0 {
-		min(c.divBusy)
-		min(c.fpDivBusy)
+	if len(c.iq) > 0 {
+		consider(c.divBusy)
+		consider(c.fpDivBusy)
 	}
 	return next
 }
@@ -436,13 +446,16 @@ func (c *OoO) fetch(now int64) {
 				return
 			}
 		}
-		word, ok := c.env.Mem.LoadWord(c.fetchPC)
+		in, ok := c.pd.lookup(c.fetchPC)
 		if !ok {
-			// Fetching unmapped memory: only reachable on a wrong path or
-			// in a broken workload; stall until a redirect rescues us.
-			return
+			word, ok := c.env.Mem.LoadWord(c.fetchPC)
+			if !ok {
+				// Fetching unmapped memory: only reachable on a wrong path
+				// or in a broken workload; stall until a redirect rescues us.
+				return
+			}
+			in = isa.Decode(word)
 		}
-		in := isa.Decode(word)
 		rasTop := c.pred.snapshotRAS()
 		npc := c.fetchPC + isa.InstBytes
 		taken := false
@@ -500,7 +513,7 @@ func (c *OoO) dispatch(now int64) {
 		in := f.inst
 
 		needsIQ := c.needsIQ(in)
-		if needsIQ && c.iqCount >= c.cfg.IQSize {
+		if needsIQ && len(c.iq) >= c.cfg.IQSize {
 			return
 		}
 		isLoad, isStore := in.IsLoad(), in.IsStore()
@@ -606,10 +619,10 @@ func (c *OoO) dispatch(now int64) {
 		c.robCount++
 
 		if needsIQ {
-			iqe.valid = true
 			iqe.seq = seq
 			iqe.robIdx = robIdx
-			c.iqInsert(iqe)
+			c.iq = append(c.iq, iqe)
+			c.iqUnready = false
 		}
 	}
 }
@@ -658,17 +671,6 @@ func (c *OoO) captureOperands(in isa.Inst) iqEntry {
 	return e
 }
 
-func (c *OoO) iqInsert(e iqEntry) {
-	for i := range c.iq {
-		if !c.iq[i].valid {
-			c.iq[i] = e
-			c.iqCount++
-			return
-		}
-	}
-	panic("cpu: issue queue overflow despite dispatch check")
-}
-
 // ---------------------------------------------------------------- issue --
 
 func (c *OoO) iqReady(e *iqEntry) bool {
@@ -687,30 +689,53 @@ func (c *OoO) iqReady(e *iqEntry) bool {
 	return true
 }
 
+// issue grants up to IssueWidth ready instructions, oldest first, in one
+// in-order pass over the seq-sorted queue, compacting granted entries out
+// in place. This selects exactly the same instructions as repeated
+// oldest-ready-first scans: within a cycle operand readiness never changes
+// (writebacks happen in completePending) and FU availability only
+// decreases, so an entry skipped at its queue position would be skipped by
+// every later scan of this cycle too.
 func (c *OoO) issue(now int64) {
+	if len(c.iq) == 0 || c.iqUnready {
+		return
+	}
 	intALU, intMul, fpAdd, fpMul, memPorts := c.cfg.IntALUs, c.cfg.IntMuls, c.cfg.FPAdds, c.cfg.FPMuls, c.cfg.MemPorts
-	for issued := 0; issued < c.cfg.IssueWidth; issued++ {
-		best := -1
-		var bestSeq int64 = math.MaxInt64
-		for i := range c.iq {
-			e := &c.iq[i]
-			if !e.valid || e.seq >= bestSeq || !c.iqReady(e) {
+	budget := c.cfg.IssueWidth
+	readySeen := false
+	w := -1 // compaction write cursor; entries before the first grant stay put
+	for k := 0; k < len(c.iq); k++ {
+		e := &c.iq[k]
+		if c.iqReady(e) {
+			readySeen = true
+			if c.fuAvailable(c.rob[e.robIdx].inst, now, intALU, intMul, fpAdd, fpMul, memPorts) {
+				c.prog = true
+				ev := *e
+				c.consumeFU(c.rob[ev.robIdx].inst, now, &intALU, &intMul, &fpAdd, &fpMul, &memPorts)
+				c.execute(&ev, now)
+				if w < 0 {
+					w = k
+				}
+				if budget--; budget == 0 {
+					w += copy(c.iq[w:], c.iq[k+1:])
+					break
+				}
 				continue
 			}
-			if !c.fuAvailable(c.rob[e.robIdx].inst, now, intALU, intMul, fpAdd, fpMul, memPorts) {
-				continue
-			}
-			best, bestSeq = i, e.seq
 		}
-		if best < 0 {
-			return
+		if w >= 0 {
+			c.iq[w] = *e
+			w++
 		}
-		e := c.iq[best]
-		c.iq[best].valid = false
-		c.iqCount--
-		c.prog = true
-		c.consumeFU(c.rob[e.robIdx].inst, now, &intALU, &intMul, &fpAdd, &fpMul, &memPorts)
-		c.execute(&e, now)
+	}
+	if w >= 0 {
+		c.iq = c.iq[:w]
+	}
+	if budget == c.cfg.IssueWidth && !readySeen {
+		// Every entry was scanned (the budget never ran out) and none had
+		// ready operands: skip issue scans until a writeback, a dispatch, a
+		// recovery, or a restart can change that.
+		c.iqUnready = true
 	}
 }
 
@@ -879,6 +904,7 @@ func (c *OoO) writeback(robIdx int16, vi int64, vf float64) {
 		c.physIntVal[rb.physDst] = vi
 		c.physIntReady[rb.physDst] = true
 	}
+	c.iqUnready = false
 }
 
 func (c *OoO) resolveCTI(op pendingOp, now int64) {
@@ -958,13 +984,12 @@ func (c *OoO) recover(brIdx int16, ckpt int8, target uint64, now int64) {
 		c.stats.Squashed++
 	}
 
-	// Purge younger IQ entries and scheduled completions.
-	for i := range c.iq {
-		if c.iq[i].valid && c.iq[i].seq > brSeq {
-			c.iq[i].valid = false
-			c.iqCount--
-		}
+	// Purge younger IQ entries (a seq-ordered suffix) and scheduled
+	// completions.
+	for len(c.iq) > 0 && c.iq[len(c.iq)-1].seq > brSeq {
+		c.iq = c.iq[:len(c.iq)-1]
 	}
+	c.iqUnready = false
 	kept := c.pending[:0]
 	for _, op := range c.pending {
 		if op.seq <= brSeq {

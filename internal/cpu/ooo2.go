@@ -241,6 +241,7 @@ func (c *OoO) writebackAt(e *robEntry, v int64) {
 	if e.physDst >= 0 && !e.dstFP {
 		c.physIntVal[e.physDst] = v
 		c.physIntReady[e.physDst] = true
+		c.iqUnready = false
 	}
 }
 
@@ -269,6 +270,7 @@ func (c *OoO) Deliver(ev event.Event, now int64) {
 	case event.KInv:
 		c.l1d.Invalidate(ev.Addr)
 		c.l1i.Invalidate(ev.Addr)
+		c.pd.invalidate(ev.Addr)
 	case event.KDowngrade:
 		c.l1d.Downgrade(ev.Addr)
 		c.l1i.Downgrade(ev.Addr)

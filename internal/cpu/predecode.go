@@ -1,0 +1,84 @@
+package cpu
+
+import (
+	"slacksim/internal/isa"
+	"slacksim/internal/mem"
+)
+
+// predecode caches decoded instructions for the program's static text
+// section so the fetch stage does not pay Mem.LoadWord + isa.Decode on
+// every fetched instruction. Decoding happens lazily one cache line at a
+// time — the same granularity at which the L1I fills and invalidates — so
+// a KInv that hits the text range simply marks that line's entries stale
+// and the next fetch re-decodes them from memory. Each core owns its own
+// table; no synchronisation is needed.
+type predecode struct {
+	base, end uint64
+	lineShift uint
+	insts     []isa.Inst
+	lineOK    []bool
+	mem       *mem.Memory
+}
+
+// newPredecode builds a (possibly disabled) table from the core's Env.
+// A zero TextBase/TextEnd, a non-power-of-two line size, or a text base
+// not aligned to the line size disables predecoding; lookup then always
+// misses and fetch falls back to LoadWord + Decode.
+func newPredecode(env *Env) *predecode {
+	p := &predecode{mem: env.Mem}
+	ls := uint64(env.CacheCfg.LineSize)
+	if env.TextEnd <= env.TextBase || ls == 0 || ls&(ls-1) != 0 || env.TextBase%ls != 0 {
+		return p
+	}
+	shift := uint(0)
+	for 1<<shift != ls {
+		shift++
+	}
+	size := env.TextEnd - env.TextBase
+	p.base = env.TextBase
+	p.end = env.TextEnd
+	p.lineShift = shift
+	p.insts = make([]isa.Inst, size/isa.InstBytes)
+	p.lineOK = make([]bool, (size+ls-1)>>shift)
+	return p
+}
+
+// lookup returns the decoded instruction at pc, decoding pc's whole line on
+// first touch. ok is false when pc is outside the predecoded text range
+// (or the table is disabled); callers fall back to LoadWord + Decode.
+func (p *predecode) lookup(pc uint64) (isa.Inst, bool) {
+	if pc < p.base || pc >= p.end {
+		return isa.Inst{}, false
+	}
+	off := pc - p.base
+	if li := off >> p.lineShift; !p.lineOK[li] {
+		p.fillLine(li)
+	}
+	return p.insts[off/isa.InstBytes], true
+}
+
+func (p *predecode) fillLine(li uint64) {
+	start := li << p.lineShift
+	stop := start + 1<<p.lineShift
+	if size := p.end - p.base; stop > size {
+		stop = size
+	}
+	for o := start; o < stop; o += isa.InstBytes {
+		word, ok := p.mem.LoadWord(p.base + o)
+		if !ok {
+			word = 0
+		}
+		p.insts[o/isa.InstBytes] = isa.Decode(word)
+	}
+	p.lineOK[li] = true
+}
+
+// invalidate marks the line containing lineAddr stale (no-op outside the
+// text range). Called on KInv delivery so self-modifying stores that round
+// trip through the directory are re-decoded, matching the L1I invalidation.
+func (p *predecode) invalidate(lineAddr uint64) {
+	if lineAddr < p.base || lineAddr >= p.end {
+		return
+	}
+	p.lineOK[(lineAddr-p.base)>>p.lineShift] = false
+}

@@ -11,3 +11,22 @@ func BenchmarkRingPushPop(b *testing.B) {
 		r.Pop()
 	}
 }
+
+// BenchmarkRingPopBatch measures the batched drain against per-event Pop
+// loops at the batch sizes the manager sees (a few events per round).
+func BenchmarkRingPopBatch(b *testing.B) {
+	const batch = 8
+	r := NewRing(256)
+	ev := Event{Kind: KFill, Time: 42, Addr: 0x1000}
+	buf := make([]Event, 0, batch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			r.Push(ev)
+		}
+		buf = r.PopBatch(buf[:0])
+		if len(buf) != batch {
+			b.Fatalf("drained %d events, want %d", len(buf), batch)
+		}
+	}
+}

@@ -10,26 +10,59 @@ import (
 	"slacksim/internal/workloads"
 )
 
-// Table2 reproduces the paper's Table 2: each benchmark's input set and the
-// instruction throughput (KIPS) of the cycle-by-cycle simulation with all
-// simulation threads on one host core.
-func (r *Runner) Table2(out io.Writer) error {
-	fmt.Fprintln(out, "Table 2: Benchmarks (baseline = cycle-by-cycle on 1 host core)")
-	var t stats.Table
-	t.AddRow("Benchmark", "Input Set", "KIPS", "ROI instrs", "ROI cycles")
+// Table2Row is one benchmark's baseline measurement (paper Table 2).
+type Table2Row struct {
+	Benchmark string
+	InputSet  string
+	KIPS      float64
+	ROIInstrs int64
+	ROICycles int64
+}
+
+// Table2Data measures the paper's Table 2: each benchmark's input set and
+// the instruction throughput (KIPS) of the cycle-by-cycle simulation with
+// all simulation threads on one host core.
+func (r *Runner) Table2Data() ([]Table2Row, error) {
+	var rows []Table2Row
 	for _, name := range r.opts.Workloads {
 		w, err := workloads.Get(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		run, err := r.Baseline(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		res := run.Result
-		t.AddRowf(name, w.InputDesc(r.opts.Scale), fmt.Sprintf("%.1f", res.KIPS()), res.Committed, res.ROICycles())
+		rows = append(rows, Table2Row{
+			Benchmark: name,
+			InputSet:  w.InputDesc(r.opts.Scale),
+			KIPS:      res.KIPS(),
+			ROIInstrs: res.Committed,
+			ROICycles: res.ROICycles(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders Table2Data rows as text.
+func PrintTable2(out io.Writer, rows []Table2Row) {
+	fmt.Fprintln(out, "Table 2: Benchmarks (baseline = cycle-by-cycle on 1 host core)")
+	var t stats.Table
+	t.AddRow("Benchmark", "Input Set", "KIPS", "ROI instrs", "ROI cycles")
+	for _, row := range rows {
+		t.AddRowf(row.Benchmark, row.InputSet, fmt.Sprintf("%.1f", row.KIPS), row.ROIInstrs, row.ROICycles)
 	}
 	fmt.Fprint(out, t.String())
+}
+
+// Table2 measures and renders Table 2.
+func (r *Runner) Table2(out io.Writer) error {
+	rows, err := r.Table2Data()
+	if err != nil {
+		return err
+	}
+	PrintTable2(out, rows)
 	return nil
 }
 
@@ -168,31 +201,74 @@ func (d *Figure8Data) printClaims(out io.Writer) {
 	}
 }
 
-// Table3 reproduces the paper's Table 3: relative error in the simulated
+// Table3Row is one benchmark's slack-error measurements (paper Table 3):
+// the relative execution-time error of each optimistic scheme versus the
+// deterministic serial reference, as a fraction (0.01 = 1%).
+type Table3Row struct {
+	Benchmark string
+	Err       map[string]float64
+}
+
+// table3Schemes are the optimistic schemes Table 3 compares.
+var table3Schemes = []core.Scheme{core.SchemeS9, core.SchemeS100, core.SchemeSU}
+
+// Table3Data measures the paper's Table 3: relative error in the simulated
 // execution time of the optimistic schemes (S9, S100, SU) at the largest
 // host-core count, versus the deterministic cycle-by-cycle reference.
-func (r *Runner) Table3(out io.Writer) error {
-	schemes := []core.Scheme{core.SchemeS9, core.SchemeS100, core.SchemeSU}
+func (r *Runner) Table3Data() ([]Table3Row, error) {
 	hc := r.opts.HostCores[len(r.opts.HostCores)-1]
-	fmt.Fprintf(out, "Table 3: relative error in execution time due to slack (%d host cores)\n", hc)
-	var t stats.Table
-	t.AddRow("Benchmark", "S9", "S100", "SU")
+	var rows []Table3Row
 	for _, name := range r.opts.Workloads {
 		ref, err := r.SerialReference(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		row := []string{name}
-		for _, s := range schemes {
+		row := Table3Row{Benchmark: name, Err: make(map[string]float64)}
+		for _, s := range table3Schemes {
 			run, err := r.RunOne(name, s, hc)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			e := stats.RelErr(float64(run.Result.ROICycles()), float64(ref.Result.ROICycles()))
-			row = append(row, fmt.Sprintf("%.2f%%", e*100))
+			row.Err[s.String()] = stats.RelErr(float64(run.Result.ROICycles()), float64(ref.Result.ROICycles()))
 		}
-		t.AddRow(row...)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable3 renders Table3Data rows as text. hostCores is the host-core
+// count the rows were measured at.
+func PrintTable3(out io.Writer, rows []Table3Row, hostCores int) {
+	fmt.Fprintf(out, "Table 3: relative error in execution time due to slack (%d host cores)\n", hostCores)
+	var t stats.Table
+	t.AddRow("Benchmark", "S9", "S100", "SU")
+	for _, row := range rows {
+		cells := []string{row.Benchmark}
+		for _, s := range table3Schemes {
+			cells = append(cells, fmt.Sprintf("%.2f%%", row.Err[s.String()]*100))
+		}
+		t.AddRow(cells...)
 	}
 	fmt.Fprint(out, t.String())
+}
+
+// Table3 measures and renders Table 3.
+func (r *Runner) Table3(out io.Writer) error {
+	rows, err := r.Table3Data()
+	if err != nil {
+		return err
+	}
+	PrintTable3(out, rows, r.opts.HostCores[len(r.opts.HostCores)-1])
 	return nil
+}
+
+// Report aggregates the evaluation's numbers for machine consumption
+// (slackbench -json). Sections not requested on the command line are nil.
+type Report struct {
+	TargetCores int
+	HostCores   []int
+	Scale       int
+	Table2      []Table2Row  `json:",omitempty"`
+	Figure8     *Figure8Data `json:",omitempty"`
+	Table3      []Table3Row  `json:",omitempty"`
 }
