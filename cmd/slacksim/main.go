@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +56,9 @@ func run(args []string, out, errw io.Writer) error {
 		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
 		useMet    = fs.Bool("metrics", false, "collect engine/CPU/cache metrics and print the registry + sync-overhead breakdown")
 		timeline  = fs.Bool("timeline", false, "print an ASCII per-core slack timeline (implies tracing)")
+		forensics = fs.String("forensics", "text", "forensics rendering when a run fails or aborts: text, json, or off")
+		stallTO   = fs.Duration("stall-timeout", 0, "abort a parallel run whose simulated time stalls for this host duration (0 = 60s default)")
+		audit     = fs.Bool("audit", false, "enable the sampled runtime invariant auditor (Global <= Local <= MaxLocal)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,12 +101,20 @@ func run(args []string, out, errw io.Writer) error {
 		return fmt.Errorf("need -workload or -prog (see -list)")
 	}
 
+	switch *forensics {
+	case "text", "json", "off":
+	default:
+		return fmt.Errorf("unknown -forensics mode %q (want text, json, or off)", *forensics)
+	}
+
 	cfg := core.Config{
 		NumCores:      *cores,
 		CPU:           cpu.DefaultConfig(),
 		Cache:         cache.DefaultConfig(*cores),
 		MaxCycles:     *maxCycles,
 		ManagerShards: *shards,
+		StallTimeout:  *stallTO,
+		Audit:         *audit,
 	}
 	if *model == "inorder" {
 		cfg.Model = core.ModelInOrder
@@ -141,14 +153,19 @@ func run(args []string, out, errw io.Writer) error {
 	start := time.Now()
 	var res *core.Result
 	if serial {
-		res = m.RunSerial()
+		res, err = m.RunSerial()
 	} else {
 		prev := runtime.GOMAXPROCS(*host)
 		res, err = m.RunParallel(scheme)
 		runtime.GOMAXPROCS(prev)
-		if err != nil {
-			return err
-		}
+	}
+	if err != nil {
+		// A contained failure (panic, ring overflow, audit violation) or
+		// a watchdog stall: print the cause plus the forensic snapshot and
+		// exit nonzero.
+		fmt.Fprintf(errw, "run FAILED: %v\n", err)
+		writeForensics(errw, *forensics, reportOf(err))
+		return fmt.Errorf("simulation failed (%s scheme)", *schemeStr)
 	}
 	res.Wall = time.Since(start)
 
@@ -157,7 +174,7 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	status := "ok"
 	if res.Aborted {
-		status = "ABORTED (cycle limit or stall)"
+		status = "ABORTED (cycle limit)"
 	}
 	fmt.Fprintf(out, "scheme %v: %s, exit code %d\n", *schemeStr, status, res.ExitCode)
 	fmt.Fprintf(out, "simulated: %d cycles total, %d ROI cycles, %d ROI instructions\n",
@@ -213,7 +230,44 @@ func run(args []string, out, errw io.Writer) error {
 		}
 		fmt.Fprintf(out, "trace: %s (load in Perfetto / chrome://tracing)\n", *traceOut)
 	}
+	if res.Aborted {
+		// A MaxCycles abort is a failed run: surface the snapshot and make
+		// the process exit nonzero so scripted sweeps notice.
+		writeForensics(errw, *forensics, res.Forensics)
+		return fmt.Errorf("aborted at %d simulated cycles (cycle limit)", res.EndTime)
+	}
 	return nil
+}
+
+// reportOf extracts the forensic snapshot attached to a run error.
+func reportOf(err error) *core.StallReport {
+	var stall *core.StallError
+	if errors.As(err, &stall) {
+		return stall.Report
+	}
+	var sim *core.SimError
+	if errors.As(err, &sim) {
+		return sim.Report
+	}
+	return nil
+}
+
+// writeForensics renders a snapshot per the -forensics mode.
+func writeForensics(w io.Writer, mode string, r *core.StallReport) {
+	if r == nil || mode == "off" {
+		return
+	}
+	if mode == "json" {
+		b, err := r.JSON()
+		if err != nil {
+			fmt.Fprintf(w, "forensics: %v\n", err)
+			return
+		}
+		w.Write(b)
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprint(w, r.Text())
 }
 
 func ipc(st *cpu.Stats) float64 {

@@ -82,3 +82,61 @@ func TestRunBadScheme(t *testing.T) {
 		t.Fatal("expected an error for a bogus scheme")
 	}
 }
+
+// TestRunWatchdogFailureForensics drives a deadlocking program through the
+// CLI: the run must fail (nonzero exit), print the failure cause, and dump
+// a forensic report naming the held lock.
+func TestRunWatchdogFailureForensics(t *testing.T) {
+	progPath := filepath.Join(t.TempDir(), "deadlock.s")
+	src := "main:\n li a0, 8192\n syscall 5\n li a0, 8192\n syscall 5\n li a0, 0\n syscall 0\n"
+	if err := os.WriteFile(progPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	err := run([]string{"-prog", progPath, "-cores", "1", "-scheme", "S9", "-stall-timeout", "2s"}, &out, &errw)
+	if err == nil {
+		t.Fatalf("deadlocked run succeeded\nstdout:\n%s", out.String())
+	}
+	for _, want := range []string{"run FAILED", "watchdog", "owner=c0", "core 0:"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errw.String())
+		}
+	}
+}
+
+// TestRunAbortForensicsJSON checks the -forensics json rendering on a
+// cycle-limit abort: stderr must carry a machine-readable snapshot.
+func TestRunAbortForensicsJSON(t *testing.T) {
+	progPath := filepath.Join(t.TempDir(), "spin.s")
+	if err := os.WriteFile(progPath, []byte("main:\n j main\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	err := run([]string{"-prog", progPath, "-cores", "1", "-scheme", "SU", "-max-cycles", "20000", "-forensics", "json"}, &out, &errw)
+	if err == nil {
+		t.Fatal("aborted run reported success")
+	}
+	if !strings.Contains(out.String(), "ABORTED") {
+		t.Errorf("stdout missing abort status:\n%s", out.String())
+	}
+	var report map[string]any
+	if jerr := json.Unmarshal(errw.Bytes(), &report); jerr != nil {
+		t.Fatalf("stderr is not a JSON forensic report: %v\n%s", jerr, errw.String())
+	}
+	cores, ok := report["cores"].([]any)
+	if !ok || len(cores) != 1 {
+		t.Fatalf("report cores = %v", report["cores"])
+	}
+}
+
+// TestRunAuditFlagClean keeps the -audit flag cheap and quiet on a healthy
+// run.
+func TestRunAuditFlagClean(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-workload", "fft", "-scheme", "S9", "-cores", "2", "-host", "2", "-audit"}, &out, &errw); err != nil {
+		t.Fatalf("audited run failed: %v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "verification: PASS") {
+		t.Errorf("stdout:\n%s", out.String())
+	}
+}

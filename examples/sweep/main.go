@@ -52,7 +52,10 @@ func main() {
 		return m
 	}
 
-	ref := mk().RunSerial()
+	ref, err := mk().RunSerial()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%s on %d cores; serial reference: %d cycles (critical latency = %d)\n\n",
 		*name, *cores, ref.EndTime, cache.DefaultConfig(*cores).CriticalLatency())
 

@@ -128,6 +128,12 @@ func (c Config) CriticalLatency() int64 { return c.ReqNet + c.BankLat + c.RespNe
 // LineAddr masks addr down to its cache-line address.
 func (c Config) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.LineSize-1) }
 
+// Validate checks the configuration's geometry: power-of-two line size and
+// set counts, divisible capacities, representable core counts, and channel/
+// bank compatibility. core.NewMachine calls this so a bad hierarchy fails
+// at machine construction instead of at the first cache access.
+func (c Config) Validate() error { return c.validate() }
+
 func (c Config) validate() error {
 	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
 	if !pow2(c.LineSize) {

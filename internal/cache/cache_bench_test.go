@@ -3,7 +3,7 @@ package cache
 import "testing"
 
 func BenchmarkL1ProbeHit(b *testing.B) {
-	l1 := NewL1(DefaultConfig(8))
+	l1 := MustL1(DefaultConfig(8))
 	l1.Reserve(0x1000)
 	l1.Fill(0x1000, Exclusive)
 	b.ReportAllocs()
@@ -13,7 +13,7 @@ func BenchmarkL1ProbeHit(b *testing.B) {
 }
 
 func BenchmarkL2AccessHit(b *testing.B) {
-	s := NewL2System(DefaultConfig(8))
+	s := MustL2System(DefaultConfig(8))
 	s.Access(0, 0x4000, GetS, 0)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

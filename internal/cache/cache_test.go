@@ -33,7 +33,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestL1ReadWriteHits(t *testing.T) {
-	l1 := NewL1(cfg2())
+	l1 := MustL1(cfg2())
 	const a = 0x1000
 	if got := l1.Probe(a, false); got != MissShared {
 		t.Fatalf("cold read probe = %v", got)
@@ -59,7 +59,7 @@ func TestL1ReadWriteHits(t *testing.T) {
 }
 
 func TestL1SilentEtoM(t *testing.T) {
-	l1 := NewL1(cfg2())
+	l1 := MustL1(cfg2())
 	l1.Reserve(0x40)
 	l1.Fill(0x40, Exclusive)
 	if got := l1.Probe(0x40, true); got != Hit {
@@ -71,7 +71,7 @@ func TestL1SilentEtoM(t *testing.T) {
 }
 
 func TestL1WriteMiss(t *testing.T) {
-	l1 := NewL1(cfg2())
+	l1 := MustL1(cfg2())
 	if got := l1.Probe(0x80, true); got != MissExcl {
 		t.Fatalf("cold write probe = %v", got)
 	}
@@ -79,7 +79,7 @@ func TestL1WriteMiss(t *testing.T) {
 
 func TestL1EvictionVictims(t *testing.T) {
 	c := cfg2()
-	l1 := NewL1(c)
+	l1 := MustL1(c)
 	sets := l1.NumSets()
 	stride := uint64(sets * c.LineSize) // same set, different tags
 	// Fill all 4 ways of set 0.
@@ -109,7 +109,7 @@ func TestL1EvictionVictims(t *testing.T) {
 }
 
 func TestL1InvalidateAndDowngrade(t *testing.T) {
-	l1 := NewL1(cfg2())
+	l1 := MustL1(cfg2())
 	l1.Reserve(0x100)
 	l1.Fill(0x100, Modified)
 	if dirty := l1.Downgrade(0x100); !dirty {
@@ -131,7 +131,7 @@ func TestL1InvalidateAndDowngrade(t *testing.T) {
 }
 
 func TestL1InvWhilePending(t *testing.T) {
-	l1 := NewL1(cfg2())
+	l1 := MustL1(cfg2())
 	l1.Reserve(0x200)
 	l1.Invalidate(0x200) // races the outstanding fill
 	l1.Fill(0x200, Modified)
@@ -141,7 +141,7 @@ func TestL1InvWhilePending(t *testing.T) {
 }
 
 func TestL2GetSExclusiveGrant(t *testing.T) {
-	s := NewL2System(cfg2())
+	s := MustL2System(cfg2())
 	fill, invs := s.Access(0, 0x1000, GetS, 100)
 	if fill.Grant != Exclusive {
 		t.Fatalf("sole reader granted %v, want E", fill.Grant)
@@ -166,7 +166,7 @@ func TestL2GetSExclusiveGrant(t *testing.T) {
 }
 
 func TestL2GetMInvalidatesSharers(t *testing.T) {
-	s := NewL2System(DefaultConfig(4))
+	s := MustL2System(DefaultConfig(4))
 	for c := 0; c < 3; c++ {
 		s.Access(c, 0x2000, GetS, int64(10*c))
 	}
@@ -190,7 +190,7 @@ func TestL2GetMInvalidatesSharers(t *testing.T) {
 }
 
 func TestL2UpgradePath(t *testing.T) {
-	s := NewL2System(cfg2())
+	s := MustL2System(cfg2())
 	s.Access(0, 0x3000, GetS, 10)
 	s.Access(1, 0x3000, GetS, 20)
 	fill, invs := s.Access(0, 0x3000, Upgrade, 30)
@@ -203,7 +203,7 @@ func TestL2UpgradePath(t *testing.T) {
 }
 
 func TestL2MissHitLatency(t *testing.T) {
-	s := NewL2System(cfg2())
+	s := MustL2System(cfg2())
 	fill, _ := s.Access(0, 0x4000, GetS, 0)
 	miss := fill.Time
 	// Re-access from the other core far later: L2 hit, no DRAM.
@@ -218,7 +218,7 @@ func TestL2MissHitLatency(t *testing.T) {
 }
 
 func TestL2RetireVictim(t *testing.T) {
-	s := NewL2System(cfg2())
+	s := MustL2System(cfg2())
 	s.Access(0, 0x5000, GetM, 10)
 	s.RetireVictim(0, 0x5000, true, 50)
 	if s.Stats.L1Writebacks != 1 {
@@ -233,7 +233,7 @@ func TestL2RetireVictim(t *testing.T) {
 
 func TestL2BackInvalidations(t *testing.T) {
 	c := cfg2()
-	s := NewL2System(c)
+	s := MustL2System(c)
 	// Walk enough distinct lines mapping to one L2 set to force eviction:
 	// same bank (same line index mod banks), same set.
 	setsPerBank := c.L2Size / (c.L2Banks * c.LineSize * c.L2Ways)
@@ -247,7 +247,7 @@ func TestL2BackInvalidations(t *testing.T) {
 	}
 	// The evicted line had core 0 as a sharer: one more pass to capture
 	// the back-invalidation explicitly.
-	s2 := NewL2System(c)
+	s2 := MustL2System(c)
 	for i := 0; i <= c.L2Ways; i++ {
 		s2.Access(0, uint64(i)*stride, GetS, int64(i*100))
 	}
@@ -261,7 +261,7 @@ func TestL2BackInvalidations(t *testing.T) {
 // critical-latency floor relative to its request — the property the
 // conservative schemes' exactness proof rests on.
 func TestL2FillFloorQuick(t *testing.T) {
-	s := NewL2System(DefaultConfig(4))
+	s := MustL2System(DefaultConfig(4))
 	crit := s.Config().CriticalLatency()
 	now := int64(0)
 	f := func(core uint8, line uint16, dt uint8, write bool) bool {
@@ -289,7 +289,7 @@ func TestL2FillFloorQuick(t *testing.T) {
 }
 
 func TestBankInterleaving(t *testing.T) {
-	s := NewL2System(DefaultConfig(8))
+	s := MustL2System(DefaultConfig(8))
 	seen := map[int]bool{}
 	for i := 0; i < 8; i++ {
 		seen[s.BankOf(uint64(i)*64)] = true

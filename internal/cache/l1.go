@@ -51,10 +51,11 @@ type L1 struct {
 	Stats     L1Stats
 }
 
-// NewL1 builds an L1 from cfg.
-func NewL1(cfg Config) *L1 {
+// NewL1 builds an L1 from cfg. A geometry error is returned, not panicked,
+// so a bad configuration fails at machine construction.
+func NewL1(cfg Config) (*L1, error) {
 	if err := cfg.validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	numSets := cfg.L1Size / (cfg.LineSize * cfg.L1Ways)
 	sets := make([][]l1Line, numSets)
@@ -65,7 +66,17 @@ func NewL1(cfg Config) *L1 {
 	for 1<<shift < cfg.LineSize {
 		shift++
 	}
-	return &L1{cfg: cfg, sets: sets, setMask: uint64(numSets - 1), lineShift: shift}
+	return &L1{cfg: cfg, sets: sets, setMask: uint64(numSets - 1), lineShift: shift}, nil
+}
+
+// MustL1 is NewL1 for configurations known to be valid (tests, examples);
+// it panics on a geometry error.
+func MustL1(cfg Config) *L1 {
+	l1, err := NewL1(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l1
 }
 
 func (c *L1) locate(addr uint64) (set []l1Line, tag uint64) {

@@ -35,7 +35,7 @@ func TestAdaptiveScheme(t *testing.T) {
 		}
 		return m
 	}
-	ref := mk().RunSerial()
+	ref := runSerial(t, mk())
 	m := mk()
 	res, err := m.RunParallel(SchemeA1000)
 	if err != nil {

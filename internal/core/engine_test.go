@@ -83,12 +83,23 @@ func mustMachine(t *testing.T, src string, cfg Config) *Machine {
 	return m
 }
 
+// runSerial drives the serial reference, failing the test on a contained
+// fault.
+func runSerial(t testing.TB, m *Machine) *Result {
+	t.Helper()
+	res, err := m.RunSerial()
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	return res
+}
+
 func TestSerialSumBothModels(t *testing.T) {
 	for _, model := range []CoreModel{ModelInOrder, ModelOoO} {
 		model := model
 		t.Run(fmt.Sprintf("model%d", model), func(t *testing.T) {
 			m := mustMachine(t, sumProg, smallConfig(1, model))
-			res := m.RunSerial()
+			res := runSerial(t, m)
 			if res.Aborted {
 				t.Fatalf("aborted after %d cycles", res.EndTime)
 			}
@@ -108,7 +119,7 @@ func TestSerialSumBothModels(t *testing.T) {
 func TestSerialMemProgram(t *testing.T) {
 	for _, model := range []CoreModel{ModelInOrder, ModelOoO} {
 		m := mustMachine(t, memProg, smallConfig(1, model))
-		res := m.RunSerial()
+		res := runSerial(t, m)
 		if res.Aborted {
 			t.Fatalf("model %d: aborted", model)
 		}
@@ -120,7 +131,7 @@ func TestSerialMemProgram(t *testing.T) {
 
 func TestParallelCCMatchesSerial(t *testing.T) {
 	serial := mustMachine(t, sumProg, smallConfig(2, ModelOoO))
-	sres := serial.RunSerial()
+	sres := runSerial(t, serial)
 
 	par := mustMachine(t, sumProg, smallConfig(2, ModelOoO))
 	pres, err := par.RunParallel(SchemeCC)

@@ -11,6 +11,7 @@ import (
 	"slacksim/internal/cache"
 	"slacksim/internal/cpu"
 	"slacksim/internal/event"
+	"slacksim/internal/faultinject"
 	"slacksim/internal/loader"
 	"slacksim/internal/sysemu"
 	"slacksim/internal/trace"
@@ -54,6 +55,15 @@ type Config struct {
 	// DRAMChannels is pinned to the shard count so channel ownership is
 	// exact.
 	ManagerShards int
+	// Audit enables the sampled runtime invariant auditor (see audit.go):
+	// every AuditEvery scheduler iterations each core asserts
+	// Global <= Local <= MaxLocal and clock monotonicity, and every InQ
+	// delivery is checked for conservative lateness. Violations surface
+	// as *SimError from the Run* drivers.
+	Audit bool
+	// AuditEvery is the auditor's sampling period in core-scheduler
+	// iterations (default 64; 1 checks every iteration).
+	AuditEvery int
 }
 
 // DefaultConfig returns the paper's target: an 8-core CMP of 4-way OoO
@@ -80,6 +90,9 @@ func (c *Config) fillDefaults() error {
 	if c.Cache.NumCores != c.NumCores {
 		return fmt.Errorf("core: cache config is for %d cores, machine has %d", c.Cache.NumCores, c.NumCores)
 	}
+	if err := c.Cache.Validate(); err != nil {
+		return fmt.Errorf("core: invalid cache config: %w", err)
+	}
 	if c.CPU.ROBSize == 0 {
 		c.CPU = cpu.DefaultConfig()
 	}
@@ -97,6 +110,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.SyscallLat == 0 {
 		c.SyscallLat = c.Cache.CriticalLatency()
+	}
+	if c.AuditEvery == 0 {
+		c.AuditEvery = 64
 	}
 	if c.ManagerShards > 1 {
 		if c.Cache.L2Banks%c.ManagerShards != 0 {
@@ -177,6 +193,22 @@ type Machine struct {
 	exitCode int64
 	aborted  bool // MaxCycles hit
 
+	// Fault containment (see fault.go): the run's first recorded failure.
+	faultMu sync.Mutex
+	fault   error
+	// audit, when non-nil, is the runtime invariant auditor (audit.go).
+	audit *auditState
+	// Fault-injection plan slices, partitioned per target goroutine by
+	// EnableFaults (all nil when no plan is installed; see fault.go).
+	fiCore  [][]faultinject.Fault // per-core faults
+	fiDelay [][]faultinject.Fault // per-core DelayDelivery faults
+	fiMgr   []faultinject.Fault   // manager-targeted faults
+	fiShard [][]faultinject.Fault // per-shard-worker faults
+	// lastEvKind/lastEvTime record each core's most recent InQ delivery
+	// (written by the owning core goroutine, read by forensic snapshots).
+	lastEvKind []padded
+	lastEvTime []padded
+
 	// Per-core park/wake plumbing (parallel runs). parkCond wakes a core
 	// waiting for its window to slide (signalled by updateWindows);
 	// freezeCond wakes a core frozen waiting for an InQ event (signalled by
@@ -235,11 +267,15 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	l2, err := cache.NewL2System(cfg.Cache)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	m := &Machine{
 		cfg:         cfg,
 		img:         img,
 		kernel:      sysemu.NewKernel(sysemu.KernelImage(img), cfg.NumCores, cfg.NumThreads),
-		l2:          cache.NewL2System(cfg.Cache),
+		l2:          l2,
 		cores:       make([]cpu.Core, cfg.NumCores),
 		outQ:        make([]*event.Ring, cfg.NumCores),
 		inQ:         make([]*event.Ring, cfg.NumCores),
@@ -254,11 +290,18 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 		frozen:      make([]padded, cfg.NumCores),
 		parked:      make([]padded, cfg.NumCores),
 		waitCycles:  make([]int64, cfg.NumCores),
+		lastEvKind:  make([]padded, cfg.NumCores),
+		lastEvTime:  make([]padded, cfg.NumCores),
 	}
 	m.roiTime.Store(-1)
+	if cfg.Audit {
+		m.audit = newAuditState(cfg.NumCores, cfg.AuditEvery)
+	}
 	for i := 0; i < cfg.NumCores; i++ {
 		m.outQ[i] = event.NewRing(cfg.RingCap)
+		m.outQ[i].SetName(fmt.Sprintf("outq.c%d", i))
 		m.inQ[i] = event.NewRing(cfg.RingCap)
+		m.inQ[i].SetName(fmt.Sprintf("inq.c%d", i))
 		env := cpu.Env{
 			ID:       i,
 			Mem:      img.Mem,
@@ -267,12 +310,18 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 			TextBase: prog.TextBase,
 			TextEnd:  prog.TextEnd(),
 		}
+		var c cpu.Core
+		var cerr error
 		switch cfg.Model {
 		case ModelInOrder:
-			m.cores[i] = cpu.NewInOrder(cfg.CPU, env)
+			c, cerr = cpu.NewInOrder(cfg.CPU, env)
 		default:
-			m.cores[i] = cpu.NewOoO(cfg.CPU, env)
+			c, cerr = cpu.NewOoO(cfg.CPU, env)
 		}
+		if cerr != nil {
+			return nil, fmt.Errorf("core: %w", cerr)
+		}
+		m.cores[i] = c
 		m.parkCond[i] = sync.NewCond(&m.parkMu[i])
 		m.freezeCond[i] = sync.NewCond(&m.parkMu[i])
 	}
@@ -294,7 +343,11 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 		m.notifyCore(core)
 	}
 	if cfg.ManagerShards > 1 {
-		m.shards = newShardState(cfg)
+		sh, err := newShardState(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.shards = sh
 	}
 	m.coreRings = make([][]*event.Ring, cfg.NumCores)
 	for i := 0; i < cfg.NumCores; i++ {

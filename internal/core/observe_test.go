@@ -201,7 +201,7 @@ func TestObservabilitySerial(t *testing.T) {
 	reg := metrics.NewRegistry()
 	m.EnableTrace(tc)
 	m.EnableMetrics(reg)
-	res := m.RunSerial()
+	res := runSerial(t, m)
 	if res.Output != expectTotal(4) {
 		t.Fatalf("output %q", res.Output)
 	}

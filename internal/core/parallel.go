@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"slacksim/internal/event"
+	"slacksim/internal/faultinject"
 	"slacksim/internal/trace"
 )
 
@@ -52,11 +53,17 @@ func (m *Machine) RunParallel(s Scheme) (*Result, error) {
 		m.maxLocal[i].v.Store(init)
 	}
 
+	// Every spawned goroutine (and the manager loop itself) runs under
+	// containPanic: a panic anywhere inside the simulation is recorded as
+	// a SimError, the run is cancelled (done + wakeAll, so every peer
+	// unparks and joins), and the error is returned below — no goroutine
+	// leaks, no host-process crash.
 	var wg sync.WaitGroup
 	for i := range m.cores {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer m.containPanic(i, "core-loop")
 			m.coreLoop(i)
 		}(i)
 	}
@@ -65,18 +72,35 @@ func (m *Machine) RunParallel(s Scheme) (*Result, error) {
 			wg.Add(1)
 			go func(sidx int) {
 				defer wg.Done()
+				defer m.containPanic(faultinject.ShardWorker(sidx), "shard-worker")
 				m.shardWorker(sidx)
 			}(sidx)
 		}
-		m.runShardedManager(s)
+		func() {
+			defer m.containPanic(faultinject.Manager, "manager")
+			m.runShardedManager(s)
+		}()
 	} else {
-		m.managerLoop(s)
+		func() {
+			defer m.containPanic(faultinject.Manager, "manager")
+			m.managerLoop(s)
+		}()
 	}
 	m.wakeAll()
 	wg.Wait()
-	// Process any straggler events so kernel/directory state is final.
-	m.drainOutQs()
-	m.processAll()
+	if err := m.takeFault(); err != nil {
+		return nil, err
+	}
+	// Process any straggler events so kernel/directory state is final —
+	// also guarded, a straggler can fault like any in-run event.
+	func() {
+		defer m.containPanic(faultinject.Manager, "final-drain")
+		m.drainOutQs()
+		m.processAll()
+	}()
+	if err := m.takeFault(); err != nil {
+		return nil, err
+	}
 	return m.result(time.Since(start)), nil
 }
 
@@ -125,6 +149,11 @@ func (m *Machine) coreLoop(i int) {
 	ticks := 0
 	tw := m.coreWriter(i)
 	measure := m.met != nil
+	aud := m.audit
+	var fi *injected
+	if m.fiCore != nil {
+		fi = newInjected(m.fiCore[i])
+	}
 	var loopT0 time.Time
 	if measure {
 		loopT0 = time.Now()
@@ -136,6 +165,9 @@ func (m *Machine) coreLoop(i int) {
 		if ticks++; ticks&63 == 0 {
 			runtime.Gosched()
 		}
+		if fi != nil && m.applyCoreFaults(i, fi, &local) {
+			continue
+		}
 
 		// Read the global time before draining the inbox: every reply
 		// pushed before this value was published is then guaranteed to be
@@ -144,6 +176,9 @@ func (m *Machine) coreLoop(i int) {
 		// latency by the manager's process-then-publish order).
 		gSnap := m.global.Load()
 		limit := m.maxLocal[i].v.Load()
+		if aud != nil && ticks%aud.every == 0 {
+			m.auditCore(i, local, gSnap)
+		}
 		if !c.Active() {
 			if idleMax := gSnap + idleClamp; idleMax < limit {
 				limit = idleMax
@@ -398,12 +433,14 @@ func (m *Machine) managerLoop(s Scheme) {
 	conservative := s.Conservative()
 	var tracedLocals []int64
 	idleRounds := 0
+	quiet := 0
 	lastChange := time.Now()
 	lastGlobal := int64(-1)
 	ad := adaptState{window: s.Window}
 	mw := m.mgrTW
 	measure := m.met != nil
 	lastWindow := ad.window
+	fi := newInjected(m.fiMgr)
 	for !m.done.Load() {
 		var t0 time.Time
 		if measure {
@@ -418,6 +455,9 @@ func (m *Machine) managerLoop(s Scheme) {
 		// let cores advance between the drain and the minimum, overstating
 		// the bound past events still sitting in their OutQs.
 		g := m.minLocal()
+		if fi != nil {
+			applyPanicFaults(fi, g, "manager")
+		}
 		moved := m.drainOutQs()
 		if g >= m.cfg.MaxCycles {
 			m.aborted = true
@@ -480,6 +520,19 @@ func (m *Machine) managerLoop(s Scheme) {
 			m.met.windowSlides.Inc()
 		}
 
+		// Certain-deadlock detection: when every live thread is blocked in
+		// the kernel, idle cores can keep the global time advancing, so the
+		// host-time watchdog below never fires — the run would crawl to
+		// MaxCycles. After a run of event-free rounds, consult the kernel
+		// and fail immediately with the same forensic report.
+		if moved || processed {
+			quiet = 0
+		} else if quiet++; quiet&511 == 0 && m.detectDeadlock() {
+			m.aborted = true
+			m.setFault(&StallError{Deadlock: true, Report: m.snapshot(true, 0)})
+			break
+		}
+
 		if m.trace != nil && (changed || processed) {
 			if tracedLocals == nil {
 				tracedLocals = make([]int64, len(m.local))
@@ -505,10 +558,12 @@ func (m *Machine) managerLoop(s Scheme) {
 		}
 		if idleRounds&1023 == 0 && time.Since(lastChange) > m.stallTimeout() {
 			// Watchdog: the simulated time has not moved for a long host
-			// time — a deadlocked workload or a simulator bug. Abort
-			// rather than hang.
+			// time — a deadlocked workload or a simulator bug. Capture the
+			// forensic snapshot (this goroutine owns the kernel and GQ)
+			// and surface a StallError rather than hang.
+			wait := time.Since(lastChange)
 			m.aborted = true
-			m.done.Store(true)
+			m.setFault(&StallError{Wait: wait, Report: m.snapshot(true, wait)})
 			break
 		}
 	}

@@ -36,7 +36,7 @@ func TestPrefetcherAblation(t *testing.T) {
 		if err := w.Init(m.Image(), 1); err != nil {
 			t.Fatal(err)
 		}
-		res := m.RunSerial()
+		res := runSerial(t, m)
 		if res.Aborted {
 			t.Fatal("aborted")
 		}

@@ -40,8 +40,8 @@ func TestSnoopBusProtocol(t *testing.T) {
 		return m
 	}
 
-	dirRef := mk(cache.Directory).RunSerial()
-	busRef := mk(cache.SnoopBus).RunSerial()
+	dirRef := runSerial(t, mk(cache.Directory))
+	busRef := runSerial(t, mk(cache.SnoopBus))
 	if busRef.Aborted || dirRef.Aborted {
 		t.Fatal("reference aborted")
 	}

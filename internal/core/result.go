@@ -27,6 +27,10 @@ type Result struct {
 	Wall time.Duration
 	// Aborted reports the MaxCycles safety abort.
 	Aborted bool
+	// Forensics is the engine-state snapshot captured when the run
+	// aborted at MaxCycles (nil on clean exits). Watchdog stalls and
+	// contained panics return errors instead, carrying their own report.
+	Forensics *StallReport
 	// Output is everything the workload printed.
 	Output string
 	// TimeWarps counts kernel synchronisation operations processed out of
@@ -94,6 +98,11 @@ func (m *Machine) result(wall time.Duration) *Result {
 	res.CoherenceWarps = res.L2Stats.OrderViolations
 	if m.aborted || m.endTime == 0 {
 		res.EndTime = m.global.Load()
+	}
+	if m.aborted {
+		// result() runs after every goroutine joined, so the kernel and
+		// GQ are safe to read.
+		res.Forensics = m.snapshot(true, 0)
 	}
 	if t := m.roiTime.Load(); t > 0 {
 		res.ROIStart = t

@@ -100,6 +100,21 @@ func (s Scheme) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s.String())
 }
 
+// UnmarshalJSON parses the paper notation back into a Scheme, so forensic
+// reports (StallReport) round-trip through JSON.
+func (s *Scheme) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	parsed, err := ParseScheme(name)
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
 // Conservative reports whether the scheme processes events strictly in
 // timestamp order at the global time, which (with Window <= the target's
 // critical latency) makes the simulated cycle counts deterministic and

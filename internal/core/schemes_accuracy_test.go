@@ -37,7 +37,7 @@ func TestSchemesOcean(t *testing.T) {
 		}
 		return m
 	}
-	ref := mk().RunSerial()
+	ref := runSerial(t, mk())
 	t.Logf("serial: end=%d wall=%v", ref.EndTime, ref.Wall)
 	for _, s := range []Scheme{SchemeCC, SchemeQ10, SchemeL10, SchemeS9, SchemeS9x, SchemeS100, SchemeSU} {
 		m := mk()

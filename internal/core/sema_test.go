@@ -89,7 +89,7 @@ ring:  .space SLOTS*8
 // TestSemaphorePipeline runs the producer/consumer program under the
 // serial engine and all schemes; the sum 1..64 = 2080 must always emerge.
 func TestSemaphorePipeline(t *testing.T) {
-	ref := mustMachine(t, semaProg, smallConfig(2, ModelOoO)).RunSerial()
+	ref := runSerial(t, mustMachine(t, semaProg, smallConfig(2, ModelOoO)))
 	if ref.Aborted || ref.Output != "2080" {
 		t.Fatalf("serial: aborted=%v output=%q", ref.Aborted, ref.Output)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"slacksim/internal/cpu"
 	"slacksim/internal/event"
+	"slacksim/internal/faultinject"
 	"slacksim/internal/trace"
 )
 
@@ -19,8 +20,22 @@ import (
 // When every core reports a stalled cycle and the manager has nothing
 // eligible, the loop fast-forwards the global clock to the next scheduled
 // event — a pure function of simulator state, so determinism is preserved.
-func (m *Machine) RunSerial() *Result {
+// Like the parallel drivers, RunSerial contains panics: a failure inside
+// the loop (CPU model bug, ring overflow, audit violation) is returned as
+// a *SimError instead of crashing the caller.
+func (m *Machine) RunSerial() (*Result, error) {
 	start := time.Now()
+	func() {
+		defer m.containPanic(faultinject.Manager, "serial-loop")
+		m.runSerialLoop()
+	}()
+	if err := m.takeFault(); err != nil {
+		return nil, err
+	}
+	return m.result(time.Since(start)), nil
+}
+
+func (m *Machine) runSerialLoop() {
 	m.serialMode = true
 	m.scheme = SchemeCC
 	inboxes := make([][]event.Event, len(m.cores))
@@ -92,8 +107,16 @@ func (m *Machine) RunSerial() *Result {
 			next = top.Time + 1
 		}
 		if next == math.MaxInt64 || next <= t {
-			// True deadlock (workload bug): crawl until the MaxCycles
-			// abort fires.
+			if next == math.MaxInt64 && m.detectDeadlock() {
+				// Certain deadlock (workload bug): no future work anywhere
+				// and every live thread is blocked in the kernel. Fail now
+				// with forensics instead of crawling to MaxCycles.
+				m.aborted = true
+				m.setFault(&StallError{Deadlock: true, Report: m.snapshot(true, 0)})
+				break
+			}
+			// Transiently stalled: crawl until work appears or the
+			// MaxCycles abort fires.
 			continue
 		}
 		if next > m.cfg.MaxCycles {
@@ -107,7 +130,6 @@ func (m *Machine) RunSerial() *Result {
 		m.global.Store(t)
 		m.processConservative(t)
 	}
-	return m.result(time.Since(start))
 }
 
 // deliverInbox drains core i's InQ into its inbox and applies every event
@@ -119,6 +141,10 @@ func (m *Machine) deliverInbox(i int, inbox *[]event.Event, local int64) bool {
 	if len(*inbox) == 0 {
 		return false
 	}
+	var delays []faultinject.Fault
+	if m.fiDelay != nil {
+		delays = m.fiDelay[i]
+	}
 	delivered := false
 	kept := (*inbox)[:0]
 	for _, ev := range *inbox {
@@ -126,7 +152,16 @@ func (m *Machine) deliverInbox(i int, inbox *[]event.Event, local int64) bool {
 			kept = append(kept, ev)
 			continue
 		}
+		if delays != nil && delayHeld(delays, ev, local) {
+			kept = append(kept, ev)
+			continue
+		}
 		delivered = true
+		m.lastEvKind[i].v.Store(int64(ev.Kind))
+		m.lastEvTime[i].v.Store(ev.Time)
+		if m.audit != nil {
+			m.auditDelivery(i, ev, local)
+		}
 		if debugLate != nil && ev.Time < local {
 			mode := i
 			if m.serialMode {

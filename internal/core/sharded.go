@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"time"
@@ -39,20 +40,27 @@ type shardState struct {
 	mark []padded        // per-shard processed-through watermark
 }
 
-func newShardState(cfg Config) *shardState {
+func newShardState(cfg Config) (*shardState, error) {
 	s := &shardState{n: cfg.ManagerShards}
 	for i := 0; i < s.n; i++ {
-		s.l2 = append(s.l2, cache.NewL2System(cfg.Cache))
-		s.in = append(s.in, event.NewRing(cfg.RingCap*cfg.NumCores))
+		l2, err := cache.NewL2System(cfg.Cache)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s.l2 = append(s.l2, l2)
+		in := event.NewRing(cfg.RingCap * cfg.NumCores)
+		in.SetName(fmt.Sprintf("shardq.s%d", i))
+		s.in = append(s.in, in)
 		rings := make([]*event.Ring, cfg.NumCores)
 		for c := range rings {
 			rings[c] = event.NewRing(cfg.RingCap)
+			rings[c].SetName(fmt.Sprintf("shard%d.c%d", i, c))
 		}
 		s.out = append(s.out, rings)
 	}
 	s.gate = make([]padded, s.n)
 	s.mark = make([]padded, s.n)
-	return s
+	return s, nil
 }
 
 // shardOf returns the shard owning addr's bank.
@@ -75,12 +83,14 @@ func (m *Machine) runShardedManager(s Scheme) {
 
 	ad := adaptState{window: s.Window}
 	idleRounds := 0
+	quiet := 0
 	lastChange := time.Now()
 	lastGlobal := int64(-1)
 	mw := m.mgrTW
 	measure := m.met != nil
 	lastWindow := ad.window
 	lastBarrier := int64(0)
+	fi := newInjected(m.fiMgr)
 	for !m.done.Load() {
 		var t0 time.Time
 		if measure {
@@ -91,6 +101,9 @@ func (m *Machine) runShardedManager(s Scheme) {
 		// Min-before-drain, as in managerLoop: the bound must not pass
 		// events still in flight toward the queues.
 		g := m.minLocal()
+		if fi != nil {
+			applyPanicFaults(fi, g, "manager")
+		}
 		moved := m.drainAndRoute()
 		if g >= m.cfg.MaxCycles {
 			m.aborted = true
@@ -161,6 +174,17 @@ func (m *Machine) runShardedManager(s Scheme) {
 			m.met.windowSlides.Inc()
 		}
 
+		// Certain-deadlock detection, as in managerLoop: idle cores keep
+		// the global advancing, so the host-time watchdog below can never
+		// fire. After a run of event-free rounds, ask the kernel.
+		if moved || processed {
+			quiet = 0
+		} else if quiet++; quiet&511 == 0 && m.detectDeadlock() {
+			m.aborted = true
+			m.setFault(&StallError{Deadlock: true, Report: m.snapshot(true, 0)})
+			break
+		}
+
 		if moved || processed || changed || g != lastGlobal {
 			idleRounds = 0
 			lastGlobal = g
@@ -175,8 +199,11 @@ func (m *Machine) runShardedManager(s Scheme) {
 			runtime.Gosched()
 		}
 		if idleRounds&1023 == 0 && time.Since(lastChange) > m.stallTimeout() {
+			// Watchdog, as in managerLoop: capture forensics and surface
+			// a StallError rather than hang.
+			wait := time.Since(lastChange)
 			m.aborted = true
-			m.done.Store(true)
+			m.setFault(&StallError{Wait: wait, Report: m.snapshot(true, wait)})
 			break
 		}
 	}
@@ -228,8 +255,15 @@ func (m *Machine) shardWorker(sidx int) {
 		sw = m.shardTW[sidx]
 	}
 	measure := m.met != nil
+	var fi *injected
+	if m.fiShard != nil {
+		fi = newInjected(m.fiShard[sidx])
+	}
 	for !m.done.Load() {
 		allowed := sh.gate[sidx].v.Load()
+		if fi != nil {
+			applyPanicFaults(fi, allowed, fmt.Sprintf("shard-worker %d", sidx))
+		}
 		drainBuf = sh.in[sidx].PopBatch(drainBuf[:0])
 		for j := range drainBuf {
 			gq.Push(drainBuf[j])

@@ -43,7 +43,7 @@ func TestShardedConservativeExact(t *testing.T) {
 	}
 	for _, shards := range []int{2, 4} {
 		shards := shards
-		ref := shardedMachine(t, prog, w, 4, shards).RunSerial()
+		ref := runSerial(t, shardedMachine(t, prog, w, 4, shards))
 		if ref.Aborted {
 			t.Fatal("serial reference aborted")
 		}
@@ -80,7 +80,7 @@ func TestShardedOptimistic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := shardedMachine(t, prog, w, 4, 2).RunSerial()
+	ref := runSerial(t, shardedMachine(t, prog, w, 4, 2))
 	m := shardedMachine(t, prog, w, 4, 2)
 	res, err := m.RunParallel(SchemeSU)
 	if err != nil {
@@ -104,7 +104,7 @@ func TestShardedThreads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := shardedMachine(t, prog, nil, 4, 2).RunSerial()
+	ref := runSerial(t, shardedMachine(t, prog, nil, 4, 2))
 	for _, s := range []Scheme{SchemeCC, SchemeS9x, SchemeS9, SchemeSU} {
 		m := shardedMachine(t, prog, nil, 4, 2)
 		res, err := m.RunParallel(s)

@@ -102,7 +102,7 @@ func TestThreadsSerial(t *testing.T) {
 	for _, model := range []CoreModel{ModelInOrder, ModelOoO} {
 		for _, n := range []int{1, 2, 4, 8} {
 			m := mustMachine(t, threadsProg, smallConfig(n, model))
-			res := m.RunSerial()
+			res := runSerial(t, m)
 			if res.Aborted {
 				t.Fatalf("model %d n=%d: aborted at %d", model, n, res.EndTime)
 			}
@@ -140,7 +140,7 @@ func TestThreadsParallelAllSchemes(t *testing.T) {
 // windows no larger than the critical latency, the conservative schemes
 // (CC, Q10, L10, S9*) produce exactly the serial cycle count.
 func TestConservativeSchemesExact(t *testing.T) {
-	ref := mustMachine(t, threadsProg, smallConfig(4, ModelOoO)).RunSerial()
+	ref := runSerial(t, mustMachine(t, threadsProg, smallConfig(4, ModelOoO)))
 	if ref.Aborted {
 		t.Fatal("reference aborted")
 	}

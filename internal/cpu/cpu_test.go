@@ -76,13 +76,25 @@ func newBenchTB(t fataler, src string, inorder bool) *bench {
 		CacheCfg: cache.DefaultConfig(1),
 		Send:     func(ev event.Event) { b.sent = append(b.sent, ev) },
 	}
-	if inorder {
-		b.core = NewInOrder(DefaultConfig(), env)
-	} else {
-		b.core = NewOoO(DefaultConfig(), env)
-	}
+	b.core = mustCore(inorder, env)
 	b.core.Start(prog.Entry, 3<<20, 0)
 	return b
+}
+
+// mustCore builds a core from the default config, panicking on the
+// (impossible for DefaultConfig) geometry error.
+func mustCore(inorder bool, env Env) Core {
+	var c Core
+	var err error
+	if inorder {
+		c, err = NewInOrder(DefaultConfig(), env)
+	} else {
+		c, err = NewOoO(DefaultConfig(), env)
+	}
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // manager answers pending requests.

@@ -45,16 +45,25 @@ const (
 	ioWaitSyscall
 )
 
-// NewInOrder builds an in-order core.
-func NewInOrder(cfg Config, env Env) *InOrder {
+// NewInOrder builds an in-order core. A bad cache geometry is reported as
+// an error so machine construction fails fast instead of panicking.
+func NewInOrder(cfg Config, env Env) (*InOrder, error) {
+	l1d, err := cache.NewL1(env.CacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := cache.NewL1(env.CacheCfg)
+	if err != nil {
+		return nil, err
+	}
 	return &InOrder{
 		cfg:     cfg,
 		env:     env,
-		l1d:     cache.NewL1(env.CacheCfg),
-		l1i:     cache.NewL1(env.CacheCfg),
+		l1d:     l1d,
+		l1i:     l1i,
 		pd:      newPredecode(&env),
 		retryAt: -1,
-	}
+	}, nil
 }
 
 // ID implements Core.

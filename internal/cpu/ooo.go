@@ -202,13 +202,22 @@ type mshr struct {
 	store   bool    // the committed-store drain head waits on this line
 }
 
-// NewOoO builds an out-of-order core.
-func NewOoO(cfg Config, env Env) *OoO {
+// NewOoO builds an out-of-order core. A bad cache geometry is reported as
+// an error so machine construction fails fast instead of panicking.
+func NewOoO(cfg Config, env Env) (*OoO, error) {
+	l1d, err := cache.NewL1(env.CacheCfg)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := cache.NewL1(env.CacheCfg)
+	if err != nil {
+		return nil, err
+	}
 	c := &OoO{
 		cfg:  cfg,
 		env:  env,
-		l1d:  cache.NewL1(env.CacheCfg),
-		l1i:  cache.NewL1(env.CacheCfg),
+		l1d:  l1d,
+		l1i:  l1i,
 		pred: newPredictor(&cfg),
 		pd:   newPredecode(&env),
 
@@ -233,7 +242,7 @@ func NewOoO(cfg Config, env Env) *OoO {
 		c.ckptFree = append(c.ckptFree, i)
 	}
 	c.resetRename()
-	return c
+	return c, nil
 }
 
 func (c *OoO) resetRename() {

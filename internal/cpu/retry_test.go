@@ -30,12 +30,7 @@ func TestSyscallRetryProtocol(t *testing.T) {
 		for i, in := range prog {
 			env.Mem.StoreWord(0x1000+uint64(i)*8, in.Encode())
 		}
-		var c Core
-		if inorder {
-			c = NewInOrder(DefaultConfig(), env)
-		} else {
-			c = NewOoO(DefaultConfig(), env)
-		}
+		c := mustCore(inorder, env)
 		c.Start(0x1000, 1<<19, 0)
 
 		now := int64(0)

@@ -23,6 +23,13 @@ type Ring struct {
 	// before the simulation starts; the observer must be safe for calls
 	// from the producer goroutine.
 	depth DepthObserver
+
+	// name identifies the ring in overflow diagnostics ("outq.c3").
+	name string
+	// highWater and pushes are producer-owned occupancy accounting,
+	// reported by OverflowError when MustPush fails.
+	highWater int64
+	pushes    int64
 }
 
 // DepthObserver receives post-Push queue depths (metrics.Histogram
@@ -47,6 +54,13 @@ func NewRing(capacity int) *Ring {
 	return &Ring{slots: make([]Event, n), mask: int64(n - 1)}
 }
 
+// SetName labels the ring for overflow diagnostics. Must be set before
+// the simulation starts.
+func (r *Ring) SetName(name string) { r.name = name }
+
+// Name returns the diagnostic label set with SetName.
+func (r *Ring) Name() string { return r.name }
+
 // Cap returns the ring capacity.
 func (r *Ring) Cap() int { return len(r.slots) }
 
@@ -57,24 +71,79 @@ func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
 // Push enqueues ev. It returns false when the ring is full.
 func (r *Ring) Push(ev Event) bool {
 	t := r.tail.Load()
-	if t-r.head.Load() >= int64(len(r.slots)) {
+	h := r.head.Load()
+	if t-h >= int64(len(r.slots)) {
 		return false
 	}
 	r.slots[t&r.mask] = ev
 	r.tail.Store(t + 1) // release: slot write is visible before the new tail
+	r.pushes++
+	if d := t + 1 - h; d > r.highWater {
+		r.highWater = d
+	}
 	if r.depth != nil {
 		r.depth.Observe(t + 1 - r.head.Load())
 	}
 	return true
 }
 
-// MustPush enqueues ev and panics if the ring is full. Ring capacities are
-// sized above the architectural bound on outstanding requests (MSHRs +
-// fetch + one syscall), so overflow indicates a simulator bug, not load.
+// OverflowError is the panic payload of a MustPush on a full ring. The
+// engine's containment layer recovers it into a *core.SimError so the host
+// process survives with the ring's identity and occupancy history intact.
+type OverflowError struct {
+	// Ring is the diagnostic name set with SetName ("outq.c3").
+	Ring string `json:"ring"`
+	// Cap is the ring capacity and HighWater the maximum occupancy ever
+	// observed after a push (== Cap at overflow, by construction, but kept
+	// separately in case the overflow path is raised by hand).
+	Cap       int   `json:"cap"`
+	HighWater int64 `json:"high_water"`
+	// Pushes is the total number of successful pushes before the overflow.
+	Pushes int64 `json:"pushes"`
+	// Pending is the event that could not be enqueued.
+	Pending Event `json:"pending"`
+	// Oldest holds the head of the queue at overflow (up to 8 entries),
+	// the events the consumer had not yet drained.
+	Oldest []Event `json:"oldest,omitempty"`
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("event: ring %q overflow (cap %d, %d pushes, high-water %d): dropping %v event t=%d for core %d",
+		e.Ring, e.Cap, e.Pushes, e.HighWater, e.Pending.Kind, e.Pending.Time, e.Pending.Core)
+}
+
+// MustPush enqueues ev and panics with an *OverflowError if the ring is
+// full. Ring capacities are sized above the architectural bound on
+// outstanding requests (MSHRs + fetch + one syscall), so overflow indicates
+// a simulator bug, not load; the engine recovers the panic into a contained
+// SimError instead of crashing the host.
 func (r *Ring) MustPush(ev Event) {
 	if !r.Push(ev) {
-		panic(fmt.Sprintf("event ring overflow (cap %d): dropping %v event", len(r.slots), ev.Kind))
+		panic(r.overflow(ev))
 	}
+}
+
+// overflow builds the diagnostic payload for a failed push. Reading the
+// queued slots from the producer is safe: only the producer writes slots,
+// and the consumer at worst advances head past entries we copy (a stale
+// but consistent snapshot).
+func (r *Ring) overflow(ev Event) *OverflowError {
+	name := r.name
+	if name == "" {
+		name = "ring"
+	}
+	oe := &OverflowError{
+		Ring:      name,
+		Cap:       len(r.slots),
+		HighWater: r.highWater,
+		Pushes:    r.pushes,
+		Pending:   ev,
+	}
+	h, t := r.head.Load(), r.tail.Load()
+	for ; h < t && len(oe.Oldest) < 8; h++ {
+		oe.Oldest = append(oe.Oldest, r.slots[h&r.mask])
+	}
+	return oe
 }
 
 // Peek returns a copy of the oldest event without consuming it.

@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"slacksim/internal/event"
+)
+
+func TestFaultTargetEncoding(t *testing.T) {
+	for s := 0; s < 4; s++ {
+		id := ShardWorker(s)
+		if id >= 0 {
+			t.Fatalf("ShardWorker(%d) = %d, want negative", s, id)
+		}
+		got, ok := IsShard(id)
+		if !ok || got != s {
+			t.Fatalf("IsShard(ShardWorker(%d)) = %d,%v", s, got, ok)
+		}
+	}
+	if _, ok := IsShard(Manager); ok {
+		t.Error("Manager decoded as a shard worker")
+	}
+	if _, ok := IsShard(0); ok {
+		t.Error("core 0 decoded as a shard worker")
+	}
+}
+
+func TestFaultMatches(t *testing.T) {
+	all := Fault{Kind: DelayDelivery, Dur: 1}
+	if !all.Matches(event.KInv) || !all.Matches(event.KFill) {
+		t.Error("empty filter must match everything")
+	}
+	inv := Fault{Kind: DelayDelivery, Dur: 1, EvKinds: []event.Kind{event.KInv}}
+	if !inv.Matches(event.KInv) || inv.Matches(event.KFill) {
+		t.Error("filter not honoured")
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	good := []Fault{
+		{Kind: Panic, Core: 0},
+		{Kind: Panic, Core: Manager},
+		{Kind: Panic, Core: ShardWorker(1)},
+		{Kind: Stall, Core: 3},
+		{Kind: RingFlood, Core: 0, At: 100},
+		{Kind: ClockWarp, Core: 0, At: 100, Dur: 10},
+		{Kind: DelayDelivery, Core: 0, Dur: 5},
+	}
+	for _, f := range good {
+		if err := f.Validate(4, 2); err != nil {
+			t.Errorf("%v rejected: %v", f, err)
+		}
+	}
+	bad := []Fault{
+		{Kind: Panic, Core: 4},                  // core out of range
+		{Kind: Panic, Core: ShardWorker(2)},     // shard out of range
+		{Kind: Stall, Core: Manager},            // manager is panic-only
+		{Kind: ClockWarp, Core: ShardWorker(0)}, // shards are panic-only
+		{Kind: ClockWarp, Core: 0},              // missing Dur
+		{Kind: DelayDelivery, Core: 0},          // missing Dur
+	}
+	for _, f := range bad {
+		if err := f.Validate(4, 2); err == nil {
+			t.Errorf("%v accepted", f)
+		}
+	}
+}
+
+func TestFaultPlanIsImmutable(t *testing.T) {
+	src := []Fault{{Kind: Panic, Core: 1, At: 7}}
+	p := NewPlan(src...)
+	src[0].Core = 99
+	if got := p.Faults(); got[0].Core != 1 {
+		t.Fatalf("plan aliased caller slice: %+v", got)
+	}
+	out := p.Faults()
+	out[0].Core = 42
+	if p.Faults()[0].Core != 1 {
+		t.Fatal("Faults() exposed internal storage")
+	}
+	var nilPlan *Plan
+	if nilPlan.Faults() != nil {
+		t.Error("nil plan returned faults")
+	}
+	if err := nilPlan.Validate(1, 0); err != nil {
+		t.Errorf("nil plan failed validation: %v", err)
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	for _, k := range []Kind{Panic, Stall, RingFlood, ClockWarp, DelayDelivery} {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("Kind(%d).String() = %q", int(k), s)
+		}
+	}
+	if s := Kind(99).String(); s != "kind(99)" {
+		t.Errorf("unknown kind = %q", s)
+	}
+}

@@ -185,14 +185,14 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 		var res *core.Result
 		start := time.Now()
 		if hostCores == 0 {
-			res = m.RunSerial()
+			res, err = m.RunSerial()
 		} else {
 			prev := runtime.GOMAXPROCS(hostCores)
 			res, err = m.RunParallel(scheme)
 			runtime.GOMAXPROCS(prev)
-			if err != nil {
-				return nil, err
-			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%v: %w", name, scheme, err)
 		}
 		res.Wall = time.Since(start)
 		if res.Aborted {

@@ -18,6 +18,7 @@ package sysemu
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 
@@ -211,6 +212,132 @@ func KernelImage(im *loader.Image) *Image {
 		StackTop:  im.StackTop,
 		LoadByte:  im.Mem.Load8,
 	}
+}
+
+// Forensics is a structured snapshot of the kernel's scheduling state:
+// which cores run workload threads, who holds every lock, and who is
+// queued on each synchronisation object. The engine's stall watchdog
+// attaches it to StallReports so a deadlocked run names the held-lock
+// owner instead of just hanging. Like every Kernel method it must be
+// invoked by the goroutine that owns the kernel (the simulation manager,
+// or any goroutine once the run has ended).
+type Forensics struct {
+	Threads  []ThreadInfo  `json:"threads"`
+	Locks    []LockInfo    `json:"locks,omitempty"`
+	Barriers []BarrierInfo `json:"barriers,omitempty"`
+	Semas    []SemaInfo    `json:"semaphores,omitempty"`
+	// TimeWarps and LockMismatch mirror the kernel's violation counters.
+	TimeWarps    int64 `json:"time_warps"`
+	LockMismatch int64 `json:"lock_mismatch"`
+}
+
+// ThreadInfo is one core's kernel-side thread state.
+type ThreadInfo struct {
+	Core   int  `json:"core"`
+	Busy   bool `json:"busy"`   // running a workload thread
+	Exited bool `json:"exited"` // thread on this core has exited
+}
+
+// LockInfo is one emulated lock's state. Owner is -1 when free.
+type LockInfo struct {
+	Addr    uint64 `json:"addr"`
+	Owner   int    `json:"owner"`
+	Waiters []int  `json:"waiters,omitempty"`
+}
+
+// BarrierInfo is one emulated barrier's state.
+type BarrierInfo struct {
+	Addr    uint64 `json:"addr"`
+	N       int64  `json:"n"`
+	Count   int64  `json:"count"`
+	Waiters []int  `json:"waiters,omitempty"`
+}
+
+// SemaInfo is one emulated semaphore's state.
+type SemaInfo struct {
+	Addr    uint64 `json:"addr"`
+	Value   int64  `json:"value"`
+	Waiters []int  `json:"waiters,omitempty"`
+}
+
+// Forensics captures the kernel's current scheduling state. Object lists
+// are sorted by address so reports are deterministic.
+func (k *Kernel) Forensics() Forensics {
+	f := Forensics{
+		TimeWarps:    k.TimeWarps,
+		LockMismatch: k.LockMismatch,
+	}
+	for i := 0; i < k.numCores; i++ {
+		f.Threads = append(f.Threads, ThreadInfo{Core: i, Busy: k.coreBusy[i], Exited: k.coreExited[i]})
+	}
+	for _, addr := range sortedKeys(k.locks) {
+		l := k.locks[addr]
+		f.Locks = append(f.Locks, LockInfo{Addr: addr, Owner: l.owner, Waiters: append([]int(nil), l.waiters...)})
+	}
+	for _, addr := range sortedKeys(k.barriers) {
+		b := k.barriers[addr]
+		f.Barriers = append(f.Barriers, BarrierInfo{Addr: addr, N: b.n, Count: b.count, Waiters: append([]int(nil), b.waiters...)})
+	}
+	for _, addr := range sortedKeys(k.semas) {
+		s := k.semas[addr]
+		f.Semas = append(f.Semas, SemaInfo{Addr: addr, Value: s.value, Waiters: append([]int(nil), s.waiters...)})
+	}
+	return f
+}
+
+// Deadlocked reports a certain deadlock: at least one workload thread is
+// live, and every live thread is queued on a kernel synchronisation object
+// (lock, barrier, semaphore, or join). Releases happen only through system
+// calls of running threads, so once this holds — and the engine has
+// verified no grant is still in flight through the event queues — no
+// future action can unblock anyone. A thread whose grant was already
+// issued has been removed from its waiter list, so an in-flight wake-up
+// never reads as deadlock. Like every Kernel method, manager-owned.
+func (k *Kernel) Deadlocked() bool {
+	if k.exited {
+		return false
+	}
+	blocked := make(map[int]bool)
+	for _, l := range k.locks {
+		for _, c := range l.waiters {
+			blocked[c] = true
+		}
+	}
+	for _, b := range k.barriers {
+		for _, c := range b.waiters {
+			blocked[c] = true
+		}
+	}
+	for _, s := range k.semas {
+		for _, c := range s.waiters {
+			blocked[c] = true
+		}
+	}
+	for _, js := range k.joiners {
+		for _, c := range js {
+			blocked[c] = true
+		}
+	}
+	live := 0
+	for i := 0; i < k.numCores; i++ {
+		if !k.coreBusy[i] || k.coreExited[i] {
+			continue
+		}
+		live++
+		if !blocked[i] {
+			return false
+		}
+	}
+	return live > 0
+}
+
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // Exited reports whether SysExit has been called, and with what code.

@@ -26,7 +26,7 @@ func TestExactnessStress(t *testing.T) {
 		var r *core.Result
 		var err error
 		if serial {
-			r = m.RunSerial()
+			r = runSerial(t, m)
 		} else {
 			r, err = m.RunParallel(scheme)
 			if err != nil {

@@ -32,6 +32,17 @@ func machineFor(t *testing.T, w *Workload, threads, scale int) *core.Machine {
 	return m
 }
 
+// runSerial drives the serial reference, failing the test on a contained
+// fault.
+func runSerial(t testing.TB, m *core.Machine) *core.Result {
+	t.Helper()
+	res, err := m.RunSerial()
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	return res
+}
+
 // TestConservativeExactAcrossWorkloads is the strongest correctness claim
 // in the repository: for every benchmark, the parallel engine under the
 // oldest-first bounded-slack scheme (window 9 < critical latency 10)
@@ -44,7 +55,7 @@ func TestConservativeExactAcrossWorkloads(t *testing.T) {
 	for _, w := range All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			ref := machineFor(t, w, 4, 1).RunSerial()
+			ref := runSerial(t, machineFor(t, w, 4, 1))
 			if ref.Aborted {
 				t.Fatal("serial reference aborted")
 			}
@@ -76,7 +87,7 @@ func TestOptimisticCorrectAcrossWorkloads(t *testing.T) {
 	for _, w := range All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			ref := machineFor(t, w, 4, 1).RunSerial()
+			ref := runSerial(t, machineFor(t, w, 4, 1))
 			m := machineFor(t, w, 4, 1)
 			res, err := m.RunParallel(core.SchemeSU)
 			if err != nil {
@@ -104,7 +115,7 @@ func TestWorkloadScale2(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := machineFor(t, w, 4, 2)
-	res := m.RunSerial()
+	res := runSerial(t, m)
 	if res.Aborted {
 		t.Fatal("aborted")
 	}
@@ -125,7 +136,7 @@ func TestWorkloadOddThreadCount(t *testing.T) {
 			t.Fatal(err)
 		}
 		m := machineFor(t, w, 3, 1)
-		res := m.RunSerial()
+		res := runSerial(t, m)
 		if res.Aborted {
 			t.Fatalf("%s aborted", name)
 		}

@@ -37,7 +37,7 @@ func runWorkload(t *testing.T, name string, threads int, model core.CoreModel, s
 	if err := w.Init(m.Image(), scale); err != nil {
 		t.Fatalf("%s: init: %v", name, err)
 	}
-	res := m.RunSerial()
+	res := runSerial(t, m)
 	if res.Aborted {
 		t.Fatalf("%s: aborted at %d cycles (output %q)", name, res.EndTime, res.Output)
 	}
