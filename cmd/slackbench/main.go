@@ -26,11 +26,12 @@ func main() {
 	var (
 		table2    = flag.Bool("table2", false, "reproduce Table 2 (benchmarks + baseline KIPS)")
 		figure8   = flag.Bool("figure8", false, "reproduce Figure 8 (speedup sweep + harmonic means + derived claims)")
+		figure9   = flag.Bool("figure9", false, "reproduce Figures 9-10 (KIPS and scale-up by host-core count)")
 		table3    = flag.Bool("table3", false, "reproduce Table 3 (relative execution-time errors)")
 		all       = flag.Bool("all", false, "run every experiment")
 		wls       = flag.String("workloads", "", "comma-separated workloads (default: the paper's four)")
 		schemes   = flag.String("schemes", "", "comma-separated schemes (default: CC,Q10,L10,S9,S9*,S100,SU)")
-		hostCores = flag.String("hostcores", "", "comma-separated host-core counts (default: 2,4,8 clipped to this host)")
+		hostCores = flag.String("hostcores", "", "comma-separated host-core counts (default: 1 plus 2,4,8 clipped to this host)")
 		scale     = flag.Int("scale", 1, "workload input scale factor")
 		cores     = flag.Int("cores", 8, "target CMP cores")
 		repeat    = flag.Int("repeat", 1, "repetitions per configuration (best wall time kept)")
@@ -44,10 +45,10 @@ func main() {
 	flag.Parse()
 
 	if *all {
-		*table2, *figure8, *table3 = true, true, true
+		*table2, *figure8, *figure9, *table3 = true, true, true, true
 	}
-	if !*table2 && !*figure8 && !*table3 && !*breakdown {
-		fmt.Fprintln(os.Stderr, "slackbench: nothing to do; pass -table2, -figure8, -table3, -breakdown, or -all")
+	if !*table2 && !*figure8 && !*figure9 && !*table3 && !*breakdown {
+		fmt.Fprintln(os.Stderr, "slackbench: nothing to do; pass -table2, -figure8, -figure9, -table3, -breakdown, or -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -95,6 +96,7 @@ func main() {
 		TargetCores: ro.TargetCores,
 		HostCores:   ro.HostCores,
 		Scale:       ro.Scale,
+		Host:        harness.CollectHostInfo(),
 	}
 	if *table2 {
 		rows, err := r.Table2Data()
@@ -111,6 +113,14 @@ func main() {
 			fatal(err)
 		}
 		report.Figure8 = data
+		fmt.Println()
+	}
+	if *figure9 {
+		data, err := r.Figure9(os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		report.Figure9 = data
 		fmt.Println()
 	}
 	if *table3 {

@@ -99,7 +99,13 @@ func TestBatchedSteppingDeterminism(t *testing.T) {
 		return o
 	}
 
-	for _, s := range []Scheme{SchemeCC, SchemeQ10, SchemeL10, SchemeS9x} {
+	// The prime-window Quantum scheme stresses the unified barrier
+	// detection: with batched stepping the global time crosses window
+	// boundaries without landing on multiples of 7, so any reversion to the
+	// old g%Window == 0 equality check would skip barriers and diverge (or
+	// stall) here.
+	q7 := Scheme{Kind: Quantum, Window: 7}
+	for _, s := range []Scheme{SchemeCC, SchemeQ10, q7, SchemeL10, SchemeS9x} {
 		batched := run(false, s)
 		single := run(true, s)
 		if batched.endTime != single.endTime {

@@ -445,7 +445,7 @@ func (m *Machine) applyCoreFaults(i int, inj *injected, local *int64) bool {
 				nl = 0
 			}
 			*local = nl
-			m.local[i].v.Store(nl)
+			m.publishLocal(i, nl)
 			restart = true
 		}
 	}

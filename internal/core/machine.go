@@ -141,6 +141,13 @@ type padded struct {
 	_ [7]int64
 }
 
+// paddedU64 is a cache-line-padded atomic bitmap word (the dirty-OutQ set:
+// one bit per core, one word per 64 cores).
+type paddedU64 struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
 // Machine is an instantiated target system ready to simulate. A Machine is
 // single-use: build one per simulation run.
 type Machine struct {
@@ -173,6 +180,23 @@ type Machine struct {
 	global      atomic.Int64
 	done        atomic.Bool
 	roiTime     atomic.Int64 // simulated time the ROI began (-1 until then)
+
+	// lt is the tournament min-tree over the cores' effective local times
+	// (see mintree.go): cores update their leaf on clock publication, the
+	// manager reads the root in O(1) instead of scanning N clocks.
+	lt *minTree
+	// outDirty marks OutQs that received a push since the manager's last
+	// drain (one bit per core), so the drain touches only active rings.
+	outDirty []paddedU64
+	// mgrEpoch counts core-side activity (clock publications, OutQ pushes,
+	// kernel grants); the manager records it at the start of a round and
+	// parks when a round was idle and the epoch did not move. mgrParked
+	// flags a manager waiting on mgrWake so the bump path can skip the
+	// channel when the manager is running (same Dekker pattern as the
+	// cores' parked/frozen flags).
+	mgrEpoch  padded
+	mgrParked atomic.Int32
+	mgrWake   chan struct{}
 
 	gq evHeap
 	// lastProcGlobal is the bound of the previous conservative processing
@@ -226,6 +250,13 @@ type Machine struct {
 	// drainBuf is the manager-side reusable buffer for Ring.PopBatch
 	// (manager goroutine only).
 	drainBuf []event.Event
+
+	// notifyPend/notifyBatch implement the manager's per-round notify
+	// coalescing (manager goroutine only; see deferNotify): one bit per
+	// core with a pending InQ push this processing pass, flushed as one
+	// notifyCore each after the pass.
+	notifyPend  []uint64
+	notifyBatch bool
 
 	// Per-core engine-level counters.
 	waitCycles []int64 // simulated cycles spent blocked at the window edge
@@ -292,6 +323,10 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 		waitCycles:  make([]int64, cfg.NumCores),
 		lastEvKind:  make([]padded, cfg.NumCores),
 		lastEvTime:  make([]padded, cfg.NumCores),
+		lt:          newMinTree(cfg.NumCores),
+		outDirty:    make([]paddedU64, (cfg.NumCores+63)/64),
+		notifyPend:  make([]uint64, (cfg.NumCores+63)/64),
+		mgrWake:     make(chan struct{}, 1),
 	}
 	m.roiTime.Store(-1)
 	if cfg.Audit {
@@ -306,7 +341,15 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 			ID:       i,
 			Mem:      img.Mem,
 			CacheCfg: cfg.Cache,
-			Send:     m.outQ[i].MustPush,
+			// Push, then mark the ring dirty, then bump the manager's wake
+			// epoch — in that order, so a dirty bit cleared by the
+			// manager's swap always implies the event was drained, and a
+			// parked manager is woken only after the work is visible.
+			Send: func(ev event.Event) {
+				m.outQ[i].MustPush(ev)
+				m.markOutDirty(i)
+				m.bumpMgrEpoch()
+			},
 			TextBase: prog.TextBase,
 			TextEnd:  prog.TextEnd(),
 		}
@@ -340,7 +383,13 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 		})
 		m.resumeFloor[core].v.Store(grantAt)
 		m.blocked[core].v.Store(0)
-		m.notifyCore(core)
+		// Rejoin the min-tree at the resume floor. Notify runs on the
+		// manager goroutine (inside a processing pass), so the leaf is
+		// exact — lowered from the blocked sentinel to the grant time —
+		// before the manager's next globalMin read, which keeps the global
+		// time from racing past the core's resume point.
+		m.refreshMinLeaf(core)
+		m.deferNotify(core)
 	}
 	if cfg.ManagerShards > 1 {
 		sh, err := newShardState(cfg)

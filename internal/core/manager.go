@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"slacksim/internal/cache"
 	"slacksim/internal/event"
@@ -69,7 +70,9 @@ func SetDebugProcess(fn func(string)) {
 
 // drainOutQs moves all pending core requests into the GQ. Each OutQ is
 // drained in one PopBatch pass into a reusable buffer. Returns whether
-// anything moved.
+// anything moved. This is the full O(N) scan — the final-drain and
+// serial-driver fallback; the manager hot loops drain through the dirty
+// set instead (drainDirtyOutQs).
 func (m *Machine) drainOutQs() bool {
 	moved := false
 	for i := range m.outQ {
@@ -78,6 +81,52 @@ func (m *Machine) drainOutQs() bool {
 			m.gq.Push(m.drainBuf[j])
 		}
 		moved = moved || len(m.drainBuf) > 0
+	}
+	return moved
+}
+
+// markOutDirty records that core i's OutQ received a push since the
+// manager's last drain: one bit per core in a per-64-core atomic word.
+// Called by the core-side push path after the ring write. The
+// already-set fast path keeps a streak of pushes to the same ring at one
+// extra atomic load each; only the first push of a round pays the CAS.
+func (m *Machine) markOutDirty(i int) {
+	w := &m.outDirty[i>>6].v
+	bit := uint64(1) << uint(i&63)
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// drainDirtyOutQs drains only the OutQs that actually received requests
+// since the last round: each dirty word is atomically swapped to zero and
+// the set bits' rings drained. O(dirty), not O(N).
+//
+// No event is ever stranded: a push stores the ring slot and tail before
+// setting the dirty bit, and the manager swaps the bit before reading the
+// tail — so in the total order of atomic operations, a bit cleared by the
+// swap implies the corresponding push's tail store precedes the drain's
+// tail load, and the event is consumed; a push whose bit-set follows the
+// swap leaves its bit for the next round.
+func (m *Machine) drainDirtyOutQs() bool {
+	moved := false
+	for w := range m.outDirty {
+		set := m.outDirty[w].v.Swap(0)
+		for set != 0 {
+			i := w<<6 | bits.TrailingZeros64(set)
+			set &= set - 1
+			m.drainBuf = m.outQ[i].PopBatch(m.drainBuf[:0])
+			for j := range m.drainBuf {
+				m.gq.Push(m.drainBuf[j])
+			}
+			moved = moved || len(m.drainBuf) > 0
+		}
 	}
 	return moved
 }
@@ -142,8 +191,43 @@ func (m *Machine) processEvent(ev event.Event) {
 func (m *Machine) processMem(ev event.Event) {
 	m.processMemVia(m.l2, func(core int, out event.Event) {
 		m.inQ[core].MustPush(out)
-		m.notifyCore(core)
+		m.deferNotify(core)
 	}, ev)
+}
+
+// deferNotify wakes core i for a freshly pushed reply — immediately, or,
+// inside a manager processing pass (beginNotifyBatch), by recording the
+// core in the pass's pending set so one notifyCore per core replaces one
+// per event. Deferring is safe: the reply is already in the ring, so a
+// core freezing between the push and the flush sees the event in its
+// final predicate check and never sleeps.
+func (m *Machine) deferNotify(core int) {
+	if m.notifyBatch {
+		m.notifyPend[core>>6] |= 1 << uint(core&63)
+		return
+	}
+	m.notifyCore(core)
+}
+
+// beginNotifyBatch starts coalescing deferNotify calls (manager goroutine
+// only; the shard workers keep per-push notifies on their own rings).
+func (m *Machine) beginNotifyBatch() { m.notifyBatch = true }
+
+// flushNotifyBatch issues the coalesced wake-ups and ends the batch.
+func (m *Machine) flushNotifyBatch() {
+	m.notifyBatch = false
+	for w := range m.notifyPend {
+		set := m.notifyPend[w]
+		if set == 0 {
+			continue
+		}
+		m.notifyPend[w] = 0
+		for set != 0 {
+			i := w<<6 | bits.TrailingZeros64(set)
+			set &= set - 1
+			m.notifyCore(i)
+		}
+	}
 }
 
 // processMemVia applies one memory-hierarchy request against the given
@@ -211,14 +295,14 @@ func (m *Machine) processSyscall(ev event.Event) {
 				Addr: eff.PC,
 				Aux:  eff.Arg,
 			})
-			m.notifyCore(eff.Core)
+			m.deferNotify(eff.Core)
 		case sysemu.EffectStopCore:
 			m.inQ[eff.Core].MustPush(event.Event{
 				Kind: event.KStop,
 				Core: int32(eff.Core),
 				Time: replyAt,
 			})
-			m.notifyCore(eff.Core)
+			m.deferNotify(eff.Core)
 		case sysemu.EffectEndSim:
 			m.endTime = ev.Time
 			m.exitCode = eff.Code
@@ -231,8 +315,12 @@ func (m *Machine) processSyscall(ev event.Event) {
 		// The kernel queued the caller; the grant arrives via Notify when
 		// another thread releases it. Until then the core's frozen clock
 		// must not hold back the global time (the releaser could never
-		// reach its releasing operation otherwise).
+		// reach its releasing operation otherwise). The leaf refresh
+		// installs the blocked sentinel in the min-tree; it runs on the
+		// manager goroutine, so the next globalMin read already excludes
+		// this core, exactly as the old minLocal scan did.
 		m.blocked[core].v.Store(1)
+		m.refreshMinLeaf(core)
 		return
 	}
 	m.inQ[core].MustPush(event.Event{
@@ -242,35 +330,11 @@ func (m *Machine) processSyscall(ev event.Event) {
 		Aux:  res.Ret,
 		Flag: res.Retry,
 	})
-	m.notifyCore(core)
+	m.deferNotify(core)
 }
 
-// minLocal computes the global time: the smallest local time of all core
-// threads (§2.1), excluding cores asleep in blocking system calls (their
-// clocks are frozen until the grant and would deadlock the releaser).
-// When every core is blocked the current global time is returned unchanged
-// (a workload deadlock; the watchdog eventually aborts).
-func (m *Machine) minLocal() int64 {
-	lo := int64(-1)
-	for i := range m.local {
-		if m.blocked[i].v.Load() != 0 {
-			continue
-		}
-		v := m.local[i].v.Load()
-		// A core granted out of a blocking wait counts at its resume time
-		// until its (possibly still frozen) clock catches up.
-		if f := m.resumeFloor[i].v.Load(); f > v {
-			v = f
-		}
-		if lo < 0 || v < lo {
-			lo = v
-		}
-	}
-	if lo < 0 {
-		return m.global.Load()
-	}
-	return lo
-}
+// (minLocal, the naive global-time scan, lives in mintree.go as the
+// tree's reference oracle; the managers read the tree root via globalMin.)
 
 // oldestPendingTime returns the timestamp of the oldest queued event, or
 // fallback when the GQ is empty (diagnostics; the Lookahead scheme no

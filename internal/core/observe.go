@@ -29,6 +29,7 @@ type engineMet struct {
 	barriers     *metrics.Counter   // engine.quantum.barriers
 	parks        *metrics.Counter   // engine.window.parks
 	freezes      *metrics.Counter   // engine.reply.freezes
+	mgrParks     *metrics.Counter   // engine.manager.parks
 	adaptResizes *metrics.Counter   // engine.adapt.resizes
 	slack        *metrics.Histogram // engine.slack.sample
 	gqDepth      *metrics.Histogram // engine.gq.depth
@@ -50,6 +51,7 @@ func (m *Machine) EnableMetrics(r *metrics.Registry) {
 		barriers:     r.Counter("engine.quantum.barriers"),
 		parks:        r.Counter("engine.window.parks"),
 		freezes:      r.Counter("engine.reply.freezes"),
+		mgrParks:     r.Counter("engine.manager.parks"),
 		adaptResizes: r.Counter("engine.adapt.resizes"),
 		slack:        r.Histogram("engine.slack.sample"),
 		gqDepth:      r.Histogram("engine.gq.depth"),

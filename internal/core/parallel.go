@@ -251,7 +251,7 @@ func (m *Machine) coreLoop(i int) {
 				break // optimistic: deliver the arrival promptly
 			}
 			if local&localPublishMask == 0 {
-				m.local[i].v.Store(local)
+				m.publishLocal(i, local)
 			}
 			if !st.ROIMarked && m.roiTime.Load() >= 0 {
 				c.MarkROI(local)
@@ -259,7 +259,7 @@ func (m *Machine) coreLoop(i int) {
 			progressed = c.Tick(local)
 			local++
 		}
-		m.local[i].v.Store(local)
+		m.publishLocal(i, local)
 		if progressed || delivered {
 			continue
 		}
@@ -327,7 +327,7 @@ func (m *Machine) coreLoop(i int) {
 			}
 			c.Skip(next - local)
 			local = next
-			m.local[i].v.Store(local)
+			m.publishLocal(i, local)
 		}
 	}
 }
@@ -424,18 +424,106 @@ func (m *Machine) wakeAll() {
 		m.freezeCond[i].Broadcast()
 		m.parkMu[i].Unlock()
 	}
+	m.wakeManager()
+}
+
+// bumpMgrEpoch publishes core-side activity to the manager: a clock
+// publication, an OutQ push, or a kernel grant. The epoch store comes
+// first so a manager checking the epoch before parking either sees the
+// bump (and stays up) or parks with the flag already visible to us — in
+// which case the channel send below wakes it. The Dekker pairing mirrors
+// parkCore/notifyCore.
+func (m *Machine) bumpMgrEpoch() {
+	m.mgrEpoch.v.Add(1)
+	if m.mgrParked.Load() != 0 {
+		m.wakeManager()
+	}
+}
+
+// wakeManager delivers a non-blocking wake token to a parked manager.
+func (m *Machine) wakeManager() {
+	select {
+	case m.mgrWake <- struct{}{}:
+	default:
+	}
+}
+
+// mgrIdleWait is the manager-side analogue of parkCore/freezeWait: after a
+// few idle rounds the manager spins briefly (with yields) and then parks
+// on its wake channel until core activity bumps the epoch — recovering a
+// host core whenever the machine is quiescent, instead of rescanning an
+// unchanged machine at host speed. The park is timed: the stall watchdog
+// and certain-deadlock detection must keep running even when no core will
+// ever bump the epoch again (a stalled or deadlocked workload is exactly
+// the case with no activity), so the caller gets a timedOut=true wake at
+// most timeout after parking and runs the health checks then.
+func (m *Machine) mgrIdleWait(epoch int64, timeout time.Duration) (timedOut bool) {
+	for s := 0; s < parkSpinIters; s++ {
+		if m.done.Load() || m.mgrEpoch.v.Load() != epoch {
+			return false
+		}
+		runtime.Gosched()
+	}
+	// Publish the waiter flag before the final epoch check: a concurrent
+	// bumper either sees the flag (and sends a wake token) or bumped before
+	// our check (and we see the new epoch). Sequentially consistent
+	// atomics on both sides make missing both impossible.
+	m.mgrParked.Store(1)
+	defer m.mgrParked.Store(0)
+	if m.done.Load() || m.mgrEpoch.v.Load() != epoch {
+		return false
+	}
+	if m.met != nil {
+		m.met.mgrParks.Inc()
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-m.mgrWake:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// mgrParkCeil caps the manager's escalating park timeout: long enough to
+// make a fully parked manager's background wake-ups negligible, short
+// enough that deadlock detection and the watchdog stay responsive.
+const mgrParkCeil = 10 * time.Millisecond
+
+// nextParkTimeout escalates the manager's park timeout from 100µs toward
+// the ceiling; productive rounds reset it.
+func nextParkTimeout(d *time.Duration) time.Duration {
+	switch {
+	case *d == 0:
+		*d = 100 * time.Microsecond
+	case *d < mgrParkCeil:
+		if *d *= 2; *d > mgrParkCeil {
+			*d = mgrParkCeil
+		}
+	}
+	return *d
 }
 
 // managerLoop is the simulation manager thread (§2.1): it consolidates the
 // OutQs into the GQ, advances the global time, makes requests globally
 // visible according to the scheme, and slides every core's window.
+//
+// Its per-round cost is proportional to activity, not core count: the
+// global-time candidate is the min-tree root (O(1); cores pay O(log N) on
+// publication), the drain touches only OutQs with new requests (the dirty
+// set), replies are pushed with one coalesced notify per core, and a
+// quiescent machine parks the manager on its wake channel (timed, so the
+// watchdog and deadlock detection never depend on the hot loop).
 func (m *Machine) managerLoop(s Scheme) {
 	conservative := s.Conservative()
 	var tracedLocals []int64
 	idleRounds := 0
 	quiet := 0
+	parkT := time.Duration(0)
 	lastChange := time.Now()
 	lastGlobal := int64(-1)
+	lastBarrier := int64(0)
 	ad := adaptState{window: s.Window}
 	mw := m.mgrTW
 	measure := m.met != nil
@@ -448,17 +536,22 @@ func (m *Machine) managerLoop(s Scheme) {
 		}
 		ps := mw.Begin()
 		evBefore := m.evProcessed
+		// The activity epoch is read first: any bump after this point keeps
+		// the manager from parking at the end of an idle round, so no
+		// activity between the reads below and the idle decision is lost.
+		epoch := m.mgrEpoch.v.Load()
 		// Snapshot the global-time candidate BEFORE draining: every event
 		// with a timestamp below this minimum was pushed before its core's
-		// clock passed it — and that store precedes this read — so the
-		// drain below is guaranteed to contain it. Draining first would
-		// let cores advance between the drain and the minimum, overstating
-		// the bound past events still sitting in their OutQs.
-		g := m.minLocal()
+		// clock passed it — the push precedes the core's leaf update in the
+		// total order of atomic operations, which precedes this root read —
+		// so the drain below is guaranteed to contain it. Draining first
+		// would let cores advance between the drain and the minimum,
+		// overstating the bound past events still sitting in their OutQs.
+		g := m.globalMin()
 		if fi != nil {
 			applyPanicFaults(fi, g, "manager")
 		}
-		moved := m.drainOutQs()
+		moved := m.drainDirtyOutQs()
 		if g >= m.cfg.MaxCycles {
 			m.aborted = true
 			m.done.Store(true)
@@ -466,6 +559,7 @@ func (m *Machine) managerLoop(s Scheme) {
 		}
 
 		var processed bool
+		m.beginNotifyBatch()
 		switch {
 		case s.Kind == Adaptive:
 			processed = m.processAllCounting(&ad)
@@ -480,14 +574,23 @@ func (m *Machine) managerLoop(s Scheme) {
 			}
 		case s.Kind == Quantum:
 			// Requests become visible only at the barrier (§3.1): when
-			// every thread has finished the quantum, i.e. the global time
-			// sits on a quantum boundary.
-			if g > 0 && g%s.Window == 0 {
-				processed = m.processConservative(g)
-				mw.Instant(trace.KBarrier, g)
-				if measure {
-					m.met.barriers.Inc()
+			// every thread has finished the quantum. The barrier is the
+			// last quantum boundary at or below the global time — computed
+			// by rounding down, as the sharded manager always did, never by
+			// testing g%Window == 0: batched stepping can move the global
+			// time across a boundary without ever landing on it, and the
+			// equality test would skip that barrier outright (see
+			// TestQuantumBarrierCrossedByJump).
+			if allowed := quantumBarrier(g, s.Window); allowed > 0 {
+				if allowed > lastBarrier {
+					lastBarrier = allowed
+					mw.Instant(trace.KBarrier, allowed)
+					if measure {
+						m.met.barriers.Inc()
+					}
 				}
+				processed = m.processConservative(allowed)
+				m.noteProcBound(allowed)
 			}
 		case conservative:
 			processed = m.processConservative(g)
@@ -495,6 +598,7 @@ func (m *Machine) managerLoop(s Scheme) {
 		default:
 			processed = m.processAll()
 		}
+		m.flushNotifyBatch()
 		if processed {
 			mw.Span(trace.KProcess, ps, m.evProcessed-evBefore)
 			mw.Count(trace.KQDepth, int64(m.gq.Len()))
@@ -545,6 +649,7 @@ func (m *Machine) managerLoop(s Scheme) {
 
 		if moved || processed || changed || g != lastGlobal {
 			idleRounds = 0
+			parkT = 0
 			lastGlobal = g
 			lastChange = time.Now()
 			if measure {
@@ -554,7 +659,25 @@ func (m *Machine) managerLoop(s Scheme) {
 		}
 		idleRounds++
 		if idleRounds > 4 {
-			runtime.Gosched()
+			// The round observed no activity and the epoch proves none
+			// arrived since it started: spin briefly, then park until a core
+			// publishes, pushes, or is granted. The park is timed (escalating
+			// toward mgrParkCeil) so the health checks below still run when
+			// no core will ever bump the epoch again — a stalled or
+			// deadlocked workload is exactly that case, and the watchdog must
+			// not depend on the manager hot-looping.
+			if m.mgrIdleWait(epoch, nextParkTimeout(&parkT)) {
+				if m.detectDeadlock() {
+					m.aborted = true
+					m.setFault(&StallError{Deadlock: true, Report: m.snapshot(true, 0)})
+					break
+				}
+				if wait := time.Since(lastChange); wait > m.stallTimeout() {
+					m.aborted = true
+					m.setFault(&StallError{Wait: wait, Report: m.snapshot(true, wait)})
+					break
+				}
+			}
 		}
 		if idleRounds&1023 == 0 && time.Since(lastChange) > m.stallTimeout() {
 			// Watchdog: the simulated time has not moved for a long host
@@ -568,6 +691,16 @@ func (m *Machine) managerLoop(s Scheme) {
 		}
 	}
 	m.wakeAll()
+}
+
+// quantumBarrier returns the last quantum boundary at or below the global
+// time g — the visibility point for the Quantum scheme. Rounding down (never
+// testing g%window == 0) is the load-bearing part: batched stepping can move
+// the global time across a boundary without landing on it, and an equality
+// test would skip that barrier's processing entirely (a liveness bug when a
+// request below the boundary is the only thing that can unblock a core).
+func quantumBarrier(g, window int64) int64 {
+	return g - g%window
 }
 
 func (m *Machine) stallTimeout() time.Duration {

@@ -76,7 +76,13 @@ func (m *Machine) runSerialLoop() {
 			}
 			m.local[i].v.Store(t + 1)
 		}
-		if m.drainOutQs() {
+		// The dirty-set drain works in serial mode too (Env.Send marks the
+		// bitmap), and skips the N-ring scan on the common no-request cycle.
+		// The min-tree is deliberately not consulted here: the serial global
+		// time is the loop induction variable, and paying the O(log N) leaf
+		// path per core per cycle would tax the reference run for a minimum
+		// it never reads.
+		if m.drainDirtyOutQs() {
 			anyProgress = true
 		}
 		t++

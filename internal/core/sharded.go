@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"time"
 
@@ -84,6 +85,7 @@ func (m *Machine) runShardedManager(s Scheme) {
 	ad := adaptState{window: s.Window}
 	idleRounds := 0
 	quiet := 0
+	parkT := time.Duration(0)
 	lastChange := time.Now()
 	lastGlobal := int64(-1)
 	mw := m.mgrTW
@@ -98,13 +100,17 @@ func (m *Machine) runShardedManager(s Scheme) {
 		}
 		ps := mw.Begin()
 		evBefore := m.evProcessed
+		// Epoch first, as in managerLoop: activity after this read keeps the
+		// manager from parking at the end of an idle round.
+		epoch := m.mgrEpoch.v.Load()
 		// Min-before-drain, as in managerLoop: the bound must not pass
-		// events still in flight toward the queues.
-		g := m.minLocal()
+		// events still in flight toward the queues. The min-tree root makes
+		// this O(1) instead of an O(N) clock scan.
+		g := m.globalMin()
 		if fi != nil {
 			applyPanicFaults(fi, g, "manager")
 		}
-		moved := m.drainAndRoute()
+		moved := m.drainAndRouteDirty()
 		if g >= m.cfg.MaxCycles {
 			m.aborted = true
 			m.done.Store(true)
@@ -112,11 +118,13 @@ func (m *Machine) runShardedManager(s Scheme) {
 		}
 
 		var processed bool
+		m.beginNotifyBatch()
 		if conservative {
 			allowed := g
 			if s.Kind == Quantum {
-				// Visibility only at quantum boundaries.
-				allowed = g - g%s.Window
+				// Visibility only at quantum boundaries (see quantumBarrier:
+				// round down, never test g%Window == 0).
+				allowed = quantumBarrier(g, s.Window)
 				if allowed > lastBarrier {
 					lastBarrier = allowed
 					mw.Instant(trace.KBarrier, allowed)
@@ -150,6 +158,7 @@ func (m *Machine) runShardedManager(s Scheme) {
 				processed = m.processAll()
 			}
 		}
+		m.flushNotifyBatch()
 		if processed {
 			mw.Span(trace.KProcess, ps, m.evProcessed-evBefore)
 			mw.Count(trace.KQDepth, int64(m.gq.Len()))
@@ -187,6 +196,7 @@ func (m *Machine) runShardedManager(s Scheme) {
 
 		if moved || processed || changed || g != lastGlobal {
 			idleRounds = 0
+			parkT = 0
 			lastGlobal = g
 			lastChange = time.Now()
 			if measure {
@@ -196,7 +206,21 @@ func (m *Machine) runShardedManager(s Scheme) {
 		}
 		idleRounds++
 		if idleRounds > 4 {
-			runtime.Gosched()
+			// Park as in managerLoop: timed, so the health checks still run
+			// when no core will ever bump the epoch again. The shard workers
+			// keep their own spin/yield loops; only the pacing thread parks.
+			if m.mgrIdleWait(epoch, nextParkTimeout(&parkT)) {
+				if m.detectDeadlock() {
+					m.aborted = true
+					m.setFault(&StallError{Deadlock: true, Report: m.snapshot(true, 0)})
+					break
+				}
+				if wait := time.Since(lastChange); wait > m.stallTimeout() {
+					m.aborted = true
+					m.setFault(&StallError{Wait: wait, Report: m.snapshot(true, wait)})
+					break
+				}
+			}
 		}
 		if idleRounds&1023 == 0 && time.Since(lastChange) > m.stallTimeout() {
 			// Watchdog, as in managerLoop: capture forensics and surface
@@ -211,22 +235,44 @@ func (m *Machine) runShardedManager(s Scheme) {
 }
 
 // drainAndRoute moves core requests to their processors: memory traffic to
-// the owning shard, system calls to the manager's own queue.
+// the owning shard, system calls to the manager's own queue. Full O(N)
+// scan — the final-drain fallback; the hot loop uses drainAndRouteDirty.
 func (m *Machine) drainAndRoute() bool {
 	moved := false
 	for i := range m.outQ {
-		m.drainBuf = m.outQ[i].PopBatch(m.drainBuf[:0])
-		for j := range m.drainBuf {
-			ev := m.drainBuf[j]
-			if ev.Kind == event.KSyscall {
-				m.gq.Push(ev)
-				continue
-			}
-			m.shards.in[m.shardOf(ev.Addr)].MustPush(ev)
-		}
-		moved = moved || len(m.drainBuf) > 0
+		moved = m.routeOutQ(i) || moved
 	}
 	return moved
+}
+
+// drainAndRouteDirty is drainAndRoute restricted to the dirty set: only
+// OutQs that received a push since the last round are touched (same
+// bitmap and no-stranding argument as drainDirtyOutQs).
+func (m *Machine) drainAndRouteDirty() bool {
+	moved := false
+	for w := range m.outDirty {
+		set := m.outDirty[w].v.Swap(0)
+		for set != 0 {
+			i := w<<6 | bits.TrailingZeros64(set)
+			set &= set - 1
+			moved = m.routeOutQ(i) || moved
+		}
+	}
+	return moved
+}
+
+// routeOutQ drains core i's OutQ, routing each request to its processor.
+func (m *Machine) routeOutQ(i int) bool {
+	m.drainBuf = m.outQ[i].PopBatch(m.drainBuf[:0])
+	for j := range m.drainBuf {
+		ev := m.drainBuf[j]
+		if ev.Kind == event.KSyscall {
+			m.gq.Push(ev)
+			continue
+		}
+		m.shards.in[m.shardOf(ev.Addr)].MustPush(ev)
+	}
+	return len(m.drainBuf) > 0
 }
 
 // waitWatermarks blocks until every shard has processed through allowed.

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"slacksim/internal/core"
@@ -201,6 +202,117 @@ func (d *Figure8Data) printClaims(out io.Writer) {
 	}
 }
 
+// Figure9Data holds the host-core scaling sweep (paper Figures 9-10):
+// absolute simulation speed in KIPS per scheme and host-core count, and
+// the scale-up of each scheme relative to its own 1-host-core (or
+// smallest-swept) point. Figure 8 answers "how much faster than the
+// baseline"; Figure 9 answers "does adding host cores help".
+type Figure9Data struct {
+	Workloads []string
+	Schemes   []core.Scheme
+	HostCores []int
+	// KIPS[workload][scheme][host] = simulation speed of that run.
+	KIPS map[string]map[string]map[int]float64
+	// HMeanKIPS[scheme][host] = harmonic mean across workloads.
+	HMeanKIPS map[string]map[int]float64
+	// ScaleUp[scheme][host] = HMeanKIPS[scheme][host] /
+	// HMeanKIPS[scheme][smallest swept host-core count].
+	ScaleUp map[string]map[int]float64
+}
+
+// Figure9 runs the host-core scaling sweep: every benchmark under every
+// scheme at every host-core count, recording absolute KIPS and each
+// scheme's scale-up over its own smallest-host-core point.
+func (r *Runner) Figure9(out io.Writer) (*Figure9Data, error) {
+	d := &Figure9Data{
+		Workloads: r.opts.Workloads,
+		Schemes:   r.opts.Schemes,
+		HostCores: r.opts.HostCores,
+		KIPS:      make(map[string]map[string]map[int]float64),
+		HMeanKIPS: make(map[string]map[int]float64),
+		ScaleUp:   make(map[string]map[int]float64),
+	}
+	for _, name := range r.opts.Workloads {
+		d.KIPS[name] = make(map[string]map[int]float64)
+		for _, s := range r.opts.Schemes {
+			d.KIPS[name][s.String()] = make(map[int]float64)
+			for _, hc := range r.opts.HostCores {
+				run, err := r.RunOne(name, s, hc)
+				if err != nil {
+					return nil, err
+				}
+				d.KIPS[name][s.String()][hc] = run.Result.KIPS()
+			}
+		}
+	}
+	for _, s := range r.opts.Schemes {
+		d.HMeanKIPS[s.String()] = make(map[int]float64)
+		d.ScaleUp[s.String()] = make(map[int]float64)
+		for _, hc := range r.opts.HostCores {
+			var xs []float64
+			for _, name := range r.opts.Workloads {
+				if v, ok := d.KIPS[name][s.String()][hc]; ok && v > 0 {
+					xs = append(xs, v)
+				}
+			}
+			if len(xs) > 0 {
+				d.HMeanKIPS[s.String()][hc] = stats.HarmonicMean(xs)
+			}
+		}
+		base := d.HMeanKIPS[s.String()][r.opts.HostCores[0]]
+		if base > 0 {
+			for _, hc := range r.opts.HostCores {
+				d.ScaleUp[s.String()][hc] = d.HMeanKIPS[s.String()][hc] / base
+			}
+		}
+	}
+	d.Print(out)
+	return d, nil
+}
+
+// Print renders the Figure 9/10 tables: harmonic-mean KIPS and per-scheme
+// scale-up by host-core count, then per-benchmark KIPS panels.
+func (d *Figure9Data) Print(out io.Writer) {
+	fmt.Fprintf(out, "\nFigure 9: simulation speed (harmonic-mean KIPS) by host cores\n")
+	d.printPanel(out, "%.1f", func(scheme string, hc int) (float64, bool) {
+		v, ok := d.HMeanKIPS[scheme][hc]
+		return v, ok
+	})
+	fmt.Fprintf(out, "\nFigure 10: scale-up over each scheme's %d-host-core point\n", d.HostCores[0])
+	d.printPanel(out, "%.2f", func(scheme string, hc int) (float64, bool) {
+		v, ok := d.ScaleUp[scheme][hc]
+		return v, ok
+	})
+	for _, name := range d.Workloads {
+		fmt.Fprintf(out, "\nFigure 9 (%s): simulation speed in KIPS\n", name)
+		d.printPanel(out, "%.1f", func(scheme string, hc int) (float64, bool) {
+			v, ok := d.KIPS[name][scheme][hc]
+			return v, ok
+		})
+	}
+}
+
+func (d *Figure9Data) printPanel(out io.Writer, format string, get func(scheme string, hc int) (float64, bool)) {
+	var t stats.Table
+	header := []string{"Scheme"}
+	for _, hc := range d.HostCores {
+		header = append(header, fmt.Sprintf("%d host cores", hc))
+	}
+	t.AddRow(header...)
+	for _, s := range d.Schemes {
+		row := []string{s.String()}
+		for _, hc := range d.HostCores {
+			if v, ok := get(s.String(), hc); ok {
+				row = append(row, fmt.Sprintf(format, v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprint(out, t.String())
+}
+
 // Table3Row is one benchmark's slack-error measurements (paper Table 3):
 // the relative execution-time error of each optimistic scheme versus the
 // deterministic serial reference, as a fraction (0.01 = 1%).
@@ -262,13 +374,36 @@ func (r *Runner) Table3(out io.Writer) error {
 	return nil
 }
 
+// HostInfo records the machine a report was measured on: scaling numbers
+// are meaningless without knowing how many CPUs the host really had (a
+// HostCores sweep past NumCPU is GOMAXPROCS oversubscription, not
+// parallelism).
+type HostInfo struct {
+	NumCPU     int
+	GOMAXPROCS int
+	GOOS       string
+	GOARCH     string
+}
+
+// CollectHostInfo snapshots the current host for a report header.
+func CollectHostInfo() HostInfo {
+	return HostInfo{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+}
+
 // Report aggregates the evaluation's numbers for machine consumption
 // (slackbench -json). Sections not requested on the command line are nil.
 type Report struct {
 	TargetCores int
 	HostCores   []int
 	Scale       int
+	Host        HostInfo
 	Table2      []Table2Row  `json:",omitempty"`
 	Figure8     *Figure8Data `json:",omitempty"`
+	Figure9     *Figure9Data `json:",omitempty"`
 	Table3      []Table3Row  `json:",omitempty"`
 }
