@@ -8,6 +8,8 @@
 //	slackbench -all
 //	slackbench -figure8 -workloads fft,lu -hostcores 1,2
 //	slackbench -table3 -scale 2 -repeat 3
+//	slackbench -figure8 -listen 127.0.0.1:8344 -json new.json
+//	slackbench -compare old.json new.json -threshold 0.1
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"slacksim/internal/core"
 	"slacksim/internal/harness"
+	"slacksim/internal/introspect"
 )
 
 func main() {
@@ -41,8 +44,16 @@ func main() {
 		metricsOn = flag.Bool("metrics", false, "attach a metrics registry to every run and log per-run breakdowns")
 		traceDir  = flag.String("tracedir", "", "write a Chrome trace-event JSON per run into this directory")
 		jsonPath  = flag.String("json", "", "also write the numbers of every requested experiment to this file as JSON")
+		listen    = flag.String("listen", "", "serve live introspection (/metrics, /slack, /stallz, /debug/pprof) on this address during the sweep (implies -metrics)")
+		compare   = flag.String("compare", "", "regression-gate mode: compare this old report JSON against a new one (-compare old.json new.json) and exit 1 on regressions")
+		warnOnly  = flag.Bool("warn-only", false, "with -compare, print regressions but always exit 0")
+		threshold = flag.Float64("threshold", harness.DefaultCompareThreshold, "with -compare, relative regression threshold (fraction)")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, flag.Args(), *warnOnly, *threshold))
+	}
 
 	if *all {
 		*table2, *figure8, *figure9, *table3 = true, true, true, true
@@ -60,6 +71,15 @@ func main() {
 		Verify:      *verify,
 		Metrics:     *metricsOn,
 		TraceDir:    *traceDir,
+	}
+	if *listen != "" {
+		srv, err := introspect.New(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "slackbench: introspection on http://%s\n", srv.Addr())
+		opts.Introspect = srv
 	}
 	if *wls != "" {
 		opts.Workloads = splitList(*wls)
@@ -154,6 +174,59 @@ func main() {
 			}
 		}
 	}
+}
+
+// runCompare implements -compare. Go's flag package stops parsing at the
+// first positional argument, so everything after `-compare old.json` —
+// the new report path plus any trailing -warn-only/-threshold — arrives
+// in rest and is scanned by hand, merged with the values flag parsing
+// already saw.
+func runCompare(oldPath string, rest []string, warnOnly bool, threshold float64) int {
+	var newPath string
+	for i := 0; i < len(rest); i++ {
+		arg := rest[i]
+		switch {
+		case arg == "-warn-only" || arg == "--warn-only":
+			warnOnly = true
+		case arg == "-threshold" || arg == "--threshold":
+			i++
+			if i >= len(rest) {
+				fatal(fmt.Errorf("-threshold needs a value"))
+			}
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -threshold %q", rest[i]))
+			}
+			threshold = v
+		case strings.HasPrefix(arg, "-threshold=") || strings.HasPrefix(arg, "--threshold="):
+			v, err := strconv.ParseFloat(arg[strings.Index(arg, "=")+1:], 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad %s", arg))
+			}
+			threshold = v
+		case newPath == "":
+			newPath = arg
+		default:
+			fatal(fmt.Errorf("unexpected argument %q after -compare", arg))
+		}
+	}
+	if newPath == "" {
+		fatal(fmt.Errorf("-compare needs two reports: slackbench -compare old.json new.json"))
+	}
+	oldR, err := harness.LoadReport(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newR, err := harness.LoadReport(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	c := harness.CompareReports(oldR, newR, threshold)
+	c.Print(os.Stdout)
+	if c.Regressions > 0 && !warnOnly {
+		return 1
+	}
+	return 0
 }
 
 func splitList(s string) []string {

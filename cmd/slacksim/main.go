@@ -24,6 +24,7 @@ import (
 	"slacksim/internal/cache"
 	"slacksim/internal/core"
 	"slacksim/internal/cpu"
+	"slacksim/internal/introspect"
 	"slacksim/internal/metrics"
 	"slacksim/internal/trace"
 	"slacksim/internal/workloads"
@@ -59,6 +60,7 @@ func run(args []string, out, errw io.Writer) error {
 		forensics = fs.String("forensics", "text", "forensics rendering when a run fails or aborts: text, json, or off")
 		stallTO   = fs.Duration("stall-timeout", 0, "abort a parallel run whose simulated time stalls for this host duration (0 = 60s default)")
 		audit     = fs.Bool("audit", false, "enable the sampled runtime invariant auditor (Global <= Local <= MaxLocal)")
+		listen    = fs.String("listen", "", "serve live introspection (/metrics, /slack, /stallz, /debug/pprof) on this address during the run (implies metrics collection)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,9 +147,21 @@ func run(args []string, out, errw io.Writer) error {
 		}
 	}
 	var reg *metrics.Registry
-	if *useMet {
+	if *useMet || *listen != "" {
+		// -listen needs the registry too: the live views are built on it.
 		reg = metrics.NewRegistry()
 		m.EnableMetrics(reg)
+	}
+	if *listen != "" {
+		isrv, err := introspect.New(*listen)
+		if err != nil {
+			return err
+		}
+		defer isrv.Close()
+		if err := m.EnableIntrospection(isrv); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "introspection: http://%s\n", isrv.Addr())
 	}
 
 	start := time.Now()
@@ -199,7 +213,7 @@ func run(args []string, out, errw io.Writer) error {
 			l2.Accesses, pct(l2.Hits, l2.Accesses), l2.DRAMReads, l2.InvsSent, l2.Downgrades)
 	}
 
-	if reg != nil {
+	if *useMet {
 		var busy, wait time.Duration
 		for i := range res.CoreBusy {
 			busy += res.CoreBusy[i]
@@ -229,6 +243,9 @@ func run(args []string, out, errw io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "trace: %s (load in Perfetto / chrome://tracing)\n", *traceOut)
+		if d := tc.TotalDropped(); d > 0 {
+			fmt.Fprintf(errw, "warning: trace dropped %d event(s) — per-core rings wrapped, oldest events lost (see trace.dropped.* metrics)\n", d)
+		}
 	}
 	if res.Aborted {
 		// A MaxCycles abort is a failed run: surface the snapshot and make

@@ -332,7 +332,21 @@ func (m *Machine) snapshot(withKernel bool, stalledFor time.Duration) *StallRepo
 		Global:     m.global.Load(),
 		GQDepth:    m.gq.Len(),
 		StalledFor: stalledFor,
+		Cores:      m.coreReports(),
 	}
+	if withKernel {
+		f := m.kernel.Forensics()
+		r.Kernel = &f
+	}
+	return r
+}
+
+// coreReports builds the per-core section of a StallReport from the pacing
+// atomics and ring lengths only — safe from any goroutine, so it is shared
+// by the owner-only snapshot above and the introspection server's
+// LiveSnapshot (introspect.go).
+func (m *Machine) coreReports() []CoreReport {
+	out := make([]CoreReport, 0, len(m.cores))
 	for i := range m.cores {
 		in := 0
 		for _, ring := range m.coreRings[i] {
@@ -353,13 +367,9 @@ func (m *Machine) snapshot(withKernel bool, stalledFor time.Duration) *StallRepo
 			cr.LastEvent = k.String()
 			cr.LastEventAt = m.lastEvTime[i].v.Load()
 		}
-		r.Cores = append(r.Cores, cr)
+		out = append(out, cr)
 	}
-	if withKernel {
-		f := m.kernel.Forensics()
-		r.Kernel = &f
-	}
-	return r
+	return out
 }
 
 // EnableFaults installs a deterministic fault-injection plan (see

@@ -13,6 +13,7 @@ import (
 	"slacksim/internal/event"
 	"slacksim/internal/faultinject"
 	"slacksim/internal/loader"
+	"slacksim/internal/metrics"
 	"slacksim/internal/sysemu"
 	"slacksim/internal/trace"
 )
@@ -268,6 +269,8 @@ type Machine struct {
 	debugDeliver func(core int, ev event.Event, local int64)
 
 	// Observability subsystem (all nil/zero when disabled; see observe.go).
+	// epoch anchors the host-time latency stamps (hostNS, latency.go).
+	epoch   time.Time
 	met     *engineMet
 	tracer  *trace.Collector
 	coreTW  []*trace.Writer // per-core trace rings
@@ -283,6 +286,21 @@ type Machine struct {
 	// goroutine only); evShard counts shard-worker events.
 	evProcessed int64
 	evShard     atomic.Int64
+
+	// strag is the manager-owned straggler attribution state (latency.go;
+	// nil when metrics are disabled).
+	strag *stragglerState
+
+	// Live introspection plumbing (introspect.go; inert unless
+	// EnableIntrospection ran). introOn is set before the run starts.
+	// liveGQ mirrors the manager-owned GQ depth and schemeLive the
+	// run's scheme, so HTTP-goroutine snapshots never touch single-owner
+	// state; hwIn/hwOut are the per-ring high-water gauges.
+	introOn    bool
+	liveGQ     atomic.Int64
+	schemeLive atomic.Pointer[Scheme]
+	hwIn       []*metrics.Gauge
+	hwOut      []*metrics.Gauge
 }
 
 // NewMachine loads prog into a fresh machine.
@@ -304,6 +322,7 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 	}
 	m := &Machine{
 		cfg:         cfg,
+		epoch:       time.Now(),
 		img:         img,
 		kernel:      sysemu.NewKernel(sysemu.KernelImage(img), cfg.NumCores, cfg.NumThreads),
 		l2:          l2,
@@ -346,6 +365,13 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 			// manager's swap always implies the event was drained, and a
 			// parked manager is woken only after the work is visible.
 			Send: func(ev event.Event) {
+				if m.met != nil {
+					// Latency-attribution stamps (latency.go): the reply
+					// echoes both, so delivery can attribute the full
+					// request→reply lag without a matching table.
+					ev.ReqTime = ev.Time
+					ev.SendNS = m.hostNS()
+				}
 				m.outQ[i].MustPush(ev)
 				m.markOutDirty(i)
 				m.bumpMgrEpoch()

@@ -265,6 +265,11 @@ func (m *Machine) processMemVia(l2 *cache.L2System, push func(int, event.Event),
 		Time: fill.Time,
 		Addr: ev.Addr,
 		Aux:  int64(fill.Grant),
+		// Echo the request's latency-attribution stamps (latency.go) so
+		// the delivery site can measure the full round trip. Zero when
+		// metrics are off.
+		ReqTime: ev.ReqTime,
+		SendNS:  ev.SendNS,
 	})
 }
 

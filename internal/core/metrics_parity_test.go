@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"slacksim/internal/metrics"
+)
+
+// This file pins metric-name parity across the three drivers: a dashboard
+// (or the Prometheus scrape behind it) built against one driver must keep
+// working when the run switches engines. The serial, parallel, and
+// sharded drivers must register and publish the same metric families; the
+// sharded driver may only add its shard-queue instruments on top.
+
+// metricNames runs prog under the given driver and returns the sorted
+// registry names after the run.
+func metricNames(t *testing.T, driver string) []string {
+	t.Helper()
+	cfg := smallConfig(2, ModelOoO)
+	if driver == "sharded" {
+		cfg.ManagerShards = 2
+	}
+	m := mustMachine(t, memProg, cfg)
+	reg := metrics.NewRegistry()
+	m.EnableMetrics(reg)
+	var err error
+	if driver == "serial" {
+		_, err = m.RunSerial()
+	} else {
+		_, err = m.RunParallel(SchemeS9)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", driver, err)
+	}
+	s := reg.Snapshot()
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestMetricNameParityAcrossDrivers(t *testing.T) {
+	serial := metricNames(t, "serial")
+	parallel := metricNames(t, "parallel")
+	sharded := metricNames(t, "sharded")
+
+	diff := func(a, b []string) []string {
+		set := make(map[string]bool, len(b))
+		for _, n := range b {
+			set[n] = true
+		}
+		var out []string
+		for _, n := range a {
+			if !set[n] {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	if d := diff(serial, parallel); len(d) != 0 {
+		t.Errorf("serial-only metrics: %v", d)
+	}
+	if d := diff(parallel, serial); len(d) != 0 {
+		t.Errorf("parallel-only metrics: %v", d)
+	}
+	// The sharded manager adds its shard-queue instruments and nothing
+	// else; everything the parallel driver exports must be present.
+	if d := diff(parallel, sharded); len(d) != 0 {
+		t.Errorf("metrics lost under sharding: %v", d)
+	}
+	for _, n := range diff(sharded, parallel) {
+		if !strings.Contains(n, "shard") {
+			t.Errorf("unexpected sharded-only metric %q", n)
+		}
+	}
+
+	// The latency-attribution families must exist under every driver.
+	for _, want := range []string{
+		"engine.mem.lat_cycles", "engine.mem.lat_host_ns",
+		"engine.c0.mem.lat_cycles", "engine.c1.mem.lat_host_ns",
+	} {
+		found := false
+		for _, n := range serial {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("serial registry missing %q", want)
+		}
+	}
+}

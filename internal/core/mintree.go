@@ -103,6 +103,34 @@ func (t *minTree) update(i int, v int64) {
 	t.propagate(i)
 }
 
+// argmin walks from the root toward the leaf that (currently) holds the
+// tournament minimum and returns its index in [0, n). Under concurrent
+// updates the walk is advisory — a child may change between the read that
+// chose it and the next level — which is exactly the accuracy straggler
+// attribution needs: the manager charges the round to whichever core's
+// leaf held the root at the moment it looked. Returns -1 when the root is
+// the all-blocked sentinel.
+func (t *minTree) argmin() int {
+	if t.root() == minTreeInf {
+		return -1
+	}
+	idx := 1
+	for idx < t.base {
+		l, r := t.nodes[2*idx].v.Load(), t.nodes[2*idx+1].v.Load()
+		if r < l {
+			idx = 2*idx + 1
+		} else {
+			idx = 2 * idx
+		}
+	}
+	if i := idx - t.base; i < t.n {
+		return i
+	}
+	// A concurrent update steered the walk into the unused sentinel
+	// padding; clamp to the last live core rather than report nonsense.
+	return t.n - 1
+}
+
 // minLeafVal computes core i's effective local time from the pacing
 // atomics — the value its tree leaf must converge to. Identical to one
 // iteration of the reference minLocal scan.

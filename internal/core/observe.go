@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"slacksim/internal/cache"
@@ -33,6 +34,13 @@ type engineMet struct {
 	adaptResizes *metrics.Counter   // engine.adapt.resizes
 	slack        *metrics.Histogram // engine.slack.sample
 	gqDepth      *metrics.Histogram // engine.gq.depth
+
+	// Memory-event latency attribution (latency.go): machine-wide and
+	// per-core request→reply latency, in simulated cycles and host ns.
+	memLat       *metrics.Histogram   // engine.mem.lat_cycles
+	memLatNS     *metrics.Histogram   // engine.mem.lat_host_ns
+	coreMemLat   []*metrics.Histogram // engine.c%d.mem.lat_cycles
+	coreMemLatNS []*metrics.Histogram // engine.c%d.mem.lat_host_ns
 }
 
 // EnableMetrics attaches a metrics registry to the machine. Must be
@@ -55,7 +63,14 @@ func (m *Machine) EnableMetrics(r *metrics.Registry) {
 		adaptResizes: r.Counter("engine.adapt.resizes"),
 		slack:        r.Histogram("engine.slack.sample"),
 		gqDepth:      r.Histogram("engine.gq.depth"),
+		memLat:       r.Histogram("engine.mem.lat_cycles"),
+		memLatNS:     r.Histogram("engine.mem.lat_host_ns"),
 	}
+	for i := 0; i < m.cfg.NumCores; i++ {
+		m.met.coreMemLat = append(m.met.coreMemLat, r.Histogram(fmt.Sprintf("engine.c%d.mem.lat_cycles", i)))
+		m.met.coreMemLatNS = append(m.met.coreMemLatNS, r.Histogram(fmt.Sprintf("engine.c%d.mem.lat_host_ns", i)))
+	}
+	m.strag = newStragglerState(m.cfg.NumCores)
 	outDepth := r.Histogram("event.outq.depth")
 	inDepth := r.Histogram("event.inq.depth")
 	for i := range m.outQ {
@@ -124,6 +139,28 @@ func (m *Machine) publishObservability(res *Result) {
 	for i := range m.waitCycles {
 		r.Gauge(fmt.Sprintf("engine.c%d.wait_cycles", i)).Set(m.waitCycles[i])
 	}
+
+	// Straggler attribution (latency.go). Published for every driver —
+	// zeros on the serial engine, which never attributes rounds — so the
+	// three drivers emit identical metric-name sets for the same config.
+	res.Stragglers = m.stragglers()
+	for _, s := range res.Stragglers {
+		r.Gauge(fmt.Sprintf("engine.c%d.straggler.held", s.Core)).Set(s.HeldRounds)
+		r.Gauge(fmt.Sprintf("engine.c%d.straggler.ewma_ppm", s.Core)).Set(int64(s.EWMA * 1e6))
+	}
+
+	// Trace-ring loss accounting: when tracing ran alongside metrics,
+	// surface every writer's overwritten-record count so a truncated
+	// Chrome export no longer masquerades as complete.
+	if m.tracer != nil {
+		total := r.Counter("trace.dropped")
+		for _, w := range m.tracer.Writers() {
+			d := w.Dropped()
+			r.Counter("trace.dropped." + strings.ReplaceAll(w.Name(), " ", "_")).Add(d)
+			total.Add(d)
+		}
+	}
+
 	for i, c := range m.cores {
 		cpu.PublishStats(r, i, c.Stats())
 	}

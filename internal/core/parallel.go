@@ -45,6 +45,8 @@ func (m *Machine) RunParallel(s Scheme) (*Result, error) {
 		return nil, err
 	}
 	m.scheme = s
+	sc := s
+	m.schemeLive.Store(&sc)
 	start := time.Now()
 
 	// Initial windows.
@@ -548,6 +550,11 @@ func (m *Machine) managerLoop(s Scheme) {
 		// would let cores advance between the drain and the minimum,
 		// overstating the bound past events still sitting in their OutQs.
 		g := m.globalMin()
+		if measure {
+			// Straggler attribution: charge the round to the core whose
+			// leaf holds the min-tree root (latency.go).
+			m.noteStraggler()
+		}
 		if fi != nil {
 			applyPanicFaults(fi, g, "manager")
 		}
@@ -605,6 +612,10 @@ func (m *Machine) managerLoop(s Scheme) {
 			if measure {
 				m.met.gqDepth.Observe(int64(m.gq.Len()))
 			}
+		}
+		if m.introOn {
+			// Mirror the manager-owned GQ depth for the live /slack view.
+			m.liveGQ.Store(int64(m.gq.Len()))
 		}
 
 		// Publish the new global time only after this pass's replies are

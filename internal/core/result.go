@@ -69,6 +69,10 @@ type Result struct {
 	// simulate/wait/manager sync-overhead breakdown of the paper's §4.2.
 	CoreBusy []time.Duration
 	CoreWait []time.Duration
+	// Stragglers attributes the run's manager rounds to the cores whose
+	// local times held the global time back (latency.go); indexed by
+	// core, all-zero counts for the serial engine.
+	Stragglers []Straggler
 }
 
 // ROICycles is the simulated execution time of the region of interest.

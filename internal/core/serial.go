@@ -38,6 +38,8 @@ func (m *Machine) RunSerial() (*Result, error) {
 func (m *Machine) runSerialLoop() {
 	m.serialMode = true
 	m.scheme = SchemeCC
+	sc := m.scheme
+	m.schemeLive.Store(&sc)
 	inboxes := make([][]event.Event, len(m.cores))
 	stats := make([]*cpu.Stats, len(m.cores))
 	for i, c := range m.cores {
@@ -60,6 +62,9 @@ func (m *Machine) runSerialLoop() {
 			mw.Count(trace.KQDepth, int64(m.gq.Len()))
 			if measure {
 				m.met.gqDepth.Observe(int64(m.gq.Len()))
+			}
+			if m.introOn {
+				m.liveGQ.Store(int64(m.gq.Len()))
 			}
 		}
 		roi := m.roiTime.Load()
@@ -181,6 +186,11 @@ func (m *Machine) deliverInbox(i int, inbox *[]event.Event, local int64) bool {
 		}
 		if m.debugDeliver != nil {
 			m.debugDeliver(i, ev, local)
+		}
+		if ev.SendNS != 0 {
+			// A stamped reply (metrics on): attribute the request→reply
+			// latency to this core. One zero check on the disabled path.
+			m.observeMemLatency(i, &ev, local)
 		}
 		switch ev.Kind {
 		case event.KStart:

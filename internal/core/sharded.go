@@ -107,6 +107,10 @@ func (m *Machine) runShardedManager(s Scheme) {
 		// events still in flight toward the queues. The min-tree root makes
 		// this O(1) instead of an O(N) clock scan.
 		g := m.globalMin()
+		if measure {
+			// Straggler attribution, as in managerLoop (latency.go).
+			m.noteStraggler()
+		}
 		if fi != nil {
 			applyPanicFaults(fi, g, "manager")
 		}
@@ -165,6 +169,10 @@ func (m *Machine) runShardedManager(s Scheme) {
 			if measure {
 				m.met.gqDepth.Observe(int64(m.gq.Len()))
 			}
+		}
+		if m.introOn {
+			// Mirror the manager-owned GQ depth for the live /slack view.
+			m.liveGQ.Store(int64(m.gq.Len()))
 		}
 
 		// As in managerLoop: publish global only after the pass's replies

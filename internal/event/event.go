@@ -95,6 +95,17 @@ type Event struct {
 	// (and account for the writeback if dirty).
 	VictimAddr  uint64
 	VictimFlags uint8
+
+	// Latency-attribution stamps (0 unless the engine's metrics are
+	// enabled — the stamping cost is behind the same nil-fast-path gate as
+	// every other instrumentation site). ReqTime is the simulated
+	// timestamp of the originating request and SendNS the host-clock
+	// nanosecond at which the requesting core pushed it into its OutQ;
+	// the manager copies both into the reply it emits, so the delivery
+	// site can attribute the full request→reply latency in simulated
+	// cycles and in host time without any matching table.
+	ReqTime int64
+	SendNS  int64
 }
 
 // Less orders events by (Time, Core, Seq); used by the manager's GQ.

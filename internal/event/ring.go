@@ -30,6 +30,12 @@ type Ring struct {
 	// reported by OverflowError when MustPush fails.
 	highWater int64
 	pushes    int64
+
+	// hw, when non-nil, observes each new high-water mark. Like depth it
+	// is a pre-start installation: highWater itself stays a plain
+	// producer-owned field (making it atomic would put a locked op on
+	// every push), and the observer only fires on the rare rising edge.
+	hw DepthObserver
 }
 
 // DepthObserver receives post-Push queue depths (metrics.Histogram
@@ -41,6 +47,17 @@ type DepthObserver interface {
 // ObserveDepth installs obs as the ring's depth observer (nil to clear).
 // Must not be called concurrently with Push.
 func (r *Ring) ObserveDepth(obs DepthObserver) { r.depth = obs }
+
+// ObserveHighWater installs obs to receive each new high-water occupancy
+// mark (nil to clear). Must not be called concurrently with Push. A
+// metrics.Gauge-backed observer gives the introspection server a live,
+// race-free view of the producer-owned highWater field.
+func (r *Ring) ObserveHighWater(obs DepthObserver) { r.hw = obs }
+
+// HighWater returns the maximum occupancy ever observed after a push.
+// Producer-owned accounting: only meaningful from the producer goroutine
+// or after the run has quiesced.
+func (r *Ring) HighWater() int64 { return r.highWater }
 
 // NewRing creates a ring with capacity rounded up to a power of two.
 func NewRing(capacity int) *Ring {
@@ -80,6 +97,9 @@ func (r *Ring) Push(ev Event) bool {
 	r.pushes++
 	if d := t + 1 - h; d > r.highWater {
 		r.highWater = d
+		if r.hw != nil {
+			r.hw.Observe(d)
+		}
 	}
 	if r.depth != nil {
 		r.depth.Observe(t + 1 - r.head.Load())

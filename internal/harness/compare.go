@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"slacksim/internal/stats"
+)
+
+// This file turns the repo's BENCH_*.json trajectory into an enforced
+// regression gate: CompareReports diffs two harness.Report files cell by
+// cell — Table 2 baseline KIPS (and their harmonic mean), Figure 8
+// speedups, Figure 9 harmonic-mean and per-workload KIPS, Table 3 error
+// magnitudes — and flags every cell that moved the wrong way by more than
+// a configurable threshold. slackbench -compare wires it to the command
+// line and exits nonzero on regressions, so a perf or accuracy slide
+// fails CI instead of silently replacing the previous numbers.
+
+// DefaultCompareThreshold is the relative regression tolerance: a
+// throughput/speedup cell regresses when it drops more than this fraction
+// below the old value; a Table 3 cell regresses when its error magnitude
+// grows by more than this fraction (absolute, in error units).
+const DefaultCompareThreshold = 0.10
+
+// CompareCell is one compared quantity.
+type CompareCell struct {
+	// Section names the report table ("table2", "figure8", "figure9",
+	// "table3") and Name the cell within it ("fft KIPS", "lu S9* h4", ...).
+	Section string  `json:"section"`
+	Name    string  `json:"name"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	// Delta is the relative change (new−old)/old for higher-is-better
+	// cells, and the absolute change |new|−|old| for Table 3 errors.
+	Delta float64 `json:"delta"`
+	// Regressed marks a cell past the threshold in the bad direction.
+	Regressed bool `json:"regressed"`
+}
+
+// Comparison is the full diff of two reports.
+type Comparison struct {
+	Threshold   float64       `json:"threshold"`
+	Cells       []CompareCell `json:"cells"`
+	Regressions int           `json:"regressions"`
+	// Skipped counts sections present in only one report (nothing to
+	// compare — a report grown by a new experiment is not a regression).
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// LoadReport reads a harness.Report JSON file (slackbench -json output).
+func LoadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("harness: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareReports diffs old against new with the given regression
+// threshold (<= 0 selects DefaultCompareThreshold). Cells present in only
+// one report are skipped, not failed: the gate protects numbers both
+// reports measured.
+func CompareReports(oldR, newR *Report, threshold float64) *Comparison {
+	if threshold <= 0 {
+		threshold = DefaultCompareThreshold
+	}
+	c := &Comparison{Threshold: threshold}
+
+	// higher compares a higher-is-better cell (KIPS, speedup).
+	higher := func(section, name string, oldV, newV float64) {
+		if oldV <= 0 {
+			return // nothing meaningful to anchor a relative change on
+		}
+		cell := CompareCell{
+			Section: section, Name: name,
+			Old: oldV, New: newV,
+			Delta: (newV - oldV) / oldV,
+		}
+		if newV < oldV*(1-threshold) {
+			cell.Regressed = true
+			c.Regressions++
+		}
+		c.Cells = append(c.Cells, cell)
+	}
+
+	switch {
+	case oldR.Table2 != nil && newR.Table2 != nil:
+		newRows := make(map[string]Table2Row, len(newR.Table2))
+		for _, row := range newR.Table2 {
+			newRows[row.Benchmark] = row
+		}
+		var oldKIPS, newKIPS []float64
+		for _, o := range oldR.Table2 {
+			n, ok := newRows[o.Benchmark]
+			if !ok {
+				continue
+			}
+			higher("table2", o.Benchmark+" KIPS", o.KIPS, n.KIPS)
+			oldKIPS = append(oldKIPS, o.KIPS)
+			newKIPS = append(newKIPS, n.KIPS)
+		}
+		if len(oldKIPS) > 1 {
+			higher("table2", "harmonic-mean KIPS",
+				stats.HarmonicMean(oldKIPS), stats.HarmonicMean(newKIPS))
+		}
+	case oldR.Table2 != nil || newR.Table2 != nil:
+		c.Skipped = append(c.Skipped, "table2")
+	}
+
+	switch {
+	case oldR.Figure8 != nil && newR.Figure8 != nil:
+		for _, wl := range oldR.Figure8.Workloads {
+			for scheme, byHost := range oldR.Figure8.Speedup[wl] {
+				for hc, oldV := range byHost {
+					newV, ok := newR.Figure8.Speedup[wl][scheme][hc]
+					if !ok {
+						continue
+					}
+					higher("figure8", fmt.Sprintf("%s %s h%d speedup", wl, scheme, hc), oldV, newV)
+				}
+			}
+		}
+	case oldR.Figure8 != nil || newR.Figure8 != nil:
+		c.Skipped = append(c.Skipped, "figure8")
+	}
+
+	switch {
+	case oldR.Figure9 != nil && newR.Figure9 != nil:
+		for scheme, byHost := range oldR.Figure9.HMeanKIPS {
+			for hc, oldV := range byHost {
+				newV, ok := newR.Figure9.HMeanKIPS[scheme][hc]
+				if !ok {
+					continue
+				}
+				higher("figure9", fmt.Sprintf("%s h%d hmean KIPS", scheme, hc), oldV, newV)
+			}
+		}
+		for _, wl := range oldR.Figure9.Workloads {
+			for scheme, byHost := range oldR.Figure9.KIPS[wl] {
+				for hc, oldV := range byHost {
+					newV, ok := newR.Figure9.KIPS[wl][scheme][hc]
+					if !ok {
+						continue
+					}
+					higher("figure9", fmt.Sprintf("%s %s h%d KIPS", wl, scheme, hc), oldV, newV)
+				}
+			}
+		}
+	case oldR.Figure9 != nil || newR.Figure9 != nil:
+		c.Skipped = append(c.Skipped, "figure9")
+	}
+
+	switch {
+	case oldR.Table3 != nil && newR.Table3 != nil:
+		newRows := make(map[string]Table3Row, len(newR.Table3))
+		for _, row := range newR.Table3 {
+			newRows[row.Benchmark] = row
+		}
+		for _, o := range oldR.Table3 {
+			n, ok := newRows[o.Benchmark]
+			if !ok {
+				continue
+			}
+			for scheme, oldV := range o.Err {
+				newV, ok := n.Err[scheme]
+				if !ok {
+					continue
+				}
+				// Accuracy cell: lower |error| is better; the regression
+				// test is absolute growth in error units, because a tiny
+				// error doubling (0.01% → 0.02%) is noise, not a slide.
+				cell := CompareCell{
+					Section: "table3",
+					Name:    fmt.Sprintf("%s %s error", o.Benchmark, scheme),
+					Old:     oldV, New: newV,
+					Delta: math.Abs(newV) - math.Abs(oldV),
+				}
+				if cell.Delta > threshold {
+					cell.Regressed = true
+					c.Regressions++
+				}
+				c.Cells = append(c.Cells, cell)
+			}
+		}
+	case oldR.Table3 != nil || newR.Table3 != nil:
+		c.Skipped = append(c.Skipped, "table3")
+	}
+
+	return c
+}
+
+// Print renders the comparison as a table of per-cell deltas, regressions
+// marked, followed by a one-line verdict.
+func (c *Comparison) Print(out io.Writer) {
+	var t stats.Table
+	t.AddRow("Section", "Cell", "Old", "New", "Delta", "")
+	for _, cell := range c.Cells {
+		mark := ""
+		if cell.Regressed {
+			mark = "REGRESSED"
+		}
+		delta := fmt.Sprintf("%+.1f%%", cell.Delta*100)
+		if cell.Section == "table3" {
+			delta = fmt.Sprintf("%+.2fpp", cell.Delta*100)
+		}
+		t.AddRow(cell.Section, cell.Name,
+			fmt.Sprintf("%.2f", cell.Old), fmt.Sprintf("%.2f", cell.New), delta, mark)
+	}
+	fmt.Fprint(out, t.String())
+	for _, s := range c.Skipped {
+		fmt.Fprintf(out, "skipped %s: present in only one report\n", s)
+	}
+	if c.Regressions > 0 {
+		fmt.Fprintf(out, "%d regression(s) past the %.0f%% threshold over %d compared cells\n",
+			c.Regressions, c.Threshold*100, len(c.Cells))
+	} else {
+		fmt.Fprintf(out, "no regressions past the %.0f%% threshold over %d compared cells\n",
+			c.Threshold*100, len(c.Cells))
+	}
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureReport builds a small but fully-populated report.
+func fixtureReport() *Report {
+	return &Report{
+		Table2: []Table2Row{
+			{Benchmark: "fft", KIPS: 100},
+			{Benchmark: "lu", KIPS: 200},
+		},
+		Figure8: &Figure8Data{
+			Workloads: []string{"fft"},
+			Speedup: map[string]map[string]map[int]float64{
+				"fft": {"S9*": {2: 1.8, 4: 3.2}},
+			},
+		},
+		Figure9: &Figure9Data{
+			Workloads: []string{"fft"},
+			KIPS: map[string]map[string]map[int]float64{
+				"fft": {"S9*": {4: 400}},
+			},
+			HMeanKIPS: map[string]map[int]float64{
+				"S9*": {4: 350},
+			},
+		},
+		Table3: []Table3Row{
+			{Benchmark: "fft", Err: map[string]float64{"S9": 0.5, "S100": -1.2}},
+		},
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	oldR, newR := fixtureReport(), fixtureReport()
+	// Small wobble below the 10% threshold must pass.
+	newR.Table2[0].KIPS = 95                    // -5%
+	newR.Table2[1].KIPS = 230                   // improvement
+	newR.Figure8.Speedup["fft"]["S9*"][4] = 3.0 // -6.25%
+	c := CompareReports(oldR, newR, 0)
+	if c.Regressions != 0 {
+		t.Fatalf("Regressions = %d, want 0\n%+v", c.Regressions, c.Cells)
+	}
+	if len(c.Cells) == 0 {
+		t.Fatal("no cells compared")
+	}
+}
+
+func TestCompareDetectsKIPSRegression(t *testing.T) {
+	oldR, newR := fixtureReport(), fixtureReport()
+	newR.Table2[0].KIPS = 85 // -15%: past the 10% threshold
+	c := CompareReports(oldR, newR, 0)
+	if c.Regressions == 0 {
+		t.Fatal("15%% KIPS drop not flagged")
+	}
+	found := false
+	for _, cell := range c.Cells {
+		if cell.Section == "table2" && cell.Name == "fft KIPS" {
+			found = true
+			if !cell.Regressed {
+				t.Errorf("fft KIPS cell not marked regressed: %+v", cell)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fft KIPS cell missing from comparison")
+	}
+	var sb strings.Builder
+	c.Print(&sb)
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("Print output lacks REGRESSED marker:\n%s", sb.String())
+	}
+}
+
+func TestCompareDetectsSpeedupAndHMeanRegression(t *testing.T) {
+	oldR, newR := fixtureReport(), fixtureReport()
+	newR.Figure8.Speedup["fft"]["S9*"][2] = 1.0 // -44%
+	newR.Figure9.HMeanKIPS["S9*"][4] = 300      // -14%
+	c := CompareReports(oldR, newR, 0)
+	if c.Regressions != 2 {
+		t.Fatalf("Regressions = %d, want 2\n%+v", c.Regressions, c.Cells)
+	}
+}
+
+func TestCompareTable3ErrorGrowth(t *testing.T) {
+	oldR, newR := fixtureReport(), fixtureReport()
+	// |err| grows 0.5 -> 0.7: +0.2 absolute, past a 0.1 threshold.
+	newR.Table3[0].Err = map[string]float64{"S9": 0.7, "S100": -1.2}
+	c := CompareReports(oldR, newR, 0.1)
+	if c.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1\n%+v", c.Regressions, c.Cells)
+	}
+	// Sign flips without magnitude growth are fine.
+	newR.Table3[0].Err = map[string]float64{"S9": -0.5, "S100": 1.2}
+	if c := CompareReports(oldR, newR, 0.1); c.Regressions != 0 {
+		t.Fatalf("sign flip flagged as regression: %+v", c.Cells)
+	}
+}
+
+func TestCompareThresholdOverride(t *testing.T) {
+	oldR, newR := fixtureReport(), fixtureReport()
+	newR.Table2[0].KIPS = 85 // -15%
+	if c := CompareReports(oldR, newR, 0.20); c.Regressions != 0 {
+		t.Fatalf("-15%% flagged under a 20%% threshold: %+v", c.Cells)
+	}
+}
+
+func TestCompareSkipsMissingSections(t *testing.T) {
+	oldR, newR := fixtureReport(), fixtureReport()
+	newR.Figure8 = nil
+	newR.Table3 = nil
+	c := CompareReports(oldR, newR, 0)
+	if c.Regressions != 0 {
+		t.Fatalf("missing sections flagged: %+v", c.Cells)
+	}
+	if len(c.Skipped) != 2 {
+		t.Fatalf("Skipped = %v, want [figure8 table3]", c.Skipped)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"slacksim/internal/cache"
 	"slacksim/internal/core"
 	"slacksim/internal/cpu"
+	"slacksim/internal/introspect"
 	"slacksim/internal/metrics"
 	"slacksim/internal/trace"
 	"slacksim/internal/workloads"
@@ -50,8 +51,14 @@ type Options struct {
 	Metrics bool
 	// TraceDir, when non-empty, writes a Chrome trace-event JSON per run
 	// into this directory (created if missing), named
-	// <workload>_<scheme>_h<hostcores>.json.
+	// <workload>_<scheme>_h<hostcores>.json. A run that dies (SimError,
+	// stall abort) still flushes its trace, suffixed _failed, so the
+	// forensic record is not lost with the run.
 	TraceDir string
+	// Introspect, when non-nil, attaches every run to the live
+	// introspection server (implies Metrics: the live views are built from
+	// the registry).
+	Introspect *introspect.Server
 }
 
 func (o *Options) fillDefaults() {
@@ -92,6 +99,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 10_000_000_000
+	}
+	if o.Introspect != nil {
+		o.Metrics = true
 	}
 }
 
@@ -177,6 +187,11 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 		if r.opts.Metrics {
 			m.EnableMetrics(metrics.NewRegistry())
 		}
+		if r.opts.Introspect != nil {
+			if err := m.EnableIntrospection(r.opts.Introspect); err != nil {
+				return nil, fmt.Errorf("harness: %s/%v: %w", name, scheme, err)
+			}
+		}
 		var tc *trace.Collector
 		if r.opts.TraceDir != "" {
 			tc = trace.New()
@@ -192,10 +207,15 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 			runtime.GOMAXPROCS(prev)
 		}
 		if err != nil {
+			// The trace holds the events leading up to the failure — flush
+			// it before surfacing the error, or the forensic record dies
+			// with the run.
+			r.flushFailedTrace(tc, name, scheme, hostCores)
 			return nil, fmt.Errorf("harness: %s/%v: %w", name, scheme, err)
 		}
 		res.Wall = time.Since(start)
 		if res.Aborted {
+			r.flushFailedTrace(tc, name, scheme, hostCores)
 			return nil, fmt.Errorf("harness: %s/%v aborted at %d cycles", name, scheme, res.EndTime)
 		}
 		if r.opts.Verify {
@@ -216,21 +236,32 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 			bd.simPct(), bd.waitPct(), best.ManagerBusy.Round(time.Microsecond), best.EventsProcessed)
 	}
 	if bestTrace != nil {
-		if err := r.writeTrace(bestTrace, name, scheme, hostCores); err != nil {
+		if err := r.writeTrace(bestTrace, name, scheme, hostCores, ""); err != nil {
 			return nil, err
 		}
 	}
 	return &Run{Workload: name, Scheme: scheme, HostCores: hostCores, Result: best}, nil
 }
 
+// flushFailedTrace best-effort-writes a failed run's trace with a _failed
+// suffix. The run is already dead; a trace-write error only gets logged.
+func (r *Runner) flushFailedTrace(tc *trace.Collector, name string, scheme core.Scheme, hostCores int) {
+	if tc == nil {
+		return
+	}
+	if err := r.writeTrace(tc, name, scheme, hostCores, "_failed"); err != nil {
+		r.logf("           trace (failed run): %v\n", err)
+	}
+}
+
 // writeTrace dumps one run's collector into Options.TraceDir.
-func (r *Runner) writeTrace(tc *trace.Collector, name string, scheme core.Scheme, hostCores int) error {
+func (r *Runner) writeTrace(tc *trace.Collector, name string, scheme core.Scheme, hostCores int, suffix string) error {
 	if err := os.MkdirAll(r.opts.TraceDir, 0o755); err != nil {
 		return fmt.Errorf("harness: %w", err)
 	}
 	// "S9*" must survive as a file name.
 	sname := strings.ReplaceAll(scheme.String(), "*", "x")
-	path := filepath.Join(r.opts.TraceDir, fmt.Sprintf("%s_%s_h%d.json", name, sname, hostCores))
+	path := filepath.Join(r.opts.TraceDir, fmt.Sprintf("%s_%s_h%d%s.json", name, sname, hostCores, suffix))
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("harness: %w", err)
@@ -240,6 +271,9 @@ func (r *Runner) writeTrace(tc *trace.Collector, name string, scheme core.Scheme
 		return fmt.Errorf("harness: writing %s: %w", path, err)
 	}
 	r.logf("           trace: %s\n", path)
+	if d := tc.TotalDropped(); d > 0 {
+		r.logf("           trace: %d event(s) dropped (ring wrapped; raise trace ring size)\n", d)
+	}
 	return nil
 }
 

@@ -1,0 +1,134 @@
+package introspect
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"slacksim/internal/metrics"
+)
+
+// This file renders a metrics.Snapshot in the Prometheus text exposition
+// format (version 0.0.4): every family gets HELP/TYPE headers, counters
+// carry the conventional _total suffix, and the engine's power-of-two
+// histograms become cumulative le-bucketed Prometheus histograms. Names
+// are prefixed "slacksim_" and sanitised to the Prometheus charset; if two
+// registry names collapse to the same family after sanitisation, only the
+// first (in sorted registry order) is emitted — duplicate families are a
+// protocol violation scrapers reject outright.
+
+// namePrefix namespaces every exported family.
+const namePrefix = "slacksim_"
+
+// sanitizeName maps a registry name ("engine.c3.mem.lat_cycles") to a
+// Prometheus metric name: [a-zA-Z0-9_:] only, with every other rune
+// replaced by '_', and a leading digit guarded by an underscore.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	b.Grow(len(namePrefix) + len(name))
+	b.WriteString(namePrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line's text per the exposition format: only
+// backslash and newline are special.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the snapshot to w. Output is deterministic:
+// counters, then gauges, then histograms, each sorted by registry name.
+func WritePrometheus(w io.Writer, s metrics.Snapshot) {
+	seen := make(map[string]bool)
+	emit := func(family string) bool {
+		if seen[family] {
+			return false
+		}
+		seen[family] = true
+		return true
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		fam := sanitizeName(name) + "_total"
+		if !emit(fam) {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s Counter %s.\n", fam, escapeHelp(name))
+		fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+		fmt.Fprintf(w, "%s %d\n", fam, s.Counters[name])
+	}
+
+	for _, name := range sortedKeys(s.Gauges) {
+		fam := sanitizeName(name)
+		if !emit(fam) {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s Gauge %s.\n", fam, escapeHelp(name))
+		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+		fmt.Fprintf(w, "%s %d\n", fam, s.Gauges[name])
+	}
+
+	for _, name := range sortedKeys(s.Histograms) {
+		fam := sanitizeName(name)
+		if !emit(fam) {
+			continue
+		}
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "# HELP %s Histogram %s.\n", fam, escapeHelp(name))
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		writeHistBuckets(w, fam, h)
+		fmt.Fprintf(w, "%s_sum %d\n", fam, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", fam, h.Count)
+	}
+}
+
+// writeHistBuckets renders the power-of-two buckets as cumulative le
+// buckets. Registry bucket 0 holds v <= 0 (le="0"); bucket i holds
+// integer values in [2^(i-1), 2^i), i.e. v <= 2^i - 1 cumulatively.
+// Trailing empty buckets are elided — the +Inf bucket always closes the
+// family with the total count, so the cumulative series stays valid.
+func writeHistBuckets(w io.Writer, fam string, h metrics.HistSnapshot) {
+	last := -1
+	for i, n := range h.Buckets {
+		if n != 0 {
+			last = i
+		}
+	}
+	cum := int64(0)
+	for i := 0; i <= last; i++ {
+		cum += h.Buckets[i]
+		var le string
+		switch {
+		case i == 0:
+			le = "0"
+		case i >= 63:
+			// The last bucket also absorbs values past 2^62; its finite
+			// upper bound is the int64 maximum.
+			le = fmt.Sprintf("%d", int64(math.MaxInt64))
+		default:
+			le = fmt.Sprintf("%d", (int64(1)<<uint(i))-1)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", fam, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count)
+}

@@ -1,0 +1,103 @@
+package introspect
+
+import (
+	"strings"
+	"testing"
+
+	"slacksim/internal/metrics"
+)
+
+// TestWritePrometheusGolden pins the exact exposition-format rendering of
+// a small registry: family ordering, _total suffixing, sanitisation, and
+// cumulative histogram buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("engine.events.processed").Add(42)
+	r.Gauge("event.c0.inq.depth").Set(3)
+	h := r.Histogram("engine.mem.lat_cycles")
+	h.Observe(0) // bucket 0: v <= 0
+	h.Observe(1) // bucket 1: le 1
+	h.Observe(2) // bucket 2: le 3
+	h.Observe(3) // bucket 2: le 3
+	h.Observe(9) // bucket 4: le 15
+
+	var sb strings.Builder
+	WritePrometheus(&sb, r.Snapshot())
+	got := sb.String()
+	want := `# HELP slacksim_engine_events_processed_total Counter engine.events.processed.
+# TYPE slacksim_engine_events_processed_total counter
+slacksim_engine_events_processed_total 42
+# HELP slacksim_event_c0_inq_depth Gauge event.c0.inq.depth.
+# TYPE slacksim_event_c0_inq_depth gauge
+slacksim_event_c0_inq_depth 3
+# HELP slacksim_engine_mem_lat_cycles Histogram engine.mem.lat_cycles.
+# TYPE slacksim_engine_mem_lat_cycles histogram
+slacksim_engine_mem_lat_cycles_bucket{le="0"} 1
+slacksim_engine_mem_lat_cycles_bucket{le="1"} 2
+slacksim_engine_mem_lat_cycles_bucket{le="3"} 4
+slacksim_engine_mem_lat_cycles_bucket{le="7"} 4
+slacksim_engine_mem_lat_cycles_bucket{le="15"} 5
+slacksim_engine_mem_lat_cycles_bucket{le="+Inf"} 5
+slacksim_engine_mem_lat_cycles_sum 15
+slacksim_engine_mem_lat_cycles_count 5
+`
+	if got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusValidity checks structural invariants over a larger
+// snapshot: every sample line's family has exactly one HELP/TYPE pair, no
+// family is emitted twice, and names use only the Prometheus charset.
+func TestWritePrometheusValidity(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("trace.dropped.core 0").Add(1) // space must sanitise
+	r.Counter("engine.c0.mem.lat").Add(2)
+	r.Gauge("engine.c0.straggler.held").Set(7)
+	r.Histogram("cpu.c1.issue_width").Observe(4)
+
+	var sb strings.Builder
+	WritePrometheus(&sb, r.Snapshot())
+
+	typeSeen := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fam := strings.Fields(line)[2]
+			typeSeen[fam]++
+			if typeSeen[fam] > 1 {
+				t.Errorf("family %s declared twice", fam)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		if !strings.HasPrefix(name, "slacksim_") {
+			t.Errorf("unprefixed sample %q", line)
+		}
+		for _, r := range name {
+			ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+				r >= '0' && r <= '9' || r == '_' || r == ':'
+			if !ok {
+				t.Errorf("invalid rune %q in metric name %q", r, name)
+			}
+		}
+	}
+	if len(typeSeen) != 4 {
+		t.Errorf("got %d families, want 4", len(typeSeen))
+	}
+}
+
+// TestSanitizeCollision: two registry names that collapse to one family
+// must emit only the first — duplicate families are a protocol violation.
+func TestSanitizeCollision(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("a.b").Add(1)
+	r.Counter("a_b").Add(2)
+	var sb strings.Builder
+	WritePrometheus(&sb, r.Snapshot())
+	if n := strings.Count(sb.String(), "# TYPE slacksim_a_b_total counter"); n != 1 {
+		t.Errorf("family slacksim_a_b_total declared %d times, want 1:\n%s", n, sb.String())
+	}
+}

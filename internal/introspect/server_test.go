@@ -1,0 +1,188 @@
+package introspect
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"slacksim/internal/metrics"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestServerDetached: every endpoint answers 200 with a "not attached"
+// payload before any machine installs its sources.
+func TestServerDetached(t *testing.T) {
+	s := newTestServer(t)
+	base := "http://" + s.Addr()
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "no machine attached") {
+		t.Errorf("/metrics detached: code %d body %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+
+	code, body, _ = get(t, base+"/slack")
+	if code != 200 {
+		t.Errorf("/slack detached: code %d", code)
+	}
+	var snap SlackSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/slack detached: bad JSON %q: %v", body, err)
+	}
+	if snap.Attached {
+		t.Error("/slack detached reports attached=true")
+	}
+
+	if code, body, _ = get(t, base+"/stallz"); code != 200 || !strings.Contains(body, "no machine attached") {
+		t.Errorf("/stallz detached: code %d body %q", code, body)
+	}
+	if code, _, _ = get(t, base+"/debug/pprof/goroutine?debug=1"); code != 200 {
+		t.Errorf("pprof: code %d", code)
+	}
+	if code, _, _ = get(t, base+"/nope"); code != 404 {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+}
+
+// TestServerAttached exercises the swappable sources end to end.
+func TestServerAttached(t *testing.T) {
+	s := newTestServer(t)
+	base := "http://" + s.Addr()
+
+	r := metrics.NewRegistry()
+	r.Counter("engine.events.processed").Add(7)
+	s.SetMetrics(r.Snapshot)
+	s.SetSlack(func() SlackSnapshot {
+		return SlackSnapshot{Attached: true, Scheme: "S9*", Global: 123,
+			Cores: []SlackCore{{ID: 0, Local: 125, MaxLocal: 132}}}
+	})
+	s.SetStall(func(format string) ([]byte, error) {
+		if format == "json" {
+			return []byte(`{"scheme":"S9*"}`), nil
+		}
+		return []byte("engine snapshot: scheme=S9*"), nil
+	})
+
+	_, body, _ := get(t, base+"/metrics")
+	if !strings.Contains(body, "slacksim_engine_events_processed_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	_, body, _ = get(t, base+"/slack")
+	var snap SlackSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Attached || snap.Scheme != "S9*" || len(snap.Cores) != 1 || snap.Cores[0].MaxLocal != 132 {
+		t.Errorf("/slack = %+v", snap)
+	}
+	_, body, hdr := get(t, base+"/stallz?format=json")
+	if hdr.Get("Content-Type") != "application/json" || !strings.Contains(body, `"S9*"`) {
+		t.Errorf("/stallz?format=json: ct %q body %q", hdr.Get("Content-Type"), body)
+	}
+	_, body, _ = get(t, base+"/stallz")
+	if !strings.HasPrefix(body, "engine snapshot") {
+		t.Errorf("/stallz text: %q", body)
+	}
+
+	// Detach again (a sweep between runs).
+	s.SetSlack(nil)
+	_, body, _ = get(t, base+"/slack")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || snap.Attached {
+		t.Errorf("detached /slack = %q err %v", body, err)
+	}
+}
+
+// TestServerSSE streams /slack, reads at least two frames, and verifies
+// that closing the server terminates the stream and leaks no goroutines.
+func TestServerSSE(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := newTestServer(t)
+
+	var n int64
+	s.SetSlack(func() SlackSnapshot {
+		n++
+		return SlackSnapshot{Attached: true, Global: n}
+	})
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/slack?stream=1&interval_ms=10", s.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var frames []SlackSnapshot
+	for sc.Scan() && len(frames) < 3 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var snap SlackSnapshot
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &snap); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+		frames = append(frames, snap)
+	}
+	if len(frames) < 2 {
+		t.Fatalf("got %d SSE frames, want >= 2", len(frames))
+	}
+	if frames[1].Global <= frames[0].Global {
+		t.Errorf("frames not advancing: %+v", frames)
+	}
+
+	// Close the server mid-stream: the handler goroutine must exit.
+	s.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err == nil {
+		// EOF is fine too — the stream just has to end.
+		_ = err
+	}
+	resp.Body.Close()
+	if after := settle(before); after > before {
+		t.Errorf("goroutines leaked: %d -> %d", before, after)
+	}
+}
+
+// settle waits for transient goroutines (HTTP keep-alives, the closed
+// server's Serve loop) to exit.
+func settle(before int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}

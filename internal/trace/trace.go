@@ -183,6 +183,17 @@ func (c *Collector) Writers() []*Writer {
 	return append([]*Writer(nil), c.writers...)
 }
 
+// TotalDropped sums Dropped over every registered writer — the quick
+// "did any ring wrap?" check CLIs use to warn that an exported trace is
+// incomplete.
+func (c *Collector) TotalDropped() int64 {
+	var total int64
+	for _, w := range c.Writers() {
+		total += w.Dropped()
+	}
+	return total
+}
+
 // Writer is one goroutine's trace ring. All recording methods are no-ops
 // on a nil receiver, so call sites can keep a possibly-nil writer and pay
 // only a nil check when tracing is disabled.
