@@ -17,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"slacksim/internal/core"
 	"slacksim/internal/harness"
@@ -27,24 +29,28 @@ import (
 
 func main() {
 	var (
-		table2    = flag.Bool("table2", false, "reproduce Table 2 (benchmarks + baseline KIPS)")
-		figure8   = flag.Bool("figure8", false, "reproduce Figure 8 (speedup sweep + harmonic means + derived claims)")
-		figure9   = flag.Bool("figure9", false, "reproduce Figures 9-10 (KIPS and scale-up by host-core count)")
-		table3    = flag.Bool("table3", false, "reproduce Table 3 (relative execution-time errors)")
-		all       = flag.Bool("all", false, "run every experiment")
-		wls       = flag.String("workloads", "", "comma-separated workloads (default: the paper's four)")
-		schemes   = flag.String("schemes", "", "comma-separated schemes (default: CC,Q10,L10,S9,S9*,S100,SU)")
-		hostCores = flag.String("hostcores", "", "comma-separated host-core counts (default: 1 plus 2,4,8 clipped to this host)")
-		scale     = flag.Int("scale", 1, "workload input scale factor")
-		cores     = flag.Int("cores", 8, "target CMP cores")
-		repeat    = flag.Int("repeat", 1, "repetitions per configuration (best wall time kept)")
-		verify    = flag.Bool("verify", true, "verify workload results after every run")
-		progress  = flag.Bool("progress", true, "log each run as it completes")
-		breakdown = flag.Bool("breakdown", false, "print the per-scheme sync-overhead breakdown (simulate/wait/manager)")
-		metricsOn = flag.Bool("metrics", false, "attach a metrics registry to every run and log per-run breakdowns")
-		traceDir  = flag.String("tracedir", "", "write a Chrome trace-event JSON per run into this directory")
-		jsonPath  = flag.String("json", "", "also write the numbers of every requested experiment to this file as JSON")
-		listen    = flag.String("listen", "", "serve live introspection (/metrics, /slack, /stallz, /debug/pprof) on this address during the sweep (implies -metrics)")
+		table2     = flag.Bool("table2", false, "reproduce Table 2 (benchmarks + baseline KIPS)")
+		figure8    = flag.Bool("figure8", false, "reproduce Figure 8 (speedup sweep + harmonic means + derived claims)")
+		figure9    = flag.Bool("figure9", false, "reproduce Figures 9-10 (KIPS and scale-up by host-core count)")
+		table3     = flag.Bool("table3", false, "reproduce Table 3 (relative execution-time errors)")
+		all        = flag.Bool("all", false, "run every experiment")
+		wls        = flag.String("workloads", "", "comma-separated workloads (default: the paper's four)")
+		schemes    = flag.String("schemes", "", "comma-separated schemes (default: CC,Q10,L10,S9,S9*,S100,SU)")
+		hostCores  = flag.String("hostcores", "", "comma-separated host-core counts (default: 1 plus 2,4,8 clipped to this host)")
+		scale      = flag.Int("scale", 1, "workload input scale factor")
+		cores      = flag.Int("cores", 8, "target CMP cores")
+		repeat     = flag.Int("repeat", 1, "repetitions per configuration (best wall time kept)")
+		verify     = flag.Bool("verify", true, "verify workload results after every run")
+		progress   = flag.Bool("progress", true, "log each run as it completes")
+		breakdown  = flag.Bool("breakdown", false, "print the per-scheme sync-overhead breakdown (simulate/wait/manager)")
+		metricsOn  = flag.Bool("metrics", false, "attach a metrics registry to every run and log per-run breakdowns")
+		traceDir   = flag.String("tracedir", "", "write a Chrome trace-event JSON per run into this directory")
+		jsonPath   = flag.String("json", "", "also write the numbers of every requested experiment to this file as JSON")
+		listen     = flag.String("listen", "", "serve live introspection (/metrics, /slack, /stallz, /debug/pprof) on this address during the sweep (implies -metrics)")
+		remoteF    = flag.Bool("remote", false, "sweep the distributed remote-shard backend by worker-process count (loopback TCP workers)")
+		remoteSh   = flag.Int("remote-shards", 2, "memory shards hosted by remote workers during -remote")
+		remoteWkrs = flag.String("remote-workers-list", "1,2", "comma-separated worker-process counts for -remote")
+
 		compare   = flag.String("compare", "", "regression-gate mode: compare this old report JSON against a new one (-compare old.json new.json) and exit 1 on regressions")
 		warnOnly  = flag.Bool("warn-only", false, "with -compare, print regressions but always exit 0")
 		threshold = flag.Float64("threshold", harness.DefaultCompareThreshold, "with -compare, relative regression threshold (fraction)")
@@ -58,8 +64,8 @@ func main() {
 	if *all {
 		*table2, *figure8, *figure9, *table3 = true, true, true, true
 	}
-	if !*table2 && !*figure8 && !*figure9 && !*table3 && !*breakdown {
-		fmt.Fprintln(os.Stderr, "slackbench: nothing to do; pass -table2, -figure8, -figure9, -table3, -breakdown, or -all")
+	if !*table2 && !*figure8 && !*figure9 && !*table3 && !*breakdown && !*remoteF {
+		fmt.Fprintln(os.Stderr, "slackbench: nothing to do; pass -table2, -figure8, -figure9, -table3, -remote, -breakdown, or -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -72,8 +78,10 @@ func main() {
 		Metrics:     *metricsOn,
 		TraceDir:    *traceDir,
 	}
+	var srv *introspect.Server
 	if *listen != "" {
-		srv, err := introspect.New(*listen)
+		var err error
+		srv, err = introspect.New(*listen)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,6 +91,12 @@ func main() {
 	}
 	if *wls != "" {
 		opts.Workloads = splitList(*wls)
+	} else if *remoteF && !*table2 && !*figure8 && !*figure9 && !*table3 && !*breakdown {
+		// A remote-only sweep defaults to a small workload: conservative
+		// gating pays a wire round trip per window advance, so the full
+		// paper set would take hours where one small kernel suffices to
+		// characterize the backend.
+		opts.Workloads = []string{"ocean"}
 	}
 	if *schemes != "" {
 		for _, s := range splitList(*schemes) {
@@ -110,6 +124,20 @@ func main() {
 	if *progress {
 		r.Log = os.Stderr
 	}
+
+	// Graceful shutdown: a signal interrupts the in-flight run, stops the
+	// sweep, and closes the introspection server instead of killing the
+	// process mid-write. fatal() then exits nonzero with ErrInterrupted.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "slackbench: interrupt — stopping sweep")
+		r.Interrupt()
+		if srv != nil {
+			srv.Close()
+		}
+	}()
 
 	ro := r.Options()
 	report := harness.Report{
@@ -150,6 +178,22 @@ func main() {
 		}
 		report.Table3 = rows
 		harness.PrintTable3(os.Stdout, rows, ro.HostCores[len(ro.HostCores)-1])
+		fmt.Println()
+	}
+	if *remoteF {
+		var workerCounts []int
+		for _, s := range splitList(*remoteWkrs) {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("bad -remote-workers-list entry %q", s))
+			}
+			workerCounts = append(workerCounts, n)
+		}
+		data, err := r.RemoteSweep(os.Stdout, *remoteSh, workerCounts)
+		if err != nil {
+			fatal(err)
+		}
+		report.Remote = data
 		fmt.Println()
 	}
 	if *jsonPath != "" {

@@ -16,8 +16,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"slacksim/internal/asm"
@@ -26,6 +30,7 @@ import (
 	"slacksim/internal/cpu"
 	"slacksim/internal/introspect"
 	"slacksim/internal/metrics"
+	"slacksim/internal/remote"
 	"slacksim/internal/trace"
 	"slacksim/internal/workloads"
 )
@@ -61,9 +66,18 @@ func run(args []string, out, errw io.Writer) error {
 		stallTO   = fs.Duration("stall-timeout", 0, "abort a parallel run whose simulated time stalls for this host duration (0 = 60s default)")
 		audit     = fs.Bool("audit", false, "enable the sampled runtime invariant auditor (Global <= Local <= MaxLocal)")
 		listen    = fs.String("listen", "", "serve live introspection (/metrics, /slack, /stallz, /debug/pprof) on this address during the run (implies metrics collection)")
+
+		remoteWorkers = fs.String("remote-workers", "", "comma-separated worker addresses (slackworker -listen) to host the memory shards over TCP")
+		remoteSpawn   = fs.Int("remote-spawn", 0, "spawn this many worker child processes (this binary, -worker-stdio) to host the memory shards")
+		remoteShards  = fs.Int("remote-shards", 0, "memory-hierarchy shards for the remote backend (default: one per worker)")
+		workerStdio   = fs.Bool("worker-stdio", false, "run as a remote shard worker over stdin/stdout (internal: used by -remote-spawn)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *workerStdio {
+		return runWorkerStdio(errw)
 	}
 
 	if *list {
@@ -109,12 +123,29 @@ func run(args []string, out, errw io.Writer) error {
 		return fmt.Errorf("unknown -forensics mode %q (want text, json, or off)", *forensics)
 	}
 
+	var workerAddrs []string
+	if *remoteWorkers != "" {
+		workerAddrs = strings.Split(*remoteWorkers, ",")
+	}
+	nWorkers := len(workerAddrs) + *remoteSpawn
+	switch {
+	case len(workerAddrs) > 0 && *remoteSpawn > 0:
+		return fmt.Errorf("-remote-workers and -remote-spawn are mutually exclusive")
+	case nWorkers > 0 && serial:
+		return fmt.Errorf("the serial engine has no remote backend")
+	case nWorkers == 0 && *remoteShards > 0:
+		return fmt.Errorf("-remote-shards needs -remote-workers or -remote-spawn")
+	case nWorkers > 0 && *remoteShards == 0:
+		*remoteShards = nWorkers
+	}
+
 	cfg := core.Config{
 		NumCores:      *cores,
 		CPU:           cpu.DefaultConfig(),
 		Cache:         cache.DefaultConfig(*cores),
 		MaxCycles:     *maxCycles,
 		ManagerShards: *shards,
+		RemoteShards:  *remoteShards,
 		StallTimeout:  *stallTO,
 		Audit:         *audit,
 	}
@@ -164,11 +195,46 @@ func run(args []string, out, errw io.Writer) error {
 		fmt.Fprintf(errw, "introspection: http://%s\n", isrv.Addr())
 	}
 
+	// Graceful shutdown: SIGINT/SIGTERM interrupt the run instead of
+	// killing the process, so traces still flush, the introspection
+	// server still closes, and spawned workers are still reaped.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+	go func() {
+		if _, ok := <-sigc; ok {
+			interrupted.Store(true)
+			fmt.Fprintln(errw, "slacksim: interrupt — stopping run, flushing outputs")
+			m.Interrupt()
+		}
+	}()
+
 	start := time.Now()
 	var res *core.Result
-	if serial {
+	switch {
+	case serial:
 		res, err = m.RunSerial()
-	} else {
+	case nWorkers > 0:
+		var transports []remote.Transport
+		var cleanup func()
+		var terr error
+		if len(workerAddrs) > 0 {
+			transports, cleanup, terr = dialWorkers(workerAddrs)
+		} else {
+			transports, cleanup, terr = spawnWorkers(*remoteSpawn, errw)
+		}
+		if terr != nil {
+			return terr
+		}
+		prev := runtime.GOMAXPROCS(*host)
+		res, err = m.RunRemoteSharded(scheme, transports)
+		runtime.GOMAXPROCS(prev)
+		cleanup()
+	default:
 		prev := runtime.GOMAXPROCS(*host)
 		res, err = m.RunParallel(scheme)
 		runtime.GOMAXPROCS(prev)
@@ -187,7 +253,10 @@ func run(args []string, out, errw io.Writer) error {
 		fmt.Fprintf(out, "output: %q\n", res.Output)
 	}
 	status := "ok"
-	if res.Aborted {
+	switch {
+	case res.Aborted && interrupted.Load():
+		status = "INTERRUPTED"
+	case res.Aborted:
 		status = "ABORTED (cycle limit)"
 	}
 	fmt.Fprintf(out, "scheme %v: %s, exit code %d\n", *schemeStr, status, res.ExitCode)
@@ -195,7 +264,7 @@ func run(args []string, out, errw io.Writer) error {
 		res.EndTime, res.ROICycles(), res.Committed)
 	fmt.Fprintf(out, "host: %v wall, %.1f KIPS, %d time warps\n", res.Wall.Round(time.Millisecond), res.KIPS(), res.TimeWarps)
 
-	if wl != nil && *verify {
+	if wl != nil && *verify && !res.Aborted {
 		if err := wl.Verify(m.Image(), res.Output, *scale); err != nil {
 			return fmt.Errorf("verification FAILED: %w", err)
 		}
@@ -225,6 +294,14 @@ func run(args []string, out, errw io.Writer) error {
 				100*float64(busy-wait)/float64(busy), 100*float64(wait)/float64(busy),
 				res.ManagerBusy.Round(time.Microsecond), res.EventsProcessed)
 		}
+		printStragglers(out, res.Stragglers)
+		if rw := res.Wire; rw != nil {
+			fmt.Fprintf(out, "wire: parent sent %d B in %d batches (%.0f B/batch), recvd %d B; workers encode %v, decode %v\n",
+				rw.Parent.BytesSent, rw.Parent.BatchesSent, rw.Parent.BytesPerBatch(),
+				rw.Parent.BytesRecv,
+				time.Duration(rw.Workers.EncodeNS).Round(time.Microsecond),
+				time.Duration(rw.Workers.DecodeNS).Round(time.Microsecond))
+		}
 		fmt.Fprintln(out, "metrics:")
 		if err := reg.Write(out); err != nil {
 			return err
@@ -248,12 +325,42 @@ func run(args []string, out, errw io.Writer) error {
 		}
 	}
 	if res.Aborted {
+		if interrupted.Load() {
+			// A signal-driven stop is deliberate: no forensics, but still a
+			// nonzero exit so scripts know the run did not complete.
+			return fmt.Errorf("interrupted at %d simulated cycles", res.EndTime)
+		}
 		// A MaxCycles abort is a failed run: surface the snapshot and make
 		// the process exit nonzero so scripted sweeps notice.
 		writeForensics(errw, *forensics, res.Forensics)
 		return fmt.Errorf("aborted at %d simulated cycles (cycle limit)", res.EndTime)
 	}
 	return nil
+}
+
+// printStragglers surfaces the manager's per-core hold attribution: which
+// target cores most often held back the global window, and by how much
+// (EWMA of held rounds). Only cores that ever held the window are shown.
+func printStragglers(out io.Writer, ss []core.Straggler) {
+	held := make([]core.Straggler, 0, len(ss))
+	for _, s := range ss {
+		if s.HeldRounds > 0 {
+			held = append(held, s)
+		}
+	}
+	if len(held) == 0 {
+		return
+	}
+	sort.Slice(held, func(i, j int) bool { return held[i].HeldRounds > held[j].HeldRounds })
+	if len(held) > 4 {
+		held = held[:4]
+	}
+	fmt.Fprint(out, "stragglers:")
+	for _, s := range held {
+		fmt.Fprintf(out, " core %d (%d rounds, %.1f%% of run, ewma %.2f)",
+			s.Core, s.HeldRounds, 100*s.HeldFrac, s.EWMA)
+	}
+	fmt.Fprintln(out)
 }
 
 // reportOf extracts the forensic snapshot attached to a run error.

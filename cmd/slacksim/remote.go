@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"slacksim/internal/core"
+	"slacksim/internal/remote"
+)
+
+// This file is slacksim's half of the distributed backend: turning
+// -remote-workers / -remote-spawn into the []remote.Transport that
+// core.RunRemoteSharded drives, and serving the child side of
+// -remote-spawn via -worker-stdio.
+
+// runWorkerStdio is the child side of -remote-spawn: serve one worker
+// session over stdin/stdout, then exit. SIGINT/SIGTERM close the
+// transport, which unblocks the session read and ends the process
+// cleanly (exit 0) instead of leaving an orphan; the parent sees the
+// closed stream as a contained worker-death SimError, not a hang.
+func runWorkerStdio(errw io.Writer) error {
+	// os.Stdin/os.Stdout are opened blocking, which keeps them off the
+	// runtime poller and makes SetDeadline fail with ErrNoDeadline.
+	// Pipes re-registered nonblocking are fully pollable, so deadlines —
+	// and with them the orphan-detection guarantees — work.
+	for _, fd := range []int{0, 1} {
+		if err := syscall.SetNonblock(fd, true); err != nil {
+			return fmt.Errorf("worker stdio fd %d: %w", fd, err)
+		}
+	}
+	t := stdioTransport{r: os.NewFile(0, "stdin"), w: os.NewFile(1, "stdout")}
+	var stopped atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+	go func() {
+		if _, ok := <-sigc; ok {
+			stopped.Store(true)
+			fmt.Fprintln(errw, "slacksim worker: signal — closing session")
+			t.Close()
+		}
+	}()
+	err := core.ServeRemoteShards(t)
+	if err != nil && stopped.Load() {
+		return nil
+	}
+	return err
+}
+
+// stdioTransport adapts a (read, write) file pair — a spawned worker's
+// stdin/stdout pipes — to the remote.Transport contract. Linux pipes are
+// pollable, so *os.File deadlines work and every liveness guarantee the
+// TCP path gives (bounded reads, contained timeouts) holds across the
+// process boundary too.
+type stdioTransport struct {
+	r, w *os.File
+}
+
+func (t stdioTransport) Read(p []byte) (int, error)         { return t.r.Read(p) }
+func (t stdioTransport) Write(p []byte) (int, error)        { return t.w.Write(p) }
+func (t stdioTransport) SetReadDeadline(d time.Time) error  { return t.r.SetReadDeadline(d) }
+func (t stdioTransport) SetWriteDeadline(d time.Time) error { return t.w.SetWriteDeadline(d) }
+
+func (t stdioTransport) Close() error {
+	err := t.w.Close()
+	if e := t.r.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// dialWorkers connects to already-running workers (slackworker -listen
+// addresses). The returned cleanup closes whatever was opened; it is safe
+// after RunRemoteSharded has already force-closed the connections.
+func dialWorkers(addrs []string) ([]remote.Transport, func(), error) {
+	var ts []remote.Transport
+	cleanup := func() {
+		for _, t := range ts {
+			t.Close()
+		}
+	}
+	for _, a := range addrs {
+		c, err := net.DialTimeout("tcp", a, 10*time.Second)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("dialing worker %s: %w", a, err)
+		}
+		ts = append(ts, c.(remote.Transport))
+	}
+	return ts, cleanup, nil
+}
+
+// spawnWorkers launches n copies of this binary in -worker-stdio mode,
+// each wired up over two OS pipes (parent→stdin, stdout→parent), and
+// returns their transports plus a reaper that closes the pipes and waits
+// for every child. Workers exit 0 when the parent's FFinish lands, so a
+// clean run leaves no stray processes.
+func spawnWorkers(n int, errw io.Writer) ([]remote.Transport, func(), error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, fmt.Errorf("locating own binary for -remote-spawn: %w", err)
+	}
+	var ts []remote.Transport
+	var cmds []*exec.Cmd
+	cleanup := func() {
+		for _, t := range ts {
+			t.Close()
+		}
+		for _, c := range cmds {
+			c.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		childIn, parentOut, err := os.Pipe()
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		parentIn, childOut, err := os.Pipe()
+		if err != nil {
+			childIn.Close()
+			parentOut.Close()
+			cleanup()
+			return nil, nil, err
+		}
+		cmd := exec.Command(exe, "-worker-stdio")
+		cmd.Stdin = childIn
+		cmd.Stdout = childOut
+		cmd.Stderr = errw
+		if err := cmd.Start(); err != nil {
+			childIn.Close()
+			childOut.Close()
+			parentIn.Close()
+			parentOut.Close()
+			cleanup()
+			return nil, nil, fmt.Errorf("spawning worker %d: %w", i, err)
+		}
+		// The child owns its ends now; keeping them open in the parent
+		// would defeat EOF detection when the child dies.
+		childIn.Close()
+		childOut.Close()
+		ts = append(ts, stdioTransport{r: parentIn, w: parentOut})
+		cmds = append(cmds, cmd)
+	}
+	return ts, cleanup, nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"regexp"
+	"strings"
+	"testing"
+
+	"slacksim/internal/core"
+)
+
+// startWorkerListener serves core.ServeRemoteShards on every accepted
+// connection until the test ends — an in-process stand-in for a
+// slackworker process, since the CLI's -remote-spawn path cannot be
+// exercised from a test binary (os.Executable is the test runner).
+func startWorkerListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go core.ServeRemoteShards(c.(*net.TCPConn))
+		}
+	}()
+	return ln.Addr().String()
+}
+
+var simulatedLine = regexp.MustCompile(`simulated: \d+ cycles total`)
+
+// TestRunRemoteWorkers drives the full CLI against two TCP workers and
+// checks the simulated end time matches the in-process sharded engine.
+// (Committed counts a handful of host-timing-dependent post-exit commits,
+// so only the cycle count is compared — same standard as the core tests.)
+func TestRunRemoteWorkers(t *testing.T) {
+	addr := startWorkerListener(t)
+	var remoteOut, errw bytes.Buffer
+	args := []string{
+		"-workload", "fft", "-scheme", "CC", "-cores", "2", "-host", "2",
+		"-metrics", "-remote-workers", addr + "," + addr,
+	}
+	if err := run(args, &remoteOut, &errw); err != nil {
+		t.Fatalf("remote run: %v\nstdout:\n%s\nstderr:\n%s", err, remoteOut.String(), errw.String())
+	}
+	var localOut bytes.Buffer
+	args = []string{"-workload", "fft", "-scheme", "CC", "-cores", "2", "-host", "2", "-shards", "2"}
+	if err := run(args, &localOut, &errw); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	rSim := simulatedLine.FindString(remoteOut.String())
+	lSim := simulatedLine.FindString(localOut.String())
+	if rSim == "" || rSim != lSim {
+		t.Errorf("remote end time diverges from in-process: %q vs %q", rSim, lSim)
+	}
+	for _, want := range []string{"verification: PASS", "wire: parent sent"} {
+		if !strings.Contains(remoteOut.String(), want) {
+			t.Errorf("remote stdout missing %q:\n%s", want, remoteOut.String())
+		}
+	}
+}
+
+func TestRunRemoteFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "fft", "-remote-workers", "x:1", "-remote-spawn", "1"},
+		{"-workload", "fft", "-remote-shards", "2"},
+		{"-workload", "fft", "-scheme", "serial", "-remote-spawn", "1"},
+	} {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("args %v: expected a usage error", args)
+		}
+	}
+}

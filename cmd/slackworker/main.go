@@ -1,0 +1,92 @@
+// Command slackworker hosts remote memory-hierarchy shards for a
+// slacksim parent running with -remote-workers. It accepts TCP
+// connections and serves one simulation session per connection: the
+// parent ships the shard assignment and cache geometry in its handshake,
+// so one worker binary serves any topology.
+//
+//	slackworker -listen 127.0.0.1:7701
+//	slacksim -workload fft -scheme S9 -remote-workers 127.0.0.1:7701
+//
+// SIGINT/SIGTERM stop the accept loop, let in-flight sessions drain, and
+// exit 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"slacksim/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "slackworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, errw io.Writer) error {
+	fs := flag.NewFlagSet("slackworker", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	listen := fs.String("listen", "127.0.0.1:0", "address to accept slacksim parent connections on")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "slackworker: listening on %s\n", ln.Addr())
+
+	var stopping atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+	go func() {
+		if _, ok := <-sigc; ok {
+			stopping.Store(true)
+			fmt.Fprintln(errw, "slackworker: signal — draining sessions")
+			ln.Close()
+		}
+	}()
+
+	err = serve(ln, errw)
+	if stopping.Load() {
+		return nil
+	}
+	return err
+}
+
+// serve accepts sessions until the listener closes, then waits for every
+// in-flight session to finish — a drain, not an abandonment, so a worker
+// asked to stop mid-run still answers its parent's final frames.
+func serve(ln net.Listener, errw io.Writer) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(c *net.TCPConn) {
+			defer wg.Done()
+			addr := c.RemoteAddr()
+			if err := core.ServeRemoteShards(c); err != nil {
+				fmt.Fprintf(errw, "slackworker: session %s: %v\n", addr, err)
+			} else {
+				fmt.Fprintf(errw, "slackworker: session %s: done\n", addr)
+			}
+		}(c.(*net.TCPConn))
+	}
+}

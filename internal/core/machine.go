@@ -56,6 +56,15 @@ type Config struct {
 	// DRAMChannels is pinned to the shard count so channel ownership is
 	// exact.
 	ManagerShards int
+	// RemoteShards splits the memory-hierarchy side across this many
+	// shards hosted in separate OS processes (the distributed backend;
+	// see remote.go and internal/remote). 0 disables. Mutually exclusive
+	// with ManagerShards > 1; the same L2-bank divisibility and
+	// DRAM-channel pinning rules apply, so a remote run's timing
+	// configuration is identical to an in-process run with
+	// ManagerShards = RemoteShards — the basis of the bit-exactness
+	// guarantee. Drive the run with RunRemoteSharded.
+	RemoteShards int
 	// Audit enables the sampled runtime invariant auditor (see audit.go):
 	// every AuditEvery scheduler iterations each core asserts
 	// Global <= Local <= MaxLocal and clock monotonicity, and every InQ
@@ -126,6 +135,23 @@ func (c *Config) fillDefaults() error {
 			return fmt.Errorf("core: %d DRAM channels incompatible with %d manager shards", c.Cache.DRAMChannels, c.ManagerShards)
 		}
 	}
+	if c.RemoteShards > 0 {
+		if c.ManagerShards > 1 {
+			return fmt.Errorf("core: RemoteShards and ManagerShards are mutually exclusive")
+		}
+		// The same bank and channel pinning as ManagerShards, so a remote
+		// run simulates the exact timing configuration of an in-process
+		// sharded run with the same shard count.
+		if c.Cache.L2Banks%c.RemoteShards != 0 {
+			return fmt.Errorf("core: %d remote shards must divide %d L2 banks", c.RemoteShards, c.Cache.L2Banks)
+		}
+		if c.Cache.DRAMChannels == 0 || c.Cache.DRAMChannels == 1 {
+			c.Cache.DRAMChannels = c.RemoteShards
+		}
+		if c.Cache.DRAMChannels != c.RemoteShards {
+			return fmt.Errorf("core: %d DRAM channels incompatible with %d remote shards", c.Cache.DRAMChannels, c.RemoteShards)
+		}
+	}
 	return nil
 }
 
@@ -180,6 +206,7 @@ type Machine struct {
 	resumeFloor []padded
 	global      atomic.Int64
 	done        atomic.Bool
+	intr        atomic.Bool  // Interrupt() requested (signal handler)
 	roiTime     atomic.Int64 // simulated time the ROI began (-1 until then)
 
 	// lt is the tournament min-tree over the cores' effective local times
@@ -210,6 +237,9 @@ type Machine struct {
 
 	// shards holds the §2.2 sharded-manager plumbing (nil when unsharded).
 	shards *shardState
+	// remote holds the distributed-backend plumbing (nil unless
+	// Config.RemoteShards > 0; see remote.go).
+	remote *remoteState
 	// coreRings lists, per core, every reply ring the core must drain: the
 	// main manager's InQ plus one ring per shard.
 	coreRings [][]*event.Ring
@@ -424,12 +454,20 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 		}
 		m.shards = sh
 	}
+	if cfg.RemoteShards > 0 {
+		m.remote = newRemoteState(cfg)
+	}
 	m.coreRings = make([][]*event.Ring, cfg.NumCores)
 	for i := 0; i < cfg.NumCores; i++ {
 		rings := []*event.Ring{m.inQ[i]}
 		if m.shards != nil {
 			for s := 0; s < m.shards.n; s++ {
 				rings = append(rings, m.shards.out[s][i])
+			}
+		}
+		if m.remote != nil {
+			for s := 0; s < m.remote.n; s++ {
+				rings = append(rings, m.remote.out[s][i])
 			}
 		}
 		m.coreRings[i] = rings
@@ -472,62 +510,7 @@ func (m *Machine) DebugState() string {
 // from the manager goroutine on every pacing update.
 func (m *Machine) SetTrace(fn func(global int64, locals []int64)) { m.trace = fn }
 
-// evHeap is a binary min-heap of events ordered by (Time, Core, Seq) — the
-// manager's GQ.
-type evHeap struct {
-	a []event.Event
-}
-
-func (h *evHeap) Len() int { return len(h.a) }
-
-func (h *evHeap) Push(ev event.Event) {
-	// Fast path: cores emit their requests in nondecreasing timestamp order,
-	// so most pushes are not below their parent slot and append without any
-	// sift-up. (Not-below-parent is the exact heap condition; not-below-top
-	// is necessary but not sufficient.)
-	if n := len(h.a); n > 0 && !event.Less(&ev, &h.a[(n-1)/2]) {
-		h.a = append(h.a, ev)
-		return
-	}
-	h.a = append(h.a, ev)
-	i := len(h.a) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !event.Less(&h.a[i], &h.a[p]) {
-			break
-		}
-		h.a[i], h.a[p] = h.a[p], h.a[i]
-		i = p
-	}
-}
-
-func (h *evHeap) Peek() *event.Event {
-	if len(h.a) == 0 {
-		return nil
-	}
-	return &h.a[0]
-}
-
-func (h *evHeap) Pop() event.Event {
-	top := h.a[0]
-	last := len(h.a) - 1
-	h.a[0] = h.a[last]
-	h.a = h.a[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < len(h.a) && event.Less(&h.a[l], &h.a[s]) {
-			s = l
-		}
-		if r < len(h.a) && event.Less(&h.a[r], &h.a[s]) {
-			s = r
-		}
-		if s == i {
-			break
-		}
-		h.a[i], h.a[s] = h.a[s], h.a[i]
-		i = s
-	}
-	return top
-}
+// evHeap is the manager's GQ: a binary min-heap of events ordered by
+// (Time, Core, Seq). The implementation lives in the event package so the
+// remote-shard worker process orders its stream with the same comparator.
+type evHeap = event.Heap

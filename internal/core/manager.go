@@ -234,6 +234,14 @@ func (m *Machine) flushNotifyBatch() {
 // L2/directory instance, emitting the fill and coherence notifications
 // through push. The shard workers use their own instances and rings.
 func (m *Machine) processMemVia(l2 *cache.L2System, push func(int, event.Event), ev event.Event) {
+	applyMemEvent(l2, push, ev)
+}
+
+// applyMemEvent is the machine-independent core of processMemVia: it
+// needs only the L2/directory instance and a reply sink, which is what
+// lets the remote-shard worker (a separate process with no Machine; see
+// worker.go) run the identical timing path as the in-process drivers.
+func applyMemEvent(l2 *cache.L2System, push func(int, event.Event), ev event.Event) {
 	core := int(ev.Core)
 	// Retire the piggybacked victim first so the directory's presence bits
 	// reflect the eviction before the new request is processed.

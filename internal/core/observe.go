@@ -8,6 +8,7 @@ import (
 	"slacksim/internal/cache"
 	"slacksim/internal/cpu"
 	"slacksim/internal/metrics"
+	"slacksim/internal/remote"
 	"slacksim/internal/trace"
 )
 
@@ -81,6 +82,14 @@ func (m *Machine) EnableMetrics(r *metrics.Registry) {
 		shardDepth := r.Histogram("event.shardq.depth")
 		for s := 0; s < m.shards.n; s++ {
 			m.shards.in[s].ObserveDepth(shardDepth)
+		}
+	}
+	if m.remote != nil {
+		remoteDepth := r.Histogram("event.remoteq.depth")
+		for s := range m.remote.out {
+			for c := range m.remote.out[s] {
+				m.remote.out[s][c].ObserveDepth(remoteDepth)
+			}
 		}
 	}
 	m.coreHostNS = make([]int64, m.cfg.NumCores)
@@ -161,8 +170,31 @@ func (m *Machine) publishObservability(res *Result) {
 		}
 	}
 
+	// Wire-protocol traffic of a remote-sharded run: both sides of the
+	// connections, so a sweep can report bytes/batch and codec overhead
+	// next to the engine's pacing counters.
+	if rw := res.Wire; rw != nil {
+		publishWireStats(r, "remote.parent", rw.Parent)
+		publishWireStats(r, "remote.workers", rw.Workers)
+	}
+
 	for i, c := range m.cores {
 		cpu.PublishStats(r, i, c.Stats())
 	}
 	cache.PublishL2Stats(r, m.aggregateL2Stats())
+}
+
+// publishWireStats sets one side's wire counters as gauges under prefix.
+func publishWireStats(r *metrics.Registry, prefix string, w remote.WireStats) {
+	r.Gauge(prefix + ".bytes_sent").Set(w.BytesSent)
+	r.Gauge(prefix + ".bytes_recv").Set(w.BytesRecv)
+	r.Gauge(prefix + ".frames_sent").Set(w.FramesSent)
+	r.Gauge(prefix + ".frames_recv").Set(w.FramesRecv)
+	r.Gauge(prefix + ".events_sent").Set(w.EventsSent)
+	r.Gauge(prefix + ".events_recv").Set(w.EventsRecv)
+	r.Gauge(prefix + ".batches_sent").Set(w.BatchesSent)
+	r.Gauge(prefix + ".batches_recv").Set(w.BatchesRecv)
+	r.Gauge(prefix + ".encode_ns").Set(w.EncodeNS)
+	r.Gauge(prefix + ".decode_ns").Set(w.DecodeNS)
+	r.Gauge(prefix + ".bytes_per_batch").Set(int64(w.BytesPerBatch()))
 }

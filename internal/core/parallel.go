@@ -429,6 +429,18 @@ func (m *Machine) wakeAll() {
 	m.wakeManager()
 }
 
+// Interrupt requests a graceful stop of an in-flight parallel run from
+// another goroutine (a signal handler, typically). The manager and core
+// loops observe done at their next poll, unwind through the normal join
+// path — final drain, stats fold, remote shutdown — and Run* returns an
+// aborted Result. Safe to call more than once, and before or after the
+// run; a no-op for runs that already finished.
+func (m *Machine) Interrupt() {
+	m.intr.Store(true)
+	m.done.Store(true)
+	m.wakeAll()
+}
+
 // bumpMgrEpoch publishes core-side activity to the manager: a clock
 // publication, an OutQ push, or a kernel grant. The epoch store comes
 // first so a manager checking the epoch before parking either sees the

@@ -1,0 +1,708 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/event"
+	"slacksim/internal/faultinject"
+	"slacksim/internal/remote"
+	"slacksim/internal/trace"
+)
+
+// This file is the parent side of the distributed remote-shard backend
+// (ROADMAP item 3): the memory-hierarchy shards of the sharded manager
+// (sharded.go) move into separate OS processes, coordinated over the
+// internal/remote wire protocol. The parent keeps everything whose state
+// is shared — the core loops (which read and write the functional memory
+// image directly), the kernel, the global time and the window pacing —
+// and the workers keep what is private per shard: the timing-only
+// L2/directory state, which carries no data (see internal/cache's
+// package doc).
+//
+// Determinism is inherited from the in-process sharded driver. The round
+// structure is the same: the global-time candidate is read before the
+// OutQ drain, so every event below it is routed this round; batches are
+// written to a worker's connection before the gate frame, and TCP
+// preserves order, so a worker that has seen gate=allowed has every
+// event below allowed queued; the worker writes all its reply batches
+// before the watermark, so a parent that has seen watermark >= allowed
+// has every reply below allowed in the cores' rings before it raises any
+// window. The wire adds only host latency — which a slack window of s
+// cycles absorbs exactly as it absorbs host scheduling jitter.
+
+// remoteState is the per-machine distributed plumbing (nil unless
+// Config.RemoteShards > 0). The reply rings exist from NewMachine (they
+// are part of coreRings); the workers are attached by RunRemoteSharded.
+type remoteState struct {
+	n   int
+	out [][]*event.Ring // shard s -> core i reply rings (recv goroutines produce)
+
+	workers []*remoteWorker
+	owner   []int // shard index -> worker index
+
+	// stage accumulates the current round's routed events per shard
+	// (manager goroutine only).
+	stage [][]event.Event
+
+	// Results folded back from the workers' FStats at shutdown.
+	l2stats     []cache.L2Stats // per shard
+	wireParent  remote.WireStats
+	wireWorkers remote.WireStats
+	statsOK     int // workers whose stats arrived
+}
+
+func newRemoteState(cfg Config) *remoteState {
+	r := &remoteState{n: cfg.RemoteShards}
+	for s := 0; s < r.n; s++ {
+		rings := make([]*event.Ring, cfg.NumCores)
+		for c := range rings {
+			rings[c] = event.NewRing(cfg.RingCap)
+			rings[c].SetName(fmt.Sprintf("remote%d.c%d", s, c))
+		}
+		r.out = append(r.out, rings)
+	}
+	r.stage = make([][]event.Event, r.n)
+	r.l2stats = make([]cache.L2Stats, r.n)
+	return r
+}
+
+// wireMsg is one unit of work for a connection's sender goroutine.
+type wireMsg struct {
+	kind  byte // remote.FEvents, remote.FGate, remote.FFinish
+	shard int
+	evs   []event.Event
+	gate  int64
+}
+
+// remoteWorker is the parent's handle on one worker process.
+type remoteWorker struct {
+	id     int
+	conn   *remote.Conn
+	shards []int
+
+	sendCh   chan wireMsg
+	sendDone chan struct{}
+	recvDone chan struct{}
+	// markCh wakes the manager's watermark wait (cap-1, non-blocking
+	// send by the recv goroutine after each mark store). A blocking wait
+	// matters: a Gosched spin would keep the scheduler from parking in
+	// netpoll, and on a host with few CPUs every wire round trip would
+	// then cost a sysmon tick (~10ms) instead of a wire RTT.
+	markCh chan struct{}
+
+	// mark is the worker's last acknowledged gate (recv goroutine
+	// writes, manager spins on it in waitRemoteWatermarks).
+	mark padded
+	// lastGate is the highest gate the manager has enqueued (manager
+	// goroutine only).
+	lastGate int64
+
+	stats    remote.WorkerStats
+	gotStats bool // recv goroutine writes before closing recvDone
+}
+
+func (w *remoteWorker) faultTarget() int { return faultinject.ShardWorker(w.shards[0]) }
+
+func (w *remoteWorker) name() string { return fmt.Sprintf("worker %d (shards %v)", w.id, w.shards) }
+
+// remoteShardOf routes addr to its owning shard — the same bank-mod rule
+// as the in-process driver, computed against the parent's own L2
+// instance (bank geometry is pure configuration).
+func (m *Machine) remoteShardOf(addr uint64) int {
+	return m.l2.BankOf(addr) % m.remote.n
+}
+
+// remoteHandshakeTimeout bounds how long the parent waits for a worker's
+// Welcome; a worker that never completes the handshake fails the run with
+// a contained SimError instead of stalling it for the full watchdog
+// window.
+func (m *Machine) remoteHandshakeTimeout() time.Duration {
+	t := m.stallTimeout()
+	if t > 30*time.Second {
+		t = 30 * time.Second
+	}
+	return t
+}
+
+// RunRemoteSharded executes the simulation with the memory-hierarchy
+// shards hosted by remote worker processes, one per transport (TCP
+// connections to slackworker processes, or any other Transport). The
+// machine must have been built with Config.RemoteShards > 0; shards are
+// distributed round-robin over the transports. The round structure,
+// pacing, and determinism guarantees mirror the in-process sharded
+// driver: a remote run is bit-exact against ManagerShards =
+// RemoteShards for every conservative scheme.
+func (m *Machine) RunRemoteSharded(s Scheme, transports []remote.Transport) (*Result, error) {
+	if m.remote == nil {
+		return nil, fmt.Errorf("core: RunRemoteSharded requires Config.RemoteShards > 0")
+	}
+	if len(transports) < 1 || len(transports) > m.remote.n {
+		return nil, fmt.Errorf("core: %d worker connections for %d shards (need 1..%d)", len(transports), m.remote.n, m.remote.n)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m.scheme = s
+	sc := s
+	m.schemeLive.Store(&sc)
+	start := time.Now()
+
+	if err := m.remoteConnect(transports); err != nil {
+		return nil, err
+	}
+
+	init := s.maxLocal(0)
+	for i := range m.maxLocal {
+		m.maxLocal[i].v.Store(init)
+	}
+
+	// Same containment umbrella as RunParallel: cores, the per-connection
+	// send/recv goroutines, and the manager all convert panics into a
+	// recorded SimError and a clean join.
+	var wg sync.WaitGroup
+	for i := range m.cores {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer m.containPanic(i, "core-loop")
+			m.coreLoop(i)
+		}(i)
+	}
+	func() {
+		defer m.containPanic(faultinject.Manager, "manager")
+		m.runRemoteManager(s)
+	}()
+	m.wakeAll()
+	wg.Wait()
+	m.remoteShutdown()
+	if err := m.takeFault(); err != nil {
+		return nil, err
+	}
+	// Straggler events (pushed after done) are finalized locally against
+	// the parent's own hierarchy instance, exactly as the in-process
+	// sharded driver does.
+	func() {
+		defer m.containPanic(faultinject.Manager, "final-drain")
+		m.drainOutQs()
+		m.processAll()
+	}()
+	if err := m.takeFault(); err != nil {
+		return nil, err
+	}
+	return m.result(time.Since(start)), nil
+}
+
+// remoteConnect performs the versioned handshake with every worker and
+// spawns its send/recv goroutines. Any failure — refusal, version
+// mismatch, silence past the deadline — closes every connection and
+// returns a SimError naming the worker.
+func (m *Machine) remoteConnect(transports []remote.Transport) error {
+	r := m.remote
+	nw := len(transports)
+	r.owner = make([]int, r.n)
+	r.workers = make([]*remoteWorker, nw)
+	for wi := 0; wi < nw; wi++ {
+		w := &remoteWorker{
+			id:       wi,
+			conn:     remote.NewConn(transports[wi]),
+			sendCh:   make(chan wireMsg, 256),
+			sendDone: make(chan struct{}),
+			recvDone: make(chan struct{}),
+			markCh:   make(chan struct{}, 1),
+		}
+		for sh := wi; sh < r.n; sh += nw {
+			w.shards = append(w.shards, sh)
+			r.owner[sh] = wi
+		}
+		r.workers[wi] = w
+	}
+	deadline := time.Now().Add(m.remoteHandshakeTimeout())
+	for _, w := range r.workers {
+		hello := &remote.Hello{
+			WorkerID:       w.id,
+			Shards:         w.shards,
+			NumShards:      r.n,
+			NumCores:       m.cfg.NumCores,
+			Cache:          m.cfg.Cache,
+			StallTimeoutMS: m.stallTimeout().Milliseconds(),
+		}
+		// The write deadline covers a peer that never reads (SendHello
+		// flushes); cleared after the handshake — the sender goroutine
+		// re-arms its own per frame.
+		w.conn.SetWriteDeadline(deadline)
+		err := w.conn.SendHello(hello)
+		if err == nil {
+			_, err = w.conn.AwaitWelcome(deadline)
+		}
+		w.conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			for _, o := range r.workers {
+				o.conn.Close()
+			}
+			return &SimError{
+				Core:   w.faultTarget(),
+				Op:     "remote-handshake",
+				Scheme: m.scheme,
+				Detail: fmt.Sprintf("%s: %v", w.name(), err),
+			}
+		}
+	}
+	for _, w := range r.workers {
+		w := w
+		go func() {
+			defer close(w.sendDone)
+			defer m.containPanic(w.faultTarget(), "remote-send")
+			m.remoteSender(w)
+		}()
+		go func() {
+			defer close(w.recvDone)
+			defer m.containPanic(w.faultTarget(), "remote-recv")
+			m.remoteReceiver(w)
+		}()
+	}
+	return nil
+}
+
+// remoteSender drains a worker's outbound queue onto its connection.
+// Frames are flushed when the queue momentarily empties — the natural
+// round boundary (the gate is the last frame the manager enqueues), and
+// the only batching rule the optimistic schemes need (their event
+// batches are not followed by gates). A write failure records a
+// contained disconnect fault; the sender then keeps draining (and
+// discarding) so the manager never blocks on a dead worker's queue.
+func (m *Machine) remoteSender(w *remoteWorker) {
+	dead := false
+	for msg := range w.sendCh {
+		if dead {
+			continue
+		}
+		w.conn.SetWriteDeadline(time.Now().Add(m.stallTimeout()))
+		var err error
+		switch msg.kind {
+		case remote.FEvents:
+			err = w.conn.SendBatch(remote.FEvents, msg.shard, msg.evs)
+		case remote.FGate:
+			err = w.conn.SendTime(remote.FGate, msg.gate)
+		case remote.FFinish:
+			err = w.conn.WriteFrame(remote.FFinish, nil)
+		}
+		if err == nil && len(w.sendCh) == 0 {
+			err = w.conn.Flush()
+		}
+		if err != nil {
+			dead = true
+			if !m.done.Load() {
+				m.setFault(&SimError{
+					Core:   w.faultTarget(),
+					Op:     "remote-send",
+					Scheme: m.scheme, GlobalTime: m.global.Load(), SimTime: m.global.Load(),
+					Detail: fmt.Sprintf("%s: write failed: %v", w.name(), err),
+				})
+			}
+		}
+	}
+}
+
+// remoteReceiver consumes a worker's inbound stream: reply batches into
+// the per-shard per-core rings (this goroutine is each ring's single
+// producer), watermarks into the worker's mark, errors into the run's
+// fault slot, stats into the worker handle. Read deadlines are re-armed
+// on expiry — silence is only an error for the manager's watermark wait,
+// which knows how long it has been waiting; here a timeout is just an
+// opportunity to notice the run ended.
+func (m *Machine) remoteReceiver(w *remoteWorker) {
+	var scratch []event.Event
+	for {
+		w.conn.SetReadDeadline(time.Now().Add(m.stallTimeout()))
+		f, err := w.conn.ReadFrame()
+		if err != nil {
+			if remote.IsTimeout(err) {
+				if m.done.Load() {
+					return
+				}
+				continue
+			}
+			if !m.done.Load() {
+				m.setFault(&SimError{
+					Core:   w.faultTarget(),
+					Op:     "remote-recv",
+					Scheme: m.scheme, GlobalTime: m.global.Load(), SimTime: m.global.Load(),
+					Detail: fmt.Sprintf("%s: connection lost: %v", w.name(), err),
+				})
+			}
+			return
+		}
+		switch f.Type {
+		case remote.FReplies:
+			shard, evs, derr := w.conn.DecodeEvents(f.Payload, scratch[:0])
+			if derr != nil || shard >= m.remote.n {
+				m.setFault(&SimError{
+					Core:   w.faultTarget(),
+					Op:     "remote-recv",
+					Scheme: m.scheme, GlobalTime: m.global.Load(), SimTime: m.global.Load(),
+					Detail: fmt.Sprintf("%s: bad reply batch (shard %d): %v", w.name(), shard, derr),
+				})
+				return
+			}
+			scratch = evs[:0]
+			for i := range evs {
+				core := int(evs[i].Core)
+				m.remote.out[shard][core].MustPush(evs[i])
+				m.notifyCore(core)
+			}
+			m.bumpMgrEpoch()
+		case remote.FWatermark:
+			t, derr := remote.DecodeTime(f.Payload)
+			if derr != nil {
+				m.setFault(&SimError{
+					Core: w.faultTarget(), Op: "remote-recv", Scheme: m.scheme,
+					Detail: fmt.Sprintf("%s: bad watermark: %v", w.name(), derr),
+				})
+				return
+			}
+			if t > w.mark.v.Load() {
+				w.mark.v.Store(t)
+				select {
+				case w.markCh <- struct{}{}:
+				default:
+				}
+			}
+		case remote.FError:
+			se := &SimError{
+				Core: w.faultTarget(), Op: "remote-worker", Scheme: m.scheme,
+				GlobalTime: m.global.Load(),
+			}
+			if jerr := json.Unmarshal(f.Payload, se); jerr != nil {
+				se.Detail = fmt.Sprintf("%s: unparseable error frame: %s", w.name(), f.Payload)
+			}
+			// The worker's own scheme field is zero — it paces nothing —
+			// so stamp the run's.
+			se.Scheme = m.scheme
+			m.setFault(se)
+			return
+		case remote.FStats:
+			var st remote.WorkerStats
+			if json.Unmarshal(f.Payload, &st) == nil {
+				w.stats = st
+				w.gotStats = true
+			}
+		case remote.FBye:
+			return
+		default:
+			m.setFault(&SimError{
+				Core: w.faultTarget(), Op: "remote-recv", Scheme: m.scheme,
+				Detail: fmt.Sprintf("%s: unexpected %s frame", w.name(), remote.FrameName(f.Type)),
+			})
+			return
+		}
+	}
+}
+
+// routeOutQRemote drains core i's OutQ: system calls to the manager's
+// GQ, memory traffic to its shard's staging buffer (flushed to the wire
+// at the end of the drain).
+func (m *Machine) routeOutQRemote(i int) bool {
+	m.drainBuf = m.outQ[i].PopBatch(m.drainBuf[:0])
+	for j := range m.drainBuf {
+		ev := m.drainBuf[j]
+		if ev.Kind == event.KSyscall {
+			m.gq.Push(ev)
+			continue
+		}
+		sh := m.remoteShardOf(ev.Addr)
+		m.remote.stage[sh] = append(m.remote.stage[sh], ev)
+	}
+	return len(m.drainBuf) > 0
+}
+
+// drainAndRouteRemote is the remote analog of drainAndRouteDirty plus
+// the wire flush: dirty OutQs are drained and routed, then each shard's
+// staged batch is handed to its worker's sender. The staged slices'
+// ownership transfers to the sender goroutine, so the stage slot is
+// reset to nil rather than reused.
+func (m *Machine) drainAndRouteRemote() bool {
+	moved := false
+	for w := range m.outDirty {
+		set := m.outDirty[w].v.Swap(0)
+		for set != 0 {
+			i := w<<6 | bits.TrailingZeros64(set)
+			set &= set - 1
+			moved = m.routeOutQRemote(i) || moved
+		}
+	}
+	for sh, evs := range m.remote.stage {
+		if len(evs) == 0 {
+			continue
+		}
+		wk := m.remote.workers[m.remote.owner[sh]]
+		wk.sendCh <- wireMsg{kind: remote.FEvents, shard: sh, evs: evs}
+		m.remote.stage[sh] = nil
+	}
+	return moved
+}
+
+// waitRemoteWatermarks blocks until every worker has acknowledged
+// processing through allowed — the remote waitWatermarks. Unlike the
+// in-process wait, it carries its own deadline: an in-process shard
+// worker cannot die silently (a panic is contained and sets done), but a
+// remote worker can hang without closing its connection, and the parent
+// must then surface a contained SimError naming it, never hang.
+func (m *Machine) waitRemoteWatermarks(allowed int64) {
+	var deadline *time.Timer
+	for _, w := range m.remote.workers {
+		for w.mark.v.Load() < allowed && !m.done.Load() {
+			if deadline == nil {
+				deadline = time.NewTimer(m.stallTimeout())
+				defer deadline.Stop()
+			}
+			select {
+			case <-w.markCh:
+				// Re-check the mark; stale wakeups are harmless.
+			case <-w.recvDone:
+				// The receiver is gone. Either it recorded a fault (done is
+				// set, the loop condition exits) or the stream ended early
+				// without one — which mid-gate is itself a fault.
+				if w.mark.v.Load() < allowed && !m.done.Load() {
+					m.setFault(&SimError{
+						Core:   w.faultTarget(),
+						Op:     "remote-watermark",
+						Scheme: m.scheme, GlobalTime: m.global.Load(), SimTime: allowed,
+						Detail: fmt.Sprintf("%s: stream ended before watermark for gate %d (last %d)",
+							w.name(), allowed, w.mark.v.Load()),
+					})
+				}
+				return
+			case <-deadline.C:
+				m.setFault(&SimError{
+					Core:   w.faultTarget(),
+					Op:     "remote-watermark",
+					Scheme: m.scheme, GlobalTime: m.global.Load(), SimTime: allowed,
+					Detail: fmt.Sprintf("%s: no watermark for gate %d within %v (last %d)",
+						w.name(), allowed, m.stallTimeout(), w.mark.v.Load()),
+				})
+				return
+			}
+		}
+	}
+}
+
+// runRemoteManager mirrors runShardedManager round for round; only the
+// shard transport differs (wire instead of shared-memory rings).
+func (m *Machine) runRemoteManager(s Scheme) {
+	r := m.remote
+	conservative := s.Conservative()
+	if !conservative {
+		// Optimistic schemes process on arrival: one unbounded gate up
+		// front, no watermark synchronisation after.
+		for _, w := range r.workers {
+			w.sendCh <- wireMsg{kind: remote.FGate, gate: math.MaxInt64}
+			w.lastGate = math.MaxInt64
+		}
+	}
+
+	ad := adaptState{window: s.Window}
+	idleRounds := 0
+	parkT := time.Duration(0)
+	lastChange := time.Now()
+	lastGlobal := int64(-1)
+	mw := m.mgrTW
+	measure := m.met != nil
+	lastWindow := ad.window
+	lastBarrier := int64(0)
+	fi := newInjected(m.fiMgr)
+	for !m.done.Load() {
+		var t0 time.Time
+		if measure {
+			t0 = time.Now()
+		}
+		ps := mw.Begin()
+		evBefore := m.evProcessed
+		epoch := m.mgrEpoch.v.Load()
+		// Min-before-drain, as in every manager: the bound must not pass
+		// events still in flight toward the queues.
+		g := m.globalMin()
+		if measure {
+			m.noteStraggler()
+		}
+		if fi != nil {
+			applyPanicFaults(fi, g, "manager")
+		}
+		moved := m.drainAndRouteRemote()
+		if g >= m.cfg.MaxCycles {
+			m.aborted = true
+			m.done.Store(true)
+			break
+		}
+
+		var processed bool
+		m.beginNotifyBatch()
+		if conservative {
+			allowed := g
+			if s.Kind == Quantum {
+				allowed = quantumBarrier(g, s.Window)
+				if allowed > lastBarrier {
+					lastBarrier = allowed
+					mw.Instant(trace.KBarrier, allowed)
+					if measure {
+						m.met.barriers.Inc()
+					}
+				}
+			}
+			if allowed > 0 {
+				// Batches went out in drainAndRouteRemote, before this
+				// gate — in-order delivery then gives the worker every
+				// event below allowed before it sees the gate, which is
+				// the shared-memory driver's push-then-raise order.
+				for _, w := range r.workers {
+					if allowed > w.lastGate {
+						w.lastGate = allowed
+						w.sendCh <- wireMsg{kind: remote.FGate, gate: allowed}
+					}
+				}
+				m.waitRemoteWatermarks(allowed)
+				processed = m.processConservative(allowed)
+				m.noteProcBound(allowed)
+			}
+		} else {
+			if s.Kind == Adaptive {
+				processed = m.processAllCounting(&ad)
+				ad.adapt(g)
+				if ad.window != lastWindow {
+					lastWindow = ad.window
+					mw.Count(trace.KWindow, ad.window)
+					mw.Instant(trace.KPhase, ad.window)
+					if measure {
+						m.met.adaptResizes.Inc()
+					}
+				}
+			} else {
+				processed = m.processAll()
+			}
+		}
+		m.flushNotifyBatch()
+		if processed {
+			mw.Span(trace.KProcess, ps, m.evProcessed-evBefore)
+			mw.Count(trace.KQDepth, int64(m.gq.Len()))
+			if measure {
+				m.met.gqDepth.Observe(int64(m.gq.Len()))
+			}
+		}
+		if m.introOn {
+			m.liveGQ.Store(int64(m.gq.Len()))
+		}
+
+		// Publish global only after the pass's replies — including the
+		// remote watermark wait — so cores can use it as a safe
+		// fast-forward horizon.
+		if g > m.global.Load() {
+			m.global.Store(g)
+			mw.Count(trace.KGlobal, g)
+			if measure {
+				m.met.globalAdv.Inc()
+			}
+		}
+
+		changed := m.updateWindows(s, g, &ad)
+		if changed && measure {
+			m.met.windowSlides.Inc()
+		}
+
+		// No certain-deadlock detection here: events and replies in
+		// flight on the wire are invisible to the queue emptiness check,
+		// so a kernel-deadlock verdict could be premature. The stall
+		// watchdog below (and the watermark deadline above) carry the
+		// liveness guarantee instead.
+
+		if moved || processed || changed || g != lastGlobal {
+			idleRounds = 0
+			parkT = 0
+			lastGlobal = g
+			lastChange = time.Now()
+			if measure {
+				m.mgrBusyNS += time.Since(t0).Nanoseconds()
+			}
+			continue
+		}
+		idleRounds++
+		if idleRounds > 4 {
+			if m.mgrIdleWait(epoch, nextParkTimeout(&parkT)) {
+				if wait := time.Since(lastChange); wait > m.stallTimeout() {
+					m.aborted = true
+					m.setFault(&StallError{Wait: wait, Report: m.snapshot(true, wait)})
+					break
+				}
+			}
+		}
+		if idleRounds&1023 == 0 && time.Since(lastChange) > m.stallTimeout() {
+			wait := time.Since(lastChange)
+			m.aborted = true
+			m.setFault(&StallError{Wait: wait, Report: m.snapshot(true, wait)})
+			break
+		}
+	}
+	m.wakeAll()
+}
+
+// remoteShutdown winds the wire down after the run: finish every worker,
+// collect its stats, join the connection goroutines, and close. Called
+// after the core goroutines have joined, on both the clean and the
+// faulted path — a worker that is already dead simply times out of the
+// stats wait and is force-closed.
+func (m *Machine) remoteShutdown() {
+	r := m.remote
+	if r.workers == nil {
+		return
+	}
+	for _, w := range r.workers {
+		w.sendCh <- wireMsg{kind: remote.FFinish}
+		close(w.sendCh)
+	}
+	statsDeadline := time.After(m.remoteHandshakeTimeout())
+	for _, w := range r.workers {
+		select {
+		case <-w.recvDone:
+		case <-statsDeadline:
+		}
+		// Force-close unblocks a still-parked receiver (or sender); both
+		// treat errors after done as benign.
+		w.conn.Close()
+		<-w.recvDone
+		<-w.sendDone
+	}
+	for _, w := range r.workers {
+		r.wireParent.Add(w.conn.Stats())
+		if !w.gotStats {
+			continue
+		}
+		r.statsOK++
+		r.wireWorkers.Add(w.stats.Wire)
+		m.evShard.Add(w.stats.Events)
+		for _, sl := range w.stats.L2 {
+			if sl.Shard >= 0 && sl.Shard < r.n {
+				r.l2stats[sl.Shard] = sl.Stats
+			}
+		}
+	}
+}
+
+// RemoteWireStats is the Result's wire-traffic section for a remote run:
+// the parent's connection counters and the sum of the workers' (as
+// reported in their FStats frames).
+type RemoteWireStats struct {
+	Parent  remote.WireStats `json:"parent"`
+	Workers remote.WireStats `json:"workers"`
+}
+
+// remoteWire returns the run's wire stats (nil for non-remote runs).
+func (m *Machine) remoteWire() *RemoteWireStats {
+	if m.remote == nil || m.remote.workers == nil {
+		return nil
+	}
+	return &RemoteWireStats{Parent: m.remote.wireParent, Workers: m.remote.wireWorkers}
+}

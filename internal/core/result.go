@@ -73,6 +73,10 @@ type Result struct {
 	// local times held the global time back (latency.go); indexed by
 	// core, all-zero counts for the serial engine.
 	Stragglers []Straggler
+	// Wire holds the wire-protocol traffic counters of a remote-sharded
+	// run (nil for in-process runs): the parent connections' side and
+	// the workers' own, as shipped in their FStats frames.
+	Wire *RemoteWireStats
 }
 
 // ROICycles is the simulated execution time of the region of interest.
@@ -88,6 +92,13 @@ func (r *Result) KIPS() float64 {
 }
 
 func (m *Machine) result(wall time.Duration) *Result {
+	// An Interrupt() arrives on a foreign goroutine, so it sets an atomic
+	// flag rather than racing on the manager-owned bool; fold it in here,
+	// after every goroutine has joined, so an interrupted run reports as
+	// aborted and carries a forensics snapshot like a MaxCycles abort.
+	if m.intr.Load() {
+		m.aborted = true
+	}
 	res := &Result{
 		Scheme:       m.scheme,
 		ExitCode:     m.exitCode,
@@ -116,6 +127,7 @@ func (m *Machine) result(wall time.Duration) *Result {
 		res.CoreStats = append(res.CoreStats, st)
 		res.Committed += st.ROICommitted()
 	}
+	res.Wire = m.remoteWire()
 	m.publishObservability(res)
 	return res
 }

@@ -353,25 +353,36 @@ func (m *Machine) shardWorker(sidx int) {
 	}
 }
 
-// aggregateL2Stats sums the hierarchy counters across shards (or returns
-// the single manager's stats).
+// aggregateL2Stats sums the hierarchy counters across shards — local
+// goroutines or remote workers (whose final counters arrive in their
+// FStats frames) — or returns the single manager's stats.
 func (m *Machine) aggregateL2Stats() cache.L2Stats {
+	if m.remote != nil && m.remote.workers != nil {
+		var total cache.L2Stats
+		for i := range m.remote.l2stats {
+			addL2Stats(&total, m.remote.l2stats[i])
+		}
+		return total
+	}
 	if m.shards == nil {
 		return m.l2.Stats
 	}
 	var total cache.L2Stats
 	for _, l2 := range m.shards.l2 {
-		st := l2.Stats
-		total.Accesses += st.Accesses
-		total.Hits += st.Hits
-		total.Misses += st.Misses
-		total.DRAMReads += st.DRAMReads
-		total.DRAMWrites += st.DRAMWrites
-		total.InvsSent += st.InvsSent
-		total.Downgrades += st.Downgrades
-		total.L2Evictions += st.L2Evictions
-		total.L1Writebacks += st.L1Writebacks
-		total.OrderViolations += st.OrderViolations
+		addL2Stats(&total, l2.Stats)
 	}
 	return total
+}
+
+func addL2Stats(total *cache.L2Stats, st cache.L2Stats) {
+	total.Accesses += st.Accesses
+	total.Hits += st.Hits
+	total.Misses += st.Misses
+	total.DRAMReads += st.DRAMReads
+	total.DRAMWrites += st.DRAMWrites
+	total.InvsSent += st.InvsSent
+	total.Downgrades += st.Downgrades
+	total.L2Evictions += st.L2Evictions
+	total.L1Writebacks += st.L1Writebacks
+	total.OrderViolations += st.OrderViolations
 }

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/event"
+	"slacksim/internal/faultinject"
+	"slacksim/internal/remote"
+)
+
+// This file is the worker side of the distributed remote-shard backend:
+// the loop a slackworker process (or a slacksim -worker-stdio child)
+// runs per connection. It is deliberately in package core, not
+// internal/remote — the whole point is that a worker's timing path is
+// the in-process shard worker's, applied through the same applyMemEvent
+// used by every other driver, so the two backends cannot drift apart.
+
+// remoteShard is one shard's state inside a worker: its own timing-only
+// L2/directory instance and its pending-event heap, mirroring the
+// in-process shardWorker's per-goroutine state.
+type remoteShard struct {
+	idx     int
+	l2      *cache.L2System
+	gq      event.Heap
+	replies []event.Event
+}
+
+// ServeRemoteShards runs one worker session over t: handshake, then the
+// event/gate/reply/watermark loop, until the parent's FFinish (answered
+// with FStats) or a fatal error. A panic anywhere in the loop — a cache
+// model bug on hostile input, most likely — is serialized as an FError
+// frame carrying the same JSON SimError shape the in-process containment
+// produces, so the parent's forensics are identical either way. The
+// returned error describes why the session ended when it did not end
+// with a clean FFinish exchange.
+func ServeRemoteShards(t remote.Transport) error {
+	c := remote.NewConn(t)
+	hello, err := c.AcceptHello(time.Now().Add(30 * time.Second))
+	if err != nil {
+		c.Close()
+		return err
+	}
+	w := &remoteWorkerLoop{conn: c, hello: hello}
+	for _, idx := range hello.Shards {
+		l2, lerr := cache.NewL2System(hello.Cache)
+		if lerr != nil {
+			detail := fmt.Sprintf("worker %d: bad cache config: %v", hello.WorkerID, lerr)
+			w.sendError(&SimError{
+				Core: faultinject.ShardWorker(idx), Op: "remote-worker", Detail: detail,
+			})
+			c.Close()
+			return fmt.Errorf("core: %s", detail)
+		}
+		w.shards = append(w.shards, &remoteShard{idx: idx, l2: l2})
+	}
+	err = w.serve()
+	c.Close()
+	return err
+}
+
+// remoteWorkerLoop is one session's state.
+type remoteWorkerLoop struct {
+	conn   *remote.Conn
+	hello  *remote.Hello
+	shards []*remoteShard
+	gate   int64
+	events int64
+	// scratch is the decode buffer reused across FEvents frames.
+	scratch []event.Event
+}
+
+// readTimeout is the worker's orphan detector: the parent gates every
+// conservative round and keeps the connection open for the whole run, so
+// total silence for well past the parent's own stall watchdog means the
+// parent is gone and the worker should exit rather than linger.
+func (w *remoteWorkerLoop) readTimeout() time.Duration {
+	t := time.Duration(w.hello.StallTimeoutMS) * time.Millisecond
+	if t <= 0 {
+		t = 60 * time.Second
+	}
+	return 2 * t
+}
+
+func (w *remoteWorkerLoop) serve() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Cross-process crash forensics: the same SimError shape the
+			// in-process containPanic records, shipped over the wire.
+			se := &SimError{
+				Core:    faultinject.ShardWorker(w.hello.Shards[0]),
+				Op:      "remote-worker",
+				Detail:  fmt.Sprint(r),
+				SimTime: w.gate, GlobalTime: w.gate,
+				Stack: string(debug.Stack()),
+			}
+			w.sendError(se)
+			err = fmt.Errorf("core: remote worker %d panicked: %v", w.hello.WorkerID, r)
+		}
+	}()
+	for {
+		w.conn.SetReadDeadline(time.Now().Add(w.readTimeout()))
+		f, rerr := w.conn.ReadFrame()
+		if rerr != nil {
+			if remote.IsTimeout(rerr) {
+				return fmt.Errorf("core: remote worker %d: orphaned (no frame in %v)", w.hello.WorkerID, w.readTimeout())
+			}
+			return fmt.Errorf("core: remote worker %d: %w", w.hello.WorkerID, rerr)
+		}
+		switch f.Type {
+		case remote.FEvents:
+			shard, evs, derr := w.conn.DecodeEvents(f.Payload, w.scratch[:0])
+			if derr != nil {
+				return fmt.Errorf("core: remote worker %d: %w", w.hello.WorkerID, derr)
+			}
+			sh := w.shardByIndex(shard)
+			if sh == nil {
+				return fmt.Errorf("core: remote worker %d: batch for foreign shard %d", w.hello.WorkerID, shard)
+			}
+			for i := range evs {
+				sh.gq.Push(evs[i])
+			}
+			w.scratch = evs[:0]
+			// Optimistic schemes publish one unbounded gate up front and
+			// then expect replies on arrival; under conservative pacing
+			// the new events sit above the gate and this pass is a no-op.
+			if w.gate > 0 {
+				if err := w.processAndReply(); err != nil {
+					return err
+				}
+				if err := w.conn.Flush(); err != nil {
+					return err
+				}
+			}
+		case remote.FGate:
+			t, derr := remote.DecodeTime(f.Payload)
+			if derr != nil {
+				return fmt.Errorf("core: remote worker %d: %w", w.hello.WorkerID, derr)
+			}
+			if t > w.gate {
+				w.gate = t
+			}
+			if err := w.processAndReply(); err != nil {
+				return err
+			}
+			// The watermark is written after every reply batch on this
+			// in-order stream: once the parent reads it, the replies are
+			// already in its rings — the wire analog of the in-process
+			// store-mark-after-push rule that the window raise relies on.
+			if err := w.conn.SendTime(remote.FWatermark, t); err != nil {
+				return err
+			}
+			if err := w.conn.Flush(); err != nil {
+				return err
+			}
+		case remote.FFinish:
+			return w.sendStats()
+		default:
+			return fmt.Errorf("core: remote worker %d: unexpected %s frame", w.hello.WorkerID, remote.FrameName(f.Type))
+		}
+	}
+}
+
+func (w *remoteWorkerLoop) shardByIndex(idx int) *remoteShard {
+	for _, sh := range w.shards {
+		if sh.idx == idx {
+			return sh
+		}
+	}
+	return nil
+}
+
+// processAndReply pops every queued event below the gate through the
+// shared timing path and ships the accumulated replies, one batch per
+// shard — in (timestamp, core, seq) order within each shard, exactly the
+// order the in-process shard worker pushes its rings in.
+func (w *remoteWorkerLoop) processAndReply() error {
+	for _, sh := range w.shards {
+		sh.replies = sh.replies[:0]
+		for {
+			top := sh.gq.Peek()
+			if top == nil || top.Time >= w.gate {
+				break
+			}
+			ev := sh.gq.Pop()
+			applyMemEvent(sh.l2, func(core int, out event.Event) {
+				out.Core = int32(core)
+				sh.replies = append(sh.replies, out)
+			}, ev)
+			w.events++
+		}
+		if len(sh.replies) > 0 {
+			if err := w.conn.SendBatch(remote.FReplies, sh.idx, sh.replies); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sendStats answers FFinish with the session's counters and says
+// goodbye.
+func (w *remoteWorkerLoop) sendStats() error {
+	st := remote.WorkerStats{
+		WorkerID: w.hello.WorkerID,
+		Events:   w.events,
+		Wire:     w.conn.Stats(),
+	}
+	for _, sh := range w.shards {
+		st.L2 = append(st.L2, remote.ShardL2{Shard: sh.idx, Stats: sh.l2.Stats})
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if err := w.conn.WriteFrame(remote.FStats, body); err != nil {
+		return err
+	}
+	if err := w.conn.WriteFrame(remote.FBye, nil); err != nil {
+		return err
+	}
+	return w.conn.Flush()
+}
+
+// sendError best-effort-ships a SimError frame; the session is already
+// dying, so a marshalling or write failure is only swallowed.
+func (w *remoteWorkerLoop) sendError(se *SimError) {
+	body, err := json.Marshal(se)
+	if err != nil {
+		return
+	}
+	w.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if w.conn.WriteFrame(remote.FError, body) == nil {
+		w.conn.Flush()
+	}
+}

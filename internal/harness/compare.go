@@ -158,6 +158,32 @@ func CompareReports(oldR, newR *Report, threshold float64) *Comparison {
 	}
 
 	switch {
+	case oldR.Remote != nil && newR.Remote != nil:
+		for scheme, byWorkers := range oldR.Remote.HMeanKIPS {
+			for nw, oldV := range byWorkers {
+				newV, ok := newR.Remote.HMeanKIPS[scheme][nw]
+				if !ok {
+					continue
+				}
+				higher("remote", fmt.Sprintf("%s w%d hmean KIPS", scheme, nw), oldV, newV)
+			}
+		}
+		for _, wl := range oldR.Remote.Workloads {
+			for scheme, byWorkers := range oldR.Remote.KIPS[wl] {
+				for nw, oldV := range byWorkers {
+					newV, ok := newR.Remote.KIPS[wl][scheme][nw]
+					if !ok {
+						continue
+					}
+					higher("remote", fmt.Sprintf("%s %s w%d KIPS", wl, scheme, nw), oldV, newV)
+				}
+			}
+		}
+	case oldR.Remote != nil || newR.Remote != nil:
+		c.Skipped = append(c.Skipped, "remote")
+	}
+
+	switch {
 	case oldR.Table3 != nil && newR.Table3 != nil:
 		newRows := make(map[string]Table3Row, len(newR.Table3))
 		for _, row := range newR.Table3 {

@@ -406,4 +406,5 @@ type Report struct {
 	Figure8     *Figure8Data `json:",omitempty"`
 	Figure9     *Figure9Data `json:",omitempty"`
 	Table3      []Table3Row  `json:",omitempty"`
+	Remote      *RemoteData  `json:",omitempty"`
 }

@@ -6,12 +6,14 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"slacksim/internal/asm"
@@ -118,6 +120,22 @@ type Runner struct {
 	opts  Options
 	progs map[string]*asm.Program
 	Log   io.Writer // optional progress log
+
+	stop    atomic.Bool                  // Interrupt() called: start no more runs
+	current atomic.Pointer[core.Machine] // the machine in flight, if any
+}
+
+// ErrInterrupted is returned by runs cut short by Interrupt.
+var ErrInterrupted = errors.New("harness: interrupted")
+
+// Interrupt stops the sweep from another goroutine (a signal handler):
+// the in-flight run is interrupted and drains cleanly, and no further
+// runs start — every pending experiment returns ErrInterrupted.
+func (r *Runner) Interrupt() {
+	r.stop.Store(true)
+	if m := r.current.Load(); m != nil {
+		m.Interrupt()
+	}
 }
 
 // NewRunner pre-assembles the selected workloads.
@@ -180,6 +198,9 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 	var best *core.Result
 	var bestTrace *trace.Collector
 	for rep := 0; rep < r.opts.Repeat; rep++ {
+		if r.stop.Load() {
+			return nil, ErrInterrupted
+		}
 		m, w, err := r.machine(name)
 		if err != nil {
 			return nil, err
@@ -199,12 +220,17 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 		}
 		var res *core.Result
 		start := time.Now()
+		r.current.Store(m)
 		if hostCores == 0 {
 			res, err = m.RunSerial()
 		} else {
 			prev := runtime.GOMAXPROCS(hostCores)
 			res, err = m.RunParallel(scheme)
 			runtime.GOMAXPROCS(prev)
+		}
+		r.current.Store(nil)
+		if r.stop.Load() {
+			return nil, ErrInterrupted
 		}
 		if err != nil {
 			// The trace holds the events leading up to the failure — flush

@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"slacksim/internal/cache"
+	"slacksim/internal/core"
+	"slacksim/internal/cpu"
+	"slacksim/internal/remote"
+	"slacksim/internal/stats"
+	"slacksim/internal/workloads"
+)
+
+// This file is the distributed backend's evaluation hook: a
+// Figure-9-style sweep where the scaled dimension is the number of
+// worker endpoints serving the memory-hierarchy shards, instead of
+// GOMAXPROCS. Workers are served in-process over real loopback TCP
+// connections, so every wire cost is real — framing, delta codec,
+// kernel socket round trips — while the sweep stays runnable on any
+// single host (the multi-process deployment is exercised by the
+// slacksim/slackworker CLIs and CI's distributed-smoke job).
+
+// RemoteData holds the worker-count sweep: simulation speed per
+// workload, scheme, and worker count, plus the wire-traffic counters of
+// each kept run.
+type RemoteData struct {
+	Workloads []string
+	Schemes   []core.Scheme
+	// Workers lists the swept worker-endpoint counts.
+	Workers []int
+	// Shards is the remote shard count every run used (workers share
+	// shards round-robin when fewer than Shards).
+	Shards int
+	// KIPS[workload][scheme][workers] = simulation speed of that run.
+	KIPS map[string]map[string]map[int]float64
+	// HMeanKIPS[scheme][workers] = harmonic mean across workloads.
+	HMeanKIPS map[string]map[int]float64
+	// Wire[workload][scheme][workers] = the kept run's wire counters.
+	Wire map[string]map[string]map[int]*core.RemoteWireStats
+}
+
+// remoteMachine mirrors Runner.machine with the distributed backend
+// configured; the shard count pins DRAMChannels exactly as ManagerShards
+// would, so remote and in-process sweeps at equal counts simulate the
+// identical target.
+func (r *Runner) remoteMachine(name string, shards int) (*core.Machine, *workloads.Workload, error) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := core.Config{
+		NumCores:     r.opts.TargetCores,
+		NumThreads:   r.opts.TargetCores,
+		Model:        r.opts.Model,
+		CPU:          cpu.DefaultConfig(),
+		Cache:        cache.DefaultConfig(r.opts.TargetCores),
+		MaxCycles:    r.opts.MaxCycles,
+		RemoteShards: shards,
+	}
+	m, err := core.NewMachine(r.progs[name], cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := w.Init(m.Image(), r.opts.Scale); err != nil {
+		return nil, nil, err
+	}
+	return m, w, nil
+}
+
+// startLoopbackWorkers pairs nw loopback TCP connections with in-process
+// worker sessions and returns the parent-side transports plus a join for
+// the sessions.
+func startLoopbackWorkers(nw int) ([]remote.Transport, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	transports := make([]remote.Transport, 0, nw)
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			var s net.Conn
+			s, err = ln.Accept()
+			if err == nil {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					core.ServeRemoteShards(s)
+				}()
+			}
+		}
+		if err != nil {
+			for _, t := range transports {
+				t.Close()
+			}
+			wg.Wait()
+			return nil, nil, err
+		}
+		transports = append(transports, c)
+	}
+	return transports, wg.Wait, nil
+}
+
+// RunOneRemote executes workload name under scheme over the distributed
+// backend with the given shard and worker-endpoint counts, keeping the
+// best of Repeat wall times.
+func (r *Runner) RunOneRemote(name string, scheme core.Scheme, shards, workers int) (*core.Result, error) {
+	var best *core.Result
+	for rep := 0; rep < r.opts.Repeat; rep++ {
+		if r.stop.Load() {
+			return nil, ErrInterrupted
+		}
+		m, w, err := r.remoteMachine(name, shards)
+		if err != nil {
+			return nil, err
+		}
+		transports, join, err := startLoopbackWorkers(workers)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%v remote: %w", name, scheme, err)
+		}
+		start := time.Now()
+		r.current.Store(m)
+		res, err := m.RunRemoteSharded(scheme, transports)
+		r.current.Store(nil)
+		join()
+		if r.stop.Load() {
+			return nil, ErrInterrupted
+		}
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%v w%d remote: %w", name, scheme, workers, err)
+		}
+		res.Wall = time.Since(start)
+		if res.Aborted {
+			return nil, fmt.Errorf("harness: %s/%v w%d remote aborted at %d cycles", name, scheme, workers, res.EndTime)
+		}
+		if r.opts.Verify {
+			if err := w.Verify(m.Image(), res.Output, r.opts.Scale); err != nil {
+				return nil, fmt.Errorf("harness: %s/%v w%d remote: %w", name, scheme, workers, err)
+			}
+		}
+		if best == nil || res.Wall < best.Wall {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// RemoteSweep runs every workload under every scheme at every worker
+// count, recording absolute KIPS, harmonic means, and wire traffic.
+func (r *Runner) RemoteSweep(out io.Writer, shards int, workerCounts []int) (*RemoteData, error) {
+	d := &RemoteData{
+		Workloads: r.opts.Workloads,
+		Schemes:   r.opts.Schemes,
+		Workers:   workerCounts,
+		Shards:    shards,
+		KIPS:      make(map[string]map[string]map[int]float64),
+		HMeanKIPS: make(map[string]map[int]float64),
+		Wire:      make(map[string]map[string]map[int]*core.RemoteWireStats),
+	}
+	for _, name := range r.opts.Workloads {
+		d.KIPS[name] = make(map[string]map[int]float64)
+		d.Wire[name] = make(map[string]map[int]*core.RemoteWireStats)
+		for _, s := range r.opts.Schemes {
+			d.KIPS[name][s.String()] = make(map[int]float64)
+			d.Wire[name][s.String()] = make(map[int]*core.RemoteWireStats)
+			for _, nw := range workerCounts {
+				res, err := r.RunOneRemote(name, s, shards, nw)
+				if err != nil {
+					return nil, err
+				}
+				d.KIPS[name][s.String()][nw] = res.KIPS()
+				d.Wire[name][s.String()][nw] = res.Wire
+				r.logf("remote %-8s %-5v w%d: %8.1f KIPS, %5.0f B/batch, %v wall\n",
+					name, s, nw, res.KIPS(), res.Wire.Parent.BytesPerBatch(), res.Wall.Round(time.Millisecond))
+			}
+		}
+	}
+	for _, s := range r.opts.Schemes {
+		d.HMeanKIPS[s.String()] = make(map[int]float64)
+		for _, nw := range workerCounts {
+			var xs []float64
+			for _, name := range r.opts.Workloads {
+				if v, ok := d.KIPS[name][s.String()][nw]; ok && v > 0 {
+					xs = append(xs, v)
+				}
+			}
+			if len(xs) > 0 {
+				d.HMeanKIPS[s.String()][nw] = stats.HarmonicMean(xs)
+			}
+		}
+	}
+	d.Print(out)
+	return d, nil
+}
+
+// Print renders the sweep: harmonic-mean KIPS by worker count per scheme,
+// then a wire-traffic summary per scheme at the largest worker count.
+func (d *RemoteData) Print(out io.Writer) {
+	fmt.Fprintf(out, "\nRemote backend: simulation speed (harmonic-mean KIPS) by worker count (%d shards)\n", d.Shards)
+	var t stats.Table
+	header := []string{"Scheme"}
+	for _, nw := range d.Workers {
+		header = append(header, fmt.Sprintf("w%d", nw))
+	}
+	t.AddRow(header...)
+	for _, s := range d.Schemes {
+		row := []string{s.String()}
+		for _, nw := range d.Workers {
+			if v, ok := d.HMeanKIPS[s.String()][nw]; ok {
+				row = append(row, fmt.Sprintf("%.1f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprint(out, t.String())
+
+	if len(d.Workers) == 0 || len(d.Workloads) == 0 {
+		return
+	}
+	nw := d.Workers[len(d.Workers)-1]
+	fmt.Fprintf(out, "\nWire traffic at w%d (parent side, summed over workloads)\n", nw)
+	var wt stats.Table
+	wt.AddRow("Scheme", "MB sent", "MB recv", "B/batch", "enc us/kevent", "dec us/kevent")
+	for _, s := range d.Schemes {
+		var sum core.RemoteWireStats
+		n := 0
+		for _, name := range d.Workloads {
+			if w := d.Wire[name][s.String()][nw]; w != nil {
+				sum.Parent.Add(w.Parent)
+				sum.Workers.Add(w.Workers)
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		encPerK, decPerK := 0.0, 0.0
+		if sum.Parent.EventsSent > 0 {
+			encPerK = float64(sum.Parent.EncodeNS) / 1e3 / float64(sum.Parent.EventsSent) * 1e3
+		}
+		if sum.Parent.EventsRecv > 0 {
+			decPerK = float64(sum.Parent.DecodeNS) / 1e3 / float64(sum.Parent.EventsRecv) * 1e3
+		}
+		wt.AddRow(s.String(),
+			fmt.Sprintf("%.1f", float64(sum.Parent.BytesSent)/1e6),
+			fmt.Sprintf("%.1f", float64(sum.Parent.BytesRecv)/1e6),
+			fmt.Sprintf("%.0f", sum.Parent.BytesPerBatch()),
+			fmt.Sprintf("%.1f", encPerK),
+			fmt.Sprintf("%.1f", decPerK))
+	}
+	fmt.Fprint(out, wt.String())
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"slacksim/internal/core"
+)
+
+func TestRemoteSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload sweep")
+	}
+	r, err := NewRunner(Options{
+		Workloads:   []string{"ocean"},
+		Schemes:     []core.Scheme{core.SchemeCC, core.SchemeS9x},
+		TargetCores: 4,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	d, err := r.RemoteSweep(&out, 2, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"CC", "S9*"} {
+		for _, nw := range []int{1, 2} {
+			if d.KIPS["ocean"][s][nw] <= 0 {
+				t.Errorf("%s w%d: no KIPS", s, nw)
+			}
+			w := d.Wire["ocean"][s][nw]
+			if w == nil || w.Parent.BatchesSent == 0 || w.Workers.BytesSent == 0 {
+				t.Errorf("%s w%d: wire stats missing or empty: %+v", s, nw, w)
+			}
+		}
+		if d.HMeanKIPS[s][1] <= 0 {
+			t.Errorf("%s: no harmonic mean", s)
+		}
+	}
+	if !strings.Contains(out.String(), "Remote backend") || !strings.Contains(out.String(), "Wire traffic") {
+		t.Errorf("sweep output missing sections:\n%s", out.String())
+	}
+}
+
+func TestCompareRemoteSection(t *testing.T) {
+	mk := func(kips float64) *Report {
+		return &Report{Remote: &RemoteData{
+			Workloads: []string{"fft"},
+			Workers:   []int{1},
+			KIPS:      map[string]map[string]map[int]float64{"fft": {"CC": {1: kips}}},
+			HMeanKIPS: map[string]map[int]float64{"CC": {1: kips}},
+		}}
+	}
+	c := CompareReports(mk(100), mk(50), 0.10)
+	if c.Regressions == 0 {
+		t.Error("halved remote KIPS not flagged")
+	}
+	c = CompareReports(mk(100), mk(99), 0.10)
+	if c.Regressions != 0 {
+		t.Errorf("noise flagged: %+v", c.Cells)
+	}
+	// Present in only one report: skipped, not failed.
+	c = CompareReports(mk(100), &Report{}, 0.10)
+	if c.Regressions != 0 || len(c.Skipped) == 0 {
+		t.Errorf("one-sided remote section not skipped: %+v", c)
+	}
+}

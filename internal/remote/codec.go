@@ -1,0 +1,231 @@
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"slacksim/internal/event"
+)
+
+// Batch codec: one FEvents/FReplies payload is
+//
+//	uvarint shard
+//	uvarint count
+//	count × event
+//
+// where each event is a kind byte, a presence byte, a zigzag core, a
+// zigzag timestamp delta against the previous event in the batch, then
+// only the fields the presence byte declares. Batches come off Ring
+// drains in push order, so consecutive timestamps are close and the
+// delta usually fits one byte; most fields (victim piggybacks, latency
+// stamps, syscall args) are zero on the hot path and cost only their
+// presence bit. Decode validates everything — kind range, count bounds,
+// trailing bytes — and returns errors, never panics: the fuzz target
+// FuzzBatchCodecRoundTrip feeds it arbitrary bytes.
+
+// Presence bits (the per-event second byte).
+const (
+	pSeq = 1 << iota
+	pAddr
+	pAux
+	pFlag
+	pVictim
+	pReqTime
+	pSendNS
+	pArgs
+)
+
+func zig(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendBatch delta-encodes evs for shard onto dst.
+func AppendBatch(dst []byte, shard int, evs []event.Event) []byte {
+	dst = binary.AppendUvarint(dst, uint64(shard))
+	dst = binary.AppendUvarint(dst, uint64(len(evs)))
+	prev := int64(0)
+	for i := range evs {
+		ev := &evs[i]
+		var p byte
+		if ev.Seq != 0 {
+			p |= pSeq
+		}
+		if ev.Addr != 0 {
+			p |= pAddr
+		}
+		if ev.Aux != 0 {
+			p |= pAux
+		}
+		if ev.Flag {
+			p |= pFlag
+		}
+		if ev.VictimAddr != 0 || ev.VictimFlags != 0 {
+			p |= pVictim
+		}
+		if ev.ReqTime != 0 {
+			p |= pReqTime
+		}
+		if ev.SendNS != 0 {
+			p |= pSendNS
+		}
+		if ev.Args != [4]int64{} {
+			p |= pArgs
+		}
+		dst = append(dst, byte(ev.Kind), p)
+		dst = binary.AppendUvarint(dst, zig(int64(ev.Core)))
+		dst = binary.AppendUvarint(dst, zig(ev.Time-prev))
+		prev = ev.Time
+		if p&pSeq != 0 {
+			dst = binary.AppendUvarint(dst, uint64(ev.Seq))
+		}
+		if p&pAddr != 0 {
+			dst = binary.AppendUvarint(dst, ev.Addr)
+		}
+		if p&pAux != 0 {
+			dst = binary.AppendUvarint(dst, zig(ev.Aux))
+		}
+		if p&pVictim != 0 {
+			dst = binary.AppendUvarint(dst, ev.VictimAddr)
+			dst = append(dst, ev.VictimFlags)
+		}
+		if p&pReqTime != 0 {
+			dst = binary.AppendUvarint(dst, zig(ev.ReqTime))
+		}
+		if p&pSendNS != 0 {
+			dst = binary.AppendUvarint(dst, zig(ev.SendNS))
+		}
+		if p&pArgs != 0 {
+			for _, a := range ev.Args {
+				dst = binary.AppendUvarint(dst, zig(a))
+			}
+		}
+	}
+	return dst
+}
+
+// batchReader walks a payload with bounds checking.
+type batchReader struct {
+	b   []byte
+	off int
+}
+
+func (r *batchReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("remote: truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *batchReader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("remote: truncated batch at offset %d", r.off)
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+// DecodeBatch decodes an FEvents/FReplies payload, appending the events
+// onto dst (pass dst[:0] to reuse a buffer).
+func DecodeBatch(payload []byte, dst []event.Event) (shard int, evs []event.Event, err error) {
+	r := &batchReader{b: payload}
+	sh, err := r.uvarint()
+	if err != nil {
+		return 0, dst, err
+	}
+	if sh > 1<<20 {
+		return 0, dst, fmt.Errorf("remote: implausible shard index %d", sh)
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return 0, dst, err
+	}
+	// Each event costs at least 4 bytes (kind, presence, core, delta), so
+	// a count beyond remaining/4 is corrupt — reject before allocating.
+	if remaining := len(payload) - r.off; count > uint64(remaining)/4+1 {
+		return 0, dst, fmt.Errorf("remote: batch claims %d events in %d bytes", count, remaining)
+	}
+	evs = dst
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		kind, err := r.byte()
+		if err != nil {
+			return 0, dst, err
+		}
+		if event.Kind(kind) == event.KindInvalid || event.Kind(kind) > event.KStop {
+			return 0, dst, fmt.Errorf("remote: invalid event kind %d", kind)
+		}
+		p, err := r.byte()
+		if err != nil {
+			return 0, dst, err
+		}
+		var ev event.Event
+		ev.Kind = event.Kind(kind)
+		u, err := r.uvarint()
+		if err != nil {
+			return 0, dst, err
+		}
+		core := unzig(u)
+		if core < -1 || core > 1<<20 {
+			return 0, dst, fmt.Errorf("remote: implausible core %d", core)
+		}
+		ev.Core = int32(core)
+		if u, err = r.uvarint(); err != nil {
+			return 0, dst, err
+		}
+		ev.Time = prev + unzig(u)
+		prev = ev.Time
+		if p&pSeq != 0 {
+			if u, err = r.uvarint(); err != nil {
+				return 0, dst, err
+			}
+			ev.Seq = int64(u)
+		}
+		if p&pAddr != 0 {
+			if ev.Addr, err = r.uvarint(); err != nil {
+				return 0, dst, err
+			}
+		}
+		if p&pAux != 0 {
+			if u, err = r.uvarint(); err != nil {
+				return 0, dst, err
+			}
+			ev.Aux = unzig(u)
+		}
+		ev.Flag = p&pFlag != 0
+		if p&pVictim != 0 {
+			if ev.VictimAddr, err = r.uvarint(); err != nil {
+				return 0, dst, err
+			}
+			if ev.VictimFlags, err = r.byte(); err != nil {
+				return 0, dst, err
+			}
+		}
+		if p&pReqTime != 0 {
+			if u, err = r.uvarint(); err != nil {
+				return 0, dst, err
+			}
+			ev.ReqTime = unzig(u)
+		}
+		if p&pSendNS != 0 {
+			if u, err = r.uvarint(); err != nil {
+				return 0, dst, err
+			}
+			ev.SendNS = unzig(u)
+		}
+		if p&pArgs != 0 {
+			for a := 0; a < 4; a++ {
+				if u, err = r.uvarint(); err != nil {
+					return 0, dst, err
+				}
+				ev.Args[a] = unzig(u)
+			}
+		}
+		evs = append(evs, ev)
+	}
+	if r.off != len(payload) {
+		return 0, dst, fmt.Errorf("remote: %d trailing bytes after batch", len(payload)-r.off)
+	}
+	return int(sh), evs, nil
+}

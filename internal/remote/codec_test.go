@@ -1,0 +1,153 @@
+package remote
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"slacksim/internal/event"
+)
+
+func randEvent(rng *rand.Rand) event.Event {
+	ev := event.Event{
+		Kind: event.Kind(1 + rng.Intn(int(event.KStop))),
+		Core: int32(rng.Intn(64)),
+		Time: rng.Int63n(1 << 40),
+		Seq:  rng.Int63n(1 << 30),
+	}
+	if rng.Intn(2) == 0 {
+		ev.Addr = rng.Uint64()
+	}
+	if rng.Intn(4) == 0 {
+		ev.Aux = rng.Int63() - rng.Int63()
+	}
+	if rng.Intn(8) == 0 {
+		ev.Flag = true
+	}
+	if rng.Intn(8) == 0 {
+		ev.VictimAddr = rng.Uint64()
+		ev.VictimFlags = uint8(rng.Intn(4))
+	}
+	if rng.Intn(4) == 0 {
+		ev.ReqTime = rng.Int63n(1 << 40)
+		ev.SendNS = rng.Int63()
+	}
+	if ev.Kind == event.KSyscall {
+		for i := range ev.Args {
+			ev.Args[i] = rng.Int63() - rng.Int63()
+		}
+	}
+	return ev
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(64)
+		in := make([]event.Event, n)
+		for i := range in {
+			in[i] = randEvent(rng)
+		}
+		shard := rng.Intn(16)
+		buf := AppendBatch(nil, shard, in)
+		gotShard, got, err := DecodeBatch(buf, nil)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if gotShard != shard {
+			t.Fatalf("trial %d: shard %d, want %d", trial, gotShard, shard)
+		}
+		if len(got) != len(in) {
+			t.Fatalf("trial %d: %d events, want %d", trial, len(got), len(in))
+		}
+		for i := range in {
+			if got[i] != in[i] {
+				t.Fatalf("trial %d event %d:\n got %+v\nwant %+v", trial, i, got[i], in[i])
+			}
+		}
+	}
+}
+
+func TestBatchRoundTripEmpty(t *testing.T) {
+	buf := AppendBatch(nil, 3, nil)
+	shard, evs, err := DecodeBatch(buf, nil)
+	if err != nil || shard != 3 || len(evs) != 0 {
+		t.Fatalf("empty batch: shard=%d evs=%d err=%v", shard, len(evs), err)
+	}
+}
+
+// TestBatchRoundTripExtremes pins the codec on boundary values: the delta
+// encoding must survive timestamps that jump across the full int64 range
+// within one batch.
+func TestBatchRoundTripExtremes(t *testing.T) {
+	in := []event.Event{
+		{Kind: event.KFill, Core: 0, Time: math.MaxInt64, Seq: math.MaxInt64, Addr: math.MaxUint64},
+		{Kind: event.KInv, Core: 1 << 19, Time: 0},
+		{Kind: event.KSyscall, Core: 0, Time: 1, Aux: math.MinInt64,
+			Args: [4]int64{math.MinInt64, math.MaxInt64, -1, 1}},
+		{Kind: event.KStop, Core: -1, Time: math.MaxInt64, SendNS: math.MinInt64, ReqTime: -5},
+	}
+	buf := AppendBatch(nil, 0, in)
+	_, got, err := DecodeBatch(buf, nil)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("extremes:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestDecodeBatchReusesDst(t *testing.T) {
+	in := []event.Event{{Kind: event.KFill, Core: 2, Time: 100, Seq: 7}}
+	buf := AppendBatch(nil, 1, in)
+	scratch := make([]event.Event, 0, 8)
+	_, evs, err := DecodeBatch(buf, scratch)
+	if err != nil || len(evs) != 1 || evs[0] != in[0] {
+		t.Fatalf("reuse: evs=%+v err=%v", evs, err)
+	}
+}
+
+func TestDecodeBatchRejectsCorruption(t *testing.T) {
+	in := make([]event.Event, 8)
+	rng := rand.New(rand.NewSource(7))
+	for i := range in {
+		in[i] = randEvent(rng)
+	}
+	buf := AppendBatch(nil, 2, in)
+
+	// Every truncation point must error, not panic.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeBatch(buf[:cut], nil); err == nil {
+			// A prefix that happens to parse as a complete smaller batch
+			// would have trailing-byte or count mismatches; none should
+			// decode cleanly.
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(buf))
+		}
+	}
+
+	// Trailing garbage must be rejected.
+	if _, _, err := DecodeBatch(append(append([]byte{}, buf...), 0xFF), nil); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+
+	// An absurd count must be rejected before allocation.
+	huge := AppendBatch(nil, 0, nil)
+	huge[1] = 0xFF // rewrite count varint's first byte
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, _, err := DecodeBatch(huge, nil); err == nil {
+		t.Fatal("absurd count decoded without error")
+	}
+
+	// Invalid kind.
+	bad := AppendBatch(nil, 0, []event.Event{{Kind: event.KFill, Time: 1}})
+	for i := range bad {
+		if bad[i] == byte(event.KFill) {
+			bad[i] = 0xEE
+			break
+		}
+	}
+	if _, _, err := DecodeBatch(bad, nil); err == nil {
+		t.Fatal("invalid kind decoded without error")
+	}
+}

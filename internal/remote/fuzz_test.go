@@ -1,0 +1,96 @@
+package remote
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"slacksim/internal/event"
+)
+
+// FuzzBatchCodecRoundTrip drives the codec from both ends: the input
+// bytes are decoded as a hostile payload (must never panic, may error),
+// and separately interpreted as a generator for a structured batch that
+// must encode→decode bit-exact.
+func FuzzBatchCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	f.Add(AppendBatch(nil, 1, []event.Event{
+		{Kind: event.KReadExcl, Core: 3, Time: 1000, Seq: 12, Addr: 0x4040,
+			VictimAddr: 0x8080, VictimFlags: event.VictimValid | event.VictimDirty},
+		{Kind: event.KFill, Core: 3, Time: 1010, Seq: 12, Addr: 0x4040, Aux: 2,
+			ReqTime: 1000, SendNS: 123456},
+	}))
+	f.Add(AppendBatch(nil, 7, []event.Event{
+		{Kind: event.KSyscall, Core: 0, Time: 5, Seq: 1, Aux: 9,
+			Args: [4]int64{1, -2, 3, -4}, Flag: true},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arm 1: arbitrary bytes are a batch payload. Decode must return
+		// cleanly — an error is fine, a panic or hang is the bug.
+		if _, evs, err := DecodeBatch(data, nil); err == nil {
+			// A payload that decodes must re-encode to an equivalent batch:
+			// decode(encode(decode(x))) == decode(x).
+			sh, _, _ := DecodeBatch(data, nil)
+			re := AppendBatch(nil, sh, evs)
+			sh2, evs2, err2 := DecodeBatch(re, nil)
+			if err2 != nil {
+				t.Fatalf("re-encode of valid batch failed to decode: %v", err2)
+			}
+			if sh2 != sh || len(evs2) != len(evs) {
+				t.Fatalf("re-encode changed shape: shard %d→%d, %d→%d events", sh, sh2, len(evs), len(evs2))
+			}
+			for i := range evs {
+				if evs[i] != evs2[i] {
+					t.Fatalf("re-encode changed event %d: %+v → %+v", i, evs[i], evs2[i])
+				}
+			}
+		}
+
+		// Arm 2: the same bytes seed a structured batch that must
+		// round-trip exactly.
+		var in []event.Event
+		for off := 0; off+16 <= len(data) && len(in) < 64; off += 16 {
+			w1 := binary.LittleEndian.Uint64(data[off:])
+			w2 := binary.LittleEndian.Uint64(data[off+8:])
+			ev := event.Event{
+				Kind: event.Kind(1 + w1%uint64(event.KStop)),
+				Core: int32(w1 >> 8 & 0xFFFF),
+				Time: int64(w2),
+				Seq:  int64(w1 >> 24),
+				Addr: w2 ^ w1,
+				Aux:  int64(w1) - int64(w2),
+				Flag: w1&1 == 1,
+			}
+			if w1&2 != 0 {
+				ev.VictimAddr = w1
+				ev.VictimFlags = uint8(w2 & 3)
+			}
+			if w1&4 != 0 {
+				ev.ReqTime = int64(w2 >> 1)
+				ev.SendNS = int64(w1 >> 1)
+			}
+			if ev.Kind == event.KSyscall {
+				ev.Args = [4]int64{int64(w1), int64(w2), -int64(w1), -int64(w2)}
+			}
+			in = append(in, ev)
+		}
+		shard := 0
+		if len(data) > 0 {
+			shard = int(data[0]) % 32
+		}
+		buf := AppendBatch(nil, shard, in)
+		gotShard, got, err := DecodeBatch(buf, nil)
+		if err != nil {
+			t.Fatalf("structured batch failed to decode: %v", err)
+		}
+		if gotShard != shard || len(got) != len(in) {
+			t.Fatalf("structured batch shape: shard %d→%d, %d→%d events", shard, gotShard, len(in), len(got))
+		}
+		for i := range in {
+			if got[i] != in[i] {
+				t.Fatalf("event %d not bit-exact:\n got %+v\nwant %+v", i, got[i], in[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package remote
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"slacksim/internal/cache"
+)
+
+// Version is the wire-protocol version. The handshake rejects any
+// mismatch outright — the protocol carries simulator-internal structures
+// (event layout, cache config) whose compatibility across versions is
+// exactly what a version bump declares broken.
+const Version uint16 = 1
+
+// magic opens every Hello frame so a worker fed a non-slacksim stream
+// (wrong port, stray HTTP client) fails fast with a clear error.
+const magic = "SLKR"
+
+// Frame types. Parent → worker: FHello, FEvents, FGate, FFinish.
+// Worker → parent: FWelcome, FReplies, FWatermark, FError, FStats, FBye.
+const (
+	// FHello opens the handshake: magic, version, then a JSON Hello.
+	FHello byte = 0x01
+	// FWelcome acknowledges: version, then a JSON Welcome.
+	FWelcome byte = 0x02
+	// FEvents carries a delta-encoded request batch for one shard.
+	FEvents byte = 0x03
+	// FGate publishes the allowed time: the worker must process every
+	// queued event below it and answer with FWatermark.
+	FGate byte = 0x04
+	// FReplies carries a delta-encoded reply batch from one shard.
+	FReplies byte = 0x05
+	// FWatermark acknowledges a gate. The worker sends it only after
+	// every FReplies for events below the gate is already written to the
+	// stream, so in-order delivery guarantees the parent has the replies
+	// once it sees the watermark — the remote analog of the in-process
+	// rule that a shard stores its mark after its ring pushes.
+	FWatermark byte = 0x06
+	// FError carries a worker's JSON-serialized SimError (panic, injected
+	// fault, or handshake rejection). Terminal: the worker exits after it.
+	FError byte = 0x07
+	// FFinish tells the worker the run is over; it must answer FStats.
+	FFinish byte = 0x08
+	// FStats carries the worker's JSON WorkerStats (per-shard L2 counters,
+	// event counts, wire counters).
+	FStats byte = 0x09
+	// FBye is the worker's end-of-stream marker after FStats; the parent
+	// joins its receiver on it and closes the connection.
+	FBye byte = 0x0A
+)
+
+// FrameName names a frame type for diagnostics.
+func FrameName(t byte) string {
+	switch t {
+	case FHello:
+		return "hello"
+	case FWelcome:
+		return "welcome"
+	case FEvents:
+		return "events"
+	case FGate:
+		return "gate"
+	case FReplies:
+		return "replies"
+	case FWatermark:
+		return "watermark"
+	case FError:
+		return "error"
+	case FFinish:
+		return "finish"
+	case FStats:
+		return "stats"
+	case FBye:
+		return "bye"
+	}
+	return fmt.Sprintf("unknown(%#02x)", t)
+}
+
+// Hello is the parent's handshake payload: everything a worker needs to
+// build its shards' timing state identically to the in-process driver.
+type Hello struct {
+	// WorkerID indexes this worker among the run's workers (diagnostics
+	// and fault attribution).
+	WorkerID int `json:"worker_id"`
+	// Shards lists the shard indices this worker owns.
+	Shards []int `json:"shards"`
+	// NumShards is the run's total shard count (bank mod NumShards
+	// routing happens at the parent; the worker only needs the total for
+	// sanity checks).
+	NumShards int `json:"num_shards"`
+	// NumCores is the target machine's core count (sizes reply routing).
+	NumCores int `json:"num_cores"`
+	// Cache is the full hierarchy configuration; each shard instantiates
+	// its own L2System from it, exactly as newShardState does.
+	Cache cache.Config `json:"cache"`
+	// StallTimeoutMS keys the worker's read deadline off the parent's
+	// stall watchdog, so an orphaned worker (parent killed) exits on its
+	// own instead of lingering.
+	StallTimeoutMS int64 `json:"stall_timeout_ms"`
+}
+
+// Welcome is the worker's handshake acknowledgment.
+type Welcome struct {
+	WorkerID int `json:"worker_id"`
+}
+
+// HandshakeError reports a failed or refused handshake; the caller wraps
+// it into a contained SimError naming the worker.
+type HandshakeError struct {
+	Detail string
+}
+
+func (e *HandshakeError) Error() string { return "remote: handshake: " + e.Detail }
+
+// SendHello writes and flushes the parent's opening frame.
+func (c *Conn) SendHello(h *Hello) error {
+	body, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, 0, len(magic)+2+len(body))
+	payload = append(payload, magic...)
+	payload = binary.LittleEndian.AppendUint16(payload, Version)
+	payload = append(payload, body...)
+	if err := c.WriteFrame(FHello, payload); err != nil {
+		return err
+	}
+	return c.Flush()
+}
+
+// AwaitWelcome blocks (bounded by deadline) for the worker's FWelcome and
+// validates the version echo. An FError frame in its place carries the
+// worker's refusal (e.g. its own version-mismatch report) and is returned
+// as a HandshakeError holding the JSON payload.
+func (c *Conn) AwaitWelcome(deadline time.Time) (*Welcome, error) {
+	if err := c.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	defer c.SetReadDeadline(time.Time{})
+	f, err := c.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case FWelcome:
+	case FError:
+		return nil, &HandshakeError{Detail: "worker refused: " + string(f.Payload)}
+	default:
+		return nil, &HandshakeError{Detail: "expected welcome, got " + FrameName(f.Type)}
+	}
+	if len(f.Payload) < 2 {
+		return nil, &HandshakeError{Detail: "short welcome frame"}
+	}
+	if v := binary.LittleEndian.Uint16(f.Payload); v != Version {
+		return nil, &HandshakeError{Detail: fmt.Sprintf("version mismatch: worker speaks v%d, parent v%d", v, Version)}
+	}
+	var w Welcome
+	if err := json.Unmarshal(f.Payload[2:], &w); err != nil {
+		return nil, &HandshakeError{Detail: "bad welcome body: " + err.Error()}
+	}
+	return &w, nil
+}
+
+// AcceptHello blocks (bounded by deadline) for the parent's FHello,
+// validates magic and version, and replies FWelcome. On a version
+// mismatch it still replies — with an FError naming both versions — so
+// the parent gets a structured refusal rather than a timeout.
+func (c *Conn) AcceptHello(deadline time.Time) (*Hello, error) {
+	if err := c.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	defer c.SetReadDeadline(time.Time{})
+	f, err := c.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != FHello {
+		return nil, &HandshakeError{Detail: "expected hello, got " + FrameName(f.Type)}
+	}
+	if len(f.Payload) < len(magic)+2 || string(f.Payload[:len(magic)]) != magic {
+		return nil, &HandshakeError{Detail: "bad magic (not a slacksim parent?)"}
+	}
+	if v := binary.LittleEndian.Uint16(f.Payload[len(magic):]); v != Version {
+		detail := fmt.Sprintf("version mismatch: parent speaks v%d, worker v%d", v, Version)
+		c.WriteFrame(FError, []byte(fmt.Sprintf(`{"op":"remote-handshake","detail":%q}`, detail)))
+		c.Flush()
+		return nil, &HandshakeError{Detail: detail}
+	}
+	var h Hello
+	if err := json.Unmarshal(f.Payload[len(magic)+2:], &h); err != nil {
+		return nil, &HandshakeError{Detail: "bad hello body: " + err.Error()}
+	}
+	if len(h.Shards) == 0 || h.NumCores < 1 {
+		return nil, &HandshakeError{Detail: "hello assigns no shards or no cores"}
+	}
+	ack, err := json.Marshal(Welcome{WorkerID: h.WorkerID})
+	if err != nil {
+		return nil, err
+	}
+	payload := binary.LittleEndian.AppendUint16(nil, Version)
+	payload = append(payload, ack...)
+	if err := c.WriteFrame(FWelcome, payload); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// ShardL2 pairs a shard index with its final hierarchy counters.
+type ShardL2 struct {
+	Shard int           `json:"shard"`
+	Stats cache.L2Stats `json:"stats"`
+}
+
+// WorkerStats is the FStats payload: everything the parent folds back
+// into the Result so a remote run reports identically to an in-process
+// one.
+type WorkerStats struct {
+	WorkerID int       `json:"worker_id"`
+	Events   int64     `json:"events"`
+	L2       []ShardL2 `json:"l2"`
+	Wire     WireStats `json:"wire"`
+}
