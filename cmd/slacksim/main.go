@@ -295,6 +295,9 @@ func run(args []string, out, errw io.Writer) error {
 				res.ManagerBusy.Round(time.Microsecond), res.EventsProcessed)
 		}
 		printStragglers(out, res.Stragglers)
+		fmt.Fprintf(out, "host memory: %d allocs (%.2f/kinstr), %d GCs, %v pause\n",
+			res.HostAllocs, res.AllocsPerKInstr(), res.HostGCs,
+			res.HostGCPauses.Round(time.Microsecond))
 		if rw := res.Wire; rw != nil {
 			fmt.Fprintf(out, "wire: parent sent %d B in %d batches (%.0f B/batch), recvd %d B; workers encode %v, decode %v\n",
 				rw.Parent.BytesSent, rw.Parent.BatchesSent, rw.Parent.BytesPerBatch(),

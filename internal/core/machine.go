@@ -281,6 +281,15 @@ type Machine struct {
 	// drainBuf is the manager-side reusable buffer for Ring.PopBatch
 	// (manager goroutine only).
 	drainBuf []event.Event
+	// mgrTimer is the reusable park timer for mgrIdleWait (manager
+	// goroutine only); allocating a fresh timer per park shows up as the
+	// dominant steady-state allocation of an otherwise quiescent machine.
+	mgrTimer *time.Timer
+
+	// hostMem is the runtime allocation baseline captured by the driver
+	// entry points; result() reports the deltas (see result.go).
+	hostMem      hostMemBaseline
+	hostMemValid bool
 
 	// notifyPend/notifyBatch implement the manager's per-round notify
 	// coalescing (manager goroutine only; see deferNotify): one bit per
@@ -376,6 +385,7 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 		outDirty:    make([]paddedU64, (cfg.NumCores+63)/64),
 		notifyPend:  make([]uint64, (cfg.NumCores+63)/64),
 		mgrWake:     make(chan struct{}, 1),
+		drainBuf:    make([]event.Event, 0, cfg.RingCap),
 	}
 	m.roiTime.Store(-1)
 	if cfg.Audit {

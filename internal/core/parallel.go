@@ -48,6 +48,7 @@ func (m *Machine) RunParallel(s Scheme) (*Result, error) {
 	sc := s
 	m.schemeLive.Store(&sc)
 	start := time.Now()
+	m.captureHostMem()
 
 	// Initial windows.
 	init := s.maxLocal(0)
@@ -144,7 +145,8 @@ func (m *Machine) RunParallel(s Scheme) (*Result, error) {
 func (m *Machine) coreLoop(i int) {
 	c := m.cores[i]
 	st := c.Stats()
-	var inbox []event.Event
+	// Sized so a full InQ drain never grows the slice mid-run.
+	inbox := make([]event.Event, 0, m.cfg.RingCap)
 	local := m.local[i].v.Load()
 	idleClamp := m.cfg.Cache.CriticalLatency()
 	includeInvs := m.scheme.Conservative()
@@ -490,12 +492,27 @@ func (m *Machine) mgrIdleWait(epoch int64, timeout time.Duration) (timedOut bool
 	if m.met != nil {
 		m.met.mgrParks.Inc()
 	}
-	t := time.NewTimer(timeout)
-	defer t.Stop()
+	// Reuse one timer across parks: a machine that parks thousands of times
+	// per second would otherwise allocate a fresh runtime timer each park.
+	// The timer never fires outside this function (we drain or consume the
+	// expiry before returning), so Reset is always safe.
+	if m.mgrTimer == nil {
+		m.mgrTimer = time.NewTimer(timeout)
+	} else {
+		m.mgrTimer.Reset(timeout)
+	}
 	select {
 	case <-m.mgrWake:
+		if !m.mgrTimer.Stop() {
+			// Timer fired between the wake and the Stop; drain the expiry so
+			// the next park's select cannot observe a stale tick.
+			select {
+			case <-m.mgrTimer.C:
+			default:
+			}
+		}
 		return false
-	case <-t.C:
+	case <-m.mgrTimer.C:
 		return true
 	}
 }
@@ -533,6 +550,7 @@ func (m *Machine) managerLoop(s Scheme) {
 	conservative := s.Conservative()
 	var tracedLocals []int64
 	idleRounds := 0
+	prodStreak := 0
 	quiet := 0
 	parkT := time.Duration(0)
 	lastChange := time.Now()
@@ -671,15 +689,24 @@ func (m *Machine) managerLoop(s Scheme) {
 		}
 
 		if moved || processed || changed || g != lastGlobal {
+			// The watchdog stamp is only consulted after the machine goes
+			// idle, so during a hot productive streak it is refreshed 1-in-32
+			// (time.Now is ~3% of manager CPU otherwise). The idle→productive
+			// transition always stamps, so a workload that is productive only
+			// rarely never accumulates false stall time.
+			if idleRounds != 0 || prodStreak&31 == 0 {
+				lastChange = time.Now()
+			}
+			prodStreak++
 			idleRounds = 0
 			parkT = 0
 			lastGlobal = g
-			lastChange = time.Now()
 			if measure {
 				m.mgrBusyNS += time.Since(t0).Nanoseconds()
 			}
 			continue
 		}
+		prodStreak = 0
 		idleRounds++
 		if idleRounds > 4 {
 			// The round observed no activity and the epoch proves none

@@ -152,6 +152,7 @@ func (m *Machine) RunRemoteSharded(s Scheme, transports []remote.Transport) (*Re
 	sc := s
 	m.schemeLive.Store(&sc)
 	start := time.Now()
+	m.captureHostMem()
 
 	if err := m.remoteConnect(transports); err != nil {
 		return nil, err
@@ -508,6 +509,7 @@ func (m *Machine) runRemoteManager(s Scheme) {
 
 	ad := adaptState{window: s.Window}
 	idleRounds := 0
+	prodStreak := 0
 	parkT := time.Duration(0)
 	lastChange := time.Now()
 	lastGlobal := int64(-1)
@@ -620,15 +622,21 @@ func (m *Machine) runRemoteManager(s Scheme) {
 		// liveness guarantee instead.
 
 		if moved || processed || changed || g != lastGlobal {
+			// 1-in-32 watchdog stamp during hot streaks; the idle→productive
+			// transition always stamps (see managerLoop in parallel.go).
+			if idleRounds != 0 || prodStreak&31 == 0 {
+				lastChange = time.Now()
+			}
+			prodStreak++
 			idleRounds = 0
 			parkT = 0
 			lastGlobal = g
-			lastChange = time.Now()
 			if measure {
 				m.mgrBusyNS += time.Since(t0).Nanoseconds()
 			}
 			continue
 		}
+		prodStreak = 0
 		idleRounds++
 		if idleRounds > 4 {
 			if m.mgrIdleWait(epoch, nextParkTimeout(&parkT)) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"slacksim/internal/cache"
@@ -77,6 +78,43 @@ type Result struct {
 	// run (nil for in-process runs): the parent connections' side and
 	// the workers' own, as shipped in their FStats frames.
 	Wire *RemoteWireStats
+
+	// Host allocation accounting (runtime.MemStats deltas across the run,
+	// captured by every driver entry point). HostAllocs is the number of
+	// heap objects allocated while the run executed — the zero-allocation
+	// hot loop keeps this flat in instruction count (metrics disabled).
+	// HostGCs and HostGCPauses count collections and total stop-the-world
+	// pause time triggered during the run.
+	HostAllocs   uint64
+	HostGCs      uint32
+	HostGCPauses time.Duration
+}
+
+// AllocsPerKInstr is HostAllocs per thousand committed instructions — the
+// steady-state allocation figure the perf docs track (0.0x for a healthy
+// hot loop; metrics and tracing add bounded per-run, not per-instruction,
+// allocations).
+func (r *Result) AllocsPerKInstr() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.HostAllocs) / (float64(r.Committed) / 1e3)
+}
+
+// hostMemBaseline snapshots the runtime allocation counters at run start;
+// result() reports the deltas. ReadMemStats stops the world, so it runs
+// only at the run boundaries, never inside the loops.
+type hostMemBaseline struct {
+	mallocs uint64
+	numGC   uint32
+	pauseNS uint64
+}
+
+func (m *Machine) captureHostMem() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.hostMem = hostMemBaseline{ms.Mallocs, ms.NumGC, ms.PauseTotalNs}
+	m.hostMemValid = true
 }
 
 // ROICycles is the simulated execution time of the region of interest.
@@ -128,6 +166,13 @@ func (m *Machine) result(wall time.Duration) *Result {
 		res.Committed += st.ROICommitted()
 	}
 	res.Wire = m.remoteWire()
+	if m.hostMemValid {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		res.HostAllocs = ms.Mallocs - m.hostMem.mallocs
+		res.HostGCs = ms.NumGC - m.hostMem.numGC
+		res.HostGCPauses = time.Duration(ms.PauseTotalNs - m.hostMem.pauseNS)
+	}
 	m.publishObservability(res)
 	return res
 }

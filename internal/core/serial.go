@@ -25,6 +25,7 @@ import (
 // a *SimError instead of crashing the caller.
 func (m *Machine) RunSerial() (*Result, error) {
 	start := time.Now()
+	m.captureHostMem()
 	func() {
 		defer m.containPanic(faultinject.Manager, "serial-loop")
 		m.runSerialLoop()

@@ -84,6 +84,7 @@ func (m *Machine) runShardedManager(s Scheme) {
 
 	ad := adaptState{window: s.Window}
 	idleRounds := 0
+	prodStreak := 0
 	quiet := 0
 	parkT := time.Duration(0)
 	lastChange := time.Now()
@@ -203,15 +204,21 @@ func (m *Machine) runShardedManager(s Scheme) {
 		}
 
 		if moved || processed || changed || g != lastGlobal {
+			// 1-in-32 watchdog stamp during hot streaks; the idle→productive
+			// transition always stamps (see managerLoop in parallel.go).
+			if idleRounds != 0 || prodStreak&31 == 0 {
+				lastChange = time.Now()
+			}
+			prodStreak++
 			idleRounds = 0
 			parkT = 0
 			lastGlobal = g
-			lastChange = time.Now()
 			if measure {
 				m.mgrBusyNS += time.Since(t0).Nanoseconds()
 			}
 			continue
 		}
+		prodStreak = 0
 		idleRounds++
 		if idleRounds > 4 {
 			// Park as in managerLoop: timed, so the health checks still run

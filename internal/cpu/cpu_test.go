@@ -520,7 +520,11 @@ func TestSaturatingConvert(t *testing.T) {
 func TestPredictorTraining(t *testing.T) {
 	cfg := DefaultConfig()
 	p := newPredictor(&cfg)
-	br := isa.Inst{Op: isa.OpBNE, Imm: -64}
+	pre := func(in isa.Inst) *Pre {
+		q := makePre(&cfg, in)
+		return &q
+	}
+	br := pre(isa.Inst{Op: isa.OpBNE, Imm: -64})
 	pc := uint64(0x4000)
 	// Initially weakly not-taken.
 	if _, taken := p.predict(br, pc); taken {
@@ -533,15 +537,15 @@ func TestPredictorTraining(t *testing.T) {
 		t.Fatal("trained predictor still predicts not-taken")
 	}
 	// RAS: call pushes, return pops.
-	call := isa.Inst{Op: isa.OpJAL, Rd: isa.RegRA, Imm: 256}
+	call := pre(isa.Inst{Op: isa.OpJAL, Rd: isa.RegRA, Imm: 256})
 	p.predict(call, 0x5000)
-	ret := isa.Inst{Op: isa.OpJALR, Rd: isa.RegZero, Rs1: isa.RegRA}
+	ret := pre(isa.Inst{Op: isa.OpJALR, Rd: isa.RegZero, Rs1: isa.RegRA})
 	next, _ := p.predict(ret, 0x6000)
 	if next != 0x5008 {
 		t.Fatalf("RAS predicted %#x, want 0x5008", next)
 	}
 	// BTB for indirect jumps.
-	ind := isa.Inst{Op: isa.OpJALR, Rd: isa.RegZero, Rs1: 8}
+	ind := pre(isa.Inst{Op: isa.OpJALR, Rd: isa.RegZero, Rs1: 8})
 	p.update(ind, 0x7000, true, 0x9000)
 	if next, _ := p.predict(ind, 0x7000); next != 0x9000 {
 		t.Fatalf("BTB predicted %#x", next)

@@ -13,14 +13,20 @@ func (c *OoO) DebugState() string {
 		c.env.ID, c.active, c.fetchPC, c.fetchMiss, c.fetchMissLn, c.fetchQLen(),
 		c.robCount, len(c.iq), c.lqCount, c.sqCount, c.serializeSeq, c.sysIssued, c.sysDone, c.sysRetryAt, len(c.pending))
 	if c.robCount > 0 {
-		h := &c.rob[c.robHead]
+		h := c.robHead
+		fl := c.rob.flags[h]
 		fmt.Fprintf(&b, "  head: seq=%d pc=%#x %s done=%v sys=%v amo=%v\n",
-			h.seq, h.pc, h.inst.Disassemble(h.pc), h.done, h.isSys, h.isAMO)
+			c.rob.seq[h], c.rob.pc[h], c.rob.pre[h].Inst().Disassemble(c.rob.pc[h]),
+			fl&rfDone != 0, fl&rfSys != 0, fl&rfAMO != 0)
 	}
 	for i := range c.mshrs {
 		if c.mshrs[i].valid {
 			m := &c.mshrs[i]
-			fmt.Fprintf(&b, "  mshr: line=%#x instr=%v upgrade=%v store=%v loads=%d\n", m.line, m.instr, m.upgrade, m.store, len(m.loads))
+			waiters := 0
+			for lqi := m.loadHead; lqi >= 0; lqi = c.lq.next[lqi] {
+				waiters++
+			}
+			fmt.Fprintf(&b, "  mshr: line=%#x instr=%v upgrade=%v store=%v loads=%d\n", m.line, m.instr, m.upgrade, m.store, waiters)
 		}
 	}
 	for i := range c.pending {
@@ -33,5 +39,5 @@ func (c *OoO) DebugState() string {
 // DebugState for the in-order core.
 func (c *InOrder) DebugState() string {
 	return fmt.Sprintf("core %d active=%v pc=%#x state=%d busyUntil=%d retryAt=%d cur=%s\n",
-		c.env.ID, c.active, c.pc, c.state, c.busyUntil, c.retryAt, c.cur.Disassemble(c.pc))
+		c.env.ID, c.active, c.pc, c.state, c.busyUntil, c.retryAt, c.cur.Inst().Disassemble(c.pc))
 }

@@ -30,7 +30,7 @@ type InOrder struct {
 
 	state     ioState
 	busyUntil int64
-	cur       isa.Inst
+	cur       Pre
 	retryAt   int64 // blocking-syscall re-issue time (-1 none)
 	eventSeq  int64
 }
@@ -56,14 +56,15 @@ func NewInOrder(cfg Config, env Env) (*InOrder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &InOrder{
+	c := &InOrder{
 		cfg:     cfg,
 		env:     env,
 		l1d:     l1d,
 		l1i:     l1i,
-		pd:      newPredecode(&env),
 		retryAt: -1,
-	}, nil
+	}
+	c.pd = newPredecode(&c.cfg, &c.env)
+	return c, nil
 }
 
 // ID implements Core.
@@ -167,15 +168,16 @@ func (c *InOrder) Skip(n int64) {
 func (c *InOrder) fetch(now int64) {
 	switch c.l1i.Probe(c.pc, false) {
 	case cache.Hit:
-		in, ok := c.pd.lookup(c.pc)
-		if !ok {
+		pp, ok := c.pd.lookup(c.pc)
+		if ok {
+			c.cur = *pp
+		} else {
 			word, ok := c.env.Mem.LoadWord(c.pc)
 			if !ok {
 				return // unmapped pc: hang rather than crash the host
 			}
-			in = isa.Decode(word)
+			c.cur = makePre(&c.cfg, isa.Decode(word))
 		}
-		c.cur = in
 		c.stats.Fetched++
 		c.state = ioExec
 		c.busyUntil = now + 1
@@ -192,42 +194,42 @@ func (c *InOrder) fetch(now int64) {
 }
 
 func (c *InOrder) exec(now int64) {
-	in := c.cur
+	p := &c.cur
 	switch {
-	case in.IsMem() && !in.IsAMO():
+	case p.Flags&pfMemData != 0:
 		c.execMem(now)
-	case in.IsAMO():
+	case p.Flags&pfAMO != 0:
 		c.execAMO(now)
-	case in.IsSyscall():
+	case p.Flags&pfSyscall != 0:
 		c.stats.Syscalls++
 		c.issueSyscall(now)
-	case in.Op == isa.OpInvalid:
+	case p.Op == isa.OpInvalid:
 		panic("cpu: in-order core executed invalid instruction")
 	default:
-		a, b := c.reg(in.Rs1), c.reg(in.Rs2)
-		fa, fb := c.fregs[in.Rs1], c.fregs[in.Rs2]
-		res := execALU(in, c.pc, a, b, fa, fb)
-		c.applyALU(in, res)
+		a, b := c.reg(p.Rs1), c.reg(p.Rs2)
+		fa, fb := c.fregs[p.Rs1], c.fregs[p.Rs2]
+		res := p.Exec(p, c.pc, a, b, fa, fb)
+		c.applyALU(p, res)
 		if res.isCTI {
 			c.stats.Branches++
 		}
-		c.complete(now, execLatency(&c.cfg, in), res.next)
+		c.complete(now, int64(p.Lat), res.next)
 	}
 }
 
-func (c *InOrder) applyALU(in isa.Inst, res aluResult) {
-	if res.writesInt && in.IntDst() >= 0 {
-		c.regs[in.IntDst()] = res.intVal
+func (c *InOrder) applyALU(p *Pre, res aluResult) {
+	if res.writesInt && p.IntDst >= 0 {
+		c.regs[p.IntDst] = res.intVal
 	}
-	if res.writesFP && in.FPDst() >= 0 {
-		c.fregs[in.FPDst()] = res.fpVal
+	if res.writesFP && p.FPDst >= 0 {
+		c.fregs[p.FPDst] = res.fpVal
 	}
 }
 
 func (c *InOrder) execMem(now int64) {
-	in := c.cur
+	in := &c.cur
 	addr := uint64(c.reg(in.Rs1) + int64(in.Imm))
-	write := in.IsStore()
+	write := in.Flags&pfStore != 0
 	switch c.l1d.Probe(addr, write) {
 	case cache.Hit:
 		if write {
@@ -259,7 +261,7 @@ func (c *InOrder) execMem(now int64) {
 }
 
 func (c *InOrder) execAMO(now int64) {
-	in := c.cur
+	in := &c.cur
 	addr := uint64(c.reg(in.Rs1))
 	rs2 := uint64(c.reg(in.Rs2))
 	var old uint64
@@ -275,8 +277,8 @@ func (c *InOrder) execAMO(now int64) {
 	if !ok {
 		c.stats.MemFaults++
 	}
-	if in.IntDst() >= 0 {
-		c.regs[in.IntDst()] = int64(old)
+	if in.IntDst >= 0 {
+		c.regs[in.IntDst] = int64(old)
 	}
 	c.complete(now, c.cfg.AMOLat, c.pc+isa.InstBytes)
 }
@@ -291,7 +293,7 @@ func (c *InOrder) issueSyscall(now int64) {
 	c.state = ioWaitSyscall
 }
 
-func (c *InOrder) readMemInto(in isa.Inst, addr uint64) {
+func (c *InOrder) readMemInto(in *Pre, addr uint64) {
 	switch in.Op {
 	case isa.OpFLD:
 		raw, _ := c.env.Mem.LoadWord(addr)
@@ -311,7 +313,7 @@ func (c *InOrder) readMemInto(in isa.Inst, addr uint64) {
 	}
 }
 
-func (c *InOrder) writeMem(in isa.Inst, addr uint64) {
+func (c *InOrder) writeMem(in *Pre, addr uint64) {
 	var ok bool
 	switch in.Op {
 	case isa.OpSD:
@@ -380,8 +382,8 @@ func (c *InOrder) Deliver(ev event.Event, now int64) {
 			c.retryAt = now + 1
 			return
 		}
-		if c.cur.IntDst() >= 0 {
-			c.regs[c.cur.IntDst()] = ev.Aux
+		if c.cur.IntDst >= 0 {
+			c.regs[c.cur.IntDst] = ev.Aux
 		}
 		c.complete(now, 1, c.pc+isa.InstBytes)
 	}

@@ -18,6 +18,12 @@ import (
 // read the shared functional memory when their access completes — which is
 // exactly how slack-induced simulated-time distortions become visible to
 // the workload (§3.2.3).
+//
+// The ROB and load/store queues are laid out as struct-of-arrays (parallel
+// slices indexed by entry) with single-byte flag words: the commit walk,
+// store-queue disambiguation scan, and parked-load sweep each touch one
+// dense array instead of striding over fat entry structs, and none of the
+// per-entry state holds a pointer the GC has to trace.
 type OoO struct {
 	cfg Config
 	env Env
@@ -49,7 +55,7 @@ type OoO struct {
 	fetchHead    int // consumed prefix of fetchQ (compacted when drained)
 
 	// Window.
-	rob      []robEntry
+	rob      robSoA
 	robHead  int
 	robCount int
 	// iq holds waiting instructions in dispatch (= seq) order: dispatch
@@ -65,9 +71,9 @@ type OoO struct {
 	// architectural register commits after this entry does.)
 	iqUnready bool
 
-	lq                      []lqEntry
+	lq                      lqSoA
 	lqHead, lqTail, lqCount int
-	sq                      []sqEntry
+	sq                      sqSoA
 	sqHead, sqTail, sqCount int
 
 	ckpts    []checkpoint
@@ -75,8 +81,13 @@ type OoO struct {
 
 	pending      []pendingOp // scheduled completions, unordered small slice
 	pendingSpare []pendingOp // double buffer for completePending
-	mshrs        []mshr
-	eventSeq     int64
+	// pendMin is a lower bound on the earliest due time in pending
+	// (MaxInt64 when empty): completePending skips its walk entirely while
+	// now < pendMin. It may go stale-low after a walk or a recovery — that
+	// only costs one wasted walk, never a missed completion.
+	pendMin  int64
+	mshrs    []mshr
+	eventSeq int64
 
 	// Commit-point serialisation (syscalls and atomics).
 	serializeSeq int64 // -1 when inactive
@@ -94,72 +105,150 @@ type OoO struct {
 }
 
 type fetched struct {
-	inst   isa.Inst
+	pre    Pre
 	pc     uint64
 	npc    uint64 // predicted next pc
 	rasTop int    // RAS top before this instruction's own push/pop
 }
 
-type robEntry struct {
-	valid   bool
-	seq     int64
-	inst    isa.Inst
-	pc      uint64
-	npc     uint64 // predicted next pc
-	physDst int16  // -1 if none
-	oldDst  int16
-	dstFP   bool
-	done    bool
-	lqIdx   int16 // -1
-	sqIdx   int16 // -1
-	ckpt    int8  // -1
-	isSys   bool
-	isAMO   bool
+// robFlag packs a ROB entry's booleans into one byte of the flags array.
+type robFlag uint8
+
+const (
+	rfValid robFlag = 1 << iota
+	rfDone
+	rfDstFP
+	rfSys
+	rfAMO
+)
+
+// robSoA is the reorder buffer in struct-of-arrays form: one slice per
+// field, all indexed by the circular (robHead, robCount) window.
+type robSoA struct {
+	seq   []int64
+	pre   []Pre
+	pc    []uint64
+	npc   []uint64 // predicted next pc
+	dst   []int16  // physical destination, -1 none
+	old   []int16  // previous mapping of the architectural destination
+	lq    []int16  // LQ index, -1
+	sq    []int16  // SQ index, -1
+	ckpt  []int8   // checkpoint id, -1
+	flags []robFlag
+}
+
+func newROBSoA(n int) robSoA {
+	return robSoA{
+		seq:   make([]int64, n),
+		pre:   make([]Pre, n),
+		pc:    make([]uint64, n),
+		npc:   make([]uint64, n),
+		dst:   make([]int16, n),
+		old:   make([]int16, n),
+		lq:    make([]int16, n),
+		sq:    make([]int16, n),
+		ckpt:  make([]int8, n),
+		flags: make([]robFlag, n),
+	}
 }
 
 // iqEntry captures the dispatch-time rename of each operand role so that
 // execution reads the values this instruction's program-order position
 // requires, regardless of younger redefinitions in flight. A physical index
-// of -1 means "constant zero / unused".
+// of -1 means "constant zero / unused" (integer) or "unused" (FP).
 type iqEntry struct {
 	seq    int64
 	robIdx int16
 	ps1    int16 // integer rs1
 	ps2    int16 // integer rs2 (store data for integer stores)
-	pf1    int16 // fp fs1
-	pf2    int16 // fp fs2 (store data for fp stores)
-	fp1Use bool
-	fp2Use bool
+	pf1    int16 // fp fs1, -1 unused
+	pf2    int16 // fp fs2 (store data for fp stores), -1 unused
+	class  fuClass
+	need   uint8 // operands not yet observed ready (needPs1..needPf2)
 }
 
-type lqEntry struct {
-	valid  bool
-	seq    int64
-	robIdx int16
-	op     isa.Op
-	addr   uint64
-	width  int
-	done   bool
-	// parked marks a load waiting on a condition that clears via another
+// need bits: one per operand slot still awaiting a producer writeback.
+// Readiness is monotonic while the entry is queued (a source physical
+// register cannot be reallocated before the entry issues), so a cleared
+// bit never has to be re-checked and need==0 means ready forever.
+const (
+	needPs1 uint8 = 1 << iota
+	needPs2
+	needPf1
+	needPf2
+)
+
+type lqFlag uint8
+
+const (
+	lfValid lqFlag = 1 << iota
+	lfDone
+	// lfParked marks a load waiting on a condition that clears via another
 	// micro-event (an older store's address/value, a store drain, a free
 	// MSHR) rather than the passage of cycles; kickParkedLoads requeues it
 	// when such an event fires. Event-driven waits keep a fully stalled
 	// core's Tick a no-op, so the engine can freeze it instead of letting
 	// it burn simulated cycles at host speed.
-	parked bool
+	lfParked
+)
+
+// lqSoA is the load queue in struct-of-arrays form. next carries the
+// intrusive MSHR waiter chain: loads waiting on the same outstanding line
+// are linked head-to-tail through next (index-based free list instead of a
+// per-MSHR waiter slice), preserving FIFO wake order.
+type lqSoA struct {
+	seq   []int64
+	addr  []uint64
+	rob   []int16
+	next  []int16 // MSHR waiter chain link, -1 end
+	op    []isa.Op
+	width []uint8
+	flags []lqFlag
 }
 
-type sqEntry struct {
-	valid     bool
-	seq       int64
-	robIdx    int16
-	op        isa.Op
-	addr      uint64
-	width     int
-	value     uint64 // raw bits
-	ready     bool   // address+value computed
-	committed bool
-	drainWait bool // waiting for an upgrade/fill reply
+func newLQSoA(n int) lqSoA {
+	return lqSoA{
+		seq:   make([]int64, n),
+		addr:  make([]uint64, n),
+		rob:   make([]int16, n),
+		next:  make([]int16, n),
+		op:    make([]isa.Op, n),
+		width: make([]uint8, n),
+		flags: make([]lqFlag, n),
+	}
+}
+
+type sqFlag uint8
+
+const (
+	sfValid sqFlag = 1 << iota
+	sfReady        // address+value computed
+	sfCommitted
+	sfDrainWait // waiting for an upgrade/fill reply
+)
+
+// sqSoA is the store queue in struct-of-arrays form. The disambiguation
+// scan in olderStore touches only seq/flags/addr, each a dense array.
+type sqSoA struct {
+	seq   []int64
+	addr  []uint64
+	value []uint64 // raw bits
+	rob   []int16
+	op    []isa.Op
+	width []uint8
+	flags []sqFlag
+}
+
+func newSQSoA(n int) sqSoA {
+	return sqSoA{
+		seq:   make([]int64, n),
+		addr:  make([]uint64, n),
+		value: make([]uint64, n),
+		rob:   make([]int16, n),
+		op:    make([]isa.Op, n),
+		width: make([]uint8, n),
+		flags: make([]sqFlag, n),
+	}
 }
 
 type checkpoint struct {
@@ -193,13 +282,16 @@ type pendingOp struct {
 	taken      bool
 }
 
+// mshr tracks one outstanding line. Waiting loads hang off an intrusive
+// FIFO chain through lq.next (loadHead/loadTail are LQ indices, -1 empty).
 type mshr struct {
-	valid   bool
-	line    uint64
-	upgrade bool
-	instr   bool    // instruction-side fill
-	loads   []int16 // LQ indices waiting on this line
-	store   bool    // the committed-store drain head waits on this line
+	valid    bool
+	line     uint64
+	upgrade  bool
+	instr    bool // instruction-side fill
+	loadHead int16
+	loadTail int16
+	store    bool // the committed-store drain head waits on this line
 }
 
 // NewOoO builds an out-of-order core. A bad cache geometry is reported as
@@ -219,24 +311,37 @@ func NewOoO(cfg Config, env Env) (*OoO, error) {
 		l1d:  l1d,
 		l1i:  l1i,
 		pred: newPredictor(&cfg),
-		pd:   newPredecode(&env),
 
 		physIntVal:   make([]int64, cfg.PhysInt),
 		physIntReady: make([]bool, cfg.PhysInt),
 		physFPVal:    make([]float64, cfg.PhysFP),
 		physFPReady:  make([]bool, cfg.PhysFP),
+		freeInt:      make([]int16, 0, cfg.PhysInt),
+		freeFP:       make([]int16, 0, cfg.PhysFP),
 
-		rob:   make([]robEntry, cfg.ROBSize),
-		iq:    make([]iqEntry, 0, cfg.IQSize),
-		lq:    make([]lqEntry, cfg.LQSize),
-		sq:    make([]sqEntry, cfg.SQSize),
-		ckpts: make([]checkpoint, cfg.MaxBranches),
-		mshrs: make([]mshr, cfg.MSHRs),
+		fetchQ: make([]fetched, 0, cfg.FetchQSize),
+		rob:    newROBSoA(cfg.ROBSize),
+		iq:     make([]iqEntry, 0, cfg.IQSize),
+		lq:     newLQSoA(cfg.LQSize),
+		sq:     newSQSoA(cfg.SQSize),
+		ckpts:  make([]checkpoint, cfg.MaxBranches),
+		mshrs:  make([]mshr, cfg.MSHRs),
+
+		// Steady state never outgrows these: at most one scheduled
+		// completion per ROB entry plus a handful of same-cycle retries.
+		pending:      make([]pendingOp, 0, cfg.ROBSize+8),
+		pendingSpare: make([]pendingOp, 0, cfg.ROBSize+8),
+		pendMin:      math.MaxInt64,
+		ckptFree:     make([]int8, 0, cfg.MaxBranches),
 
 		serializeSeq: -1,
 		sysRetryAt:   -1,
 		amoDoneAt:    -1,
 		drainRetryAt: -1,
+	}
+	c.pd = newPredecode(&c.cfg, &c.env)
+	for i := range c.mshrs {
+		c.mshrs[i].loadHead, c.mshrs[i].loadTail = -1, -1
 	}
 	for i := int8(0); i < int8(cfg.MaxBranches); i++ {
 		c.ckptFree = append(c.ckptFree, i)
@@ -307,23 +412,24 @@ func (c *OoO) Stop() {
 	// Drop all in-flight state; the thread on this core is gone.
 	c.fetchQ = c.fetchQ[:0]
 	c.fetchHead = 0
-	for i := range c.rob {
-		c.rob[i].valid = false
+	for i := range c.rob.flags {
+		c.rob.flags[i] = 0
 	}
 	c.robHead, c.robCount = 0, 0
 	c.iq = c.iq[:0]
 	c.iqUnready = false
-	for i := range c.lq {
-		c.lq[i].valid = false
+	for i := range c.lq.flags {
+		c.lq.flags[i] = 0
 	}
 	c.lqHead, c.lqTail, c.lqCount = 0, 0, 0
-	for i := range c.sq {
-		c.sq[i].valid = false
+	for i := range c.sq.flags {
+		c.sq.flags[i] = 0
 	}
 	c.sqHead, c.sqTail, c.sqCount = 0, 0, 0
 	c.pending = c.pending[:0]
+	c.pendMin = math.MaxInt64
 	for i := range c.mshrs {
-		c.mshrs[i] = mshr{}
+		c.mshrs[i] = mshr{loadHead: -1, loadTail: -1}
 	}
 	c.fetchMiss = false
 	c.serializeSeq = -1
@@ -455,7 +561,8 @@ func (c *OoO) fetch(now int64) {
 				return
 			}
 		}
-		in, ok := c.pd.lookup(c.fetchPC)
+		pp, ok := c.pd.lookup(c.fetchPC)
+		var scratch Pre
 		if !ok {
 			word, ok := c.env.Mem.LoadWord(c.fetchPC)
 			if !ok {
@@ -463,17 +570,18 @@ func (c *OoO) fetch(now int64) {
 				// or in a broken workload; stall until a redirect rescues us.
 				return
 			}
-			in = isa.Decode(word)
+			scratch = makePre(&c.cfg, isa.Decode(word))
+			pp = &scratch
 		}
 		rasTop := c.pred.snapshotRAS()
 		npc := c.fetchPC + isa.InstBytes
 		taken := false
-		if in.IsCTI() {
-			npc, taken = c.pred.predict(in, c.fetchPC)
+		if pp.Flags&pfCTI != 0 {
+			npc, taken = c.pred.predict(pp, c.fetchPC)
 		}
-		c.fetchQ = append(c.fetchQ, fetched{inst: in, pc: c.fetchPC, npc: npc, rasTop: rasTop})
+		c.fetchQ = append(c.fetchQ, fetched{pre: *pp, pc: c.fetchPC, npc: npc, rasTop: rasTop})
 		if c.dbgOn() {
-			c.dbg(now, "fetch pc=%#x %s npc=%#x", c.fetchPC, in.Disassemble(c.fetchPC), npc)
+			c.dbg(now, "fetch pc=%#x %s npc=%#x", c.fetchPC, pp.Inst().Disassemble(c.fetchPC), npc)
 		}
 		c.stats.Fetched++
 		c.prog = true
@@ -518,14 +626,15 @@ func (c *OoO) dispatch(now int64) {
 			c.stats.ROBStall++
 			return
 		}
-		f := c.fetchQ[c.fetchHead]
-		in := f.inst
+		f := &c.fetchQ[c.fetchHead]
+		p := &f.pre
+		fl := p.Flags
 
-		needsIQ := c.needsIQ(in)
+		needsIQ := fl&pfNeedsIQ != 0
 		if needsIQ && len(c.iq) >= c.cfg.IQSize {
 			return
 		}
-		isLoad, isStore := in.IsLoad(), in.IsStore()
+		isLoad, isStore := fl&pfLoad != 0, fl&pfStore != 0
 		if isLoad && c.lqCount >= c.cfg.LQSize {
 			c.stats.LSQStall++
 			return
@@ -534,51 +643,45 @@ func (c *OoO) dispatch(now int64) {
 			c.stats.LSQStall++
 			return
 		}
-		needCkpt := in.IsBranch() || in.Op == isa.OpJALR
+		needCkpt := fl&pfNeedCkpt != 0
 		if needCkpt && len(c.ckptFree) == 0 {
 			return
 		}
-		intDst, fpDst := in.IntDst(), in.FPDst()
-		if intDst >= 0 && len(c.freeInt) == 0 {
+		if p.IntDst >= 0 && len(c.freeInt) == 0 {
 			return
 		}
-		if fpDst >= 0 && len(c.freeFP) == 0 {
+		if p.FPDst >= 0 && len(c.freeFP) == 0 {
 			return
 		}
 
 		// All resources available: dispatch.
 		c.prog = true
-		c.fetchHead++
-		if c.fetchHead == len(c.fetchQ) {
-			c.fetchQ = c.fetchQ[:0]
-			c.fetchHead = 0
-		}
 		c.seqCounter++
 		seq := c.seqCounter
 
-		e := robEntry{
-			valid: true, seq: seq, inst: in, pc: f.pc, npc: f.npc,
-			physDst: -1, oldDst: -1, lqIdx: -1, sqIdx: -1, ckpt: -1,
-		}
+		var flags robFlag = rfValid
+		dst, old := int16(-1), int16(-1)
 		// Capture source renames before updating the destination mapping
 		// (an instruction may read the register it writes).
-		iqe := c.captureOperands(in)
+		iqe := c.captureOperands(p)
 
 		switch {
-		case intDst >= 0:
-			p := c.freeInt[len(c.freeInt)-1]
+		case p.IntDst >= 0:
+			ph := c.freeInt[len(c.freeInt)-1]
 			c.freeInt = c.freeInt[:len(c.freeInt)-1]
-			c.physIntReady[p] = false
-			e.physDst, e.oldDst, e.dstFP = p, c.mapInt[intDst], false
-			c.mapInt[intDst] = p
-		case fpDst >= 0:
-			p := c.freeFP[len(c.freeFP)-1]
+			c.physIntReady[ph] = false
+			dst, old = ph, c.mapInt[p.IntDst]
+			c.mapInt[p.IntDst] = ph
+		case p.FPDst >= 0:
+			ph := c.freeFP[len(c.freeFP)-1]
 			c.freeFP = c.freeFP[:len(c.freeFP)-1]
-			c.physFPReady[p] = false
-			e.physDst, e.oldDst, e.dstFP = p, c.mapFP[fpDst], true
-			c.mapFP[fpDst] = p
+			c.physFPReady[ph] = false
+			dst, old = ph, c.mapFP[p.FPDst]
+			flags |= rfDstFP
+			c.mapFP[p.FPDst] = ph
 		}
 
+		ckptID := int8(-1)
 		if needCkpt {
 			id := c.ckptFree[len(c.ckptFree)-1]
 			c.ckptFree = c.ckptFree[:len(c.ckptFree)-1]
@@ -586,116 +689,143 @@ func (c *OoO) dispatch(now int64) {
 			ck.mapInt = c.mapInt
 			ck.mapFP = c.mapFP
 			ck.rasTop = f.rasTop
-			e.ckpt = id
+			ckptID = id
 			c.stats.Branches++
-		} else if in.Op == isa.OpJAL {
+		} else if p.Op == isa.OpJAL {
 			c.stats.Branches++
 		}
 
 		robIdx := int16((c.robHead + c.robCount) % c.cfg.ROBSize)
 
+		lqIdx, sqIdx := int16(-1), int16(-1)
 		if isLoad {
-			e.lqIdx = int16(c.lqTail)
-			c.lq[c.lqTail] = lqEntry{valid: true, seq: seq, robIdx: robIdx, op: in.Op, width: in.MemBytes()}
+			lqIdx = int16(c.lqTail)
+			i := c.lqTail
+			c.lq.seq[i] = seq
+			c.lq.rob[i] = robIdx
+			c.lq.op[i] = p.Op
+			c.lq.width[i] = p.MemW
+			c.lq.next[i] = -1
+			c.lq.flags[i] = lfValid
 			c.lqTail = (c.lqTail + 1) % c.cfg.LQSize
 			c.lqCount++
 			c.stats.Loads++
 		}
 		if isStore {
-			e.sqIdx = int16(c.sqTail)
-			c.sq[c.sqTail] = sqEntry{valid: true, seq: seq, robIdx: robIdx, op: in.Op, width: in.MemBytes()}
+			sqIdx = int16(c.sqTail)
+			i := c.sqTail
+			c.sq.seq[i] = seq
+			c.sq.rob[i] = robIdx
+			c.sq.op[i] = p.Op
+			c.sq.width[i] = p.MemW
+			c.sq.flags[i] = sfValid
 			c.sqTail = (c.sqTail + 1) % c.cfg.SQSize
 			c.sqCount++
 			c.stats.Stores++
 		}
 
 		switch {
-		case in.IsSyscall():
-			e.isSys = true
+		case fl&pfSyscall != 0:
+			flags |= rfSys
 			c.serializeSeq = seq
 			c.sysHoldFetch = true
 			c.sysIssued, c.sysDone = false, false
 			c.sysRetryAt = -1
-		case in.IsAMO():
-			e.isAMO = true
+		case fl&pfAMO != 0:
+			flags |= rfAMO
 			c.serializeSeq = seq
 			c.amoDoneAt = -1
-		case in.Op == isa.OpNOP || in.Op == isa.OpInvalid:
-			e.done = true
+		case !needsIQ:
+			flags |= rfDone // NOP/Invalid: complete at dispatch
 		}
 
-		c.rob[robIdx] = e
+		ri := int(robIdx)
+		c.rob.seq[ri] = seq
+		c.rob.pre[ri] = *p
+		c.rob.pc[ri] = f.pc
+		c.rob.npc[ri] = f.npc
+		c.rob.dst[ri] = dst
+		c.rob.old[ri] = old
+		c.rob.lq[ri] = lqIdx
+		c.rob.sq[ri] = sqIdx
+		c.rob.ckpt[ri] = ckptID
+		c.rob.flags[ri] = flags
 		c.robCount++
+
+		c.fetchHead++
+		if c.fetchHead == len(c.fetchQ) {
+			c.fetchQ = c.fetchQ[:0]
+			c.fetchHead = 0
+		}
 
 		if needsIQ {
 			iqe.seq = seq
 			iqe.robIdx = robIdx
+			iqe.class = p.Class
 			c.iq = append(c.iq, iqe)
 			c.iqUnready = false
 		}
 	}
 }
 
-// needsIQ reports whether in must pass through the issue queue. Syscalls
-// and AMOs execute at the commit point; NOPs complete at dispatch.
-func (c *OoO) needsIQ(in isa.Inst) bool {
-	if in.IsSyscall() || in.IsAMO() {
-		return false
-	}
-	switch in.Op {
-	case isa.OpNOP, isa.OpInvalid:
-		return false
-	}
-	return true
-}
-
 // captureOperands records the dispatch-time physical register of each
-// operand role. r0 maps to -1 (constant zero).
-func (c *OoO) captureOperands(in isa.Inst) iqEntry {
+// operand role, following the predecoded capture plan. Integer r0 maps to
+// -1 (constant zero).
+func (c *OoO) captureOperands(p *Pre) iqEntry {
 	e := iqEntry{ps1: -1, ps2: -1, pf1: -1, pf2: -1}
-	pInt := func(r uint8) int16 {
-		if r == isa.RegZero {
-			return -1
+	fl := p.Flags
+	if fl&pfReadInt1 != 0 && p.Rs1 != isa.RegZero {
+		e.ps1 = c.mapInt[p.Rs1]
+		if !c.physIntReady[e.ps1] {
+			e.need |= needPs1
 		}
-		return c.mapInt[r]
 	}
-	switch in.Op.Format() {
-	case isa.FmtR, isa.FmtB:
-		e.ps1, e.ps2 = pInt(in.Rs1), pInt(in.Rs2)
-	case isa.FmtI, isa.FmtJR, isa.FmtLoad, isa.FmtFLoad:
-		e.ps1 = pInt(in.Rs1)
-	case isa.FmtStore:
-		e.ps1, e.ps2 = pInt(in.Rs1), pInt(in.Rs2)
-	case isa.FmtFStore:
-		e.ps1 = pInt(in.Rs1)
-		e.pf2, e.fp2Use = c.mapFP[in.Rs2], true
-	case isa.FmtFR, isa.FmtFCmp:
-		e.pf1, e.fp1Use = c.mapFP[in.Rs1], true
-		e.pf2, e.fp2Use = c.mapFP[in.Rs2], true
-	case isa.FmtF2, isa.FmtFCvtFI:
-		e.pf1, e.fp1Use = c.mapFP[in.Rs1], true
-	case isa.FmtFCvtIF:
-		e.ps1 = pInt(in.Rs1)
+	if fl&pfReadInt2 != 0 && p.Rs2 != isa.RegZero {
+		e.ps2 = c.mapInt[p.Rs2]
+		if !c.physIntReady[e.ps2] {
+			e.need |= needPs2
+		}
+	}
+	if fl&pfReadFP1 != 0 {
+		e.pf1 = c.mapFP[p.Rs1]
+		if !c.physFPReady[e.pf1] {
+			e.need |= needPf1
+		}
+	}
+	if fl&pfReadFP2 != 0 {
+		e.pf2 = c.mapFP[p.Rs2]
+		if !c.physFPReady[e.pf2] {
+			e.need |= needPf2
+		}
 	}
 	return e
 }
 
 // ---------------------------------------------------------------- issue --
 
+// iqReady refreshes the entry's need mask against the ready files and
+// reports whether every operand has been produced. Cleared bits are
+// sticky (see the need constants), so operands already observed ready
+// cost no register-file load on later scans.
 func (c *OoO) iqReady(e *iqEntry) bool {
-	if e.ps1 >= 0 && !c.physIntReady[e.ps1] {
-		return false
+	n := e.need
+	if n == 0 {
+		return true
 	}
-	if e.ps2 >= 0 && !c.physIntReady[e.ps2] {
-		return false
+	if n&needPs1 != 0 && c.physIntReady[e.ps1] {
+		n &^= needPs1
 	}
-	if e.fp1Use && !c.physFPReady[e.pf1] {
-		return false
+	if n&needPs2 != 0 && c.physIntReady[e.ps2] {
+		n &^= needPs2
 	}
-	if e.fp2Use && !c.physFPReady[e.pf2] {
-		return false
+	if n&needPf1 != 0 && c.physFPReady[e.pf1] {
+		n &^= needPf1
 	}
-	return true
+	if n&needPf2 != 0 && c.physFPReady[e.pf2] {
+		n &^= needPf2
+	}
+	e.need = n
+	return n == 0
 }
 
 // issue grants up to IssueWidth ready instructions, oldest first, in one
@@ -711,26 +841,34 @@ func (c *OoO) issue(now int64) {
 	}
 	intALU, intMul, fpAdd, fpMul, memPorts := c.cfg.IntALUs, c.cfg.IntMuls, c.cfg.FPAdds, c.cfg.FPMuls, c.cfg.MemPorts
 	budget := c.cfg.IssueWidth
-	readySeen := false
+	// leftover marks a ready entry that stayed queued: FU-blocked, or in
+	// the unexamined tail after the budget ran out. Only such an entry can
+	// become grantable by time alone (per-cycle FU budgets refresh, the
+	// unpipelined dividers free); everything else needs a writeback,
+	// dispatch, recovery, or restart first — all of which clear iqUnready.
+	leftover := false
 	w := -1 // compaction write cursor; entries before the first grant stay put
 	for k := 0; k < len(c.iq); k++ {
 		e := &c.iq[k]
 		if c.iqReady(e) {
-			readySeen = true
-			if c.fuAvailable(c.rob[e.robIdx].inst, now, intALU, intMul, fpAdd, fpMul, memPorts) {
+			if c.fuAvailable(e.class, now, intALU, intMul, fpAdd, fpMul, memPorts) {
 				c.prog = true
 				ev := *e
-				c.consumeFU(c.rob[ev.robIdx].inst, now, &intALU, &intMul, &fpAdd, &fpMul, &memPorts)
+				c.consumeFU(ev.class, now, &intALU, &intMul, &fpAdd, &fpMul, &memPorts)
 				c.execute(&ev, now)
 				if w < 0 {
 					w = k
 				}
 				if budget--; budget == 0 {
 					w += copy(c.iq[w:], c.iq[k+1:])
+					if k+1 < len(c.iq) {
+						leftover = true
+					}
 					break
 				}
 				continue
 			}
+			leftover = true
 		}
 		if w >= 0 {
 			c.iq[w] = *e
@@ -740,54 +878,58 @@ func (c *OoO) issue(now int64) {
 	if w >= 0 {
 		c.iq = c.iq[:w]
 	}
-	if budget == c.cfg.IssueWidth && !readySeen {
-		// Every entry was scanned (the budget never ran out) and none had
-		// ready operands: skip issue scans until a writeback, a dispatch, a
-		// recovery, or a restart can change that.
+	if !leftover {
+		// Every entry still queued was examined and found not ready: skip
+		// issue scans until a writeback, a dispatch, a recovery, or a
+		// restart can change operand readiness. (A skipped scan would have
+		// granted nothing and has no side effects, so this is invisible to
+		// the simulated machine.)
 		c.iqUnready = true
 	}
 }
 
-func (c *OoO) fuAvailable(in isa.Inst, now int64, intALU, intMul, fpAdd, fpMul, memPorts int) bool {
-	switch {
-	case in.IsMem():
+func (c *OoO) fuAvailable(class fuClass, now int64, intALU, intMul, fpAdd, fpMul, memPorts int) bool {
+	switch class {
+	case fuMem:
 		return memPorts > 0
-	case in.Op == isa.OpMUL:
+	case fuIntMul:
 		return intMul > 0
-	case in.Op == isa.OpDIV || in.Op == isa.OpREM:
+	case fuIntDiv:
 		return intMul > 0 && now >= c.divBusy
-	case in.Op == isa.OpFMUL:
+	case fuFPMul:
 		return fpMul > 0
-	case in.Op == isa.OpFDIV || in.Op == isa.OpFSQRT:
+	case fuFPDiv:
 		return fpMul > 0 && now >= c.fpDivBusy
-	case isFPUnit(in):
+	case fuFPAdd:
 		return fpAdd > 0
 	default:
 		return intALU > 0
 	}
 }
 
-func (c *OoO) consumeFU(in isa.Inst, now int64, intALU, intMul, fpAdd, fpMul, memPorts *int) {
-	switch {
-	case in.IsMem():
+func (c *OoO) consumeFU(class fuClass, now int64, intALU, intMul, fpAdd, fpMul, memPorts *int) {
+	switch class {
+	case fuMem:
 		*memPorts--
-	case in.Op == isa.OpMUL:
+	case fuIntMul:
 		*intMul--
-	case in.Op == isa.OpDIV || in.Op == isa.OpREM:
+	case fuIntDiv:
 		*intMul--
 		c.divBusy = now + c.cfg.DivLat // unpipelined divider
-	case in.Op == isa.OpFMUL:
+	case fuFPMul:
 		*fpMul--
-	case in.Op == isa.OpFDIV || in.Op == isa.OpFSQRT:
+	case fuFPDiv:
 		*fpMul--
 		c.fpDivBusy = now + c.cfg.FPSqrtLat
-	case isFPUnit(in):
+	case fuFPAdd:
 		*fpAdd--
 	default:
 		*intALU--
 	}
 }
 
+// isFPUnit reports whether in occupies the FP adder pipeline (classOf's
+// catch-all for FP ops that are not multiplies/divides/memory).
 func isFPUnit(in isa.Inst) bool {
 	if in.FPDst() >= 0 {
 		return true
@@ -800,34 +942,44 @@ func isFPUnit(in isa.Inst) bool {
 }
 
 // execute reads operand values just before execution (paper §2.2) from the
-// dispatch-time physical registers and schedules the result.
+// dispatch-time physical registers and schedules the result via the
+// predecoded record's execute function — one indirect call, no opcode
+// switch.
 func (c *OoO) execute(e *iqEntry, now int64) {
-	rb := &c.rob[e.robIdx]
-	in := rb.inst
+	ri := int(e.robIdx)
+	p := &c.rob.pre[ri]
 
 	a, b := c.physOrZero(e.ps1), c.physOrZero(e.ps2)
 	var fa, fb float64
-	if e.fp1Use {
+	if e.pf1 >= 0 {
 		fa = c.physFPVal[e.pf1]
 	}
-	if e.fp2Use {
+	if e.pf2 >= 0 {
 		fb = c.physFPVal[e.pf2]
 	}
 
-	if in.IsMem() {
-		c.executeMem(e, rb, a, b, fb, now)
+	if p.Flags&pfMemData != 0 {
+		c.executeMem(e, p, a, b, fb, now)
 		return
 	}
 
-	res := execALU(in, rb.pc, a, b, fa, fb)
-	lat := execLatency(&c.cfg, in)
-	op := pendingOp{at: now + lat, seq: e.seq, robIdx: e.robIdx, lqIdx: -1, valInt: res.intVal, valFP: res.fpVal}
+	res := p.Exec(p, c.rob.pc[ri], a, b, fa, fb)
+	op := pendingOp{at: now + int64(p.Lat), seq: e.seq, robIdx: e.robIdx, lqIdx: -1, valInt: res.intVal, valFP: res.fpVal}
 	if res.isCTI {
 		op.kind = pCTI
 		op.actualNext = res.next
 		op.taken = res.taken
 	} else {
 		op.kind = pWriteback
+	}
+	c.addPending(op)
+}
+
+// addPending queues a scheduled completion, maintaining the earliest-due
+// bound that lets completePending skip cycles with nothing due.
+func (c *OoO) addPending(op pendingOp) {
+	if op.at < c.pendMin {
+		c.pendMin = op.at
 	}
 	c.pending = append(c.pending, op)
 }
@@ -839,38 +991,48 @@ func (c *OoO) physOrZero(p int16) int64 {
 	return c.physIntVal[p]
 }
 
-func (c *OoO) executeMem(e *iqEntry, rb *robEntry, base, ival int64, fval float64, now int64) {
-	in := rb.inst
-	addr := uint64(base + int64(in.Imm))
-	if in.IsLoad() {
-		c.lq[rb.lqIdx].addr = addr
-		c.pending = append(c.pending, pendingOp{
-			at: now + c.cfg.AGULat, kind: pLoadIssue, seq: rb.seq, robIdx: e.robIdx, lqIdx: rb.lqIdx,
+func (c *OoO) executeMem(e *iqEntry, p *Pre, base, ival int64, fval float64, now int64) {
+	ri := int(e.robIdx)
+	addr := uint64(base + int64(p.Imm))
+	if p.Flags&pfLoad != 0 {
+		lqi := c.rob.lq[ri]
+		c.lq.addr[lqi] = addr
+		c.addPending(pendingOp{
+			at: now + c.cfg.AGULat, kind: pLoadIssue, seq: c.rob.seq[ri], robIdx: e.robIdx, lqIdx: lqi,
 		})
 		return
 	}
-	sqe := &c.sq[rb.sqIdx]
-	sqe.addr = addr
-	if in.Op == isa.OpFSD {
-		sqe.value = math.Float64bits(fval)
+	sqi := c.rob.sq[ri]
+	c.sq.addr[sqi] = addr
+	if p.Op == isa.OpFSD {
+		c.sq.value[sqi] = math.Float64bits(fval)
 	} else {
-		sqe.value = uint64(ival)
+		c.sq.value[sqi] = uint64(ival)
 	}
-	c.pending = append(c.pending, pendingOp{
-		at: now + c.cfg.AGULat, kind: pStoreReady, seq: rb.seq, robIdx: e.robIdx, lqIdx: -1,
+	c.addPending(pendingOp{
+		at: now + c.cfg.AGULat, kind: pStoreReady, seq: c.rob.seq[ri], robIdx: e.robIdx, lqIdx: -1,
 	})
 }
 
 // ----------------------------------------------------------- completion --
 
 func (c *OoO) completePending(now int64) {
+	if now < c.pendMin {
+		// Nothing can be due: pendMin is a lower bound on every queued
+		// op's time. A skipped walk would only have re-queued every op.
+		return
+	}
 	// Swap buffers: handlers (and load retries) append to the fresh
 	// c.pending while we walk the old list.
 	cur := c.pending
 	c.pending = c.pendingSpare[:0]
+	c.pendMin = math.MaxInt64
 	for i := range cur {
 		op := cur[i]
 		if op.at > now {
+			if op.at < c.pendMin {
+				c.pendMin = op.at
+			}
 			c.pending = append(c.pending, op)
 			continue
 		}
@@ -878,16 +1040,18 @@ func (c *OoO) completePending(now int64) {
 		switch op.kind {
 		case pWriteback:
 			c.stats.OpsWB++
-			if rb := &c.rob[op.robIdx]; rb.valid && rb.seq == op.seq {
+			ri := int(op.robIdx)
+			if c.rob.flags[ri]&rfValid != 0 && c.rob.seq[ri] == op.seq {
 				c.writeback(op.robIdx, op.valInt, op.valFP)
-				rb.done = true
+				c.rob.flags[ri] |= rfDone
 			}
 		case pCTI:
 			c.resolveCTI(op, now)
 		case pStoreReady:
-			if rb := &c.rob[op.robIdx]; rb.valid && rb.seq == op.seq {
-				c.sq[rb.sqIdx].ready = true
-				rb.done = true
+			ri := int(op.robIdx)
+			if c.rob.flags[ri]&rfValid != 0 && c.rob.seq[ri] == op.seq {
+				c.sq.flags[c.rob.sq[ri]] |= sfReady
+				c.rob.flags[ri] |= rfDone
 				c.kickParkedLoads(now)
 			}
 		case pLoadIssue:
@@ -902,51 +1066,47 @@ func (c *OoO) completePending(now int64) {
 }
 
 func (c *OoO) writeback(robIdx int16, vi int64, vf float64) {
-	rb := &c.rob[robIdx]
-	if rb.physDst < 0 {
+	ri := int(robIdx)
+	dst := c.rob.dst[ri]
+	if dst < 0 {
 		return
 	}
-	if rb.dstFP {
-		c.physFPVal[rb.physDst] = vf
-		c.physFPReady[rb.physDst] = true
+	if c.rob.flags[ri]&rfDstFP != 0 {
+		c.physFPVal[dst] = vf
+		c.physFPReady[dst] = true
 	} else {
-		c.physIntVal[rb.physDst] = vi
-		c.physIntReady[rb.physDst] = true
+		c.physIntVal[dst] = vi
+		c.physIntReady[dst] = true
 	}
 	c.iqUnready = false
 }
 
 func (c *OoO) resolveCTI(op pendingOp, now int64) {
-	rb := &c.rob[op.robIdx]
-	if !rb.valid || rb.seq != op.seq {
+	ri := int(op.robIdx)
+	if c.rob.flags[ri]&rfValid == 0 || c.rob.seq[ri] != op.seq {
 		return
 	}
 	c.writeback(op.robIdx, op.valInt, op.valFP) // link register, if any
-	rb.done = true
-	c.pred.update(rb.inst, rb.pc, op.taken, op.actualNext)
-	if rb.ckpt >= 0 {
-		c.ckptFree = append(c.ckptFree, rb.ckpt)
-		ck := rb.ckpt
-		rb.ckpt = -1
-		if op.actualNext != rb.npc {
+	c.rob.flags[ri] |= rfDone
+	c.pred.update(&c.rob.pre[ri], c.rob.pc[ri], op.taken, op.actualNext)
+	if ck := c.rob.ckpt[ri]; ck >= 0 {
+		c.ckptFree = append(c.ckptFree, ck)
+		c.rob.ckpt[ri] = -1
+		if op.actualNext != c.rob.npc[ri] {
 			c.recover(op.robIdx, ck, op.actualNext, now)
 		}
-	} else if op.actualNext != rb.npc {
+	} else if op.actualNext != c.rob.npc[ri] {
 		// JAL with an exact target cannot mispredict; defensive only.
-		panic(fmt.Sprintf("cpu: unpredicted mispredict at pc %#x", rb.pc))
+		panic(fmt.Sprintf("cpu: unpredicted mispredict at pc %#x", c.rob.pc[ri]))
 	}
 }
-
-// fmt is used by panics in this file.
-var _ = fmt.Sprintf
 
 // recover squashes everything younger than the mispredicted instruction at
 // rob index brIdx, restores the rename maps from its checkpoint, and
 // redirects fetch.
 func (c *OoO) recover(brIdx int16, ckpt int8, target uint64, now int64) {
 	c.stats.Mispred++
-	br := &c.rob[brIdx]
-	brSeq := br.seq
+	brSeq := c.rob.seq[brIdx]
 
 	// Restore rename state.
 	ck := &c.ckpts[ckpt]
@@ -956,39 +1116,39 @@ func (c *OoO) recover(brIdx int16, ckpt int8, target uint64, now int64) {
 
 	// Walk the ROB tail-to-branch, undoing younger entries.
 	for c.robCount > 0 {
-		tailIdx := (c.robHead + c.robCount - 1) % c.cfg.ROBSize
-		e := &c.rob[tailIdx]
-		if e.seq <= brSeq {
+		ti := (c.robHead + c.robCount - 1) % c.cfg.ROBSize
+		if c.rob.seq[ti] <= brSeq {
 			break
 		}
-		if e.physDst >= 0 {
-			if e.dstFP {
-				c.freeFP = append(c.freeFP, e.physDst)
+		fl := c.rob.flags[ti]
+		if dst := c.rob.dst[ti]; dst >= 0 {
+			if fl&rfDstFP != 0 {
+				c.freeFP = append(c.freeFP, dst)
 			} else {
-				c.freeInt = append(c.freeInt, e.physDst)
+				c.freeInt = append(c.freeInt, dst)
 			}
 		}
-		if e.ckpt >= 0 {
-			c.ckptFree = append(c.ckptFree, e.ckpt)
+		if ckp := c.rob.ckpt[ti]; ckp >= 0 {
+			c.ckptFree = append(c.ckptFree, ckp)
 		}
-		if e.lqIdx >= 0 {
-			c.lq[e.lqIdx].valid = false
-			c.lqTail = int(e.lqIdx)
+		if lqi := c.rob.lq[ti]; lqi >= 0 {
+			c.lq.flags[lqi] = 0
+			c.lqTail = int(lqi)
 			c.lqCount--
 		}
-		if e.sqIdx >= 0 {
-			c.sq[e.sqIdx].valid = false
-			c.sqTail = int(e.sqIdx)
+		if sqi := c.rob.sq[ti]; sqi >= 0 {
+			c.sq.flags[sqi] = 0
+			c.sqTail = int(sqi)
 			c.sqCount--
 		}
-		if e.isSys || e.isAMO {
+		if fl&(rfSys|rfAMO) != 0 {
 			// A squashed serialising instruction releases the stall.
 			c.serializeSeq = -1
 			c.sysRetryAt = -1
 			c.amoDoneAt = -1
 			c.sysHoldFetch = false
 		}
-		e.valid = false
+		c.rob.flags[ti] = 0
 		c.robCount--
 		c.stats.Squashed++
 	}
@@ -1007,20 +1167,29 @@ func (c *OoO) recover(brIdx int16, ckpt int8, target uint64, now int64) {
 	}
 	c.pending = kept
 
-	// Drop squashed loads from MSHR waiter lists (fills still complete and
-	// install the line; nobody consumes the data).
+	// Drop squashed loads from MSHR waiter chains (fills still complete and
+	// install the line; nobody consumes the data). Surviving loads keep
+	// their relative order.
 	for i := range c.mshrs {
 		m := &c.mshrs[i]
 		if !m.valid {
 			continue
 		}
-		keptLoads := m.loads[:0]
-		for _, lqi := range m.loads {
-			if c.lq[lqi].valid && c.lq[lqi].seq <= brSeq {
-				keptLoads = append(keptLoads, lqi)
+		head, tail := int16(-1), int16(-1)
+		for lqi := m.loadHead; lqi >= 0; {
+			nxt := c.lq.next[lqi]
+			if c.lq.flags[lqi]&lfValid != 0 && c.lq.seq[lqi] <= brSeq {
+				if head < 0 {
+					head = lqi
+				} else {
+					c.lq.next[tail] = lqi
+				}
+				tail = lqi
+				c.lq.next[lqi] = -1
 			}
+			lqi = nxt
 		}
-		m.loads = keptLoads
+		m.loadHead, m.loadTail = head, tail
 	}
 
 	// Redirect the front end.
@@ -1036,44 +1205,45 @@ func (c *OoO) recover(brIdx int16, ckpt int8, target uint64, now int64) {
 // loadStep runs after address generation: disambiguate against older
 // stores, then forward or access the L1.
 func (c *OoO) loadStep(op pendingOp, now int64) {
-	lq := &c.lq[op.lqIdx]
-	if !lq.valid || lq.seq != op.seq {
+	lqi := op.lqIdx
+	if c.lq.flags[lqi]&lfValid == 0 || c.lq.seq[lqi] != op.seq {
 		return // squashed
 	}
-	st, conflict, unknown := c.olderStore(lq)
+	addr := c.lq.addr[lqi]
+	st, conflict, unknown := c.olderStore(lqi)
 	if unknown {
 		// An older store address is still unresolved; the store's AGU
 		// completion kicks us.
-		lq.parked = true
+		c.lq.flags[lqi] |= lfParked
 		return
 	}
 	if conflict {
-		if st == nil {
+		if st < 0 {
 			// Overlapping but non-forwardable store: wait for it to drain.
-			lq.parked = true
+			c.lq.flags[lqi] |= lfParked
 			return
 		}
 		// Store-to-load forwarding.
 		done := op
 		done.kind = pLoadDone
 		done.at = now + 1
-		done.valInt = int64(st.value)
+		done.valInt = int64(c.sq.value[st])
 		done.taken = true // flag: value forwarded, skip the memory read
 		c.reschedule(done)
 		return
 	}
 
 	// Access the L1 data cache.
-	switch c.l1d.Probe(lq.addr, false) {
+	switch c.l1d.Probe(addr, false) {
 	case cache.Hit:
 		done := op
 		done.kind = pLoadDone
 		done.at = now + c.env.CacheCfg.L1HitLat
 		c.reschedule(done)
 	case cache.Blocked:
-		line := c.env.CacheCfg.LineAddr(lq.addr)
+		line := c.env.CacheCfg.LineAddr(addr)
 		if m := c.findMSHR(line); m != nil {
-			m.loads = append(m.loads, op.lqIdx)
+			c.mshrAddLoad(m, lqi)
 			return
 		}
 		// Line pending with no MSHR (fill already applied this cycle);
@@ -1081,21 +1251,34 @@ func (c *OoO) loadStep(op pendingOp, now int64) {
 		op.at = now + 1
 		c.reschedule(op)
 	default: // miss
-		line := c.env.CacheCfg.LineAddr(lq.addr)
+		line := c.env.CacheCfg.LineAddr(addr)
 		if m := c.findMSHR(line); m != nil {
-			m.loads = append(m.loads, op.lqIdx)
+			c.mshrAddLoad(m, lqi)
 			return
 		}
 		m := c.allocMSHR(line)
 		if m == nil {
-			lq.parked = true // all MSHRs busy; a fill delivery kicks us
+			c.lq.flags[lqi] |= lfParked // all MSHRs busy; a fill delivery kicks us
 			return
 		}
-		m.loads = append(m.loads, op.lqIdx)
+		c.mshrAddLoad(m, lqi)
 		victimAddr, victimDirty, victimValid := c.l1d.Reserve(line)
 		c.send(event.Event{Kind: event.KReadShared, Time: now, Addr: line}, victimAddr, victimDirty, victimValid)
 		c.maybePrefetch(line, now)
 	}
+}
+
+// mshrAddLoad appends LQ index lqi to m's intrusive waiter chain. A load is
+// on at most one chain: once appended it is neither parked nor pending, so
+// no other loadStep can see it until the fill delivers and resets the chain.
+func (c *OoO) mshrAddLoad(m *mshr, lqi int16) {
+	c.lq.next[lqi] = -1
+	if m.loadHead < 0 {
+		m.loadHead = lqi
+	} else {
+		c.lq.next[m.loadTail] = lqi
+	}
+	m.loadTail = lqi
 }
 
 // maybePrefetch issues a next-line prefetch after a demand miss when the
@@ -1117,58 +1300,61 @@ func (c *OoO) maybePrefetch(demand uint64, now int64) {
 	c.send(event.Event{Kind: event.KReadShared, Time: now, Addr: next}, victimAddr, victimDirty, victimValid)
 }
 
-// olderStore scans the store queue for stores older than the load at the
-// same word. Returns (forwardableStore, conflict, unknownAddr).
-func (c *OoO) olderStore(lq *lqEntry) (st *sqEntry, conflict, unknown bool) {
-	wordAddr := lq.addr &^ 7
-	var best *sqEntry
+// olderStore scans the store queue for stores older than the load at LQ
+// index lqi touching the same word. Returns (forwardableStoreIdx, conflict,
+// unknownAddr); the index is -1 when no forwardable store exists.
+func (c *OoO) olderStore(lqi int16) (st int, conflict, unknown bool) {
+	ldSeq := c.lq.seq[lqi]
+	ldAddr := c.lq.addr[lqi]
+	wordAddr := ldAddr &^ 7
+	best := -1
 	var bestSeq int64 = -1
-	for i := range c.sq {
-		e := &c.sq[i]
-		if !e.valid || e.seq >= lq.seq {
+	for i := range c.sq.flags {
+		fl := c.sq.flags[i]
+		if fl&sfValid == 0 || c.sq.seq[i] >= ldSeq {
 			continue
 		}
-		if !e.ready {
-			return nil, false, true
+		if fl&sfReady == 0 {
+			return -1, false, true
 		}
-		if e.addr&^7 != wordAddr {
+		if c.sq.addr[i]&^7 != wordAddr {
 			continue
 		}
-		if e.seq > bestSeq {
-			best, bestSeq = e, e.seq
+		if c.sq.seq[i] > bestSeq {
+			best, bestSeq = i, c.sq.seq[i]
 		}
 	}
-	if best == nil {
-		return nil, false, false
+	if best < 0 {
+		return -1, false, false
 	}
-	if best.addr == lq.addr && best.width == lq.width {
+	if c.sq.addr[best] == ldAddr && c.sq.width[best] == c.lq.width[lqi] {
 		return best, true, false
 	}
-	return nil, true, false // overlap, not forwardable: wait for drain
+	return -1, true, false // overlap, not forwardable: wait for drain
 }
 
 // finishLoad delivers the load's data: a forwarded value, or a functional
 // read of shared memory performed now — the simulated instant the data
 // arrives, so cross-thread value races resolve in simulation-time order.
 func (c *OoO) finishLoad(op pendingOp, now int64) {
-	lq := &c.lq[op.lqIdx]
-	if !lq.valid || lq.seq != op.seq {
+	lqi := op.lqIdx
+	if c.lq.flags[lqi]&lfValid == 0 || c.lq.seq[lqi] != op.seq {
 		return // squashed
 	}
 	var raw uint64
 	if op.taken {
 		raw = uint64(op.valInt) // forwarded
 	} else {
-		raw = c.readMem(lq.op, lq.addr)
+		raw = c.readMem(c.lq.op[lqi], c.lq.addr[lqi])
 	}
-	rb := &c.rob[lq.robIdx]
-	if lq.op == isa.OpFLD {
-		c.writeback(lq.robIdx, 0, math.Float64frombits(raw))
+	robIdx := c.lq.rob[lqi]
+	if c.lq.op[lqi] == isa.OpFLD {
+		c.writeback(robIdx, 0, math.Float64frombits(raw))
 	} else {
-		c.writeback(lq.robIdx, extend(lq.op, raw), 0)
+		c.writeback(robIdx, extend(c.lq.op[lqi], raw), 0)
 	}
-	lq.done = true
-	rb.done = true
+	c.lq.flags[lqi] |= lfDone
+	c.rob.flags[robIdx] |= rfDone
 }
 
 func (c *OoO) readMem(op isa.Op, addr uint64) uint64 {
@@ -1203,20 +1389,19 @@ func extend(op isa.Op, raw uint64) int64 {
 
 // reschedule re-enqueues op on the (fresh) pending list.
 func (c *OoO) reschedule(op pendingOp) {
-	c.pending = append(c.pending, op)
+	c.addPending(op)
 }
 
 // kickParkedLoads requeues every parked load for another loadStep pass.
 func (c *OoO) kickParkedLoads(now int64) {
-	for i := range c.lq {
-		lq := &c.lq[i]
-		if !lq.valid || !lq.parked {
+	for i := range c.lq.flags {
+		if c.lq.flags[i]&(lfValid|lfParked) != lfValid|lfParked {
 			continue
 		}
-		lq.parked = false
+		c.lq.flags[i] &^= lfParked
 		c.stats.Kicks++
-		c.pending = append(c.pending, pendingOp{
-			at: now, kind: pLoadIssue, seq: lq.seq, robIdx: lq.robIdx, lqIdx: int16(i),
+		c.addPending(pendingOp{
+			at: now, kind: pLoadIssue, seq: c.lq.seq[i], robIdx: c.lq.rob[i], lqIdx: int16(i),
 		})
 	}
 }

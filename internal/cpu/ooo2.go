@@ -20,19 +20,21 @@ func (c *OoO) drainStores(now int64) {
 	if c.sqCount == 0 {
 		return
 	}
-	e := &c.sq[c.sqHead]
-	if !e.valid || !e.committed || e.drainWait {
+	h := c.sqHead
+	fl := c.sq.flags[h]
+	if fl&sfValid == 0 || fl&sfCommitted == 0 || fl&sfDrainWait != 0 {
 		return
 	}
-	line := c.env.CacheCfg.LineAddr(e.addr)
-	switch c.l1d.Probe(e.addr, true) {
+	addr := c.sq.addr[h]
+	line := c.env.CacheCfg.LineAddr(addr)
+	switch c.l1d.Probe(addr, true) {
 	case cache.Hit:
 		c.freeSQHead(now)
 		c.prog = true
 	case cache.NeedUpgrade:
 		if m := c.findMSHR(line); m != nil {
 			m.store = true
-			e.drainWait = true
+			c.sq.flags[h] |= sfDrainWait
 			c.prog = true
 			return
 		}
@@ -42,13 +44,13 @@ func (c *OoO) drainStores(now int64) {
 		}
 		m.store = true
 		m.upgrade = true
-		e.drainWait = true
+		c.sq.flags[h] |= sfDrainWait
 		c.prog = true
 		c.sendPlain(event.Event{Kind: event.KUpgrade, Time: now, Addr: line})
 	case cache.Blocked:
 		if m := c.findMSHR(line); m != nil {
 			m.store = true
-			e.drainWait = true
+			c.sq.flags[h] |= sfDrainWait
 			c.prog = true
 			return
 		}
@@ -59,7 +61,7 @@ func (c *OoO) drainStores(now int64) {
 			// A read miss for the line is in flight; wait for it, then
 			// re-probe (which will then find a NeedUpgrade or Hit).
 			m.store = true
-			e.drainWait = true
+			c.sq.flags[h] |= sfDrainWait
 			c.prog = true
 			return
 		}
@@ -70,7 +72,7 @@ func (c *OoO) drainStores(now int64) {
 		m.store = true
 		victimAddr, victimDirty, victimValid := c.l1d.Reserve(line)
 		c.send(event.Event{Kind: event.KReadExcl, Time: now, Addr: line}, victimAddr, victimDirty, victimValid)
-		e.drainWait = true
+		c.sq.flags[h] |= sfDrainWait
 		c.prog = true
 	}
 }
@@ -86,7 +88,7 @@ func (c *OoO) intVal(r uint8) int64 {
 }
 
 func (c *OoO) freeSQHead(now int64) {
-	c.sq[c.sqHead].valid = false
+	c.sq.flags[c.sqHead] = 0
 	c.sqHead = (c.sqHead + 1) % c.cfg.SQSize
 	c.sqCount--
 	// A load parked on a conflict with this store can now proceed.
@@ -97,55 +99,55 @@ func (c *OoO) freeSQHead(now int64) {
 
 func (c *OoO) commit(now int64) {
 	for n := 0; n < c.cfg.Width && c.robCount > 0; n++ {
-		e := &c.rob[c.robHead]
-		if !e.valid {
+		h := c.robHead
+		fl := c.rob.flags[h]
+		if fl&rfValid == 0 {
 			panic("cpu: invalid ROB head")
 		}
-		if !e.done {
+		if fl&rfDone == 0 {
 			switch {
-			case e.isSys:
-				c.stepSyscall(e, now)
-			case e.isAMO:
-				c.stepAMO(e, now)
+			case fl&rfSys != 0:
+				c.stepSyscall(h, now)
+			case fl&rfAMO != 0:
+				c.stepAMO(h, now)
 			}
-			if !e.done {
+			if fl = c.rob.flags[h]; fl&rfDone == 0 {
 				c.stats.HeadStall++
 				return
 			}
 		}
-		if e.inst.Op == isa.OpInvalid {
-			panic(fmt.Sprintf("cpu: core %d committed invalid instruction at pc %#x", c.env.ID, e.pc))
+		if c.rob.pre[h].Op == isa.OpInvalid {
+			panic(fmt.Sprintf("cpu: core %d committed invalid instruction at pc %#x", c.env.ID, c.rob.pc[h]))
 		}
 		// Retire.
-		if e.sqIdx >= 0 {
-			sqe := &c.sq[e.sqIdx]
-			c.writeMem(sqe.op, sqe.addr, sqe.value)
-			sqe.committed = true
+		if sqi := c.rob.sq[h]; sqi >= 0 {
+			c.writeMem(c.sq.op[sqi], c.sq.addr[sqi], c.sq.value[sqi])
+			c.sq.flags[sqi] |= sfCommitted
 		}
-		if e.lqIdx >= 0 {
-			c.lq[e.lqIdx].valid = false
-			c.lqHead = (int(e.lqIdx) + 1) % c.cfg.LQSize
+		if lqi := c.rob.lq[h]; lqi >= 0 {
+			c.lq.flags[lqi] = 0
+			c.lqHead = (int(lqi) + 1) % c.cfg.LQSize
 			c.lqCount--
 		}
-		if e.physDst >= 0 {
-			if e.dstFP {
-				c.freeFP = append(c.freeFP, e.oldDst)
+		if c.rob.dst[h] >= 0 {
+			if fl&rfDstFP != 0 {
+				c.freeFP = append(c.freeFP, c.rob.old[h])
 			} else {
-				c.freeInt = append(c.freeInt, e.oldDst)
+				c.freeInt = append(c.freeInt, c.rob.old[h])
 			}
 		}
-		if e.ckpt >= 0 {
+		if ck := c.rob.ckpt[h]; ck >= 0 {
 			// Normally freed at resolution; defensive.
-			c.ckptFree = append(c.ckptFree, e.ckpt)
+			c.ckptFree = append(c.ckptFree, ck)
 		}
-		if e.seq == c.serializeSeq {
+		if c.rob.seq[h] == c.serializeSeq {
 			c.serializeSeq = -1
 			c.sysHoldFetch = false
 		}
 		if c.dbgOn() {
-			c.dbg(now, "commit pc=%#x %s", e.pc, e.inst.Disassemble(e.pc))
+			c.dbg(now, "commit pc=%#x %s", c.rob.pc[h], c.rob.pre[h].Inst().Disassemble(c.rob.pc[h]))
 		}
-		e.valid = false
+		c.rob.flags[h] = 0
 		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
 		c.robCount--
 		c.stats.Committed++
@@ -153,14 +155,15 @@ func (c *OoO) commit(now int64) {
 	}
 }
 
-// stepSyscall advances the commit-point syscall state machine. Syscalls
-// travel to the simulation manager as OutQ events, mirroring the paper's
-// emulation of system functions outside the simulator; blocking primitives
-// reply "retry" and the core spins in simulated time.
-func (c *OoO) stepSyscall(e *robEntry, now int64) {
+// stepSyscall advances the commit-point syscall state machine for the ROB
+// head at index h. Syscalls travel to the simulation manager as OutQ
+// events, mirroring the paper's emulation of system functions outside the
+// simulator; blocking primitives reply "retry" and the core spins in
+// simulated time.
+func (c *OoO) stepSyscall(h int, now int64) {
 	if c.sysDone {
-		c.writebackAt(e, c.sysResult)
-		e.done = true
+		c.writebackAt(h, c.sysResult)
+		c.rob.flags[h] |= rfDone
 		return
 	}
 	if !c.sysIssued {
@@ -182,7 +185,7 @@ func (c *OoO) stepSyscall(e *robEntry, now int64) {
 		c.sendPlain(event.Event{
 			Kind: event.KSyscall,
 			Time: now,
-			Aux:  int64(e.inst.Imm),
+			Aux:  int64(c.rob.pre[h].Imm),
 			Args: [4]int64{c.intVal(isa.RegA0), c.intVal(isa.RegA1), c.intVal(isa.RegA2), c.intVal(isa.RegA3)},
 		})
 		return
@@ -194,18 +197,18 @@ func (c *OoO) stepSyscall(e *robEntry, now int64) {
 		c.sendPlain(event.Event{
 			Kind: event.KSyscall,
 			Time: now,
-			Aux:  int64(e.inst.Imm),
+			Aux:  int64(c.rob.pre[h].Imm),
 			Args: [4]int64{c.intVal(isa.RegA0), c.intVal(isa.RegA1), c.intVal(isa.RegA2), c.intVal(isa.RegA3)},
 		})
 	}
 }
 
-// stepAMO performs an atomic read-modify-write at the commit point. The
-// functional operation executes atomically against shared memory when the
-// fixed latency expires; the timing approximates a round trip that bypasses
-// the L1 (AMOs are rare in our workloads — the Table 1 primitives are
-// syscalls).
-func (c *OoO) stepAMO(e *robEntry, now int64) {
+// stepAMO performs an atomic read-modify-write at the commit point for the
+// ROB head at index h. The functional operation executes atomically against
+// shared memory when the fixed latency expires; the timing approximates a
+// round trip that bypasses the L1 (AMOs are rare in our workloads — the
+// Table 1 primitives are syscalls).
+func (c *OoO) stepAMO(h int, now int64) {
 	if c.amoDoneAt < 0 {
 		c.amoDoneAt = now + c.cfg.AMOLat
 		c.prog = true
@@ -214,33 +217,33 @@ func (c *OoO) stepAMO(e *robEntry, now int64) {
 	if now < c.amoDoneAt {
 		return
 	}
-	in := e.inst
-	addr := uint64(c.intVal(in.Rs1))
-	rs2 := uint64(c.intVal(in.Rs2))
+	p := &c.rob.pre[h]
+	addr := uint64(c.intVal(p.Rs1))
+	rs2 := uint64(c.intVal(p.Rs2))
 	var old uint64
 	var ok bool
-	switch in.Op {
+	switch p.Op {
 	case isa.OpAMOADD:
 		old, ok = c.env.Mem.AMOAdd(addr, rs2)
 	case isa.OpAMOSWAP:
 		old, ok = c.env.Mem.AMOSwap(addr, rs2)
 	case isa.OpCAS:
 		// The swap value is the committed (pre-rename) value of rd.
-		swap := uint64(c.physIntVal[e.oldDst])
+		swap := uint64(c.physIntVal[c.rob.old[h]])
 		old, ok = c.env.Mem.CAS(addr, rs2, swap)
 	}
 	if !ok {
 		c.stats.MemFaults++
 	}
-	c.writebackAt(e, int64(old))
-	e.done = true
+	c.writebackAt(h, int64(old))
+	c.rob.flags[h] |= rfDone
 	c.amoDoneAt = -1
 }
 
-func (c *OoO) writebackAt(e *robEntry, v int64) {
-	if e.physDst >= 0 && !e.dstFP {
-		c.physIntVal[e.physDst] = v
-		c.physIntReady[e.physDst] = true
+func (c *OoO) writebackAt(h int, v int64) {
+	if dst := c.rob.dst[h]; dst >= 0 && c.rob.flags[h]&rfDstFP == 0 {
+		c.physIntVal[dst] = v
+		c.physIntReady[dst] = true
 		c.iqUnready = false
 	}
 }
@@ -306,20 +309,19 @@ func (c *OoO) deliverFill(ev event.Event, now int64) {
 	default:
 		c.l1d.Fill(ev.Addr, cache.State(ev.Aux))
 	}
-	for _, lqi := range m.loads {
-		lq := &c.lq[lqi]
-		if !lq.valid {
+	for lqi := m.loadHead; lqi >= 0; lqi = c.lq.next[lqi] {
+		if c.lq.flags[lqi]&lfValid == 0 {
 			continue
 		}
-		c.pending = append(c.pending, pendingOp{
-			at: now, kind: pLoadDone, seq: lq.seq, robIdx: lq.robIdx, lqIdx: lqi,
+		c.addPending(pendingOp{
+			at: now, kind: pLoadDone, seq: c.lq.seq[lqi], robIdx: c.lq.rob[lqi], lqIdx: lqi,
 		})
 	}
 	if m.store && c.sqCount > 0 {
-		c.sq[c.sqHead].drainWait = false
+		c.sq.flags[c.sqHead] &^= sfDrainWait
 	}
 	m.valid = false
-	m.loads = m.loads[:0]
+	m.loadHead, m.loadTail = -1, -1
 	m.store, m.upgrade, m.instr = false, false, false
 	// An MSHR is free again: loads parked on MSHR exhaustion can retry.
 	c.kickParkedLoads(now)
@@ -342,7 +344,7 @@ func (c *OoO) allocMSHR(line uint64) *mshr {
 			m := &c.mshrs[i]
 			m.valid = true
 			m.line = line
-			m.loads = m.loads[:0]
+			m.loadHead, m.loadTail = -1, -1
 			m.store, m.upgrade, m.instr = false, false, false
 			return m
 		}

@@ -5,27 +5,29 @@ import (
 	"slacksim/internal/mem"
 )
 
-// predecode caches decoded instructions for the program's static text
-// section so the fetch stage does not pay Mem.LoadWord + isa.Decode on
-// every fetched instruction. Decoding happens lazily one cache line at a
-// time — the same granularity at which the L1I fills and invalidates — so
-// a KInv that hits the text range simply marks that line's entries stale
-// and the next fetch re-decodes them from memory. Each core owns its own
-// table; no synchronisation is needed.
+// predecode caches fully predecoded instructions (Pre records: decode +
+// classification + latency + execute-function pointer) for the program's
+// static text section so the fetch stage does not pay Mem.LoadWord +
+// isa.Decode + re-classification on every fetched instruction. Decoding
+// happens lazily one cache line at a time — the same granularity at which
+// the L1I fills and invalidates — so a KInv that hits the text range simply
+// marks that line's entries stale and the next fetch re-predecodes them
+// from memory. Each core owns its own table; no synchronisation is needed.
 type predecode struct {
 	base, end uint64
 	lineShift uint
-	insts     []isa.Inst
+	pre       []Pre
 	lineOK    []bool
 	mem       *mem.Memory
+	cfg       *Config
 }
 
 // newPredecode builds a (possibly disabled) table from the core's Env.
 // A zero TextBase/TextEnd, a non-power-of-two line size, or a text base
 // not aligned to the line size disables predecoding; lookup then always
-// misses and fetch falls back to LoadWord + Decode.
-func newPredecode(env *Env) *predecode {
-	p := &predecode{mem: env.Mem}
+// misses and fetch falls back to LoadWord + Decode + makePre.
+func newPredecode(cfg *Config, env *Env) *predecode {
+	p := &predecode{mem: env.Mem, cfg: cfg}
 	ls := uint64(env.CacheCfg.LineSize)
 	if env.TextEnd <= env.TextBase || ls == 0 || ls&(ls-1) != 0 || env.TextBase%ls != 0 {
 		return p
@@ -38,23 +40,25 @@ func newPredecode(env *Env) *predecode {
 	p.base = env.TextBase
 	p.end = env.TextEnd
 	p.lineShift = shift
-	p.insts = make([]isa.Inst, size/isa.InstBytes)
+	p.pre = make([]Pre, size/isa.InstBytes)
 	p.lineOK = make([]bool, (size+ls-1)>>shift)
 	return p
 }
 
-// lookup returns the decoded instruction at pc, decoding pc's whole line on
-// first touch. ok is false when pc is outside the predecoded text range
-// (or the table is disabled); callers fall back to LoadWord + Decode.
-func (p *predecode) lookup(pc uint64) (isa.Inst, bool) {
+// lookup returns the predecoded instruction at pc, decoding pc's whole line
+// on first touch. ok is false when pc is outside the predecoded text range
+// (or the table is disabled); callers fall back to LoadWord + Decode. The
+// returned pointer aliases the table — callers copy the record by value
+// before a line invalidation could rewrite it.
+func (p *predecode) lookup(pc uint64) (*Pre, bool) {
 	if pc < p.base || pc >= p.end {
-		return isa.Inst{}, false
+		return nil, false
 	}
 	off := pc - p.base
 	if li := off >> p.lineShift; !p.lineOK[li] {
 		p.fillLine(li)
 	}
-	return p.insts[off/isa.InstBytes], true
+	return &p.pre[off/isa.InstBytes], true
 }
 
 func (p *predecode) fillLine(li uint64) {
@@ -68,7 +72,7 @@ func (p *predecode) fillLine(li uint64) {
 		if !ok {
 			word = 0
 		}
-		p.insts[o/isa.InstBytes] = isa.Decode(word)
+		p.pre[o/isa.InstBytes] = makePre(p.cfg, isa.Decode(word))
 	}
 	p.lineOK[li] = true
 }

@@ -38,12 +38,12 @@ func initCounters(n int) []uint8 {
 func (p *predictor) bimIndex(pc uint64) uint64 { return (pc >> 3) & p.bimMask }
 func (p *predictor) btbIndex(pc uint64) uint64 { return (pc >> 3) & p.btbMask }
 
-// predict returns the predicted next pc after the control-transfer
-// instruction in at pc, and whether a conditional branch was predicted
-// taken.
-func (p *predictor) predict(in isa.Inst, pc uint64) (next uint64, taken bool) {
+// predict returns the predicted next pc after the predecoded
+// control-transfer instruction in at pc, and whether a conditional branch
+// was predicted taken.
+func (p *predictor) predict(in *Pre, pc uint64) (next uint64, taken bool) {
 	switch {
-	case in.IsBranch():
+	case in.Flags&pfBranch != 0:
 		taken = p.bimodal[p.bimIndex(pc)] >= 2
 		if taken {
 			return pc + uint64(int64(in.Imm)), true
@@ -72,8 +72,8 @@ func (p *predictor) predict(in isa.Inst, pc uint64) (next uint64, taken bool) {
 }
 
 // update trains the predictor with the resolved outcome.
-func (p *predictor) update(in isa.Inst, pc uint64, taken bool, target uint64) {
-	if in.IsBranch() {
+func (p *predictor) update(in *Pre, pc uint64, taken bool, target uint64) {
+	if in.Flags&pfBranch != 0 {
 		i := p.bimIndex(pc)
 		c := p.bimodal[i]
 		if taken {

@@ -18,6 +18,11 @@ type Table2Row struct {
 	KIPS      float64
 	ROIInstrs int64
 	ROICycles int64
+	// HostAllocs/AllocsPerK record the run's host heap allocations
+	// (runtime.MemStats delta) — the zero-allocation hot loop's
+	// regression indicator alongside KIPS.
+	HostAllocs uint64  `json:",omitempty"`
+	AllocsPerK float64 `json:",omitempty"`
 }
 
 // Table2Data measures the paper's Table 2: each benchmark's input set and
@@ -36,11 +41,13 @@ func (r *Runner) Table2Data() ([]Table2Row, error) {
 		}
 		res := run.Result
 		rows = append(rows, Table2Row{
-			Benchmark: name,
-			InputSet:  w.InputDesc(r.opts.Scale),
-			KIPS:      res.KIPS(),
-			ROIInstrs: res.Committed,
-			ROICycles: res.ROICycles(),
+			Benchmark:  name,
+			InputSet:   w.InputDesc(r.opts.Scale),
+			KIPS:       res.KIPS(),
+			ROIInstrs:  res.Committed,
+			ROICycles:  res.ROICycles(),
+			HostAllocs: res.HostAllocs,
+			AllocsPerK: res.AllocsPerKInstr(),
 		})
 	}
 	return rows, nil
@@ -50,9 +57,10 @@ func (r *Runner) Table2Data() ([]Table2Row, error) {
 func PrintTable2(out io.Writer, rows []Table2Row) {
 	fmt.Fprintln(out, "Table 2: Benchmarks (baseline = cycle-by-cycle on 1 host core)")
 	var t stats.Table
-	t.AddRow("Benchmark", "Input Set", "KIPS", "ROI instrs", "ROI cycles")
+	t.AddRow("Benchmark", "Input Set", "KIPS", "ROI instrs", "ROI cycles", "allocs/kinstr")
 	for _, row := range rows {
-		t.AddRowf(row.Benchmark, row.InputSet, fmt.Sprintf("%.1f", row.KIPS), row.ROIInstrs, row.ROICycles)
+		t.AddRowf(row.Benchmark, row.InputSet, fmt.Sprintf("%.1f", row.KIPS), row.ROIInstrs, row.ROICycles,
+			fmt.Sprintf("%.2f", row.AllocsPerK))
 	}
 	fmt.Fprint(out, t.String())
 }
