@@ -30,7 +30,6 @@ import (
 	"slacksim/internal/cpu"
 	"slacksim/internal/introspect"
 	"slacksim/internal/metrics"
-	"slacksim/internal/remote"
 	"slacksim/internal/trace"
 	"slacksim/internal/workloads"
 )
@@ -70,6 +69,9 @@ func run(args []string, out, errw io.Writer) error {
 		remoteWorkers = fs.String("remote-workers", "", "comma-separated worker addresses (slackworker -listen) to host the memory shards over TCP")
 		remoteSpawn   = fs.Int("remote-spawn", 0, "spawn this many worker child processes (this binary, -worker-stdio) to host the memory shards")
 		remoteShards  = fs.Int("remote-shards", 0, "memory-hierarchy shards for the remote backend (default: one per worker)")
+		remoteRetry   = fs.Int("remote-retry", 0, "redial attempts per worker failure before its shards migrate in-process (0 = 3, negative = no retries)")
+		remoteHB      = fs.Duration("remote-heartbeat", 0, "worker heartbeat interval for failure detection (0 = 1s, negative = disabled)")
+		remoteCkpt    = fs.Int("remote-checkpoint", 0, "worker checkpoint cadence in gates, bounding the recovery replay (0 = 64, negative = disabled)")
 		workerStdio   = fs.Bool("worker-stdio", false, "run as a remote shard worker over stdin/stdout (internal: used by -remote-spawn)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -219,21 +221,28 @@ func run(args []string, out, errw io.Writer) error {
 	case serial:
 		res, err = m.RunSerial()
 	case nWorkers > 0:
-		var transports []remote.Transport
-		var cleanup func()
+		var fleet *workerFleet
 		var terr error
 		if len(workerAddrs) > 0 {
-			transports, cleanup, terr = dialWorkers(workerAddrs)
+			fleet, terr = dialWorkers(workerAddrs)
 		} else {
-			transports, cleanup, terr = spawnWorkers(*remoteSpawn, errw)
+			fleet, terr = spawnWorkers(*remoteSpawn, errw)
 		}
 		if terr != nil {
 			return terr
 		}
+		opts := &core.RemoteOptions{
+			Transports:      fleet.transports,
+			Redial:          fleet.redial,
+			Kill:            fleet.kill,
+			RetryBudget:     *remoteRetry,
+			Heartbeat:       *remoteHB,
+			CheckpointEvery: *remoteCkpt,
+		}
 		prev := runtime.GOMAXPROCS(*host)
-		res, err = m.RunRemoteSharded(scheme, transports)
+		res, err = m.RunRemoteShardedOpts(scheme, opts)
 		runtime.GOMAXPROCS(prev)
-		cleanup()
+		fleet.cleanup()
 	default:
 		prev := runtime.GOMAXPROCS(*host)
 		res, err = m.RunParallel(scheme)
@@ -263,6 +272,12 @@ func run(args []string, out, errw io.Writer) error {
 	fmt.Fprintf(out, "simulated: %d cycles total, %d ROI cycles, %d ROI instructions\n",
 		res.EndTime, res.ROICycles(), res.Committed)
 	fmt.Fprintf(out, "host: %v wall, %.1f KIPS, %d time warps\n", res.Wall.Round(time.Millisecond), res.KIPS(), res.TimeWarps)
+	if rec := res.Recovery; rec != nil {
+		// One greppable line per remote run — CI's chaos smoke asserts on
+		// it, and an all-zero line is itself the "nothing went wrong" signal.
+		fmt.Fprintf(out, "remote recovery: reconnects=%d replayed_batches=%d checkpoints=%d abandoned_workers=%d migrated_shards=%d\n",
+			rec.Reconnects, rec.ReplayedBatches, rec.Checkpoints, rec.AbandonedWorkers, rec.MigratedShards)
+	}
 
 	if wl != nil && *verify && !res.Aborted {
 		if err := wl.Verify(m.Image(), res.Output, *scale); err != nil {

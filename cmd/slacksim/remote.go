@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -79,59 +80,95 @@ func (t stdioTransport) Close() error {
 	return err
 }
 
+// workerFleet is the CLI's view of its worker endpoints: the initial
+// transports plus the recovery hooks core.RemoteOptions wants — redial
+// (resume a session after a connection failure) and, where the fleet
+// owns the processes, kill (the WorkerKill chaos hook).
+type workerFleet struct {
+	transports []remote.Transport
+	redial     func(worker int) (remote.Transport, error)
+	kill       func(worker int) error
+	cleanup    func()
+}
+
 // dialWorkers connects to already-running workers (slackworker -listen
-// addresses). The returned cleanup closes whatever was opened; it is safe
-// after RunRemoteSharded has already force-closed the connections.
-func dialWorkers(addrs []string) ([]remote.Transport, func(), error) {
+// addresses). Redial re-dials the same address — a restarted slackworker
+// under the same -listen address picks the session back up. The cleanup
+// closes whatever was opened; it is safe after the run has already
+// force-closed the connections.
+func dialWorkers(addrs []string) (*workerFleet, error) {
+	var mu sync.Mutex
 	var ts []remote.Transport
-	cleanup := func() {
+	f := &workerFleet{}
+	f.cleanup = func() {
+		mu.Lock()
+		defer mu.Unlock()
 		for _, t := range ts {
 			t.Close()
 		}
+	}
+	f.redial = func(worker int) (remote.Transport, error) {
+		c, err := net.DialTimeout("tcp", addrs[worker], 10*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("re-dialing worker %s: %w", addrs[worker], err)
+		}
+		mu.Lock()
+		ts = append(ts, c.(remote.Transport))
+		mu.Unlock()
+		return c.(remote.Transport), nil
 	}
 	for _, a := range addrs {
 		c, err := net.DialTimeout("tcp", a, 10*time.Second)
 		if err != nil {
-			cleanup()
-			return nil, nil, fmt.Errorf("dialing worker %s: %w", a, err)
+			f.cleanup()
+			return nil, fmt.Errorf("dialing worker %s: %w", a, err)
 		}
+		mu.Lock()
 		ts = append(ts, c.(remote.Transport))
+		mu.Unlock()
+		f.transports = append(f.transports, c.(remote.Transport))
 	}
-	return ts, cleanup, nil
+	return f, nil
 }
 
 // spawnWorkers launches n copies of this binary in -worker-stdio mode,
-// each wired up over two OS pipes (parent→stdin, stdout→parent), and
-// returns their transports plus a reaper that closes the pipes and waits
-// for every child. Workers exit 0 when the parent's FFinish lands, so a
-// clean run leaves no stray processes.
-func spawnWorkers(n int, errw io.Writer) ([]remote.Transport, func(), error) {
+// each wired up over two OS pipes (parent→stdin, stdout→parent). Redial
+// respawns a fresh child for the failed worker slot; kill SIGKILLs the
+// current child (the chaos hook). The cleanup closes every pipe ever
+// opened and reaps every child ever spawned. Workers exit 0 when the
+// parent's FFinish lands, so a clean run leaves no stray processes.
+func spawnWorkers(n int, errw io.Writer) (*workerFleet, error) {
 	exe, err := os.Executable()
 	if err != nil {
-		return nil, nil, fmt.Errorf("locating own binary for -remote-spawn: %w", err)
+		return nil, fmt.Errorf("locating own binary for -remote-spawn: %w", err)
 	}
+	var mu sync.Mutex
 	var ts []remote.Transport
 	var cmds []*exec.Cmd
-	cleanup := func() {
-		for _, t := range ts {
+	cur := make(map[int]*exec.Cmd)
+	f := &workerFleet{}
+	f.cleanup = func() {
+		mu.Lock()
+		allT := append([]remote.Transport(nil), ts...)
+		allC := append([]*exec.Cmd(nil), cmds...)
+		mu.Unlock()
+		for _, t := range allT {
 			t.Close()
 		}
-		for _, c := range cmds {
+		for _, c := range allC {
 			c.Wait()
 		}
 	}
-	for i := 0; i < n; i++ {
+	spawn := func(worker int) (remote.Transport, error) {
 		childIn, parentOut, err := os.Pipe()
 		if err != nil {
-			cleanup()
-			return nil, nil, err
+			return nil, err
 		}
 		parentIn, childOut, err := os.Pipe()
 		if err != nil {
 			childIn.Close()
 			parentOut.Close()
-			cleanup()
-			return nil, nil, err
+			return nil, err
 		}
 		cmd := exec.Command(exe, "-worker-stdio")
 		cmd.Stdin = childIn
@@ -142,15 +179,37 @@ func spawnWorkers(n int, errw io.Writer) ([]remote.Transport, func(), error) {
 			childOut.Close()
 			parentIn.Close()
 			parentOut.Close()
-			cleanup()
-			return nil, nil, fmt.Errorf("spawning worker %d: %w", i, err)
+			return nil, fmt.Errorf("spawning worker %d: %w", worker, err)
 		}
 		// The child owns its ends now; keeping them open in the parent
 		// would defeat EOF detection when the child dies.
 		childIn.Close()
 		childOut.Close()
-		ts = append(ts, stdioTransport{r: parentIn, w: parentOut})
+		t := stdioTransport{r: parentIn, w: parentOut}
+		mu.Lock()
+		ts = append(ts, t)
 		cmds = append(cmds, cmd)
+		cur[worker] = cmd
+		mu.Unlock()
+		return t, nil
 	}
-	return ts, cleanup, nil
+	f.redial = spawn
+	f.kill = func(worker int) error {
+		mu.Lock()
+		cmd := cur[worker]
+		mu.Unlock()
+		if cmd == nil || cmd.Process == nil {
+			return fmt.Errorf("no live child for worker %d", worker)
+		}
+		return cmd.Process.Kill()
+	}
+	for i := 0; i < n; i++ {
+		t, err := spawn(i)
+		if err != nil {
+			f.cleanup()
+			return nil, err
+		}
+		f.transports = append(f.transports, t)
+	}
+	return f, nil
 }

@@ -2,16 +2,21 @@
 // slacksim parent running with -remote-workers. It accepts TCP
 // connections and serves one simulation session per connection: the
 // parent ships the shard assignment and cache geometry in its handshake,
-// so one worker binary serves any topology.
+// so one worker binary serves any topology. A parent reconnecting after
+// a connection failure resumes its session from the checkpoint it
+// replays in the handshake, so a long run survives worker restarts.
 //
 //	slackworker -listen 127.0.0.1:7701
 //	slacksim -workload fft -scheme S9 -remote-workers 127.0.0.1:7701
 //
 // SIGINT/SIGTERM stop the accept loop, let in-flight sessions drain, and
-// exit 0.
+// exit 0. The listener sets SO_REUSEADDR, so a restarted worker (the
+// recovery drill: kill -9 and relaunch under the same address) rebinds
+// immediately instead of fighting TIME_WAIT.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"slacksim/internal/core"
 )
@@ -36,10 +42,17 @@ func run(args []string, errw io.Writer) error {
 	fs := flag.NewFlagSet("slackworker", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	listen := fs.String("listen", "127.0.0.1:0", "address to accept slacksim parent connections on")
+	heartbeat := fs.Duration("heartbeat", 0, "idle heartbeat interval when the parent's handshake doesn't set one (0 = 1s)")
+	sessionDir := fs.String("session-dir", "", "persist each session's latest checkpoint under this directory (crash forensics)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", *listen)
+	if *sessionDir != "" {
+		if err := os.MkdirAll(*sessionDir, 0o755); err != nil {
+			return err
+		}
+	}
+	ln, err := listenReuse(*listen)
 	if err != nil {
 		return err
 	}
@@ -60,19 +73,45 @@ func run(args []string, errw io.Writer) error {
 		}
 	}()
 
-	err = serve(ln, errw)
+	opts := core.WorkerOptions{Heartbeat: *heartbeat, SessionDir: *sessionDir}
+	err = serve(ln, errw, opts)
 	if stopping.Load() {
 		return nil
 	}
 	return err
 }
 
+// listenReuse binds with SO_REUSEADDR so a relaunched worker can retake
+// an address whose previous owner just died mid-session (lingering
+// sockets from the killed process must not block recovery).
+func listenReuse(addr string) (net.Listener, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.Listen(context.Background(), "tcp", addr)
+}
+
 // serve accepts sessions until the listener closes, then waits for every
 // in-flight session to finish — a drain, not an abandonment, so a worker
 // asked to stop mid-run still answers its parent's final frames.
-func serve(ln net.Listener, errw io.Writer) error {
+func serve(ln net.Listener, errw io.Writer, opts core.WorkerOptions) error {
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	var mu sync.Mutex
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		fmt.Fprintf(errw, "slackworker: "+format+"\n", args...)
+		mu.Unlock()
+	}
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -82,10 +121,13 @@ func serve(ln net.Listener, errw io.Writer) error {
 		go func(c *net.TCPConn) {
 			defer wg.Done()
 			addr := c.RemoteAddr()
-			if err := core.ServeRemoteShards(c); err != nil {
-				fmt.Fprintf(errw, "slackworker: session %s: %v\n", addr, err)
+			start := time.Now()
+			so := opts
+			so.Logf = logf
+			if err := core.ServeRemoteShardsOpts(c, &so); err != nil {
+				logf("session %s: %v", addr, err)
 			} else {
-				fmt.Fprintf(errw, "slackworker: session %s: done\n", addr)
+				logf("session %s: done (%v)", addr, time.Since(start).Round(time.Millisecond))
 			}
 		}(c.(*net.TCPConn))
 	}

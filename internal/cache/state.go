@@ -1,0 +1,285 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"slacksim/internal/interconnect"
+)
+
+// Shard-state serialization for the distributed backend's checkpoint
+// frames (internal/remote FCheckpoint): everything an L2System mutates
+// while processing requests, in a compact varint layout. Geometry is NOT
+// part of the payload — both sides build their instance from the same
+// cache.Config carried in the handshake Hello, so the state restore only
+// has to refill the mutable fields (lines, resource occupancy clocks,
+// stats, the LRU clock). Restoring a snapshot into a fresh instance built
+// from the identical config reproduces the system bit-exactly: every
+// subsequent Access sees the same line, resource, and clock state it
+// would have seen on the original instance.
+
+// stateVersion guards the layout; a mismatch means parent and worker
+// binaries disagree and the restore must fail loudly, not misparse.
+const stateVersion = 1
+
+// line flag bits in the serialized layout.
+const (
+	sfValid = 1 << iota
+	sfDirty
+	sfOwner // an owner field follows
+)
+
+func appendResource(dst []byte, r *interconnect.Resource) []byte {
+	free, uses, waits := r.State()
+	dst = binary.AppendVarint(dst, free)
+	dst = binary.AppendVarint(dst, uses)
+	dst = binary.AppendVarint(dst, waits)
+	return dst
+}
+
+// AppendState serializes the system's mutable state onto dst.
+func (s *L2System) AppendState(dst []byte) []byte {
+	dst = append(dst, stateVersion)
+	dst = binary.AppendVarint(dst, s.clock)
+
+	// Stats, in struct order.
+	st := &s.Stats
+	for _, v := range []int64{st.Accesses, st.Hits, st.Misses, st.DRAMReads,
+		st.DRAMWrites, st.InvsSent, st.Downgrades, st.L2Evictions,
+		st.L1Writebacks, st.OrderViolations} {
+		dst = binary.AppendVarint(dst, v)
+	}
+
+	// Resources in a fixed order: bank servers, crossbar ports, the snoop
+	// bus (when the protocol has one), DRAM channels.
+	for _, r := range s.bankRes {
+		dst = appendResource(dst, r)
+	}
+	for _, r := range s.xbar.Ports() {
+		dst = appendResource(dst, r)
+	}
+	if s.bus != nil {
+		dst = appendResource(dst, s.bus)
+	}
+	for _, r := range s.dram {
+		dst = appendResource(dst, r)
+	}
+
+	// Lines: banks × sets × ways in index order. Invalid lines cost one
+	// flag byte; valid ones carry tag, presence, owner, lru, lastTS.
+	for b := range s.banks {
+		for _, set := range s.banks[b] {
+			for w := range set {
+				l := &set[w]
+				if !l.valid {
+					dst = append(dst, 0)
+					continue
+				}
+				flags := byte(sfValid)
+				if l.dirty {
+					flags |= sfDirty
+				}
+				if l.owner >= 0 {
+					flags |= sfOwner
+				}
+				dst = append(dst, flags)
+				dst = binary.AppendUvarint(dst, l.tag)
+				dst = binary.AppendUvarint(dst, l.presence)
+				if l.owner >= 0 {
+					dst = append(dst, byte(l.owner))
+				}
+				dst = binary.AppendVarint(dst, l.lru)
+				dst = binary.AppendVarint(dst, l.lastTS)
+			}
+		}
+	}
+
+	// Pending back-invalidations. The worker checkpoints only at gate
+	// boundaries, where the queue has been drained after every Access, so
+	// this is normally zero — but the codec carries it so a checkpoint is
+	// valid at any between-events instant.
+	dst = binary.AppendUvarint(dst, uint64(len(s.pendingBackInvs)))
+	for _, inv := range s.pendingBackInvs {
+		dst = binary.AppendVarint(dst, int64(inv.Core))
+		dst = binary.AppendUvarint(dst, inv.Addr)
+		if inv.Downgrade {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.AppendVarint(dst, inv.Time)
+	}
+	return dst
+}
+
+// stateReader walks a payload with bounds checking (mirrors the remote
+// package's batchReader; duplicated to keep the import direction
+// cache ← remote, not both ways).
+type stateReader struct {
+	b   []byte
+	off int
+}
+
+func (r *stateReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("cache: truncated state varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *stateReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("cache: truncated state uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *stateReader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("cache: truncated state at offset %d", r.off)
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+func (r *stateReader) restoreResource(res *interconnect.Resource) error {
+	free, err := r.varint()
+	if err != nil {
+		return err
+	}
+	uses, err := r.varint()
+	if err != nil {
+		return err
+	}
+	waits, err := r.varint()
+	if err != nil {
+		return err
+	}
+	res.SetState(free, uses, waits)
+	return nil
+}
+
+// RestoreState overwrites the system's mutable state from a payload
+// produced by AppendState on an instance built from the identical
+// configuration. Errors (truncation, version or geometry mismatch) leave
+// the system partially written — callers must treat a failed restore as
+// fatal for the instance.
+func (s *L2System) RestoreState(payload []byte) error {
+	r := &stateReader{b: payload}
+	v, err := r.byte()
+	if err != nil {
+		return err
+	}
+	if v != stateVersion {
+		return fmt.Errorf("cache: state version %d, want %d", v, stateVersion)
+	}
+	if s.clock, err = r.varint(); err != nil {
+		return err
+	}
+
+	st := &s.Stats
+	for _, p := range []*int64{&st.Accesses, &st.Hits, &st.Misses, &st.DRAMReads,
+		&st.DRAMWrites, &st.InvsSent, &st.Downgrades, &st.L2Evictions,
+		&st.L1Writebacks, &st.OrderViolations} {
+		if *p, err = r.varint(); err != nil {
+			return err
+		}
+	}
+
+	for _, res := range s.bankRes {
+		if err := r.restoreResource(res); err != nil {
+			return err
+		}
+	}
+	for _, res := range s.xbar.Ports() {
+		if err := r.restoreResource(res); err != nil {
+			return err
+		}
+	}
+	if s.bus != nil {
+		if err := r.restoreResource(s.bus); err != nil {
+			return err
+		}
+	}
+	for _, res := range s.dram {
+		if err := r.restoreResource(res); err != nil {
+			return err
+		}
+	}
+
+	for b := range s.banks {
+		for _, set := range s.banks[b] {
+			for w := range set {
+				l := &set[w]
+				flags, err := r.byte()
+				if err != nil {
+					return err
+				}
+				if flags&sfValid == 0 {
+					*l = l2Line{owner: -1}
+					continue
+				}
+				l.valid = true
+				l.dirty = flags&sfDirty != 0
+				if l.tag, err = r.uvarint(); err != nil {
+					return err
+				}
+				if l.presence, err = r.uvarint(); err != nil {
+					return err
+				}
+				l.owner = -1
+				if flags&sfOwner != 0 {
+					o, err := r.byte()
+					if err != nil {
+						return err
+					}
+					l.owner = int8(o)
+				}
+				if l.lru, err = r.varint(); err != nil {
+					return err
+				}
+				if l.lastTS, err = r.varint(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > uint64(len(payload)) {
+		return fmt.Errorf("cache: state claims %d pending invalidations in %d bytes", n, len(payload))
+	}
+	s.pendingBackInvs = s.pendingBackInvs[:0]
+	for i := uint64(0); i < n; i++ {
+		var inv InvMsg
+		c, err := r.varint()
+		if err != nil {
+			return err
+		}
+		inv.Core = int(c)
+		if inv.Addr, err = r.uvarint(); err != nil {
+			return err
+		}
+		d, err := r.byte()
+		if err != nil {
+			return err
+		}
+		inv.Downgrade = d != 0
+		if inv.Time, err = r.varint(); err != nil {
+			return err
+		}
+		s.pendingBackInvs = append(s.pendingBackInvs, inv)
+	}
+	if r.off != len(payload) {
+		return fmt.Errorf("cache: %d trailing bytes after state", len(payload)-r.off)
+	}
+	return nil
+}

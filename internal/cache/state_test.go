@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// driveRandom applies n deterministic pseudo-random requests and returns
+// the concatenated observable outcomes (fill times, grants, invalidation
+// lists) so two instances can be compared access for access.
+func driveRandom(s *L2System, rng *rand.Rand, n int) []int64 {
+	var obs []int64
+	t := s.clock * 3 // arbitrary but deterministic advancing clock base
+	for i := 0; i < n; i++ {
+		core := rng.Intn(s.cfg.NumCores)
+		addr := uint64(rng.Intn(1<<14)) << 6
+		kind := ReqKind(rng.Intn(3))
+		t += int64(rng.Intn(7))
+		if rng.Intn(16) == 0 {
+			s.RetireVictim(core, addr, rng.Intn(2) == 0, t)
+		}
+		fill, invs := s.Access(core, addr, kind, t)
+		obs = append(obs, fill.Time, int64(fill.Grant))
+		for _, inv := range invs {
+			obs = append(obs, int64(inv.Core), int64(inv.Addr), inv.Time)
+		}
+		for _, inv := range s.DrainBackInvs() {
+			obs = append(obs, int64(inv.Core), int64(inv.Addr), inv.Time)
+		}
+	}
+	return obs
+}
+
+// TestStateRoundTrip proves the checkpoint/restore invariant the
+// distributed recovery path depends on: snapshotting a warmed-up system,
+// restoring into a fresh instance of the same config, and driving both
+// with identical further traffic yields identical observable behavior and
+// identical final state bytes.
+func TestStateRoundTrip(t *testing.T) {
+	for _, proto := range []Protocol{Directory, SnoopBus} {
+		cfg := DefaultConfig(4)
+		cfg.Protocol = proto
+		cfg.DRAMChannels = 2
+		orig := MustL2System(cfg)
+
+		driveRandom(orig, rand.New(rand.NewSource(11)), 4000)
+		snap := orig.AppendState(nil)
+
+		clone := MustL2System(cfg)
+		if err := clone.RestoreState(snap); err != nil {
+			t.Fatalf("proto %v: restore: %v", proto, err)
+		}
+		if got := clone.AppendState(nil); !bytes.Equal(got, snap) {
+			t.Fatalf("proto %v: re-snapshot differs after restore", proto)
+		}
+		if clone.Stats != orig.Stats {
+			t.Fatalf("proto %v: stats differ: %+v vs %+v", proto, clone.Stats, orig.Stats)
+		}
+
+		a := driveRandom(orig, rand.New(rand.NewSource(23)), 2000)
+		b := driveRandom(clone, rand.New(rand.NewSource(23)), 2000)
+		if len(a) != len(b) {
+			t.Fatalf("proto %v: divergent observation count %d vs %d", proto, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("proto %v: divergence at observation %d: %d vs %d", proto, i, a[i], b[i])
+			}
+		}
+		if !bytes.Equal(orig.AppendState(nil), clone.AppendState(nil)) {
+			t.Fatalf("proto %v: final state bytes differ", proto)
+		}
+	}
+}
+
+// TestStateRestoreFresh pins the initial-checkpoint convention: an empty
+// payload is not a valid state, and a fresh snapshot restores cleanly.
+func TestStateRestoreFresh(t *testing.T) {
+	cfg := DefaultConfig(2)
+	s := MustL2System(cfg)
+	snap := s.AppendState(nil)
+	clone := MustL2System(cfg)
+	if err := clone.RestoreState(snap); err != nil {
+		t.Fatalf("fresh restore: %v", err)
+	}
+	if err := clone.RestoreState(nil); err == nil {
+		t.Fatal("empty payload restored without error")
+	}
+}
+
+// TestStateRestoreRejectsCorruption truncates and mutates a snapshot at
+// every byte: restore must error or succeed, never panic, and trailing
+// garbage must be rejected.
+func TestStateRestoreRejectsCorruption(t *testing.T) {
+	cfg := DefaultConfig(2)
+	s := MustL2System(cfg)
+	driveRandom(s, rand.New(rand.NewSource(5)), 500)
+	snap := s.AppendState(nil)
+
+	for cut := 0; cut < len(snap); cut += 7 {
+		clone := MustL2System(cfg)
+		if err := clone.RestoreState(snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d restored without error", cut, len(snap))
+		}
+	}
+	clone := MustL2System(cfg)
+	if err := clone.RestoreState(append(append([]byte{}, snap...), 0x01)); err == nil {
+		t.Fatal("trailing byte restored without error")
+	}
+	bad := append([]byte{}, snap...)
+	bad[0] = 99 // version byte
+	if err := MustL2System(cfg).RestoreState(bad); err == nil {
+		t.Fatal("bad version restored without error")
+	}
+}

@@ -122,6 +122,9 @@ type StallReport struct {
 	StalledFor time.Duration     `json:"stalled_ns,omitempty"`
 	Cores      []CoreReport      `json:"cores"`
 	Kernel     *sysemu.Forensics `json:"kernel,omitempty"`
+	// Remote is the per-worker supervision state on distributed runs —
+	// a stall there usually means a worker is mid-recovery or abandoned.
+	Remote []RemoteWorkerReport `json:"remote,omitempty"`
 }
 
 // CoreReport is one core's pacing state inside a StallReport.
@@ -195,6 +198,13 @@ func (r *StallReport) Text() string {
 		if k.TimeWarps > 0 || k.LockMismatch > 0 {
 			fmt.Fprintf(&b, "  kernel: warps=%d lock-mismatch=%d\n", k.TimeWarps, k.LockMismatch)
 		}
+	}
+	for _, w := range r.Remote {
+		fmt.Fprintf(&b, "  remote worker %d: state=%s mark=%s shards=%v", w.ID, w.State, renderCycles(w.Mark), w.Shards)
+		if w.Reconnects > 0 || w.Epoch > 0 {
+			fmt.Fprintf(&b, " reconnects=%d epoch=%d", w.Reconnects, w.Epoch)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -338,6 +348,7 @@ func (m *Machine) snapshot(withKernel bool, stalledFor time.Duration) *StallRepo
 		f := m.kernel.Forensics()
 		r.Kernel = &f
 	}
+	r.Remote = m.remoteWorkerReports()
 	return r
 }
 
@@ -383,11 +394,19 @@ func (m *Machine) EnableFaults(p *faultinject.Plan) error {
 	if m.shards != nil {
 		nShards = m.shards.n
 	}
+	if m.remote != nil && m.remote.n > nShards {
+		nShards = m.remote.n
+	}
 	if err := p.Validate(m.cfg.NumCores, nShards); err != nil {
 		return err
 	}
 	for _, f := range p.Faults() {
 		switch {
+		case f.Kind.IsWire():
+			if m.remote == nil {
+				return fmt.Errorf("core: %v fault requires the remote backend (Config.RemoteShards > 0)", f.Kind)
+			}
+			m.fiWire = append(m.fiWire, f)
 		case f.Core == faultinject.Manager:
 			m.fiMgr = append(m.fiMgr, f)
 		case f.Core <= -2:

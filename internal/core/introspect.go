@@ -123,5 +123,15 @@ func (m *Machine) slackSnapshot() introspect.SlackSnapshot {
 		}
 		s.Cores = append(s.Cores, c)
 	}
+	for _, w := range m.remoteWorkerReports() {
+		s.Remote = append(s.Remote, introspect.RemoteWorker{
+			ID:         w.ID,
+			State:      w.State,
+			Shards:     w.Shards,
+			Mark:       w.Mark,
+			Reconnects: w.Reconnects,
+			Epoch:      w.Epoch,
+		})
+	}
 	return s
 }

@@ -259,6 +259,7 @@ type Machine struct {
 	fiDelay [][]faultinject.Fault // per-core DelayDelivery faults
 	fiMgr   []faultinject.Fault   // manager-targeted faults
 	fiShard [][]faultinject.Fault // per-shard-worker faults
+	fiWire  []faultinject.Fault   // wire-level faults (remote backend)
 	// lastEvKind/lastEvTime record each core's most recent InQ delivery
 	// (written by the owning core goroutine, read by forensic snapshots).
 	lastEvKind []padded

@@ -178,6 +178,17 @@ func (m *Machine) publishObservability(res *Result) {
 		publishWireStats(r, "remote.workers", rw.Workers)
 	}
 
+	// Fault-tolerance activity of a remote run: all-zero gauges on an
+	// undisturbed run, so dashboards can alert on any deviation.
+	if rec := res.Recovery; rec != nil {
+		r.Gauge("remote.recovery.reconnects").Set(rec.Reconnects)
+		r.Gauge("remote.recovery.replayed_batches").Set(rec.ReplayedBatches)
+		r.Gauge("remote.recovery.checkpoints").Set(rec.Checkpoints)
+		r.Gauge("remote.recovery.checkpoint_bytes").Set(rec.CheckpointBytes)
+		r.Gauge("remote.recovery.abandoned_workers").Set(rec.AbandonedWorkers)
+		r.Gauge("remote.recovery.migrated_shards").Set(rec.MigratedShards)
+	}
+
 	for i, c := range m.cores {
 		cpu.PublishStats(r, i, c.Stats())
 	}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slacksim/internal/cache"
@@ -35,6 +37,112 @@ import (
 // has every reply below allowed in the cores' rings before it raises any
 // window. The wire adds only host latency — which a slack window of s
 // cycles absorbs exactly as it absorbs host scheduling jitter.
+//
+// Fault tolerance rests on the same in-order invariants. Every outbound
+// frame is appended to a per-worker replay journal and sent from it;
+// workers checkpoint their timing state every K gates, which lets the
+// parent truncate the journal. When a connection dies — detected by a
+// read/write error, a checksum failure, or heartbeat staleness — a
+// per-worker supervisor redials with bounded, backed-off retries,
+// restores the worker from the stored checkpoint, and replays the
+// journal. Because every journaled event after gate g carries a
+// timestamp >= g, the restored worker regenerates the *identical* reply
+// sequence the lost connection swallowed, and the parent suppresses the
+// prefix it had already delivered (counted per shard) — so a recovered
+// run is bit-exact with an undisturbed one. When the retry budget runs
+// out the worker is abandoned and its shards migrate into the parent's
+// in-process path (the same applyMemEvent), trading the lost
+// parallelism for a completed, still bit-exact run.
+
+// RemoteOptions configures a distributed run beyond the initial
+// transports: recovery hooks, heartbeat pacing, and checkpoint cadence.
+type RemoteOptions struct {
+	// Transports are the initial worker connections, one per worker
+	// (shards are distributed round-robin over them).
+	Transports []remote.Transport
+	// Redial, when set, reconnects to worker i after a connection
+	// failure (dial mode re-dials the address; spawn mode respawns the
+	// process). Nil disables recovery: the first failure abandons the
+	// worker and migrates its shards in-process.
+	Redial func(worker int) (remote.Transport, error)
+	// Kill, when set, terminates worker i's process — the hook behind
+	// the faultinject.WorkerKill chaos fault. Nil falls back to severing
+	// the connection.
+	Kill func(worker int) error
+	// Heartbeat is the idle interval after which a worker volunteers a
+	// heartbeat frame and the parent's staleness thresholds are scaled
+	// (suspect at 2×, dead at 4×). 0 means the 1s default; < 0 disables
+	// heartbeats (connection errors still drive recovery).
+	Heartbeat time.Duration
+	// CheckpointEvery is the gate cadence of worker checkpoints. 0 means
+	// the default of 64; < 0 disables checkpointing (recovery then
+	// replays the whole run's journal).
+	CheckpointEvery int
+	// RetryBudget is the redial attempts allowed per failure incident.
+	// 0 means the default of 3; < 0 means no retries.
+	RetryBudget int
+	// RetryBackoff paces the redial attempts (zero value =
+	// remote.DefaultBackoff).
+	RetryBackoff remote.Backoff
+}
+
+func (o *RemoteOptions) heartbeat() time.Duration {
+	if o.Heartbeat < 0 {
+		return 0
+	}
+	if o.Heartbeat == 0 {
+		return time.Second
+	}
+	return o.Heartbeat
+}
+
+// heartbeatMS renders the heartbeat for the Hello frame (-1 = disabled,
+// so the worker's own "0 means default" rule cannot re-enable it).
+func (o *RemoteOptions) heartbeatMS() int64 {
+	hb := o.heartbeat()
+	if hb == 0 {
+		return -1
+	}
+	return hb.Milliseconds()
+}
+
+func (o *RemoteOptions) checkpointEvery() int {
+	if o.CheckpointEvery < 0 {
+		return 0
+	}
+	if o.CheckpointEvery == 0 {
+		return 64
+	}
+	return o.CheckpointEvery
+}
+
+func (o *RemoteOptions) retryBudget() int {
+	if o.RetryBudget < 0 {
+		return 0
+	}
+	if o.RetryBudget == 0 {
+		return 3
+	}
+	return o.RetryBudget
+}
+
+// RecoveryStats summarises the fault-tolerance activity of a remote run
+// (all zero on an undisturbed run).
+type RecoveryStats struct {
+	// Reconnects counts successful worker session resumes.
+	Reconnects int64 `json:"reconnects"`
+	// ReplayedBatches counts journal entries replayed to restored
+	// workers (and into adopted in-process shards).
+	ReplayedBatches int64 `json:"replayed_batches"`
+	// Checkpoints and CheckpointBytes count worker checkpoint frames
+	// received and their total payload size.
+	Checkpoints     int64 `json:"checkpoints"`
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// AbandonedWorkers counts workers whose retry budget ran out;
+	// MigratedShards counts their shards now simulated in-process.
+	AbandonedWorkers int64 `json:"abandoned_workers"`
+	MigratedShards   int64 `json:"migrated_shards"`
+}
 
 // remoteState is the per-machine distributed plumbing (nil unless
 // Config.RemoteShards > 0). The reply rings exist from NewMachine (they
@@ -43,12 +151,33 @@ type remoteState struct {
 	n   int
 	out [][]*event.Ring // shard s -> core i reply rings (recv goroutines produce)
 
+	opts    *RemoteOptions
+	session string
+
 	workers []*remoteWorker
 	owner   []int // shard index -> worker index
 
 	// stage accumulates the current round's routed events per shard
 	// (manager goroutine only).
 	stage [][]event.Event
+
+	// adopted[s] is non-nil once shard s has been migrated into the
+	// parent after its worker was abandoned (manager goroutine only).
+	adopted  []*adoptedShard
+	nAdopted int
+
+	// closing is set by remoteShutdown: receivers stop re-arming read
+	// timeouts and supervisors stop recovering.
+	closing atomic.Bool
+
+	// Recovery counters (written by supervisors and receivers, read by
+	// results/metrics/introspection).
+	reconnects      atomic.Int64
+	replayedBatches atomic.Int64
+	checkpoints     atomic.Int64
+	checkpointBytes atomic.Int64
+	abandoned       atomic.Int64
+	migrated        atomic.Int64
 
 	// Results folded back from the workers' FStats at shutdown.
 	l2stats     []cache.L2Stats // per shard
@@ -68,48 +197,179 @@ func newRemoteState(cfg Config) *remoteState {
 		r.out = append(r.out, rings)
 	}
 	r.stage = make([][]event.Event, r.n)
+	r.adopted = make([]*adoptedShard, r.n)
 	r.l2stats = make([]cache.L2Stats, r.n)
 	return r
 }
 
-// wireMsg is one unit of work for a connection's sender goroutine.
+// adoptedShard is one shard migrated into the parent after its worker
+// was abandoned: the same timing state a worker would hold, restored
+// from the last checkpoint, processed by the manager through the shared
+// applyMemEvent path.
+type adoptedShard struct {
+	idx int
+	l2  *cache.L2System
+	gq  event.Heap
+	// skip suppresses the first replies regenerated by the replay —
+	// the ones the dead worker already delivered into the rings.
+	skip int64
+}
+
+// wireMsg is one unit of outbound work: a journal entry until it is
+// acknowledged by a checkpoint, and the send queue the sender drains.
 type wireMsg struct {
-	kind  byte // remote.FEvents, remote.FGate, remote.FFinish
+	kind  byte // remote.FEvents, FGate, FCheckpointAck, FFinish
 	shard int
 	evs   []event.Event
 	gate  int64
+	batch int64 // global batch index (FEvents entries only)
 }
 
-// remoteWorker is the parent's handle on one worker process.
+// remoteWorker is the parent's handle on one worker process, across
+// every connection incarnation it goes through.
 type remoteWorker struct {
 	id     int
-	conn   *remote.Conn
 	shards []int
 
-	sendCh   chan wireMsg
+	// mu guards the connection handle, the journal, and the cursor —
+	// shared between the manager (appends), the sender (drains), the
+	// receiver (truncates on checkpoint), and the supervisor (swaps the
+	// connection on recovery).
+	mu   sync.Mutex
+	conn *remote.Conn
+
+	// journal holds every unacknowledged outbound frame, oldest first.
+	// jBase is the global index of journal[0]; cursor is the global
+	// index of the next entry the sender transmits; batchSeq numbers
+	// FEvents entries; maxGateEver is the highest gate ever enqueued
+	// (re-sent after a resume so a truncated trailing gate cannot strand
+	// the watermark).
+	journal     []wireMsg
+	jBase       int64
+	cursor      int64
+	batchSeq    int64
+	maxGateEver int64
+
+	// ckpt is the last checkpoint payload received from the worker,
+	// stored verbatim (the parent only parses the header); the journal
+	// is truncated to it.
+	ckpt        []byte
+	ckptGate    int64
+	ckptBatches int64
+
+	// delivered[p] counts replies for shards[p] pushed into the rings
+	// since the last checkpoint truncation — the suppression count a
+	// replay needs. Written only by the live receiver goroutine (or the
+	// manager at adoption); handed between generations by the join in
+	// the supervisor.
+	delivered []int64
+
+	// Per-connection channels, replaced by the supervisor on recovery
+	// (under mu; each generation's goroutines capture their own).
+	stopSend chan struct{}
 	sendDone chan struct{}
 	recvDone chan struct{}
-	// markCh wakes the manager's watermark wait (cap-1, non-blocking
-	// send by the recv goroutine after each mark store). A blocking wait
-	// matters: a Gosched spin would keep the scheduler from parking in
-	// netpoll, and on a host with few CPUs every wire round trip would
-	// then cost a sysmon tick (~10ms) instead of a wire RTT.
-	markCh chan struct{}
 
-	// mark is the worker's last acknowledged gate (recv goroutine
-	// writes, manager spins on it in waitRemoteWatermarks).
+	// Whole-lifetime channels.
+	wakeSend chan struct{} // cap 1: journal append signal
+	markCh   chan struct{} // cap 1: watermark / abandonment signal
+	dying    chan struct{} // closed by remoteShutdown
+	supDone  chan struct{} // supervisor goroutine joined
+
+	// mark is the worker's last acknowledged gate (receiver writes,
+	// manager spins on it in waitRemoteWatermarks). It survives
+	// reconnects — a watermark only ever rises.
 	mark padded
 	// lastGate is the highest gate the manager has enqueued (manager
 	// goroutine only).
 	lastGate int64
+	// adoptedFlag marks a worker whose shards migrated in-process
+	// (manager goroutine only; supervision is already parked by then).
+	adoptedFlag bool
 
+	lastHeard atomic.Int64 // unix nanos of the last received frame
+	hbStall   atomic.Bool  // faultinject.HeartbeatStall: stop counting frames as liveness
+	finished  atomic.Bool  // receiver saw FBye (clean end of session)
+	epoch     atomic.Int64 // connection incarnation (0 = original)
+
+	sup *remote.Supervisor
+
+	// wireAgg accumulates the connection counters of every dead
+	// incarnation (supervisor goroutine; read after supDone).
+	wireAgg  remote.WireStats
 	stats    remote.WorkerStats
-	gotStats bool // recv goroutine writes before closing recvDone
+	gotStats bool // receiver writes before closing recvDone
 }
 
 func (w *remoteWorker) faultTarget() int { return faultinject.ShardWorker(w.shards[0]) }
 
 func (w *remoteWorker) name() string { return fmt.Sprintf("worker %d (shards %v)", w.id, w.shards) }
+
+// shardPos maps a global shard index to its position in w.shards.
+func (w *remoteWorker) shardPos(shard int) int {
+	for p, s := range w.shards {
+		if s == shard {
+			return p
+		}
+	}
+	return -1
+}
+
+// currentConn snapshots the live connection handle (wire-fault hooks).
+func (w *remoteWorker) currentConn() *remote.Conn {
+	w.mu.Lock()
+	c := w.conn
+	w.mu.Unlock()
+	return c
+}
+
+// enqueue appends one frame to the worker's journal and wakes the
+// sender. Safe from the manager and the receiver concurrently.
+func (w *remoteWorker) enqueue(msg wireMsg) {
+	w.mu.Lock()
+	if msg.kind == remote.FEvents {
+		msg.batch = w.batchSeq
+		w.batchSeq++
+	}
+	if msg.kind == remote.FGate && msg.gate > w.maxGateEver {
+		w.maxGateEver = msg.gate
+	}
+	w.journal = append(w.journal, msg)
+	w.mu.Unlock()
+	select {
+	case w.wakeSend <- struct{}{}:
+	default:
+	}
+}
+
+// storeCheckpoint records a checkpoint payload and truncates the journal
+// to it: every entry before the first unconsumed batch is acknowledged
+// state and will never need replaying. The cut never passes the send
+// cursor — an entry the sender has not transmitted cannot have been
+// consumed, whatever the header claims.
+func (w *remoteWorker) storeCheckpoint(payload []byte, gate, batches int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ckpt = append(w.ckpt[:0], payload...)
+	w.ckptGate, w.ckptBatches = gate, batches
+	limit := int(w.cursor - w.jBase)
+	cut := 0
+	for cut < len(w.journal) && cut < limit {
+		e := &w.journal[cut]
+		if e.kind == remote.FFinish || (e.kind == remote.FEvents && e.batch >= batches) {
+			break
+		}
+		cut++
+	}
+	if cut > 0 {
+		n := copy(w.journal, w.journal[cut:])
+		for i := n; i < len(w.journal); i++ {
+			w.journal[i] = wireMsg{} // release the event slices
+		}
+		w.journal = w.journal[:n]
+		w.jBase += int64(cut)
+	}
+}
 
 // remoteShardOf routes addr to its owning shard — the same bank-mod rule
 // as the in-process driver, computed against the parent's own L2
@@ -137,13 +397,23 @@ func (m *Machine) remoteHandshakeTimeout() time.Duration {
 // distributed round-robin over the transports. The round structure,
 // pacing, and determinism guarantees mirror the in-process sharded
 // driver: a remote run is bit-exact against ManagerShards =
-// RemoteShards for every conservative scheme.
+// RemoteShards for every conservative scheme — including runs that
+// lose and recover workers (see RunRemoteShardedOpts for the recovery
+// hooks; with no Redial hook a dead worker's shards migrate in-process).
 func (m *Machine) RunRemoteSharded(s Scheme, transports []remote.Transport) (*Result, error) {
+	return m.RunRemoteShardedOpts(s, &RemoteOptions{Transports: transports})
+}
+
+// RunRemoteShardedOpts is RunRemoteSharded with recovery configuration.
+func (m *Machine) RunRemoteShardedOpts(s Scheme, opts *RemoteOptions) (*Result, error) {
 	if m.remote == nil {
 		return nil, fmt.Errorf("core: RunRemoteSharded requires Config.RemoteShards > 0")
 	}
-	if len(transports) < 1 || len(transports) > m.remote.n {
-		return nil, fmt.Errorf("core: %d worker connections for %d shards (need 1..%d)", len(transports), m.remote.n, m.remote.n)
+	if opts == nil {
+		return nil, fmt.Errorf("core: RunRemoteShardedOpts requires options")
+	}
+	if len(opts.Transports) < 1 || len(opts.Transports) > m.remote.n {
+		return nil, fmt.Errorf("core: %d worker connections for %d shards (need 1..%d)", len(opts.Transports), m.remote.n, m.remote.n)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -154,7 +424,8 @@ func (m *Machine) RunRemoteSharded(s Scheme, transports []remote.Transport) (*Re
 	start := time.Now()
 	m.captureHostMem()
 
-	if err := m.remoteConnect(transports); err != nil {
+	m.remote.opts = opts
+	if err := m.remoteConnect(opts.Transports); err != nil {
 		return nil, err
 	}
 
@@ -164,8 +435,8 @@ func (m *Machine) RunRemoteSharded(s Scheme, transports []remote.Transport) (*Re
 	}
 
 	// Same containment umbrella as RunParallel: cores, the per-connection
-	// send/recv goroutines, and the manager all convert panics into a
-	// recorded SimError and a clean join.
+	// send/recv goroutines, the supervisors, and the manager all convert
+	// panics into a recorded SimError and a clean join.
 	var wg sync.WaitGroup
 	for i := range m.cores {
 		wg.Add(1)
@@ -200,11 +471,14 @@ func (m *Machine) RunRemoteSharded(s Scheme, transports []remote.Transport) (*Re
 }
 
 // remoteConnect performs the versioned handshake with every worker and
-// spawns its send/recv goroutines. Any failure — refusal, version
-// mismatch, silence past the deadline — closes every connection and
-// returns a SimError naming the worker.
+// spawns its send/recv/supervisor goroutines. Any failure — refusal,
+// version mismatch, silence past the deadline — closes every connection
+// and returns a SimError naming the worker: the initial handshake is
+// where configuration mistakes surface, so it stays fatal rather than
+// entering the recovery path.
 func (m *Machine) remoteConnect(transports []remote.Transport) error {
 	r := m.remote
+	r.session = fmt.Sprintf("slacksim-%d-%d", os.Getpid(), time.Now().UnixNano())
 	nw := len(transports)
 	r.owner = make([]int, r.n)
 	r.workers = make([]*remoteWorker, nw)
@@ -212,32 +486,37 @@ func (m *Machine) remoteConnect(transports []remote.Transport) error {
 		w := &remoteWorker{
 			id:       wi,
 			conn:     remote.NewConn(transports[wi]),
-			sendCh:   make(chan wireMsg, 256),
+			stopSend: make(chan struct{}),
 			sendDone: make(chan struct{}),
 			recvDone: make(chan struct{}),
+			wakeSend: make(chan struct{}, 1),
 			markCh:   make(chan struct{}, 1),
+			dying:    make(chan struct{}),
+			supDone:  make(chan struct{}),
+			sup:      remote.NewSupervisor(r.opts.retryBudget(), r.opts.RetryBackoff),
 		}
 		for sh := wi; sh < r.n; sh += nw {
 			w.shards = append(w.shards, sh)
 			r.owner[sh] = wi
 		}
+		w.delivered = make([]int64, len(w.shards))
+		// The synthetic gate-0 checkpoint makes the recovery path uniform:
+		// a worker lost before its first real checkpoint restores fresh
+		// state and replays the whole journal.
+		ck := remote.Checkpoint{WorkerID: w.id}
+		for _, sh := range w.shards {
+			ck.Shards = append(ck.Shards, remote.ShardCheckpoint{Shard: sh})
+		}
+		w.ckpt = remote.AppendCheckpoint(nil, &ck)
 		r.workers[wi] = w
 	}
 	deadline := time.Now().Add(m.remoteHandshakeTimeout())
 	for _, w := range r.workers {
-		hello := &remote.Hello{
-			WorkerID:       w.id,
-			Shards:         w.shards,
-			NumShards:      r.n,
-			NumCores:       m.cfg.NumCores,
-			Cache:          m.cfg.Cache,
-			StallTimeoutMS: m.stallTimeout().Milliseconds(),
-		}
 		// The write deadline covers a peer that never reads (SendHello
 		// flushes); cleared after the handshake — the sender goroutine
 		// re-arms its own per frame.
 		w.conn.SetWriteDeadline(deadline)
-		err := w.conn.SendHello(hello)
+		err := w.conn.SendHello(m.remoteHello(w, false))
 		if err == nil {
 			_, err = w.conn.AwaitWelcome(deadline)
 		}
@@ -255,94 +534,140 @@ func (m *Machine) remoteConnect(transports []remote.Transport) error {
 		}
 	}
 	for _, w := range r.workers {
+		w.lastHeard.Store(time.Now().UnixNano())
+		m.spawnConnGoroutines(w, w.conn, w.stopSend, w.sendDone, w.recvDone, make([]int64, len(w.shards)))
 		w := w
 		go func() {
-			defer close(w.sendDone)
-			defer m.containPanic(w.faultTarget(), "remote-send")
-			m.remoteSender(w)
-		}()
-		go func() {
-			defer close(w.recvDone)
-			defer m.containPanic(w.faultTarget(), "remote-recv")
-			m.remoteReceiver(w)
+			defer close(w.supDone)
+			defer m.containPanic(w.faultTarget(), "remote-supervise")
+			m.superviseWorker(w)
 		}()
 	}
 	return nil
 }
 
-// remoteSender drains a worker's outbound queue onto its connection.
-// Frames are flushed when the queue momentarily empties — the natural
-// round boundary (the gate is the last frame the manager enqueues), and
-// the only batching rule the optimistic schemes need (their event
-// batches are not followed by gates). A write failure records a
-// contained disconnect fault; the sender then keeps draining (and
-// discarding) so the manager never blocks on a dead worker's queue.
-func (m *Machine) remoteSender(w *remoteWorker) {
-	dead := false
-	for msg := range w.sendCh {
-		if dead {
+// remoteHello builds the handshake frame for a worker session (initial
+// or resumed).
+func (m *Machine) remoteHello(w *remoteWorker, resume bool) *remote.Hello {
+	return &remote.Hello{
+		WorkerID:        w.id,
+		Shards:          w.shards,
+		NumShards:       m.remote.n,
+		NumCores:        m.cfg.NumCores,
+		Cache:           m.cfg.Cache,
+		StallTimeoutMS:  m.stallTimeout().Milliseconds(),
+		HeartbeatMS:     m.remote.opts.heartbeatMS(),
+		CheckpointEvery: m.remote.opts.checkpointEvery(),
+		SessionID:       m.remote.session,
+		ResumeSession:   resume,
+		Epoch:           int(w.epoch.Load()),
+	}
+}
+
+// spawnConnGoroutines starts one connection incarnation's sender and
+// receiver. skip is the receiver's per-shard count of replies to
+// suppress (the ones the previous incarnation already delivered).
+func (m *Machine) spawnConnGoroutines(w *remoteWorker, conn *remote.Conn, stopSend, sendDone, recvDone chan struct{}, skip []int64) {
+	go func() {
+		defer close(sendDone)
+		defer m.containPanic(w.faultTarget(), "remote-send")
+		m.remoteSender(w, conn, stopSend)
+	}()
+	go func() {
+		defer close(recvDone)
+		defer m.containPanic(w.faultTarget(), "remote-recv")
+		m.remoteReceiver(w, conn, skip)
+	}()
+}
+
+// remoteSender drains the worker's journal onto one connection, flushing
+// when it catches up — the natural round boundary (the gate is the last
+// frame the manager enqueues). A write failure just ends this
+// incarnation: the journal still holds everything at risk, and the
+// supervisor decides whether a successor replays it.
+func (m *Machine) remoteSender(w *remoteWorker, conn *remote.Conn, stopSend chan struct{}) {
+	for {
+		w.mu.Lock()
+		var msg wireMsg
+		have := false
+		if w.cursor-w.jBase < int64(len(w.journal)) {
+			msg = w.journal[w.cursor-w.jBase]
+			w.cursor++
+			have = true
+		}
+		caughtUp := w.cursor-w.jBase >= int64(len(w.journal))
+		w.mu.Unlock()
+		if !have {
+			if conn.Flush() != nil {
+				return
+			}
+			select {
+			case <-w.wakeSend:
+			case <-stopSend:
+				return
+			}
 			continue
 		}
-		w.conn.SetWriteDeadline(time.Now().Add(m.stallTimeout()))
+		conn.SetWriteDeadline(time.Now().Add(m.stallTimeout()))
 		var err error
 		switch msg.kind {
 		case remote.FEvents:
-			err = w.conn.SendBatch(remote.FEvents, msg.shard, msg.evs)
+			err = conn.SendBatch(remote.FEvents, msg.shard, msg.evs)
 		case remote.FGate:
-			err = w.conn.SendTime(remote.FGate, msg.gate)
+			err = conn.SendTime(remote.FGate, msg.gate)
+		case remote.FCheckpointAck:
+			err = conn.SendTime(remote.FCheckpointAck, msg.gate)
 		case remote.FFinish:
-			err = w.conn.WriteFrame(remote.FFinish, nil)
+			err = conn.WriteFrame(remote.FFinish, nil)
 		}
-		if err == nil && len(w.sendCh) == 0 {
-			err = w.conn.Flush()
+		if err == nil && caughtUp {
+			err = conn.Flush()
 		}
 		if err != nil {
-			dead = true
-			if !m.done.Load() {
-				m.setFault(&SimError{
-					Core:   w.faultTarget(),
-					Op:     "remote-send",
-					Scheme: m.scheme, GlobalTime: m.global.Load(), SimTime: m.global.Load(),
-					Detail: fmt.Sprintf("%s: write failed: %v", w.name(), err),
-				})
-			}
+			return
 		}
 	}
 }
 
-// remoteReceiver consumes a worker's inbound stream: reply batches into
-// the per-shard per-core rings (this goroutine is each ring's single
-// producer), watermarks into the worker's mark, errors into the run's
-// fault slot, stats into the worker handle. Read deadlines are re-armed
-// on expiry — silence is only an error for the manager's watermark wait,
-// which knows how long it has been waiting; here a timeout is just an
-// opportunity to notice the run ended.
-func (m *Machine) remoteReceiver(w *remoteWorker) {
+// remoteReceiver consumes one connection incarnation's inbound stream:
+// reply batches into the per-shard per-core rings (this goroutine is
+// each ring's single producer), watermarks into the worker's mark,
+// checkpoints into the journal-truncation path, stats into the worker
+// handle. Connection-level failures — broken transport, checksum
+// mismatch, deadline past the stall window — end the incarnation
+// silently; the supervisor owns the recover-or-abandon verdict. Only
+// peer-reported errors (FError) and post-checksum decode failures, which
+// mean a worker bug rather than a transport fault, fail the run.
+func (m *Machine) remoteReceiver(w *remoteWorker, conn *remote.Conn, skip []int64) {
+	r := m.remote
 	var scratch []event.Event
 	for {
-		w.conn.SetReadDeadline(time.Now().Add(m.stallTimeout()))
-		f, err := w.conn.ReadFrame()
+		conn.SetReadDeadline(time.Now().Add(m.stallTimeout()))
+		f, err := conn.ReadFrame()
 		if err != nil {
 			if remote.IsTimeout(err) {
-				if m.done.Load() {
+				if r.closing.Load() {
 					return
 				}
 				continue
 			}
-			if !m.done.Load() {
-				m.setFault(&SimError{
-					Core:   w.faultTarget(),
-					Op:     "remote-recv",
-					Scheme: m.scheme, GlobalTime: m.global.Load(), SimTime: m.global.Load(),
-					Detail: fmt.Sprintf("%s: connection lost: %v", w.name(), err),
-				})
-			}
 			return
 		}
+		if !w.hbStall.Load() {
+			w.lastHeard.Store(time.Now().UnixNano())
+		}
 		switch f.Type {
+		case remote.FHeartbeat:
+			// Liveness only; lastHeard already advanced.
+		case remote.FCheckpointAck:
+			// Stale resume ack replayed from the journal; harmless.
 		case remote.FReplies:
-			shard, evs, derr := w.conn.DecodeEvents(f.Payload, scratch[:0])
-			if derr != nil || shard >= m.remote.n {
+			shard, evs, derr := conn.DecodeEvents(f.Payload, scratch[:0])
+			pos := -1
+			if derr == nil && shard < r.n {
+				pos = w.shardPos(shard)
+			}
+			if derr != nil || pos < 0 {
 				m.setFault(&SimError{
 					Core:   w.faultTarget(),
 					Op:     "remote-recv",
@@ -353,9 +678,14 @@ func (m *Machine) remoteReceiver(w *remoteWorker) {
 			}
 			scratch = evs[:0]
 			for i := range evs {
+				if skip[pos] > 0 {
+					skip[pos]--
+					continue
+				}
 				core := int(evs[i].Core)
 				m.remote.out[shard][core].MustPush(evs[i])
 				m.notifyCore(core)
+				w.delivered[pos]++
 			}
 			m.bumpMgrEpoch()
 		case remote.FWatermark:
@@ -374,6 +704,23 @@ func (m *Machine) remoteReceiver(w *remoteWorker) {
 				default:
 				}
 			}
+		case remote.FCheckpoint:
+			wid, gate, batches, perr := remote.PeekCheckpoint(f.Payload)
+			if perr != nil || wid != w.id {
+				m.setFault(&SimError{
+					Core: w.faultTarget(), Op: "remote-recv", Scheme: m.scheme,
+					Detail: fmt.Sprintf("%s: bad checkpoint header (worker %d): %v", w.name(), wid, perr),
+				})
+				return
+			}
+			w.storeCheckpoint(f.Payload, gate, batches)
+			// delivered becomes "pushed since this checkpoint". Replies the
+			// previous incarnation delivered beyond this checkpoint's stream
+			// position are exactly the not-yet-consumed skip counts.
+			copy(w.delivered, skip)
+			r.checkpoints.Add(1)
+			r.checkpointBytes.Add(int64(len(f.Payload)))
+			w.enqueue(wireMsg{kind: remote.FCheckpointAck, gate: gate})
 		case remote.FError:
 			se := &SimError{
 				Core: w.faultTarget(), Op: "remote-worker", Scheme: m.scheme,
@@ -394,6 +741,7 @@ func (m *Machine) remoteReceiver(w *remoteWorker) {
 				w.gotStats = true
 			}
 		case remote.FBye:
+			w.finished.Store(true)
 			return
 		default:
 			m.setFault(&SimError{
@@ -403,6 +751,320 @@ func (m *Machine) remoteReceiver(w *remoteWorker) {
 			return
 		}
 	}
+}
+
+// superviseWorker owns one worker's connection lifecycle: it watches the
+// live incarnation's goroutines and heartbeat freshness, tears down and
+// rebuilds the connection on failure, and parks once the worker is
+// finished, abandoned, or the run is shutting down.
+func (m *Machine) superviseWorker(w *remoteWorker) {
+	r := m.remote
+	hb := r.opts.heartbeat()
+	var tickC <-chan time.Time
+	if hb > 0 {
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		w.mu.Lock()
+		conn, stopSend, sendDone, recvDone := w.conn, w.stopSend, w.sendDone, w.recvDone
+		w.mu.Unlock()
+
+		failed := false
+		for !failed {
+			select {
+			case <-w.dying:
+				// Shutdown: give the receiver one stats-deadline window to
+				// finish the FFinish/FStats/FBye exchange, then reel in.
+				dl := time.NewTimer(m.remoteHandshakeTimeout())
+				select {
+				case <-recvDone:
+				case <-dl.C:
+				}
+				dl.Stop()
+				conn.Close()
+				close(stopSend)
+				<-recvDone
+				<-sendDone
+				w.wireAgg.Add(conn.Stats())
+				return
+			case <-recvDone:
+				failed = true
+			case <-sendDone:
+				failed = true
+			case <-tickC:
+				since := time.Duration(time.Now().UnixNano() - w.lastHeard.Load())
+				if w.sup.CheckBeat(since, hb) == remote.BeatDead {
+					// Silent hang: force the blocked reader out; the failure
+					// then takes the ordinary recovery path below.
+					conn.Close()
+				}
+			}
+		}
+
+		// This incarnation is over (error or clean FBye). Join both
+		// goroutines — after this, delivered/journal state is safely ours.
+		conn.Close()
+		close(stopSend)
+		<-recvDone
+		<-sendDone
+		w.wireAgg.Add(conn.Stats())
+		if w.finished.Load() {
+			<-w.dying
+			return
+		}
+		w.sup.Failure()
+		if m.recoverWorker(w) {
+			continue
+		}
+		w.sup.Abandon()
+		r.abandoned.Add(1)
+		// Wake the manager's watermark wait so it migrates the shards.
+		select {
+		case w.markCh <- struct{}{}:
+		default:
+		}
+		<-w.dying
+		return
+	}
+}
+
+// recoverWorker runs the redial/restore/replay loop for one failure
+// incident, paced by the backoff and bounded by the retry budget.
+// Returns false when the worker must be abandoned.
+func (m *Machine) recoverWorker(w *remoteWorker) bool {
+	r := m.remote
+	if r.opts.Redial == nil {
+		return false
+	}
+	for {
+		if r.closing.Load() || m.Fault() != nil {
+			return false
+		}
+		delay, ok := w.sup.NextAttempt()
+		if !ok {
+			return false
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-w.dying:
+			t.Stop()
+			return false
+		}
+		tr, err := r.opts.Redial(w.id)
+		if err != nil {
+			continue
+		}
+		if m.resumeWorker(w, tr) {
+			return true
+		}
+	}
+}
+
+// resumeWorker runs the resumable-session handshake over a fresh
+// transport: hello with ResumeSession, ship the stored checkpoint, await
+// the worker's ack, then rewind the journal cursor and spawn a new
+// connection incarnation that replays everything after the checkpoint.
+func (m *Machine) resumeWorker(w *remoteWorker, t remote.Transport) bool {
+	r := m.remote
+	conn := remote.NewConn(t)
+	w.epoch.Add(1)
+	deadline := time.Now().Add(m.remoteHandshakeTimeout())
+	conn.SetWriteDeadline(deadline)
+	err := conn.SendHello(m.remoteHello(w, true))
+	if err == nil {
+		_, err = conn.AwaitWelcome(deadline)
+	}
+	var ckGate int64
+	if err == nil {
+		w.mu.Lock()
+		ck := append([]byte(nil), w.ckpt...)
+		ckGate = w.ckptGate
+		w.mu.Unlock()
+		err = conn.WriteFrame(remote.FCheckpoint, ck)
+		if err == nil {
+			err = conn.Flush()
+		}
+	}
+	if err == nil {
+		conn.SetReadDeadline(deadline)
+		var f remote.Frame
+		f, err = conn.ReadFrame()
+		if err == nil && f.Type != remote.FCheckpointAck {
+			err = fmt.Errorf("%s frame while awaiting resume ack", remote.FrameName(f.Type))
+		}
+		if err == nil {
+			var ackT int64
+			ackT, err = remote.DecodeTime(f.Payload)
+			if err == nil && ackT != ckGate {
+				err = fmt.Errorf("resume ack for gate %d, want %d", ackT, ckGate)
+			}
+		}
+	}
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		w.wireAgg.Add(conn.Stats())
+		return false
+	}
+
+	// Restored: rewind the send cursor to the journal base (the journal
+	// is truncated exactly to the stored checkpoint) and re-send the
+	// highest gate ever issued behind the replay, so a gate that was
+	// truncated with its batches still produces a watermark.
+	w.mu.Lock()
+	w.conn = conn
+	w.cursor = w.jBase
+	if w.maxGateEver > 0 {
+		w.journal = append(w.journal, wireMsg{kind: remote.FGate, gate: w.maxGateEver})
+	}
+	replayed := int64(0)
+	for i := range w.journal {
+		if w.journal[i].kind == remote.FEvents {
+			replayed++
+		}
+	}
+	w.stopSend = make(chan struct{})
+	w.sendDone = make(chan struct{})
+	w.recvDone = make(chan struct{})
+	stopSend, sendDone, recvDone := w.stopSend, w.sendDone, w.recvDone
+	skip := make([]int64, len(w.shards))
+	copy(skip, w.delivered)
+	w.mu.Unlock()
+
+	w.hbStall.Store(false)
+	w.lastHeard.Store(time.Now().UnixNano())
+	r.reconnects.Add(1)
+	r.replayedBatches.Add(replayed)
+	m.spawnConnGoroutines(w, conn, stopSend, sendDone, recvDone, skip)
+	w.sup.Recovered()
+	return true
+}
+
+// adoptWorker migrates an abandoned worker's shards into the parent:
+// rebuild each shard's timing state from the stored checkpoint, replay
+// the journal's event batches into the local heaps, and let the manager
+// process them through the shared applyMemEvent path from here on. The
+// replies the dead worker already delivered are suppressed by count, so
+// the rings see the sequence exactly once. Manager goroutine only.
+func (m *Machine) adoptWorker(w *remoteWorker) {
+	r := m.remote
+	w.mu.Lock()
+	ck := append([]byte(nil), w.ckpt...)
+	journal := append([]wireMsg(nil), w.journal...)
+	w.mu.Unlock()
+	dec, err := remote.DecodeCheckpoint(ck)
+	if err != nil {
+		m.setFault(&SimError{
+			Core: w.faultTarget(), Op: "remote-adopt", Scheme: m.scheme,
+			GlobalTime: m.global.Load(),
+			Detail:     fmt.Sprintf("%s: stored checkpoint unusable: %v", w.name(), err),
+		})
+		return
+	}
+	w.adoptedFlag = true
+	w.mark.v.Store(math.MaxInt64)
+	for i := range dec.Shards {
+		sc := &dec.Shards[i]
+		pos := w.shardPos(sc.Shard)
+		if pos < 0 || sc.Shard >= r.n {
+			continue
+		}
+		l2, lerr := cache.NewL2System(m.cfg.Cache)
+		if lerr != nil {
+			m.setFault(&SimError{
+				Core: w.faultTarget(), Op: "remote-adopt", Scheme: m.scheme,
+				Detail: fmt.Sprintf("shard %d: %v", sc.Shard, lerr),
+			})
+			return
+		}
+		if len(sc.L2) > 0 {
+			if rerr := l2.RestoreState(sc.L2); rerr != nil {
+				m.setFault(&SimError{
+					Core: w.faultTarget(), Op: "remote-adopt", Scheme: m.scheme,
+					Detail: fmt.Sprintf("shard %d: %v", sc.Shard, rerr),
+				})
+				return
+			}
+		}
+		as := &adoptedShard{idx: sc.Shard, l2: l2, skip: w.delivered[pos]}
+		for _, ev := range sc.Pending {
+			as.gq.Push(ev)
+		}
+		r.adopted[sc.Shard] = as
+		r.nAdopted++
+	}
+	replayed := int64(0)
+	for i := range journal {
+		e := &journal[i]
+		if e.kind != remote.FEvents {
+			continue
+		}
+		if as := r.adopted[e.shard]; as != nil {
+			for _, ev := range e.evs {
+				as.gq.Push(ev)
+			}
+			replayed++
+		}
+	}
+	// The checkpoint's event count is work the lost worker completed that
+	// no FStats frame will ever report; the journal replay re-counts the
+	// rest as the manager processes it locally.
+	m.evShard.Add(dec.Events)
+	r.replayedBatches.Add(replayed)
+	r.migrated.Add(int64(len(dec.Shards)))
+}
+
+// adoptAbandonedWorkers migrates the shards of every newly abandoned
+// worker (manager goroutine; cheap no-op scan in the common case).
+func (m *Machine) adoptAbandonedWorkers() {
+	for _, w := range m.remote.workers {
+		if !w.adoptedFlag && w.sup.State() == remote.SupAbandoned {
+			m.adoptWorker(w)
+		}
+	}
+}
+
+// processAdoptedShards pops every adopted shard's queued events below
+// bound through the shared timing path — the in-process continuation of
+// the dead worker's processAndReply, reply-order identical. Must run
+// inside the manager's notify batch.
+func (m *Machine) processAdoptedShards(bound int64) bool {
+	r := m.remote
+	if r.nAdopted == 0 {
+		return false
+	}
+	processed := false
+	for sh, as := range r.adopted {
+		if as == nil {
+			continue
+		}
+		n := int64(0)
+		for {
+			top := as.gq.Peek()
+			if top == nil || top.Time >= bound {
+				break
+			}
+			ev := as.gq.Pop()
+			applyMemEvent(as.l2, func(core int, out event.Event) {
+				if as.skip > 0 {
+					as.skip--
+					return
+				}
+				out.Core = int32(core)
+				r.out[sh][core].MustPush(out)
+				m.deferNotify(core)
+			}, ev)
+			n++
+		}
+		if n > 0 {
+			m.evShard.Add(n)
+			processed = true
+		}
+	}
+	return processed
 }
 
 // routeOutQRemote drains core i's OutQ: system calls to the manager's
@@ -424,9 +1086,10 @@ func (m *Machine) routeOutQRemote(i int) bool {
 
 // drainAndRouteRemote is the remote analog of drainAndRouteDirty plus
 // the wire flush: dirty OutQs are drained and routed, then each shard's
-// staged batch is handed to its worker's sender. The staged slices'
-// ownership transfers to the sender goroutine, so the stage slot is
-// reset to nil rather than reused.
+// staged batch is journaled for its worker's sender — or, for a shard
+// already migrated in-process, pushed straight into its local heap. The
+// journaled slices' ownership transfers to the journal, so those stage
+// slots are reset to nil rather than reused.
 func (m *Machine) drainAndRouteRemote() bool {
 	moved := false
 	for w := range m.outDirty {
@@ -441,51 +1104,52 @@ func (m *Machine) drainAndRouteRemote() bool {
 		if len(evs) == 0 {
 			continue
 		}
+		if as := m.remote.adopted[sh]; as != nil {
+			for i := range evs {
+				as.gq.Push(evs[i])
+			}
+			m.remote.stage[sh] = evs[:0]
+			continue
+		}
 		wk := m.remote.workers[m.remote.owner[sh]]
-		wk.sendCh <- wireMsg{kind: remote.FEvents, shard: sh, evs: evs}
+		wk.enqueue(wireMsg{kind: remote.FEvents, shard: sh, evs: evs})
 		m.remote.stage[sh] = nil
 	}
 	return moved
 }
 
-// waitRemoteWatermarks blocks until every worker has acknowledged
-// processing through allowed — the remote waitWatermarks. Unlike the
-// in-process wait, it carries its own deadline: an in-process shard
-// worker cannot die silently (a panic is contained and sets done), but a
-// remote worker can hang without closing its connection, and the parent
-// must then surface a contained SimError naming it, never hang.
+// waitRemoteWatermarks blocks until every live worker has acknowledged
+// processing through allowed — the remote waitWatermarks. The total
+// wait is bounded by twice the stall timeout: one stall window for an
+// undisturbed worker, and another for the supervisor's recovery to
+// complete behind it. A worker abandoned mid-wait has its shards
+// migrated here, after which the wait no longer applies to it.
 func (m *Machine) waitRemoteWatermarks(allowed int64) {
 	var deadline *time.Timer
 	for _, w := range m.remote.workers {
+		if w.adoptedFlag {
+			continue
+		}
 		for w.mark.v.Load() < allowed && !m.done.Load() {
+			if w.sup.State() == remote.SupAbandoned {
+				m.adoptWorker(w)
+				break
+			}
 			if deadline == nil {
-				deadline = time.NewTimer(m.stallTimeout())
+				deadline = time.NewTimer(2 * m.stallTimeout())
 				defer deadline.Stop()
 			}
 			select {
 			case <-w.markCh:
-				// Re-check the mark; stale wakeups are harmless.
-			case <-w.recvDone:
-				// The receiver is gone. Either it recorded a fault (done is
-				// set, the loop condition exits) or the stream ended early
-				// without one — which mid-gate is itself a fault.
-				if w.mark.v.Load() < allowed && !m.done.Load() {
-					m.setFault(&SimError{
-						Core:   w.faultTarget(),
-						Op:     "remote-watermark",
-						Scheme: m.scheme, GlobalTime: m.global.Load(), SimTime: allowed,
-						Detail: fmt.Sprintf("%s: stream ended before watermark for gate %d (last %d)",
-							w.name(), allowed, w.mark.v.Load()),
-					})
-				}
-				return
+				// Re-check the mark (or notice an abandonment); stale
+				// wakeups are harmless.
 			case <-deadline.C:
 				m.setFault(&SimError{
 					Core:   w.faultTarget(),
 					Op:     "remote-watermark",
 					Scheme: m.scheme, GlobalTime: m.global.Load(), SimTime: allowed,
-					Detail: fmt.Sprintf("%s: no watermark for gate %d within %v (last %d)",
-						w.name(), allowed, m.stallTimeout(), w.mark.v.Load()),
+					Detail: fmt.Sprintf("%s: no watermark for gate %d within %v (last %d, supervisor %v, %d reconnects)",
+						w.name(), allowed, 2*m.stallTimeout(), w.mark.v.Load(), w.sup.State(), w.sup.Reconnects()),
 				})
 				return
 			}
@@ -502,7 +1166,7 @@ func (m *Machine) runRemoteManager(s Scheme) {
 		// Optimistic schemes process on arrival: one unbounded gate up
 		// front, no watermark synchronisation after.
 		for _, w := range r.workers {
-			w.sendCh <- wireMsg{kind: remote.FGate, gate: math.MaxInt64}
+			w.enqueue(wireMsg{kind: remote.FGate, gate: math.MaxInt64})
 			w.lastGate = math.MaxInt64
 		}
 	}
@@ -518,6 +1182,7 @@ func (m *Machine) runRemoteManager(s Scheme) {
 	lastWindow := ad.window
 	lastBarrier := int64(0)
 	fi := newInjected(m.fiMgr)
+	fiWire := newInjected(m.fiWire)
 	for !m.done.Load() {
 		var t0 time.Time
 		if measure {
@@ -535,6 +1200,8 @@ func (m *Machine) runRemoteManager(s Scheme) {
 		if fi != nil {
 			applyPanicFaults(fi, g, "manager")
 		}
+		m.applyWireFaults(fiWire, g)
+		m.adoptAbandonedWorkers()
 		moved := m.drainAndRouteRemote()
 		if g >= m.cfg.MaxCycles {
 			m.aborted = true
@@ -562,18 +1229,28 @@ func (m *Machine) runRemoteManager(s Scheme) {
 				// event below allowed before it sees the gate, which is
 				// the shared-memory driver's push-then-raise order.
 				for _, w := range r.workers {
-					if allowed > w.lastGate {
+					if !w.adoptedFlag && allowed > w.lastGate {
 						w.lastGate = allowed
-						w.sendCh <- wireMsg{kind: remote.FGate, gate: allowed}
+						w.enqueue(wireMsg{kind: remote.FGate, gate: allowed})
 					}
 				}
 				m.waitRemoteWatermarks(allowed)
-				processed = m.processConservative(allowed)
+				if m.processAdoptedShards(allowed) {
+					processed = true
+				}
+				if m.processConservative(allowed) {
+					processed = true
+				}
 				m.noteProcBound(allowed)
 			}
 		} else {
+			if m.processAdoptedShards(math.MaxInt64) {
+				processed = true
+			}
 			if s.Kind == Adaptive {
-				processed = m.processAllCounting(&ad)
+				if m.processAllCounting(&ad) {
+					processed = true
+				}
 				ad.adapt(g)
 				if ad.window != lastWindow {
 					lastWindow = ad.window
@@ -584,7 +1261,9 @@ func (m *Machine) runRemoteManager(s Scheme) {
 					}
 				}
 			} else {
-				processed = m.processAll()
+				if m.processAll() {
+					processed = true
+				}
 			}
 		}
 		m.flushNotifyBatch()
@@ -657,34 +1336,64 @@ func (m *Machine) runRemoteManager(s Scheme) {
 	m.wakeAll()
 }
 
-// remoteShutdown winds the wire down after the run: finish every worker,
-// collect its stats, join the connection goroutines, and close. Called
-// after the core goroutines have joined, on both the clean and the
-// faulted path — a worker that is already dead simply times out of the
-// stats wait and is force-closed.
+// applyWireFaults fires due wire-level chaos faults against the global
+// time: each targets the connection of the worker owning the named
+// shard. The injection itself is benign bookkeeping — everything
+// interesting happens in the recovery machinery it provokes.
+func (m *Machine) applyWireFaults(inj *injected, clock int64) {
+	if inj == nil {
+		return
+	}
+	r := m.remote
+	for idx := range inj.faults {
+		f := &inj.faults[idx]
+		if inj.fired[idx] || clock < f.At {
+			continue
+		}
+		inj.fired[idx] = true
+		s, ok := faultinject.IsShard(f.Core)
+		if !ok || s >= r.n {
+			continue
+		}
+		w := r.workers[r.owner[s]]
+		switch f.Kind {
+		case faultinject.ConnDrop:
+			w.currentConn().Close()
+		case faultinject.HeartbeatStall:
+			w.hbStall.Store(true)
+		case faultinject.FrameCorrupt:
+			w.currentConn().InjectRecvCorrupt()
+		case faultinject.WorkerKill:
+			if r.opts.Kill != nil {
+				r.opts.Kill(w.id) //nolint:errcheck // dead-already is fine
+			} else {
+				w.currentConn().Close()
+			}
+		}
+	}
+}
+
+// remoteShutdown winds the wire down after the run: finish every live
+// worker, let its supervisor reel in the connection (collecting stats on
+// the way), and fold everything into the result. Called after the core
+// goroutines have joined, on both the clean and the faulted path.
 func (m *Machine) remoteShutdown() {
 	r := m.remote
 	if r.workers == nil {
 		return
 	}
+	r.closing.Store(true)
 	for _, w := range r.workers {
-		w.sendCh <- wireMsg{kind: remote.FFinish}
-		close(w.sendCh)
-	}
-	statsDeadline := time.After(m.remoteHandshakeTimeout())
-	for _, w := range r.workers {
-		select {
-		case <-w.recvDone:
-		case <-statsDeadline:
+		if !w.adoptedFlag && w.sup.State() != remote.SupAbandoned {
+			w.enqueue(wireMsg{kind: remote.FFinish})
 		}
-		// Force-close unblocks a still-parked receiver (or sender); both
-		// treat errors after done as benign.
-		w.conn.Close()
-		<-w.recvDone
-		<-w.sendDone
+		close(w.dying)
 	}
 	for _, w := range r.workers {
-		r.wireParent.Add(w.conn.Stats())
+		<-w.supDone
+	}
+	for _, w := range r.workers {
+		r.wireParent.Add(w.wireAgg)
 		if !w.gotStats {
 			continue
 		}
@@ -695,6 +1404,11 @@ func (m *Machine) remoteShutdown() {
 			if sl.Shard >= 0 && sl.Shard < r.n {
 				r.l2stats[sl.Shard] = sl.Stats
 			}
+		}
+	}
+	for sh, as := range r.adopted {
+		if as != nil {
+			r.l2stats[sh] = as.l2.Stats
 		}
 	}
 }
@@ -713,4 +1427,53 @@ func (m *Machine) remoteWire() *RemoteWireStats {
 		return nil
 	}
 	return &RemoteWireStats{Parent: m.remote.wireParent, Workers: m.remote.wireWorkers}
+}
+
+// remoteRecovery returns the run's recovery stats (nil for non-remote
+// runs). Safe from any goroutine — atomics only.
+func (m *Machine) remoteRecovery() *RecoveryStats {
+	if m.remote == nil || m.remote.workers == nil {
+		return nil
+	}
+	r := m.remote
+	return &RecoveryStats{
+		Reconnects:       r.reconnects.Load(),
+		ReplayedBatches:  r.replayedBatches.Load(),
+		Checkpoints:      r.checkpoints.Load(),
+		CheckpointBytes:  r.checkpointBytes.Load(),
+		AbandonedWorkers: r.abandoned.Load(),
+		MigratedShards:   r.migrated.Load(),
+	}
+}
+
+// RemoteWorkerReport is one worker's supervision state inside a
+// StallReport or introspection snapshot.
+type RemoteWorkerReport struct {
+	ID         int    `json:"id"`
+	State      string `json:"state"`
+	Shards     []int  `json:"shards"`
+	Mark       int64  `json:"mark"`
+	Reconnects int64  `json:"reconnects"`
+	Epoch      int64  `json:"epoch"`
+}
+
+// remoteWorkerReports snapshots every worker's supervision state from
+// atomics only — safe from any goroutine, shared by the forensic
+// snapshot and the introspection server.
+func (m *Machine) remoteWorkerReports() []RemoteWorkerReport {
+	if m.remote == nil || m.remote.workers == nil {
+		return nil
+	}
+	out := make([]RemoteWorkerReport, 0, len(m.remote.workers))
+	for _, w := range m.remote.workers {
+		out = append(out, RemoteWorkerReport{
+			ID:         w.id,
+			State:      w.sup.State().String(),
+			Shards:     w.shards,
+			Mark:       w.mark.v.Load(),
+			Reconnects: w.sup.Reconnects(),
+			Epoch:      w.epoch.Load(),
+		})
+	}
+	return out
 }

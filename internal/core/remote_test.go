@@ -219,10 +219,22 @@ func wantWorkerSimError(t *testing.T, err error, ops ...string) *SimError {
 }
 
 // TestRemoteWorkerDiesMidRun: a worker whose connection drops right
-// after the handshake must fail the run with a contained SimError — the
-// cores cannot make progress without their memory shards, and the parent
-// must notice, not hang.
+// after the handshake — with no Redial hook configured — must degrade,
+// not die: the supervisor abandons the worker, its shards migrate into
+// the parent's in-process path, and the run completes bit-exact with the
+// in-process sharded reference.
 func TestRemoteWorkerDiesMidRun(t *testing.T) {
+	refCfg := smallConfig(2, ModelOoO)
+	refCfg.ManagerShards = 2
+	refM, err := NewMachine(mustAssemble(t, threadsProg), refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refM.RunParallel(SchemeCC)
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+
 	before := runtime.NumGoroutine()
 	m := mustRemoteSmall(t, 2)
 	m.cfg.StallTimeout = 5 * time.Second
@@ -234,11 +246,24 @@ func TestRemoteWorkerDiesMidRun(t *testing.T) {
 		}
 		q.Close() // killed immediately after joining the run
 	}()
-	err := runRemoteBounded(t, m, SchemeCC, []remote.Transport{p}, 30*time.Second)
-	se := wantWorkerSimError(t, err, "remote-recv", "remote-send", "remote-watermark")
-	if !strings.Contains(se.Detail, "worker 0") {
-		t.Errorf("fault does not name the worker: %s", se.Detail)
+	res, err := m.RunRemoteSharded(SchemeCC, []remote.Transport{p})
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
 	}
+	rec := res.Recovery
+	if rec == nil {
+		t.Fatal("remote run carries no recovery stats")
+	}
+	if rec.AbandonedWorkers != 1 {
+		t.Errorf("abandoned workers = %d, want 1", rec.AbandonedWorkers)
+	}
+	if rec.MigratedShards != 2 {
+		t.Errorf("migrated shards = %d, want 2", rec.MigratedShards)
+	}
+	if rec.Reconnects != 0 {
+		t.Errorf("reconnects = %d with no Redial hook", rec.Reconnects)
+	}
+	assertRemoteExact(t, "degraded/CC", res, ref)
 	if n := settleGoroutines(before); n > before {
 		t.Errorf("goroutine leak: %d before, %d after", before, n)
 	}

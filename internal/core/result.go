@@ -78,6 +78,10 @@ type Result struct {
 	// run (nil for in-process runs): the parent connections' side and
 	// the workers' own, as shipped in their FStats frames.
 	Wire *RemoteWireStats
+	// Recovery summarises the fault-tolerance activity of a remote run
+	// (nil for in-process runs; all-zero when nothing went wrong):
+	// reconnects, journal replays, checkpoints, and degradations.
+	Recovery *RecoveryStats
 
 	// Host allocation accounting (runtime.MemStats deltas across the run,
 	// captured by every driver entry point). HostAllocs is the number of
@@ -166,6 +170,7 @@ func (m *Machine) result(wall time.Duration) *Result {
 		res.Committed += st.ROICommitted()
 	}
 	res.Wire = m.remoteWire()
+	res.Recovery = m.remoteRecovery()
 	if m.hostMemValid {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)

@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime/debug"
 	"time"
 
@@ -38,13 +40,45 @@ type remoteShard struct {
 // returned error describes why the session ended when it did not end
 // with a clean FFinish exchange.
 func ServeRemoteShards(t remote.Transport) error {
+	return ServeRemoteShardsOpts(t, nil)
+}
+
+// ServeRemoteShardsLog is ServeRemoteShards with a session log sink
+// (slackworker's output); logf may be nil.
+func ServeRemoteShardsLog(t remote.Transport, logf func(format string, args ...any)) error {
+	return ServeRemoteShardsOpts(t, &WorkerOptions{Logf: logf})
+}
+
+// WorkerOptions configures a worker session beyond the transport.
+type WorkerOptions struct {
+	// Logf receives session log lines (handshakes, resumes, exits); nil
+	// discards them.
+	Logf func(format string, args ...any)
+	// Heartbeat overrides the 1s default idle-heartbeat interval used
+	// when the parent's handshake doesn't request a specific cadence
+	// (a parent that sets one always wins; < 0 is normalised to 0).
+	Heartbeat time.Duration
+	// SessionDir, when non-empty, persists the latest checkpoint of the
+	// session to <dir>/<session>-w<id>.ckpt after each checkpoint frame —
+	// a post-mortem artifact for diagnosing recovery bugs (the parent's
+	// stored copy dies with the parent). Write failures are logged, not
+	// fatal: persistence is forensics, never correctness.
+	SessionDir string
+}
+
+// ServeRemoteShardsOpts is ServeRemoteShards with worker-side options;
+// opts may be nil.
+func ServeRemoteShardsOpts(t remote.Transport, opts *WorkerOptions) error {
+	if opts == nil {
+		opts = &WorkerOptions{}
+	}
 	c := remote.NewConn(t)
 	hello, err := c.AcceptHello(time.Now().Add(30 * time.Second))
 	if err != nil {
 		c.Close()
 		return err
 	}
-	w := &remoteWorkerLoop{conn: c, hello: hello}
+	w := &remoteWorkerLoop{conn: c, hello: hello, opts: opts, logf: opts.Logf}
 	for _, idx := range hello.Shards {
 		l2, lerr := cache.NewL2System(hello.Cache)
 		if lerr != nil {
@@ -57,6 +91,12 @@ func ServeRemoteShards(t remote.Transport) error {
 		}
 		w.shards = append(w.shards, &remoteShard{idx: idx, l2: l2})
 	}
+	if hello.ResumeSession {
+		if err := w.restoreFromParent(); err != nil {
+			c.Close()
+			return err
+		}
+	}
 	err = w.serve()
 	c.Close()
 	return err
@@ -64,13 +104,95 @@ func ServeRemoteShards(t remote.Transport) error {
 
 // remoteWorkerLoop is one session's state.
 type remoteWorkerLoop struct {
-	conn   *remote.Conn
-	hello  *remote.Hello
-	shards []*remoteShard
-	gate   int64
-	events int64
-	// scratch is the decode buffer reused across FEvents frames.
+	conn    *remote.Conn
+	hello   *remote.Hello
+	opts    *WorkerOptions
+	shards  []*remoteShard
+	gate    int64
+	gates   int64 // FGate frames processed this session (checkpoint cadence)
+	batches int64 // FEvents frames consumed since the session started
+	events  int64
+	logf    func(format string, args ...any)
+	// scratch is the decode buffer reused across FEvents frames; ckptBuf
+	// the checkpoint encode buffer reused across FCheckpoint frames.
 	scratch []event.Event
+	ckptBuf []byte
+}
+
+func (w *remoteWorkerLoop) logln(format string, args ...any) {
+	if w.logf != nil {
+		w.logf(format, args...)
+	}
+}
+
+// heartbeat returns the interval after which an idle worker volunteers
+// an FHeartbeat frame so the parent's staleness detector can tell a
+// slow round from a hung or dead worker; 0 disables heartbeats.
+func (w *remoteWorkerLoop) heartbeat() time.Duration {
+	ms := w.hello.HeartbeatMS
+	if ms < 0 {
+		return 0
+	}
+	if ms == 0 {
+		if w.opts != nil && w.opts.Heartbeat > 0 {
+			return w.opts.Heartbeat
+		}
+		return time.Second
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// restoreFromParent rebuilds a resumed session: the parent follows a
+// ResumeSession hello with the checkpoint it stored from this worker's
+// previous incarnation (or a synthetic fresh one for gate 0), and the
+// worker restores every shard's timing state and pending heap from it
+// before acking. The parent then replays its journal of post-checkpoint
+// batches, which regenerates the exact reply stream the lost connection
+// swallowed.
+func (w *remoteWorkerLoop) restoreFromParent() error {
+	w.conn.SetReadDeadline(time.Now().Add(w.readTimeout()))
+	f, err := w.conn.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("core: remote worker %d: awaiting resume checkpoint: %w", w.hello.WorkerID, err)
+	}
+	if f.Type != remote.FCheckpoint {
+		return fmt.Errorf("core: remote worker %d: %s frame while awaiting resume checkpoint", w.hello.WorkerID, remote.FrameName(f.Type))
+	}
+	ck, err := remote.DecodeCheckpoint(f.Payload)
+	if err != nil {
+		return fmt.Errorf("core: remote worker %d: %w", w.hello.WorkerID, err)
+	}
+	if ck.WorkerID != w.hello.WorkerID {
+		return fmt.Errorf("core: remote worker %d: resume checkpoint belongs to worker %d", w.hello.WorkerID, ck.WorkerID)
+	}
+	if len(ck.Shards) != len(w.shards) {
+		return fmt.Errorf("core: remote worker %d: resume checkpoint has %d shards, want %d", w.hello.WorkerID, len(ck.Shards), len(w.shards))
+	}
+	for i := range ck.Shards {
+		cs := &ck.Shards[i]
+		sh := w.shardByIndex(cs.Shard)
+		if sh == nil {
+			return fmt.Errorf("core: remote worker %d: resume checkpoint covers foreign shard %d", w.hello.WorkerID, cs.Shard)
+		}
+		if len(cs.L2) > 0 {
+			if err := sh.l2.RestoreState(cs.L2); err != nil {
+				return fmt.Errorf("core: remote worker %d shard %d: %w", w.hello.WorkerID, cs.Shard, err)
+			}
+		}
+		for _, ev := range cs.Pending {
+			sh.gq.Push(ev)
+		}
+	}
+	w.gate, w.batches, w.events = ck.Gate, ck.Batches, ck.Events
+	if err := w.conn.SendTime(remote.FCheckpointAck, ck.Gate); err != nil {
+		return err
+	}
+	if err := w.conn.Flush(); err != nil {
+		return err
+	}
+	w.logln("session resumed: worker %d epoch %d at gate %d (%d batches, %d events replayed into state)",
+		w.hello.WorkerID, w.hello.Epoch, ck.Gate, ck.Batches, ck.Events)
+	return nil
 }
 
 // readTimeout is the worker's orphan detector: the parent gates every
@@ -101,17 +223,42 @@ func (w *remoteWorkerLoop) serve() (err error) {
 			err = fmt.Errorf("core: remote worker %d panicked: %v", w.hello.WorkerID, r)
 		}
 	}()
+	// The read deadline is sliced at the heartbeat interval: each expiry
+	// with no inbound frame sends one FHeartbeat so the parent can tell
+	// "slow round" from "hung worker", and total silence past the orphan
+	// timeout still exits the process.
+	lastFrame := time.Now()
 	for {
-		w.conn.SetReadDeadline(time.Now().Add(w.readTimeout()))
+		slice := w.readTimeout()
+		if hb := w.heartbeat(); hb > 0 && hb < slice {
+			slice = hb
+		}
+		w.conn.SetReadDeadline(time.Now().Add(slice))
 		f, rerr := w.conn.ReadFrame()
 		if rerr != nil {
 			if remote.IsTimeout(rerr) {
-				return fmt.Errorf("core: remote worker %d: orphaned (no frame in %v)", w.hello.WorkerID, w.readTimeout())
+				if time.Since(lastFrame) >= w.readTimeout() {
+					return fmt.Errorf("core: remote worker %d: orphaned (no frame in %v)", w.hello.WorkerID, w.readTimeout())
+				}
+				if w.heartbeat() > 0 {
+					if err := w.conn.WriteFrame(remote.FHeartbeat, nil); err != nil {
+						return fmt.Errorf("core: remote worker %d: heartbeat: %w", w.hello.WorkerID, err)
+					}
+					if err := w.conn.Flush(); err != nil {
+						return fmt.Errorf("core: remote worker %d: heartbeat: %w", w.hello.WorkerID, err)
+					}
+				}
+				continue
 			}
 			return fmt.Errorf("core: remote worker %d: %w", w.hello.WorkerID, rerr)
 		}
+		lastFrame = time.Now()
 		switch f.Type {
+		case remote.FHeartbeat, remote.FCheckpointAck:
+			// Parent liveness / checkpoint bookkeeping; nothing to do. (A
+			// stale ack after a resume is harmless by design.)
 		case remote.FEvents:
+			w.batches++
 			shard, evs, derr := w.conn.DecodeEvents(f.Payload, w.scratch[:0])
 			if derr != nil {
 				return fmt.Errorf("core: remote worker %d: %w", w.hello.WorkerID, derr)
@@ -143,6 +290,7 @@ func (w *remoteWorkerLoop) serve() (err error) {
 			if t > w.gate {
 				w.gate = t
 			}
+			w.gates++
 			if err := w.processAndReply(); err != nil {
 				return err
 			}
@@ -152,6 +300,15 @@ func (w *remoteWorkerLoop) serve() (err error) {
 			// store-mark-after-push rule that the window raise relies on.
 			if err := w.conn.SendTime(remote.FWatermark, t); err != nil {
 				return err
+			}
+			// A checkpoint rides behind the watermark every K gates: the
+			// parent sees it strictly after every reply the checkpointed
+			// state accounts for, which is what lets it truncate the replay
+			// journal and reset its delivered-reply counters atomically.
+			if k := w.hello.CheckpointEvery; k > 0 && w.gates%int64(k) == 0 {
+				if err := w.sendCheckpoint(); err != nil {
+					return err
+				}
 			}
 			if err := w.conn.Flush(); err != nil {
 				return err
@@ -199,6 +356,55 @@ func (w *remoteWorkerLoop) processAndReply() error {
 		}
 	}
 	return nil
+}
+
+// sendCheckpoint serializes every shard's full timing state — L2 lines,
+// resource clocks, stats, and the pending-event heap in pop order — into
+// one FCheckpoint frame. The pending heap is exported destructively
+// (successive pops) and rebuilt, which both yields the deterministic pop
+// order the restore relies on and leaves the live heap untouched.
+func (w *remoteWorkerLoop) sendCheckpoint() error {
+	ck := remote.Checkpoint{
+		WorkerID: w.hello.WorkerID,
+		Gate:     w.gate,
+		Batches:  w.batches,
+		Events:   w.events,
+	}
+	for _, sh := range w.shards {
+		sc := remote.ShardCheckpoint{Shard: sh.idx, L2: sh.l2.AppendState(nil)}
+		if n := sh.gq.Len(); n > 0 {
+			sc.Pending = make([]event.Event, 0, n)
+			for sh.gq.Len() > 0 {
+				sc.Pending = append(sc.Pending, sh.gq.Pop())
+			}
+			for _, ev := range sc.Pending {
+				sh.gq.Push(ev)
+			}
+		}
+		ck.Shards = append(ck.Shards, sc)
+	}
+	w.ckptBuf = remote.AppendCheckpoint(w.ckptBuf[:0], &ck)
+	if err := w.conn.WriteFrame(remote.FCheckpoint, w.ckptBuf); err != nil {
+		return err
+	}
+	w.persistCheckpoint()
+	return nil
+}
+
+// persistCheckpoint mirrors the latest checkpoint to -session-dir (crash
+// forensics; best effort by design).
+func (w *remoteWorkerLoop) persistCheckpoint() {
+	if w.opts == nil || w.opts.SessionDir == "" {
+		return
+	}
+	sid := w.hello.SessionID
+	if sid == "" {
+		sid = "session"
+	}
+	name := filepath.Join(w.opts.SessionDir, fmt.Sprintf("%s-w%d.ckpt", filepath.Base(sid), w.hello.WorkerID))
+	if err := os.WriteFile(name, w.ckptBuf, 0o644); err != nil {
+		w.logln("checkpoint persist: %v", err)
+	}
 }
 
 // sendStats answers FFinish with the session's counters and says

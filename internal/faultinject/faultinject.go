@@ -55,6 +55,28 @@ const (
 	// an event the core must block on stalls the run (and is then a
 	// deterministic watchdog trigger).
 	DelayDelivery
+	// ConnDrop severs the parent↔worker connection of the targeted remote
+	// shard worker (ShardWorker target, remote backend only) when the
+	// global time reaches At — both directions fail immediately, as if the
+	// TCP peer vanished. The supervisor must redial, replay, and resume.
+	ConnDrop
+	// HeartbeatStall simulates a silent hang: the parent stops counting
+	// the target worker's inbound frames as liveness from global time At,
+	// so the heartbeat staleness detector must escalate suspect→dead and
+	// tear the connection down itself.
+	HeartbeatStall
+	// FrameCorrupt arms a one-shot checksum failure on the next frame the
+	// parent receives from the target worker at global time At —
+	// equivalent to a bit flip on the wire. The CRC envelope must turn it
+	// into a structured CorruptFrameError and the supervisor must treat
+	// the connection as broken and recover.
+	FrameCorrupt
+	// WorkerKill asks the run's Kill hook (core.RemoteOptions.Kill) to
+	// terminate the target worker's process at global time At — the
+	// distributed analogue of Panic, except the process gets no chance to
+	// flush or say goodbye (SIGKILL). Recovery must restore from the last
+	// checkpoint and replay.
+	WorkerKill
 )
 
 // String returns the fault kind's name.
@@ -70,16 +92,37 @@ func (k Kind) String() string {
 		return "clock-warp"
 	case DelayDelivery:
 		return "delay-delivery"
+	case ConnDrop:
+		return "conn-drop"
+	case HeartbeatStall:
+		return "heartbeat-stall"
+	case FrameCorrupt:
+		return "frame-corrupt"
+	case WorkerKill:
+		return "worker-kill"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsWire reports whether k is a wire-level fault: one that attacks the
+// parent↔worker connection of the distributed backend rather than a
+// simulation goroutine. Wire faults target ShardWorker ids and only
+// apply to remote runs.
+func (k Kind) IsWire() bool {
+	switch k {
+	case ConnDrop, HeartbeatStall, FrameCorrupt, WorkerKill:
+		return true
+	}
+	return false
 }
 
 // Manager targets the simulation-manager goroutine (Panic only); its
 // trigger clock is the global time.
 const Manager = -1
 
-// ShardWorker returns the target id of shard worker s (Panic only); its
-// trigger clock is the shard's allowed-time gate.
+// ShardWorker returns the target id of shard worker s (Panic, or a wire
+// fault against the remote backend); its trigger clock is the shard's
+// allowed-time gate (wire faults: the remote worker owning the shard).
 func ShardWorker(s int) int { return -2 - s }
 
 // IsShard reports whether target is a ShardWorker id, and which one.
@@ -128,12 +171,14 @@ func (f *Fault) Validate(numCores, numShards int) error {
 		return fmt.Errorf("faultinject: %v fault targets core %d of %d", f.Kind, f.Core, numCores)
 	}
 	if s, ok := IsShard(f.Core); ok {
-		if f.Kind != Panic {
-			return fmt.Errorf("faultinject: %v fault cannot target shard worker %d (only panic)", f.Kind, s)
+		if f.Kind != Panic && !f.Kind.IsWire() {
+			return fmt.Errorf("faultinject: %v fault cannot target shard worker %d (only panic and wire faults)", f.Kind, s)
 		}
 		if s >= numShards {
 			return fmt.Errorf("faultinject: fault targets shard worker %d of %d", s, numShards)
 		}
+	} else if f.Kind.IsWire() {
+		return fmt.Errorf("faultinject: %v fault must target a shard worker, not %d", f.Kind, f.Core)
 	}
 	if f.Core == Manager && f.Kind != Panic {
 		return fmt.Errorf("faultinject: %v fault cannot target the manager (only panic)", f.Kind)

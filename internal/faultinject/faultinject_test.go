@@ -46,6 +46,10 @@ func TestFaultValidation(t *testing.T) {
 		{Kind: RingFlood, Core: 0, At: 100},
 		{Kind: ClockWarp, Core: 0, At: 100, Dur: 10},
 		{Kind: DelayDelivery, Core: 0, Dur: 5},
+		{Kind: ConnDrop, Core: ShardWorker(0), At: 100},
+		{Kind: HeartbeatStall, Core: ShardWorker(1), At: 100},
+		{Kind: FrameCorrupt, Core: ShardWorker(0), At: 100},
+		{Kind: WorkerKill, Core: ShardWorker(1), At: 100},
 	}
 	for _, f := range good {
 		if err := f.Validate(4, 2); err != nil {
@@ -53,12 +57,15 @@ func TestFaultValidation(t *testing.T) {
 		}
 	}
 	bad := []Fault{
-		{Kind: Panic, Core: 4},                  // core out of range
-		{Kind: Panic, Core: ShardWorker(2)},     // shard out of range
-		{Kind: Stall, Core: Manager},            // manager is panic-only
-		{Kind: ClockWarp, Core: ShardWorker(0)}, // shards are panic-only
-		{Kind: ClockWarp, Core: 0},              // missing Dur
-		{Kind: DelayDelivery, Core: 0},          // missing Dur
+		{Kind: Panic, Core: 4},                     // core out of range
+		{Kind: Panic, Core: ShardWorker(2)},        // shard out of range
+		{Kind: Stall, Core: Manager},               // manager is panic-only
+		{Kind: ClockWarp, Core: ShardWorker(0)},    // shards are panic-only
+		{Kind: ClockWarp, Core: 0},                 // missing Dur
+		{Kind: DelayDelivery, Core: 0},             // missing Dur
+		{Kind: ConnDrop, Core: 0},                  // wire faults are shard-only
+		{Kind: WorkerKill, Core: Manager},          // wire faults are shard-only
+		{Kind: FrameCorrupt, Core: ShardWorker(2)}, // shard out of range
 	}
 	for _, f := range bad {
 		if err := f.Validate(4, 2); err == nil {
@@ -89,9 +96,20 @@ func TestFaultPlanIsImmutable(t *testing.T) {
 }
 
 func TestFaultKindStrings(t *testing.T) {
-	for _, k := range []Kind{Panic, Stall, RingFlood, ClockWarp, DelayDelivery} {
+	for _, k := range []Kind{Panic, Stall, RingFlood, ClockWarp, DelayDelivery,
+		ConnDrop, HeartbeatStall, FrameCorrupt, WorkerKill} {
 		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
 			t.Errorf("Kind(%d).String() = %q", int(k), s)
+		}
+	}
+	for _, k := range []Kind{Panic, Stall, RingFlood, ClockWarp, DelayDelivery} {
+		if k.IsWire() {
+			t.Errorf("%v claims to be a wire fault", k)
+		}
+	}
+	for _, k := range []Kind{ConnDrop, HeartbeatStall, FrameCorrupt, WorkerKill} {
+		if !k.IsWire() {
+			t.Errorf("%v not a wire fault", k)
 		}
 	}
 	if s := Kind(99).String(); s != "kind(99)" {

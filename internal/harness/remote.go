@@ -71,40 +71,74 @@ func (r *Runner) remoteMachine(name string, shards int) (*core.Machine, *workloa
 	return m, w, nil
 }
 
+// loopbackWorkers is a fleet of in-process worker sessions served over
+// real loopback TCP. The listener stays open for the run so the parent's
+// supervisor can redial a failed endpoint and resume its session — the
+// same recovery path the multi-process deployment exercises.
+type loopbackWorkers struct {
+	ln         net.Listener
+	transports []remote.Transport
+	wg         sync.WaitGroup
+	acceptWG   sync.WaitGroup
+}
+
+// dial opens one parent-side connection and pairs it with a fresh
+// in-process worker session. Used both for the initial fleet and as the
+// supervisor's Redial hook.
+func (l *loopbackWorkers) dial(int) (remote.Transport, error) {
+	c, err := net.Dial("tcp", l.ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// accept serves every inbound connection until the listener closes.
+func (l *loopbackWorkers) accept() {
+	defer l.acceptWG.Done()
+	for {
+		s, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			core.ServeRemoteShards(s)
+		}()
+	}
+}
+
+// close shuts the listener and waits for every session to drain.
+func (l *loopbackWorkers) close() {
+	l.ln.Close()
+	l.acceptWG.Wait()
+	for _, t := range l.transports {
+		t.Close()
+	}
+	l.wg.Wait()
+}
+
 // startLoopbackWorkers pairs nw loopback TCP connections with in-process
-// worker sessions and returns the parent-side transports plus a join for
-// the sessions.
-func startLoopbackWorkers(nw int) ([]remote.Transport, func(), error) {
+// worker sessions; the fleet's listener keeps accepting so reconnects
+// work for the whole run.
+func startLoopbackWorkers(nw int) (*loopbackWorkers, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	defer ln.Close()
-	transports := make([]remote.Transport, 0, nw)
-	var wg sync.WaitGroup
+	l := &loopbackWorkers{ln: ln}
+	l.acceptWG.Add(1)
+	go l.accept()
 	for i := 0; i < nw; i++ {
-		c, err := net.Dial("tcp", ln.Addr().String())
-		if err == nil {
-			var s net.Conn
-			s, err = ln.Accept()
-			if err == nil {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					core.ServeRemoteShards(s)
-				}()
-			}
-		}
+		c, err := l.dial(i)
 		if err != nil {
-			for _, t := range transports {
-				t.Close()
-			}
-			wg.Wait()
-			return nil, nil, err
+			l.close()
+			return nil, err
 		}
-		transports = append(transports, c)
+		l.transports = append(l.transports, c)
 	}
-	return transports, wg.Wait, nil
+	return l, nil
 }
 
 // RunOneRemote executes workload name under scheme over the distributed
@@ -120,15 +154,18 @@ func (r *Runner) RunOneRemote(name string, scheme core.Scheme, shards, workers i
 		if err != nil {
 			return nil, err
 		}
-		transports, join, err := startLoopbackWorkers(workers)
+		fleet, err := startLoopbackWorkers(workers)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s/%v remote: %w", name, scheme, err)
 		}
 		start := time.Now()
 		r.current.Store(m)
-		res, err := m.RunRemoteSharded(scheme, transports)
+		res, err := m.RunRemoteShardedOpts(scheme, &core.RemoteOptions{
+			Transports: fleet.transports,
+			Redial:     fleet.dial,
+		})
 		r.current.Store(nil)
-		join()
+		fleet.close()
 		if r.stop.Load() {
 			return nil, ErrInterrupted
 		}

@@ -64,6 +64,19 @@ func (r *Resource) Acquire(now int64) (start int64) {
 // Uses returns the number of messages served.
 func (r *Resource) Uses() int64 { return r.uses }
 
+// State exports the resource's mutable occupancy state (free clock, use
+// and wait counters) for shard checkpointing; perOp and maxBacklog are
+// configuration and travel with the cache config instead.
+func (r *Resource) State() (free, uses, waits int64) {
+	return r.free, r.uses, r.waits
+}
+
+// SetState restores occupancy state captured by State on a resource built
+// from the identical configuration.
+func (r *Resource) SetState(free, uses, waits int64) {
+	r.free, r.uses, r.waits = free, uses, waits
+}
+
 // WaitCycles returns the cumulative number of cycles messages spent queued.
 func (r *Resource) WaitCycles() int64 { return r.waits }
 
@@ -126,6 +139,10 @@ func (x *Crossbar) distance(core, bank int) int64 {
 	}
 	return int64(d)
 }
+
+// Ports exposes the per-bank input ports for shard checkpointing (their
+// occupancy state is part of a shard's timing state).
+func (x *Crossbar) Ports() []*Resource { return x.ports }
 
 // PortWaitCycles sums queueing cycles across all bank ports.
 func (x *Crossbar) PortWaitCycles() int64 {

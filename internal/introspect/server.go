@@ -49,6 +49,26 @@ type SlackSnapshot struct {
 	// Done marks a finished run (the sweep may start another).
 	Done  bool        `json:"done"`
 	Cores []SlackCore `json:"cores"`
+	// Remote lists the distributed backend's worker supervision state
+	// (empty for in-process runs): watch a reconnect or a degradation
+	// happen live.
+	Remote []RemoteWorker `json:"remote,omitempty"`
+}
+
+// RemoteWorker is one remote worker's supervision state inside a
+// SlackSnapshot.
+type RemoteWorker struct {
+	ID int `json:"id"`
+	// State is the supervisor verdict: healthy, suspect, reconnecting,
+	// or abandoned (shards migrated into the parent).
+	State  string `json:"state"`
+	Shards []int  `json:"shards"`
+	// Mark is the worker's last acknowledged gate.
+	Mark int64 `json:"mark"`
+	// Reconnects counts successful session resumes; Epoch is the
+	// connection incarnation (0 = original).
+	Reconnects int64 `json:"reconnects,omitempty"`
+	Epoch      int64 `json:"epoch,omitempty"`
 }
 
 // SlackCore is one core's slice of a SlackSnapshot.

@@ -1,0 +1,171 @@
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"slacksim/internal/event"
+)
+
+// Checkpoint codec: one FCheckpoint payload is
+//
+//	uvarint worker id
+//	uvarint gate            (the gate the worker had fully processed)
+//	uvarint batches         (FEvents batches consumed since session start)
+//	uvarint events          (events processed since session start)
+//	uvarint shard count
+//	count × shard:
+//	    uvarint shard index
+//	    uvarint len(l2 state)   + bytes   (cache.AppendState; empty = fresh)
+//	    uvarint len(pending)    + bytes   (AppendBatch of the pending heap,
+//	                                       in pop order)
+//
+// The parent never parses shard bodies — it stores the payload verbatim
+// and only reads the header (PeekCheckpoint) to truncate its replay
+// journal. The worker parses everything on restore. The determinism
+// argument for replay: every event the parent routed after gate g has
+// timestamp >= g, so a worker restored to (gate, L2 state, pending heap)
+// and re-fed the journaled batches regenerates the identical per-shard
+// reply sequence it produced the first time, regardless of how the
+// original run's gate passes interleaved with the batches.
+
+// ShardCheckpoint is one shard's slice of a checkpoint.
+type ShardCheckpoint struct {
+	Shard   int
+	L2      []byte        // cache.L2System.AppendState payload; empty = fresh state
+	Pending []event.Event // pending heap contents in pop order
+}
+
+// Checkpoint is a decoded FCheckpoint payload.
+type Checkpoint struct {
+	WorkerID int
+	Gate     int64
+	Batches  int64
+	Events   int64
+	Shards   []ShardCheckpoint
+}
+
+// AppendCheckpoint serializes c onto dst.
+func AppendCheckpoint(dst []byte, c *Checkpoint) []byte {
+	dst = binary.AppendUvarint(dst, uint64(c.WorkerID))
+	dst = binary.AppendUvarint(dst, uint64(c.Gate))
+	dst = binary.AppendUvarint(dst, uint64(c.Batches))
+	dst = binary.AppendUvarint(dst, uint64(c.Events))
+	dst = binary.AppendUvarint(dst, uint64(len(c.Shards)))
+	for i := range c.Shards {
+		sh := &c.Shards[i]
+		dst = binary.AppendUvarint(dst, uint64(sh.Shard))
+		dst = binary.AppendUvarint(dst, uint64(len(sh.L2)))
+		dst = append(dst, sh.L2...)
+		enc := AppendBatch(nil, sh.Shard, sh.Pending)
+		dst = binary.AppendUvarint(dst, uint64(len(enc)))
+		dst = append(dst, enc...)
+	}
+	return dst
+}
+
+// PeekCheckpoint reads only the header fields the parent needs for
+// journal truncation, without touching the shard bodies.
+func PeekCheckpoint(payload []byte) (workerID int, gate, batches int64, err error) {
+	r := &batchReader{b: payload}
+	w, err := r.uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	g, err := r.uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	b, err := r.uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if w > 1<<20 || g > 1<<62 || b > 1<<40 {
+		return 0, 0, 0, fmt.Errorf("remote: implausible checkpoint header (worker %d gate %d batches %d)", w, g, b)
+	}
+	return int(w), int64(g), int64(b), nil
+}
+
+// DecodeCheckpoint parses a full FCheckpoint payload. Like the batch
+// codec it validates everything and returns errors, never panics.
+func DecodeCheckpoint(payload []byte) (*Checkpoint, error) {
+	r := &batchReader{b: payload}
+	c := &Checkpoint{}
+	u, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if u > 1<<20 {
+		return nil, fmt.Errorf("remote: implausible checkpoint worker id %d", u)
+	}
+	c.WorkerID = int(u)
+	if u, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	c.Gate = int64(u)
+	if u, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	c.Batches = int64(u)
+	if u, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	c.Events = int64(u)
+	count, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(payload)) {
+		return nil, fmt.Errorf("remote: checkpoint claims %d shards in %d bytes", count, len(payload))
+	}
+	for i := uint64(0); i < count; i++ {
+		var sh ShardCheckpoint
+		if u, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if u > 1<<20 {
+			return nil, fmt.Errorf("remote: implausible checkpoint shard index %d", u)
+		}
+		sh.Shard = int(u)
+		l2, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		// Copy: the payload usually aliases a connection read buffer.
+		if len(l2) > 0 {
+			sh.L2 = append([]byte(nil), l2...)
+		}
+		penc, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		pshard, pending, err := DecodeBatch(penc, nil)
+		if err != nil {
+			return nil, fmt.Errorf("remote: checkpoint shard %d pending: %w", sh.Shard, err)
+		}
+		if pshard != sh.Shard {
+			return nil, fmt.Errorf("remote: checkpoint pending batch labeled shard %d inside shard %d", pshard, sh.Shard)
+		}
+		sh.Pending = pending
+		c.Shards = append(c.Shards, sh)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("remote: %d trailing bytes after checkpoint", len(payload)-r.off)
+	}
+	return c, nil
+}
+
+// bytes reads a uvarint length followed by that many bytes, returning a
+// slice aliasing the payload.
+func (r *batchReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("remote: %d-byte field at offset %d exceeds %d remaining", n, r.off, len(r.b)-r.off)
+	}
+	out := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out, nil
+}

@@ -1,7 +1,9 @@
 package remote
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 
 	"slacksim/internal/event"
@@ -91,6 +93,99 @@ func FuzzBatchCodecRoundTrip(f *testing.F) {
 			if got[i] != in[i] {
 				t.Fatalf("event %d not bit-exact:\n got %+v\nwant %+v", i, got[i], in[i])
 			}
+		}
+	})
+}
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the checkpoint decoder
+// (must error or succeed, never panic) and asserts that anything that
+// decodes re-encodes to a payload that decodes to the same value.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(AppendCheckpoint(nil, &Checkpoint{
+		WorkerID: 2, Gate: 4096, Batches: 17, Events: 900,
+		Shards: []ShardCheckpoint{
+			{Shard: 2, L2: []byte{1, 0, 42}, Pending: []event.Event{
+				{Kind: event.KReadShared, Core: 1, Time: 4100, Seq: 3, Addr: 0x80},
+			}},
+			{Shard: 6},
+		},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		re := AppendCheckpoint(nil, c)
+		c2, err := DecodeCheckpoint(re)
+		if err != nil {
+			t.Fatalf("re-encode of valid checkpoint failed to decode: %v", err)
+		}
+		if c2.WorkerID != c.WorkerID || c2.Gate != c.Gate || c2.Batches != c.Batches ||
+			c2.Events != c.Events || len(c2.Shards) != len(c.Shards) {
+			t.Fatalf("re-encode changed checkpoint: %+v → %+v", c, c2)
+		}
+	})
+}
+
+// FuzzFrameEnvelope feeds arbitrary bytes to the frame reader as a raw
+// inbound stream: every outcome must be a clean error or a frame whose
+// payload checksum verified — never a panic, and never a huge
+// allocation (MaxFrame bounds the length prefix). A mutated copy of a
+// valid frame exercises the corrupt path: if the header survived intact
+// but payload bytes changed, the reader must return CorruptFrameError.
+func FuzzFrameEnvelope(f *testing.F) {
+	valid := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		c := NewConn(nopTransport{w: &buf})
+		c.WriteFrame(typ, payload)
+		c.Flush()
+		return buf.Bytes()
+	}
+	f.Add(valid(FEvents, []byte{1, 2, 3}), byte(0))
+	f.Add(valid(FGate, []byte{0, 0, 0, 0, 0, 0, 0, 1}), byte(9))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, byte(0))
+	f.Add([]byte{}, byte(3))
+
+	f.Fuzz(func(t *testing.T, stream []byte, flip byte) {
+		// Arm 1: the raw bytes as an inbound stream.
+		c := NewConn(nopTransport{r: bytes.NewReader(stream)})
+		for {
+			if _, err := c.ReadFrame(); err != nil {
+				break
+			}
+		}
+
+		// Arm 2: frame the stream as a payload, flip one byte of the
+		// encoded result, and require a structured error (or, if the flip
+		// hit nothing — zero XOR — a clean read).
+		if len(stream) > MaxFrame {
+			return
+		}
+		enc := valid(FReplies, stream)
+		pos := int(flip) % len(enc)
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 1 + flip%255
+		r := NewConn(nopTransport{r: bytes.NewReader(mut)})
+		_, err := r.ReadFrame()
+		if pos >= frameHeader {
+			// Payload-only damage: header intact, so this must surface as a
+			// checksum failure naming the frame type and offset 0.
+			var cfe *CorruptFrameError
+			if !errors.As(err, &cfe) {
+				t.Fatalf("payload flip at %d not caught: %v", pos, err)
+			}
+			if cfe.FrameType != FReplies || cfe.Offset != 0 {
+				t.Fatalf("corrupt error misattributed: type %s offset %d", FrameName(cfe.FrameType), cfe.Offset)
+			}
+		} else if err == nil && pos != 0 {
+			// Header damage may legitimately fail as a short read, a length
+			// error, or a checksum error — but flipping length/CRC bytes can
+			// never yield a clean frame. (pos 0 changes only the type byte,
+			// which is not checksummed.)
+			t.Fatalf("header flip at %d read cleanly", pos)
 		}
 	})
 }

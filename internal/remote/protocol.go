@@ -13,7 +13,10 @@ import (
 // mismatch outright — the protocol carries simulator-internal structures
 // (event layout, cache config) whose compatibility across versions is
 // exactly what a version bump declares broken.
-const Version uint16 = 1
+//
+// v2: CRC32-C frame envelope (remote.go), heartbeat and checkpoint
+// frames, and the resumable-session handshake fields in Hello.
+const Version uint16 = 2
 
 // magic opens every Hello frame so a worker fed a non-slacksim stream
 // (wrong port, stray HTTP client) fails fast with a clear error.
@@ -50,6 +53,22 @@ const (
 	// FBye is the worker's end-of-stream marker after FStats; the parent
 	// joins its receiver on it and closes the connection.
 	FBye byte = 0x0A
+	// FHeartbeat is the worker's liveness beacon: sent whenever the
+	// connection has been read-idle for one heartbeat interval, so the
+	// parent's supervisor can tell a slow worker from a dead one without
+	// waiting out the full stall timeout. Empty payload.
+	FHeartbeat byte = 0x0B
+	// FCheckpoint carries serialized shard state (checkpoint.go). The
+	// worker emits one every CheckpointEvery gates; the parent stores the
+	// payload verbatim, truncates its replay journal at the checkpoint's
+	// batch boundary, and acknowledges with FCheckpointAck. On a resumed
+	// session the direction reverses: the parent sends its stored
+	// checkpoint right after the handshake and the worker restores from
+	// it, answering FCheckpointAck.
+	FCheckpoint byte = 0x0C
+	// FCheckpointAck acknowledges a checkpoint with its gate timestamp
+	// (8-byte payload, like FGate/FWatermark).
+	FCheckpointAck byte = 0x0D
 )
 
 // FrameName names a frame type for diagnostics.
@@ -75,6 +94,12 @@ func FrameName(t byte) string {
 		return "stats"
 	case FBye:
 		return "bye"
+	case FHeartbeat:
+		return "heartbeat"
+	case FCheckpoint:
+		return "checkpoint"
+	case FCheckpointAck:
+		return "checkpoint-ack"
 	}
 	return fmt.Sprintf("unknown(%#02x)", t)
 }
@@ -100,11 +125,31 @@ type Hello struct {
 	// stall watchdog, so an orphaned worker (parent killed) exits on its
 	// own instead of lingering.
 	StallTimeoutMS int64 `json:"stall_timeout_ms"`
+	// HeartbeatMS is the worker's liveness-beacon interval; 0 disables
+	// heartbeats (the worker then falls back to its own default, if any).
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+	// CheckpointEvery is the number of acknowledged gates between shard
+	// checkpoints; 0 disables periodic checkpointing (the parent then has
+	// only the initial empty checkpoint to recover from).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// SessionID names the run for logs and session files; stable across
+	// reconnects of the same run.
+	SessionID string `json:"session_id,omitempty"`
+	// ResumeSession marks a reconnect after a worker loss: the parent
+	// will follow the handshake with its stored FCheckpoint, and the
+	// worker must restore from it (answering FCheckpointAck) before
+	// entering the serve loop.
+	ResumeSession bool `json:"resume_session,omitempty"`
+	// Epoch counts this worker slot's connections within the session
+	// (0 for the initial connection, +1 per recovery), so logs and
+	// forensics can attribute frames to the right incarnation.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // Welcome is the worker's handshake acknowledgment.
 type Welcome struct {
-	WorkerID int `json:"worker_id"`
+	WorkerID int  `json:"worker_id"`
+	Resumed  bool `json:"resumed,omitempty"`
 }
 
 // HandshakeError reports a failed or refused handshake; the caller wraps
@@ -196,7 +241,7 @@ func (c *Conn) AcceptHello(deadline time.Time) (*Hello, error) {
 	if len(h.Shards) == 0 || h.NumCores < 1 {
 		return nil, &HandshakeError{Detail: "hello assigns no shards or no cores"}
 	}
-	ack, err := json.Marshal(Welcome{WorkerID: h.WorkerID})
+	ack, err := json.Marshal(Welcome{WorkerID: h.WorkerID, Resumed: h.ResumeSession})
 	if err != nil {
 		return nil, err
 	}

@@ -14,9 +14,14 @@
 // absorbs the same way it absorbs host scheduling jitter.
 //
 // Framing is minimal: a one-byte frame type, a 4-byte little-endian
-// payload length, then the payload. Event batches are delta-encoded
-// (codec.go); control frames carry either an 8-byte timestamp or JSON.
-// See docs/distributed.md for the full layout and failure semantics.
+// payload length, a 4-byte little-endian CRC32-C of the payload, then
+// the payload. The checksum turns a corrupted stream into a structured
+// CorruptFrameError naming the frame type and stream offset — which the
+// parent's supervisor treats as a connection failure and recovers from —
+// instead of a decode panic or silently wrong timing state. Event
+// batches are delta-encoded (codec.go); control frames carry either an
+// 8-byte timestamp or JSON. See docs/distributed.md for the full layout
+// and failure semantics.
 package remote
 
 import (
@@ -24,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync/atomic"
@@ -112,9 +118,40 @@ type Conn struct {
 	readBuf []byte // receiver-goroutine scratch
 	hdr     [frameHeader]byte
 	rhdr    [frameHeader]byte
+
+	// rOff is the stream offset of the next frame to read (receiver
+	// goroutine only); CorruptFrameError reports it.
+	rOff int64
+	// corruptRecv, when armed, flips the next received frame's checksum
+	// check — the deterministic hook behind the FrameCorrupt injected
+	// fault (internal/faultinject), equivalent to a bit flip on the wire.
+	corruptRecv atomic.Bool
 }
 
-const frameHeader = 5 // 1-byte type + 4-byte little-endian length
+const frameHeader = 9 // type byte + LE32 length + LE32 CRC32-C(payload)
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptFrameError reports a frame whose payload failed its checksum:
+// the frame's claimed type, where in the inbound stream it started, and
+// both checksums. The connection is unusable afterwards — framing cannot
+// be trusted past a corrupt header/payload — so callers treat it like a
+// broken transport.
+type CorruptFrameError struct {
+	FrameType byte
+	Offset    int64 // stream offset of the frame's first header byte
+	Want, Got uint32
+}
+
+func (e *CorruptFrameError) Error() string {
+	return fmt.Sprintf("remote: corrupt %s frame at stream offset %d: crc %08x, want %08x",
+		FrameName(e.FrameType), e.Offset, e.Got, e.Want)
+}
+
+// InjectRecvCorrupt arms a one-shot checksum failure on the next frame
+// this connection reads (fault injection only).
+func (c *Conn) InjectRecvCorrupt() { c.corruptRecv.Store(true) }
 
 // NewConn wraps t.
 func NewConn(t Transport) *Conn {
@@ -156,6 +193,7 @@ func (c *Conn) WriteFrame(typ byte, payload []byte) error {
 	}
 	c.hdr[0] = typ
 	binary.LittleEndian.PutUint32(c.hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(c.hdr[5:], crc32.Checksum(payload, castagnoli))
 	if _, err := c.bw.Write(c.hdr[:]); err != nil {
 		return err
 	}
@@ -177,8 +215,10 @@ type Frame struct {
 	Payload []byte
 }
 
-// ReadFrame blocks for the next frame (subject to the read deadline).
+// ReadFrame blocks for the next frame (subject to the read deadline) and
+// verifies its payload checksum; a mismatch returns a *CorruptFrameError.
 func (c *Conn) ReadFrame() (Frame, error) {
+	off := c.rOff
 	if _, err := io.ReadFull(c.t, c.rhdr[:]); err != nil {
 		return Frame{}, err
 	}
@@ -186,6 +226,7 @@ func (c *Conn) ReadFrame() (Frame, error) {
 	if n > MaxFrame {
 		return Frame{}, fmt.Errorf("remote: frame %#02x length %d exceeds %d", c.rhdr[0], n, MaxFrame)
 	}
+	want := binary.LittleEndian.Uint32(c.rhdr[5:])
 	if cap(c.readBuf) < int(n) {
 		c.readBuf = make([]byte, n)
 	}
@@ -193,8 +234,16 @@ func (c *Conn) ReadFrame() (Frame, error) {
 	if _, err := io.ReadFull(c.t, buf); err != nil {
 		return Frame{}, err
 	}
+	c.rOff = off + int64(frameHeader) + int64(n)
 	c.bytesRecv.Add(int64(frameHeader) + int64(n))
 	c.framesRecv.Add(1)
+	got := crc32.Checksum(buf, castagnoli)
+	if c.corruptRecv.Swap(false) {
+		got ^= 0x5A5A5A5A // deterministic injected bit flip
+	}
+	if got != want {
+		return Frame{}, &CorruptFrameError{FrameType: c.rhdr[0], Offset: off, Want: want, Got: got}
+	}
 	return Frame{Type: c.rhdr[0], Payload: buf}, nil
 }
 

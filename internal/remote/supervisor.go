@@ -1,0 +1,186 @@
+package remote
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Supervision state machine for the parent's per-worker supervisor
+// goroutine (internal/core/remote.go). The decision logic lives here,
+// decoupled from goroutines, connections, and the wall clock, so the
+// backoff/budget/staleness rules are unit-testable with a fake clock:
+// the caller feeds in elapsed durations and acts on the returned
+// verdicts; this type never sleeps or reads time itself.
+
+// SupervisorState is one worker's position in the supervision lifecycle.
+type SupervisorState int32
+
+const (
+	// SupHealthy: connected, frames flowing.
+	SupHealthy SupervisorState = iota
+	// SupSuspect: no frame for a suspicious interval (heartbeats late);
+	// the supervisor is watching but has not yet torn the connection down.
+	SupSuspect
+	// SupReconnecting: the connection is down and redial attempts are in
+	// progress (bounded by the retry budget, paced by the backoff).
+	SupReconnecting
+	// SupAbandoned: the retry budget is exhausted; the worker's shards
+	// have been (or are being) migrated into the parent's in-process
+	// path.
+	SupAbandoned
+)
+
+func (s SupervisorState) String() string {
+	switch s {
+	case SupHealthy:
+		return "healthy"
+	case SupSuspect:
+		return "suspect"
+	case SupReconnecting:
+		return "reconnecting"
+	case SupAbandoned:
+		return "abandoned"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Backoff is a capped exponential backoff policy.
+type Backoff struct {
+	Base time.Duration // delay before the first retry
+	Max  time.Duration // cap on the delay growth
+}
+
+// DefaultBackoff paces redials fast enough that a restarted worker is
+// picked up well inside the recovery deadline (2× stall timeout), while
+// the cap keeps a flapping worker from being hammered.
+var DefaultBackoff = Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+
+// Delay returns the pause before retry attempt (1-based): Base doubling
+// per attempt, capped at Max.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBackoff.Base
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultBackoff.Max
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// BeatVerdict classifies how stale a worker's inbound stream is.
+type BeatVerdict int
+
+const (
+	// BeatOK: frames (or heartbeats) are arriving on schedule.
+	BeatOK BeatVerdict = iota
+	// BeatLate: past the suspect threshold (2 intervals); keep watching.
+	BeatLate
+	// BeatDead: past the dead threshold (4 intervals); tear the
+	// connection down and recover.
+	BeatDead
+)
+
+// Supervisor tracks one worker's supervision state: the lifecycle state
+// (atomic, so the introspection server and manager read it concurrently
+// with the supervisor goroutine), the per-incident retry attempt count
+// against a bounded budget, and the cumulative reconnect counter.
+type Supervisor struct {
+	budget  int
+	backoff Backoff
+
+	state      atomic.Int32
+	attempt    int // consecutive failures in the current incident
+	reconnects atomic.Int64
+}
+
+// NewSupervisor builds a supervisor with the given retry budget (attempts
+// per incident; <= 0 means no retries — first failure abandons) and
+// backoff policy (zero value = DefaultBackoff).
+func NewSupervisor(budget int, b Backoff) *Supervisor {
+	return &Supervisor{budget: budget, backoff: b}
+}
+
+// State reads the lifecycle state (any goroutine).
+func (s *Supervisor) State() SupervisorState { return SupervisorState(s.state.Load()) }
+
+// Reconnects reads the cumulative successful-recovery count.
+func (s *Supervisor) Reconnects() int64 { return s.reconnects.Load() }
+
+// Suspect marks a late worker (no effect once reconnecting/abandoned).
+func (s *Supervisor) Suspect() {
+	s.state.CompareAndSwap(int32(SupHealthy), int32(SupSuspect))
+}
+
+// ClearSuspect returns a suspect worker to healthy (frames resumed).
+func (s *Supervisor) ClearSuspect() {
+	s.state.CompareAndSwap(int32(SupSuspect), int32(SupHealthy))
+}
+
+// CheckBeat classifies the time since the last received frame against
+// the heartbeat interval, applying the Healthy↔Suspect transition as a
+// side effect. Interval <= 0 disables staleness detection entirely (the
+// verdict is then always BeatOK; connection errors still drive
+// recovery).
+func (s *Supervisor) CheckBeat(sinceLastFrame, interval time.Duration) BeatVerdict {
+	if interval <= 0 {
+		return BeatOK
+	}
+	switch {
+	case sinceLastFrame > 4*interval:
+		s.Suspect()
+		return BeatDead
+	case sinceLastFrame > 2*interval:
+		s.Suspect()
+		return BeatLate
+	default:
+		s.ClearSuspect()
+		return BeatOK
+	}
+}
+
+// Failure moves the supervisor into reconnecting (the connection is
+// down). Calling it while already reconnecting is harmless.
+func (s *Supervisor) Failure() {
+	if s.State() != SupAbandoned {
+		s.state.Store(int32(SupReconnecting))
+	}
+}
+
+// NextAttempt consumes one unit of the retry budget and returns the
+// backoff delay to wait before that attempt. ok is false when the budget
+// is exhausted — the caller must Abandon (and migrate the shards).
+func (s *Supervisor) NextAttempt() (delay time.Duration, ok bool) {
+	if s.attempt >= s.budget {
+		return 0, false
+	}
+	s.attempt++
+	return s.backoff.Delay(s.attempt), true
+}
+
+// Recovered records a successful resume: the incident's attempt count
+// resets (the budget is per incident, not per run) and the worker is
+// healthy again.
+func (s *Supervisor) Recovered() {
+	s.attempt = 0
+	s.reconnects.Add(1)
+	s.state.Store(int32(SupHealthy))
+}
+
+// Abandon marks the worker permanently lost.
+func (s *Supervisor) Abandon() { s.state.Store(int32(SupAbandoned)) }

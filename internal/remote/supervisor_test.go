@@ -1,0 +1,112 @@
+package remote
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDelay(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+		2 * time.Second, 2 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Fatalf("attempt %d: delay %v, want %v", i+1, got, w)
+		}
+	}
+	// Degenerate inputs fall back to defaults / clamp.
+	if got := (Backoff{}).Delay(1); got != DefaultBackoff.Base {
+		t.Fatalf("zero backoff first delay %v, want %v", got, DefaultBackoff.Base)
+	}
+	if got := (Backoff{Base: time.Hour, Max: time.Second}).Delay(1); got != time.Second {
+		t.Fatalf("base above max: %v, want 1s", got)
+	}
+	if got := b.Delay(0); got != b.Base {
+		t.Fatalf("attempt 0 clamps to 1: %v", got)
+	}
+	// A huge attempt count must not overflow into a negative delay.
+	if got := b.Delay(1 << 20); got != b.Max {
+		t.Fatalf("huge attempt: %v, want max", got)
+	}
+}
+
+// TestSupervisorLifecycle drives the full state machine through an
+// incident with a fake clock: late heartbeats, death, a failed retry, a
+// successful one, then a second incident that exhausts the budget.
+func TestSupervisorLifecycle(t *testing.T) {
+	s := NewSupervisor(2, Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond})
+	hb := 100 * time.Millisecond
+	if s.State() != SupHealthy {
+		t.Fatalf("initial state %v", s.State())
+	}
+
+	// Fake clock: the verdicts depend only on the elapsed time we feed in.
+	if v := s.CheckBeat(hb/2, hb); v != BeatOK || s.State() != SupHealthy {
+		t.Fatalf("fresh beat: verdict %v state %v", v, s.State())
+	}
+	if v := s.CheckBeat(3*hb, hb); v != BeatLate || s.State() != SupSuspect {
+		t.Fatalf("late beat: verdict %v state %v", v, s.State())
+	}
+	// Frames resume: suspect clears.
+	if v := s.CheckBeat(hb/2, hb); v != BeatOK || s.State() != SupHealthy {
+		t.Fatalf("recovered beat: verdict %v state %v", v, s.State())
+	}
+	if v := s.CheckBeat(5*hb, hb); v != BeatDead || s.State() != SupSuspect {
+		t.Fatalf("dead beat: verdict %v state %v", v, s.State())
+	}
+	// Heartbeats disabled: always OK.
+	if v := s.CheckBeat(time.Hour, 0); v != BeatOK {
+		t.Fatalf("disabled heartbeat verdict %v", v)
+	}
+
+	// Incident 1: two attempts within budget, second succeeds.
+	s.Failure()
+	if s.State() != SupReconnecting {
+		t.Fatalf("after failure: %v", s.State())
+	}
+	d1, ok := s.NextAttempt()
+	if !ok || d1 != 10*time.Millisecond {
+		t.Fatalf("attempt 1: delay %v ok %v", d1, ok)
+	}
+	d2, ok := s.NextAttempt()
+	if !ok || d2 != 20*time.Millisecond {
+		t.Fatalf("attempt 2: delay %v ok %v", d2, ok)
+	}
+	s.Recovered()
+	if s.State() != SupHealthy || s.Reconnects() != 1 {
+		t.Fatalf("after recovery: state %v reconnects %d", s.State(), s.Reconnects())
+	}
+
+	// Incident 2: the attempt counter reset on recovery, so the budget is
+	// fresh; exhaust it.
+	s.Failure()
+	if _, ok := s.NextAttempt(); !ok {
+		t.Fatal("attempt 1 of incident 2 refused — budget did not reset")
+	}
+	if _, ok := s.NextAttempt(); !ok {
+		t.Fatal("attempt 2 of incident 2 refused")
+	}
+	if _, ok := s.NextAttempt(); ok {
+		t.Fatal("attempt 3 allowed past budget 2")
+	}
+	s.Abandon()
+	if s.State() != SupAbandoned {
+		t.Fatalf("after abandon: %v", s.State())
+	}
+	// Abandoned is terminal: a late Failure must not resurrect it.
+	s.Failure()
+	if s.State() != SupAbandoned {
+		t.Fatalf("failure resurrected abandoned worker: %v", s.State())
+	}
+}
+
+func TestSupervisorZeroBudget(t *testing.T) {
+	s := NewSupervisor(0, Backoff{})
+	s.Failure()
+	if _, ok := s.NextAttempt(); ok {
+		t.Fatal("zero budget allowed an attempt")
+	}
+}
