@@ -39,6 +39,7 @@ func main() {
 		hostCores  = flag.String("hostcores", "", "comma-separated host-core counts (default: 1 plus 2,4,8 clipped to this host)")
 		scale      = flag.Int("scale", 1, "workload input scale factor")
 		cores      = flag.Int("cores", 8, "target CMP cores")
+		driver     = flag.String("driver", "auto", "execution driver: serial, parallel, sharded, fused, or auto (fused at 1 host core, parallel otherwise)")
 		repeat     = flag.Int("repeat", 1, "repetitions per configuration (best wall time kept)")
 		verify     = flag.Bool("verify", true, "verify workload results after every run")
 		progress   = flag.Bool("progress", true, "log each run as it completes")
@@ -73,6 +74,7 @@ func main() {
 	opts := harness.Options{
 		Scale:       *scale,
 		TargetCores: *cores,
+		Driver:      *driver,
 		Repeat:      *repeat,
 		Verify:      *verify,
 		Metrics:     *metricsOn,
@@ -146,6 +148,9 @@ func main() {
 		Scale:       ro.Scale,
 		Host:        harness.CollectHostInfo(),
 	}
+	// Record which engine produced each host-core column, so -compare can
+	// refuse to diff fused numbers against parallel ones.
+	report.Host.Drivers = r.DriverNames()
 	if *table2 {
 		rows, err := r.Table2Data()
 		if err != nil {

@@ -75,6 +75,47 @@ func TestRunSerialScheme(t *testing.T) {
 	}
 }
 
+// TestRunFusedDriver drives the fused single-goroutine engine through the
+// CLI and checks the driver is reported in the output.
+func TestRunFusedDriver(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-workload", "fft", "-scheme", "CC", "-cores", "2", "-host", "1", "-driver", "fused"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errw.String())
+	}
+	for _, want := range []string{"driver fused", "verification: PASS"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunDriverAutoPicksFused checks -host 1 resolves to the fused engine
+// without an explicit -driver.
+func TestRunDriverAutoPicksFused(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-workload", "fft", "-scheme", "S9", "-cores", "2", "-host", "1"}, &out, &errw); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "driver fused") {
+		t.Errorf("auto at -host 1 did not pick fused:\n%s", out.String())
+	}
+}
+
+// TestRunDriverConflicts pins the flag-validation matrix.
+func TestRunDriverConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "fft", "-driver", "warp"},
+		{"-workload", "fft", "-scheme", "serial", "-driver", "fused"},
+		{"-workload", "fft", "-driver", "fused", "-shards", "2"},
+	} {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("%v: expected an error", args)
+		}
+	}
+}
+
 // TestRunBadScheme reports parse errors instead of exiting.
 func TestRunBadScheme(t *testing.T) {
 	var out, errw bytes.Buffer

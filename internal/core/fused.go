@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"slacksim/internal/cpu"
+	"slacksim/internal/event"
+	"slacksim/internal/faultinject"
+	"slacksim/internal/trace"
+)
+
+// RunFused executes the simulation entirely on the calling goroutine: all
+// target cores run inline as a cooperative round-robin under the slack
+// invariant (Global <= Local(i) <= MaxLocal(i)), interleaved with the
+// manager's drain/process/window phase. It exists for the scarce-host-core
+// regime (the paper's Table 2 configuration: the whole parallel engine on
+// one host core), where the goroutine-per-core fabric — scheduling N+1
+// goroutines on one P, per-publication min-tree maintenance, Dekker parks,
+// manager pacing — is pure overhead: with a single runner there is nothing
+// to synchronise, so the fused driver replaces every atomic, park and
+// cross-goroutine ring on the hot path with plain locals and slice appends.
+//
+//   - Core->manager transfer: Env.Send pushes straight into the manager's
+//     GQ (the heap's (Time, Core, Seq) order makes the result independent
+//     of push order, so this is exact).
+//   - Manager->core transfer: replies append to a plain per-core slice
+//     (fusedIn) instead of the InQ ring + notify path.
+//   - Global time: a direct min over the loop-owned locals (with the same
+//     blocked/resumeFloor handling as minLocal) instead of the min-tree.
+//   - Parks/freezes: none. A core with nothing to do is simply skipped
+//     this round; the manager phase always runs next.
+//
+// Scheme semantics are the parallel driver's, phase by phase: the same
+// batch horizons (conservative: global + critical latency; optimistic:
+// optimisticBatch), the same stall fast-forward rules (slide to the window
+// edge under conservative schemes, freeze under optimistic ones), the same
+// per-scheme processing (conservative bound, quantum barrier, adaptive
+// controller), and the same idle-core clamp. Because the round-robin is a
+// particular legal schedule of the parallel engine and conservative
+// schemes are schedule-invariant, CC/Q/L/S* runs are bit-exact against
+// both RunSerial and RunParallel (the determinism suite enforces this).
+//
+// Pacing atomics (local, maxLocal, global, liveGQ) are still mirrored —
+// once per round, not per cycle — so forensics snapshots, the sampled
+// auditor, and the live introspection views keep working unchanged.
+func (m *Machine) RunFused(s Scheme) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if m.cfg.ManagerShards > 1 || m.cfg.RemoteShards > 0 {
+		return nil, fmt.Errorf("core: RunFused supports only the unsharded in-process manager (ManagerShards=%d RemoteShards=%d)",
+			m.cfg.ManagerShards, m.cfg.RemoteShards)
+	}
+	m.scheme = s
+	sc := s
+	m.schemeLive.Store(&sc)
+	m.fused = true
+	m.fusedIn = make([][]event.Event, m.cfg.NumCores)
+	for i := range m.fusedIn {
+		m.fusedIn[i] = make([]event.Event, 0, m.cfg.RingCap)
+	}
+	start := time.Now()
+	m.captureHostMem()
+
+	// Initial windows (mirrored for forensics/introspection; the loop's
+	// authoritative edge is a plain local).
+	init := s.maxLocal(0)
+	for i := range m.maxLocal {
+		m.maxLocal[i].v.Store(init)
+	}
+
+	func() {
+		defer m.containPanic(faultinject.Manager, "fused-loop")
+		m.runFusedLoop(s)
+	}()
+	if err := m.takeFault(); err != nil {
+		return nil, err
+	}
+	// Straggler events pushed after done (cores commit a few trailing
+	// instructions) — same final drain as the other drivers, guarded.
+	func() {
+		defer m.containPanic(faultinject.Manager, "final-drain")
+		m.drainOutQs()
+		m.processAll()
+	}()
+	if err := m.takeFault(); err != nil {
+		return nil, err
+	}
+	return m.result(time.Since(start)), nil
+}
+
+// fusedMin computes the global-time candidate from the loop-owned local
+// clocks: the exact semantics of minLocal (skip kernel-blocked cores, count
+// resume floors, fall back to the current global when everything is
+// blocked) over plain values instead of the min-tree.
+func (m *Machine) fusedMin(locals []int64, g int64) int64 {
+	lo := int64(-1)
+	for i := range locals {
+		if m.blocked[i].v.Load() != 0 {
+			continue
+		}
+		v := locals[i]
+		if f := m.resumeFloor[i].v.Load(); f > v {
+			v = f
+		}
+		if lo < 0 || v < lo {
+			lo = v
+		}
+	}
+	if lo < 0 {
+		return g
+	}
+	return lo
+}
+
+// fusedEdgeTarget computes the scheme's window-edge target for global time
+// g — updateWindows' policy, shared with the adaptive controller state.
+func fusedEdgeTarget(s Scheme, g int64, ad *adaptState) int64 {
+	var target int64
+	switch s.Kind {
+	case Unbounded:
+		return math.MaxInt64
+	case Adaptive:
+		w := ad.window
+		if w > s.Window {
+			w = s.Window
+		}
+		target = g + w + 1
+	default:
+		target = s.maxLocal(g)
+	}
+	if target < 0 { // overflow guard
+		target = math.MaxInt64
+	}
+	return target
+}
+
+// fusedDeadlocked is detectDeadlock for the fused driver: the GQ, every
+// pending-reply slice and every undelivered inbox must be empty, and the
+// kernel must report every live thread queued on a synchronisation object.
+func (m *Machine) fusedDeadlocked(inboxes [][]event.Event) bool {
+	if m.gq.Len() != 0 {
+		return false
+	}
+	for i := range m.fusedIn {
+		if len(m.fusedIn[i]) != 0 || len(inboxes[i]) != 0 {
+			return false
+		}
+	}
+	return m.kernel.Deadlocked()
+}
+
+// applyFusedCoreFaults fires core i's due injected faults against its
+// loop-owned clock. It mirrors applyCoreFaults with one structural change:
+// a Stall fault cannot spin (there is no per-core goroutine to stall), so
+// it pins the core instead — the core is skipped every round, its frozen
+// clock pins the global time, and the stall watchdog fires with the same
+// forensics as the parallel driver.
+func (m *Machine) applyFusedCoreFaults(i int, inj *injected, local *int64, pinned *bool) bool {
+	restart := false
+	for idx := range inj.faults {
+		f := &inj.faults[idx]
+		if inj.fired[idx] || *local < f.At {
+			continue
+		}
+		inj.fired[idx] = true
+		switch f.Kind {
+		case faultinject.Panic:
+			panic(fmt.Sprintf("faultinject: injected panic on core %d at local=%d", i, *local))
+		case faultinject.Stall:
+			*pinned = true
+			return true
+		case faultinject.RingFlood:
+			m.floodOutQ(i, *local)
+		case faultinject.ClockWarp:
+			nl := *local - f.Dur
+			if nl < 0 {
+				nl = 0
+			}
+			*local = nl
+			m.local[i].v.Store(nl)
+			restart = true
+		}
+	}
+	return restart
+}
+
+// runFusedLoop is the fused driver's round loop. Each round is one core
+// phase (every runnable core delivers its pending replies, then ticks a
+// batch of cycles up to the scheme's horizon, or fast-forwards a stall)
+// followed by one manager phase (global-time min, per-scheme GQ
+// processing, window-edge raise, sampled observability and health checks).
+func (m *Machine) runFusedLoop(s Scheme) {
+	n := len(m.cores)
+	conservative := s.Conservative()
+	idleClamp := m.cfg.Cache.CriticalLatency()
+	edge := s.maxLocal(0)
+	g := int64(0)
+
+	locals := make([]int64, n)
+	inboxes := make([][]event.Event, n)
+	stats := make([]*cpu.Stats, n)
+	ticks := make([]int, n)
+	pinned := make([]bool, n)
+	for i, c := range m.cores {
+		inboxes[i] = make([]event.Event, 0, m.cfg.RingCap)
+		stats[i] = c.Stats()
+		locals[i] = m.local[i].v.Load()
+	}
+	var fi []*injected
+	if m.fiCore != nil {
+		fi = make([]*injected, n)
+		for i := range fi {
+			fi[i] = newInjected(m.fiCore[i])
+		}
+	}
+	fiMgr := newInjected(m.fiMgr)
+	ad := adaptState{window: s.Window}
+	aud := m.audit
+	mw := m.mgrTW
+	measure := m.met != nil
+	lastBarrier := int64(0)
+	lastWindow := ad.window
+	lastChange := time.Now()
+	lastGlobal := int64(-1)
+	prodStreak := 0
+	idleRounds := 0
+	quiet := 0
+	rounds := 0
+
+	for !m.done.Load() {
+		rounds++
+		progress := false
+		anyPinned := false
+
+		// --- Core phase: cooperative round-robin over the target cores ---
+		for i, c := range m.cores {
+			if pinned[i] {
+				anyPinned = true
+				continue
+			}
+			local := locals[i]
+			if fi != nil && fi[i] != nil && m.applyFusedCoreFaults(i, fi[i], &local, &pinned[i]) {
+				if local != locals[i] {
+					locals[i] = local
+					progress = true // an injected clock warp moved the clock
+				}
+				if pinned[i] {
+					anyPinned = true
+				}
+				continue
+			}
+			limit := edge
+			if !c.Active() {
+				// Idle-core clamp: whatever the scheme, never free-run an
+				// inactive core past global + critical latency.
+				if idleMax := g + idleClamp; idleMax < limit {
+					limit = idleMax
+				}
+			}
+			if aud != nil {
+				if ticks[i]++; ticks[i]%aud.every == 0 {
+					m.auditCore(i, local, g)
+				}
+			}
+			if local >= limit {
+				continue // at the window edge; the manager phase raises it
+			}
+			delivered := m.deliverInbox(i, &inboxes[i], local)
+
+			// Batch horizon — the coreLoop rules verbatim. Under
+			// conservative schemes every reply pushed by a later manager
+			// phase stems from an event stamped >= g, so its timestamp is
+			// >= g + critical latency and the batch can never run past an
+			// undelivered event.
+			end := local + 1
+			if !batchDisabled {
+				end = limit
+				if conservative {
+					if hz := g + idleClamp; hz < end {
+						end = hz
+					}
+				} else if hz := local + optimisticBatch; hz < end {
+					end = hz
+				}
+				if t, ok := earliestEvent(inboxes[i], true); ok && t < end {
+					end = t
+				}
+				if end <= local {
+					end = local + 1
+				}
+			}
+			if roi := m.roiTime.Load(); roi >= 0 && !stats[i].ROIMarked {
+				c.MarkROI(local)
+			}
+			progressed := c.Tick(local)
+			local++
+			for progressed && local < end {
+				if !stats[i].ROIMarked && m.roiTime.Load() >= 0 {
+					c.MarkROI(local)
+				}
+				progressed = c.Tick(local)
+				local++
+			}
+			if local != locals[i] {
+				locals[i] = local
+				m.local[i].v.Store(local) // forensics/introspection mirror
+			}
+			if progressed || delivered {
+				progress = true
+				continue
+			}
+
+			// Fully stalled: fast-forward per the coreLoop regime rules.
+			next := c.NextWork(local)
+			if t, ok := earliestEvent(inboxes[i], conservative); ok && t < next {
+				next = t
+			}
+			if next == math.MaxInt64 {
+				switch {
+				case !c.Active():
+					next = limit // idle core: follow the window edge
+				case conservative && m.blocked[i].v.Load() == 0:
+					next = limit // slide to the edge; processing will answer
+				default:
+					// Optimistic or kernel-blocked: freeze — no clock
+					// movement until an event arrives in a later round.
+					continue
+				}
+			}
+			if next > limit {
+				next = limit
+			}
+			if conservative {
+				// No event pushed by a later manager phase can land inside
+				// the skipped range (their timestamps are >= g + critical
+				// latency); the cap keeps that guarantee exact.
+				if horizon := g + idleClamp - 1; next > horizon {
+					next = horizon
+				}
+			}
+			if next > local {
+				c.Skip(next - local)
+				locals[i] = next
+				m.local[i].v.Store(next)
+				progress = true
+			}
+		}
+
+		// --- Manager phase ---
+		var t0 time.Time
+		if measure {
+			t0 = time.Now()
+		}
+		ps := mw.Begin()
+		evBefore := m.evProcessed
+		if ng := m.fusedMin(locals, g); ng > g {
+			g = ng
+			if measure {
+				m.met.globalAdv.Inc()
+			}
+		}
+		if g >= m.cfg.MaxCycles {
+			m.aborted = true
+			m.done.Store(true)
+			break
+		}
+		if fiMgr != nil {
+			applyPanicFaults(fiMgr, g, "manager")
+		}
+		var processed bool
+		switch {
+		case s.Kind == Adaptive:
+			processed = m.processAllCounting(&ad)
+			ad.adapt(g)
+			if ad.window != lastWindow {
+				lastWindow = ad.window
+				mw.Count(trace.KWindow, ad.window)
+				if measure {
+					m.met.adaptResizes.Inc()
+				}
+			}
+		case s.Kind == Quantum:
+			if allowed := quantumBarrier(g, s.Window); allowed > 0 {
+				if allowed > lastBarrier {
+					lastBarrier = allowed
+					mw.Instant(trace.KBarrier, allowed)
+					if measure {
+						m.met.barriers.Inc()
+					}
+				}
+				processed = m.processConservative(allowed)
+				m.noteProcBound(allowed)
+			}
+		case conservative:
+			processed = m.processConservative(g)
+			m.noteProcBound(g)
+		default:
+			processed = m.processAll()
+		}
+		if processed {
+			mw.Span(trace.KProcess, ps, m.evProcessed-evBefore)
+		}
+		if g > m.global.Load() {
+			m.global.Store(g) // mirror for forensics/audit/introspection
+		}
+
+		// Raise the window edge (monotone, like updateWindows).
+		if target := fusedEdgeTarget(s, g, &ad); target > edge {
+			edge = target
+			for i := range m.maxLocal {
+				m.maxLocal[i].v.Store(edge)
+			}
+			progress = true
+			if measure {
+				m.met.windowSlides.Inc()
+			}
+		}
+
+		// Sampled observability: trace counts, GQ-depth and slack
+		// histograms, live-view mirrors (including the min-tree leaves the
+		// /slack root display reads — refreshed here, not per publication).
+		if rounds&63 == 0 && (mw != nil || measure) {
+			mw.Count(trace.KGlobal, g)
+			mw.Count(trace.KQDepth, int64(m.gq.Len()))
+			if measure {
+				m.met.gqDepth.Observe(int64(m.gq.Len()))
+				if edge != math.MaxInt64 {
+					for i := range locals {
+						m.met.slack.Observe(edge - locals[i])
+					}
+				}
+			}
+		}
+		if m.introOn {
+			m.liveGQ.Store(int64(m.gq.Len()))
+			if rounds&63 == 0 {
+				for i := range m.cores {
+					m.refreshMinLeaf(i)
+				}
+			}
+		}
+		if m.trace != nil && (processed || progress) {
+			m.trace(g, locals)
+		}
+
+		if progress || processed || g != lastGlobal {
+			if idleRounds != 0 || prodStreak&31 == 0 {
+				lastChange = time.Now()
+			}
+			prodStreak++
+			idleRounds = 0
+			quiet = 0
+			lastGlobal = g
+			if measure {
+				m.mgrBusyNS += time.Since(t0).Nanoseconds()
+			}
+			continue
+		}
+		prodStreak = 0
+		idleRounds++
+
+		// No core moved, nothing processed, the global time is pinned: a
+		// kernel deadlock, an injected stall, or a transient wait. The same
+		// health checks as the parallel manager; a healthy conservative run
+		// never lands here (the slide-to-edge rule always moves the minimum
+		// core), so this branch is cold by construction.
+		if quiet++; quiet&511 == 0 && m.fusedDeadlocked(inboxes) {
+			m.aborted = true
+			m.setFault(&StallError{Deadlock: true, Report: m.snapshot(true, 0)})
+			break
+		}
+		if idleRounds&1023 == 0 {
+			if wait := time.Since(lastChange); wait > m.stallTimeout() {
+				m.aborted = true
+				m.setFault(&StallError{Wait: wait, Report: m.snapshot(true, wait)})
+				break
+			}
+		}
+		_ = anyPinned
+		runtime.Gosched() // stay polite to the host while waiting
+	}
+}

@@ -138,3 +138,80 @@ func TestIntrospectionLive(t *testing.T) {
 		t.Error("no latency observations in final /slack")
 	}
 }
+
+// TestIntrospectionLiveFused is the fused-driver counterpart: the single
+// goroutine mirrors its plain clocks into the shared atomics once per
+// round, so /slack, /metrics, and /stallz must answer from another
+// goroutine while the fused loop runs.
+func TestIntrospectionLiveFused(t *testing.T) {
+	srv, err := introspect.New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m := mustMachine(t, longProg, smallConfig(2, ModelOoO))
+	m.EnableMetrics(metrics.NewRegistry())
+	if err := m.EnableIntrospection(srv); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.RunFused(SchemeS9)
+		done <- err
+	}()
+
+	base := "http://" + srv.Addr()
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	var snap introspect.SlackSnapshot
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := json.Unmarshal([]byte(get("/slack")), &snap); err != nil {
+			t.Fatalf("bad /slack JSON: %v", err)
+		}
+		if snap.Global > 0 || snap.Done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !snap.Attached {
+		t.Error("/slack reports attached=false during a live fused run")
+	}
+	if len(snap.Cores) != 2 {
+		t.Fatalf("/slack cores = %d, want 2", len(snap.Cores))
+	}
+	if snap.Scheme != "S9" {
+		t.Errorf("/slack scheme = %q, want S9", snap.Scheme)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "slacksim_engine_global_advances_total") {
+		t.Errorf("/metrics missing engine families:\n%.400s", body)
+	}
+	if body := get("/stallz"); !strings.Contains(body, "engine snapshot") {
+		t.Errorf("/stallz = %.200q", body)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(get("/slack")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Done {
+		t.Error("/slack done=false after the fused run returned")
+	}
+}

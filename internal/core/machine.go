@@ -232,6 +232,13 @@ type Machine struct {
 	lastProcGlobal int64
 	// serialMode marks a RunSerial drive (diagnostics).
 	serialMode bool
+	// fused marks a RunFused drive: the whole simulation runs on one
+	// goroutine, so Env.Send pushes straight into the GQ and manager
+	// replies append to fusedIn instead of the InQ rings (see fused.go).
+	fused bool
+	// fusedIn is the fused driver's per-core pending-reply slice — the
+	// plain-append replacement for the InQ ring + notify path.
+	fusedIn [][]event.Event
 	// lastSkip records each core's most recent fast-forward (diagnostics).
 	lastSkip []skipRec
 
@@ -413,6 +420,13 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 					ev.ReqTime = ev.Time
 					ev.SendNS = m.hostNS()
 				}
+				if m.fused {
+					// Single-goroutine drive: push straight into the GQ.
+					// The heap's (Time, Core, Seq) order makes processing
+					// order independent of push order, so this is exact.
+					m.gq.Push(ev)
+					return
+				}
 				m.outQ[i].MustPush(ev)
 				m.markOutDirty(i)
 				m.bumpMgrEpoch()
@@ -442,12 +456,23 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 			m.kernel.Trace(fmt.Sprintf("  grant core=%d t=%d ret=%d", core, t, ret))
 		}
 		grantAt := t + m.cfg.SyscallLat
-		m.inQ[core].MustPush(event.Event{
+		grant := event.Event{
 			Kind: event.KSyscallDone,
 			Core: int32(core),
 			Time: grantAt,
 			Aux:  ret,
-		})
+		}
+		if m.fused {
+			// Single-goroutine drive: the grant is a plain append, and the
+			// fused loop recomputes the global minimum from the resume
+			// floor directly in its next manager phase — no min-tree, no
+			// wake-up.
+			m.fusedIn[core] = append(m.fusedIn[core], grant)
+			m.resumeFloor[core].v.Store(grantAt)
+			m.blocked[core].v.Store(0)
+			return
+		}
+		m.inQ[core].MustPush(grant)
 		m.resumeFloor[core].v.Store(grantAt)
 		m.blocked[core].v.Store(0)
 		// Rejoin the min-tree at the resume floor. Notify runs on the

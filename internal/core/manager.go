@@ -189,10 +189,20 @@ func (m *Machine) processEvent(ev event.Event) {
 }
 
 func (m *Machine) processMem(ev event.Event) {
-	m.processMemVia(m.l2, func(core int, out event.Event) {
-		m.inQ[core].MustPush(out)
-		m.deferNotify(core)
-	}, ev)
+	m.processMemVia(m.l2, m.pushReply, ev)
+}
+
+// pushReply delivers one manager-produced reply toward core i: a ring push
+// plus a (possibly coalesced) wake-up under the threaded drivers, a plain
+// slice append under the fused driver — where producer and consumer are
+// the same goroutine, so no ring, notify, or memory ordering is needed.
+func (m *Machine) pushReply(core int, ev event.Event) {
+	if m.fused {
+		m.fusedIn[core] = append(m.fusedIn[core], ev)
+		return
+	}
+	m.inQ[core].MustPush(ev)
+	m.deferNotify(core)
 }
 
 // deferNotify wakes core i for a freshly pushed reply — immediately, or,
@@ -301,21 +311,19 @@ func (m *Machine) processSyscall(ev event.Event) {
 	for _, eff := range res.Effects {
 		switch eff.Kind {
 		case sysemu.EffectStartCore:
-			m.inQ[eff.Core].MustPush(event.Event{
+			m.pushReply(eff.Core, event.Event{
 				Kind: event.KStart,
 				Core: int32(eff.Core),
 				Time: replyAt,
 				Addr: eff.PC,
 				Aux:  eff.Arg,
 			})
-			m.deferNotify(eff.Core)
 		case sysemu.EffectStopCore:
-			m.inQ[eff.Core].MustPush(event.Event{
+			m.pushReply(eff.Core, event.Event{
 				Kind: event.KStop,
 				Core: int32(eff.Core),
 				Time: replyAt,
 			})
-			m.deferNotify(eff.Core)
 		case sysemu.EffectEndSim:
 			m.endTime = ev.Time
 			m.exitCode = eff.Code
@@ -333,17 +341,18 @@ func (m *Machine) processSyscall(ev event.Event) {
 		// manager goroutine, so the next globalMin read already excludes
 		// this core, exactly as the old minLocal scan did.
 		m.blocked[core].v.Store(1)
-		m.refreshMinLeaf(core)
+		if !m.fused {
+			m.refreshMinLeaf(core)
+		}
 		return
 	}
-	m.inQ[core].MustPush(event.Event{
+	m.pushReply(core, event.Event{
 		Kind: event.KSyscallDone,
 		Core: ev.Core,
 		Time: replyAt,
 		Aux:  res.Ret,
 		Flag: res.Retry,
 	})
-	m.deferNotify(core)
 }
 
 // (minLocal, the naive global-time scan, lives in mintree.go as the

@@ -26,9 +26,12 @@ func metricNames(t *testing.T, driver string) []string {
 	reg := metrics.NewRegistry()
 	m.EnableMetrics(reg)
 	var err error
-	if driver == "serial" {
+	switch driver {
+	case "serial":
 		_, err = m.RunSerial()
-	} else {
+	case "fused":
+		_, err = m.RunFused(SchemeS9)
+	default:
 		_, err = m.RunParallel(SchemeS9)
 	}
 	if err != nil {
@@ -53,6 +56,7 @@ func TestMetricNameParityAcrossDrivers(t *testing.T) {
 	serial := metricNames(t, "serial")
 	parallel := metricNames(t, "parallel")
 	sharded := metricNames(t, "sharded")
+	fused := metricNames(t, "fused")
 
 	diff := func(a, b []string) []string {
 		set := make(map[string]bool, len(b))
@@ -83,6 +87,14 @@ func TestMetricNameParityAcrossDrivers(t *testing.T) {
 		if !strings.Contains(n, "shard") {
 			t.Errorf("unexpected sharded-only metric %q", n)
 		}
+	}
+	// The fused driver shares the parallel driver's registry exactly: same
+	// dashboards, no goroutine fabric, no extra instruments.
+	if d := diff(parallel, fused); len(d) != 0 {
+		t.Errorf("metrics lost under fused driver: %v", d)
+	}
+	if d := diff(fused, parallel); len(d) != 0 {
+		t.Errorf("fused-only metrics: %v", d)
 	}
 
 	// The latency-attribution families must exist under every driver.

@@ -207,15 +207,26 @@ func (m *Machine) deliverInbox(i int, inbox *[]event.Event, local int64) bool {
 }
 
 // drainRing moves all queued reply events for core i into its inbox (the
-// main manager's ring plus, when sharded, every shard's ring).
+// main manager's ring plus, when sharded, every shard's ring; the fused
+// driver's plain pending-reply slice instead).
 func (m *Machine) drainRing(i int, inbox *[]event.Event) {
+	if m.fused {
+		if pend := m.fusedIn[i]; len(pend) > 0 {
+			*inbox = append(*inbox, pend...)
+			m.fusedIn[i] = pend[:0]
+		}
+		return
+	}
 	for _, r := range m.coreRings[i] {
 		*inbox = r.PopBatch(*inbox)
 	}
 }
 
-// coreHasEvents reports whether any reply ring for core i is non-empty.
+// coreHasEvents reports whether any queued reply for core i is pending.
 func (m *Machine) coreHasEvents(i int) bool {
+	if m.fused {
+		return len(m.fusedIn[i]) > 0
+	}
 	for _, r := range m.coreRings[i] {
 		if r.Len() > 0 {
 			return true

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"slacksim/internal/stats"
 )
@@ -73,6 +74,27 @@ func CompareReports(oldR, newR *Report, threshold float64) *Comparison {
 	}
 	c := &Comparison{Threshold: threshold}
 
+	// driverMismatch reports whether the two reports measured the given
+	// host-core column with different execution engines (Report.Host
+	// metadata, recorded since the fused driver landed). A fused column is
+	// a different experiment from a parallel one — diffing them would read
+	// a driver change as a perf change — so mismatched columns are skipped,
+	// not compared. Reports predating the metadata compare as before.
+	driverMismatch := func(hc int) bool {
+		o, n := oldR.Host.Drivers[hc], newR.Host.Drivers[hc]
+		return o != "" && n != "" && o != n
+	}
+	noteMismatch := func(section string, hc int) {
+		note := fmt.Sprintf("%s h%d (driver %s vs %s)", section, hc,
+			oldR.Host.Drivers[hc], newR.Host.Drivers[hc])
+		for _, s := range c.Skipped {
+			if s == note {
+				return
+			}
+		}
+		c.Skipped = append(c.Skipped, note)
+	}
+
 	// higher compares a higher-is-better cell (KIPS, speedup).
 	higher := func(section, name string, oldV, newV float64) {
 		if oldV <= 0 {
@@ -91,6 +113,10 @@ func CompareReports(oldR, newR *Report, threshold float64) *Comparison {
 	}
 
 	switch {
+	case oldR.Table2 != nil && newR.Table2 != nil && driverMismatch(1):
+		// Table 2 is defined at 1 host core; a driver swap there makes
+		// every baseline cell incomparable.
+		noteMismatch("table2", 1)
 	case oldR.Table2 != nil && newR.Table2 != nil:
 		newRows := make(map[string]Table2Row, len(newR.Table2))
 		for _, row := range newR.Table2 {
@@ -123,6 +149,16 @@ func CompareReports(oldR, newR *Report, threshold float64) *Comparison {
 					if !ok {
 						continue
 					}
+					// A speedup cell divides by the 1-host-core baseline, so
+					// it is polluted by a driver swap at either end.
+					if driverMismatch(hc) || driverMismatch(1) {
+						if driverMismatch(hc) {
+							noteMismatch("figure8", hc)
+						} else {
+							noteMismatch("figure8", 1)
+						}
+						continue
+					}
 					higher("figure8", fmt.Sprintf("%s %s h%d speedup", wl, scheme, hc), oldV, newV)
 				}
 			}
@@ -139,6 +175,10 @@ func CompareReports(oldR, newR *Report, threshold float64) *Comparison {
 				if !ok {
 					continue
 				}
+				if driverMismatch(hc) {
+					noteMismatch("figure9", hc)
+					continue
+				}
 				higher("figure9", fmt.Sprintf("%s h%d hmean KIPS", scheme, hc), oldV, newV)
 			}
 		}
@@ -147,6 +187,10 @@ func CompareReports(oldR, newR *Report, threshold float64) *Comparison {
 				for hc, oldV := range byHost {
 					newV, ok := newR.Figure9.KIPS[wl][scheme][hc]
 					if !ok {
+						continue
+					}
+					if driverMismatch(hc) {
+						noteMismatch("figure9", hc)
 						continue
 					}
 					higher("figure9", fmt.Sprintf("%s %s h%d KIPS", wl, scheme, hc), oldV, newV)
@@ -241,7 +285,11 @@ func (c *Comparison) Print(out io.Writer) {
 	}
 	fmt.Fprint(out, t.String())
 	for _, s := range c.Skipped {
-		fmt.Fprintf(out, "skipped %s: present in only one report\n", s)
+		if strings.Contains(s, "driver") {
+			fmt.Fprintf(out, "skipped %s: drivers differ, columns not comparable\n", s)
+		} else {
+			fmt.Fprintf(out, "skipped %s: present in only one report\n", s)
+		}
 	}
 	if c.Regressions > 0 {
 		fmt.Fprintf(out, "%d regression(s) past the %.0f%% threshold over %d compared cells\n",

@@ -107,6 +107,50 @@ func TestCompareThresholdOverride(t *testing.T) {
 	}
 }
 
+func TestCompareSkipsDriverMismatch(t *testing.T) {
+	oldR, newR := fixtureReport(), fixtureReport()
+	oldR.Figure9.KIPS["fft"]["S9*"][1] = 120
+	oldR.Figure9.HMeanKIPS["S9*"][1] = 120
+	newR.Figure9.KIPS["fft"]["S9*"][1] = 60 // would be a -50% regression...
+	newR.Figure9.HMeanKIPS["S9*"][1] = 60
+	oldR.Host.Drivers = map[int]string{1: "parallel", 4: "parallel"}
+	newR.Host.Drivers = map[int]string{1: "fused", 4: "parallel"} // ...but the driver changed
+	c := CompareReports(oldR, newR, 0)
+	if c.Regressions != 0 {
+		t.Fatalf("driver swap at h1 flagged as regression: %+v", c.Cells)
+	}
+	for _, cell := range c.Cells {
+		if strings.Contains(cell.Name, "h1") {
+			t.Fatalf("h1 cell compared across a driver swap: %+v", cell)
+		}
+	}
+	// Table 2 (defined at 1 host core) and Figure 8 (normalized by the
+	// 1-host-core baseline) must be skipped wholesale.
+	for _, cell := range c.Cells {
+		if cell.Section == "table2" || cell.Section == "figure8" {
+			t.Fatalf("%s cell compared across a baseline driver swap: %+v", cell.Section, cell)
+		}
+	}
+	if len(c.Skipped) == 0 {
+		t.Fatal("driver mismatch left no skip note")
+	}
+	var sb strings.Builder
+	c.Print(&sb)
+	if !strings.Contains(sb.String(), "drivers differ") {
+		t.Errorf("Print output lacks driver-mismatch note:\n%s", sb.String())
+	}
+	// The h4 columns agree on the driver and must still be compared.
+	found := false
+	for _, cell := range c.Cells {
+		if cell.Section == "figure9" && strings.Contains(cell.Name, "h4") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("matching h4 figure9 cells were not compared")
+	}
+}
+
 func TestCompareSkipsMissingSections(t *testing.T) {
 	oldR, newR := fixtureReport(), fixtureReport()
 	newR.Figure8 = nil

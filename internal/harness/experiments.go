@@ -391,6 +391,11 @@ type HostInfo struct {
 	GOMAXPROCS int
 	GOOS       string
 	GOARCH     string
+	// Drivers records which execution engine produced each host-core
+	// column (0 = serial reference). A fused 1-host-core column and a
+	// parallel one are different experiments; CompareReports refuses to
+	// diff columns whose drivers disagree (see Runner.DriverNames).
+	Drivers map[int]string `json:",omitempty"`
 }
 
 // CollectHostInfo snapshots the current host for a report header.

@@ -38,6 +38,13 @@ type Options struct {
 	HostCores []int
 	// TargetCores is the simulated CMP size; defaults to 8 (§4.1).
 	TargetCores int
+	// Driver selects the execution engine: "serial", "parallel",
+	// "sharded", "fused", or "auto" (the default). Auto picks the fused
+	// single-goroutine driver when a run's host-core budget is 1 — the
+	// goroutine-per-core fabric is pure overhead there (ROADMAP item 5) —
+	// and the parallel driver otherwise. hostCores == 0 (the serial
+	// reference) always runs serial regardless of Driver.
+	Driver string
 	// Model selects the core timing model; defaults to the OoO target.
 	Model core.CoreModel
 	// Repeat runs each configuration this many times and keeps the best
@@ -105,13 +112,48 @@ func (o *Options) fillDefaults() {
 	if o.Introspect != nil {
 		o.Metrics = true
 	}
+	if o.Driver == "" {
+		o.Driver = "auto"
+	}
+}
+
+// DriverFor resolves the driver name that will execute a run at the given
+// host-core count under these options. hostCores == 0 is the serial
+// reference engine; "auto" maps a 1-host-core budget to the fused driver
+// and everything else to the parallel driver.
+func (o *Options) DriverFor(hostCores int) string {
+	if hostCores == 0 {
+		return "serial"
+	}
+	switch o.Driver {
+	case "", "auto":
+		if hostCores == 1 {
+			return "fused"
+		}
+		return "parallel"
+	default:
+		return o.Driver
+	}
+}
+
+// DriverNames maps every swept host-core count (plus the serial reference
+// at 0) to the driver that produces its column — the Report.Host metadata
+// that keeps `slackbench -compare` from silently diffing fused numbers
+// against parallel ones.
+func (r *Runner) DriverNames() map[int]string {
+	out := map[int]string{0: "serial"}
+	for _, hc := range r.opts.HostCores {
+		out[hc] = r.opts.DriverFor(hc)
+	}
+	return out
 }
 
 // Run is one simulation outcome.
 type Run struct {
 	Workload  string
 	Scheme    core.Scheme
-	HostCores int // 0 = serial reference engine
+	HostCores int    // 0 = serial reference engine
+	Driver    string // engine that produced the result (serial/parallel/sharded/fused)
 	Result    *core.Result
 }
 
@@ -141,6 +183,11 @@ func (r *Runner) Interrupt() {
 // NewRunner pre-assembles the selected workloads.
 func NewRunner(opts Options) (*Runner, error) {
 	opts.fillDefaults()
+	switch opts.Driver {
+	case "auto", "serial", "parallel", "sharded", "fused":
+	default:
+		return nil, fmt.Errorf("harness: unknown driver %q (want serial, parallel, sharded, fused, or auto)", opts.Driver)
+	}
 	r := &Runner{opts: opts, progs: make(map[string]*asm.Program)}
 	for _, name := range opts.Workloads {
 		w, err := workloads.Get(name)
@@ -165,7 +212,7 @@ func (r *Runner) logf(format string, args ...any) {
 	}
 }
 
-func (r *Runner) machine(name string) (*core.Machine, *workloads.Workload, error) {
+func (r *Runner) machine(name, driver string) (*core.Machine, *workloads.Workload, error) {
 	w, err := workloads.Get(name)
 	if err != nil {
 		return nil, nil, err
@@ -177,6 +224,9 @@ func (r *Runner) machine(name string) (*core.Machine, *workloads.Workload, error
 		CPU:        cpu.DefaultConfig(),
 		Cache:      cache.DefaultConfig(r.opts.TargetCores),
 		MaxCycles:  r.opts.MaxCycles,
+	}
+	if driver == "sharded" {
+		cfg.ManagerShards = 2
 	}
 	m, err := core.NewMachine(r.progs[name], cfg)
 	if err != nil {
@@ -195,13 +245,14 @@ func (r *Runner) machine(name string) (*core.Machine, *workloads.Workload, error
 // breakdown is appended to the progress log; with Options.TraceDir set,
 // the kept run's Chrome trace is written there.
 func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, error) {
+	driver := r.opts.DriverFor(hostCores)
 	var best *core.Result
 	var bestTrace *trace.Collector
 	for rep := 0; rep < r.opts.Repeat; rep++ {
 		if r.stop.Load() {
 			return nil, ErrInterrupted
 		}
-		m, w, err := r.machine(name)
+		m, w, err := r.machine(name, driver)
 		if err != nil {
 			return nil, err
 		}
@@ -221,9 +272,17 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 		var res *core.Result
 		start := time.Now()
 		r.current.Store(m)
-		if hostCores == 0 {
+		switch driver {
+		case "serial":
 			res, err = m.RunSerial()
-		} else {
+		case "fused":
+			// The fused driver is single-goroutine by construction, but
+			// GOMAXPROCS still bounds the host budget it is measured under
+			// (GC workers, the OS), same as the parallel drivers.
+			prev := runtime.GOMAXPROCS(hostCores)
+			res, err = m.RunFused(scheme)
+			runtime.GOMAXPROCS(prev)
+		default: // parallel; sharded is the parallel driver with ManagerShards > 1
 			prev := runtime.GOMAXPROCS(hostCores)
 			res, err = m.RunParallel(scheme)
 			runtime.GOMAXPROCS(prev)
@@ -254,8 +313,8 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 			bestTrace = tc
 		}
 	}
-	r.logf("  %-8s %-5v host=%d: %8d cycles  %8d instrs  wall %10v\n",
-		name, scheme, hostCores, best.ROICycles(), best.Committed, best.Wall.Round(time.Microsecond))
+	r.logf("  %-8s %-5v host=%d %-8s: %8d cycles  %8d instrs  wall %10v\n",
+		name, scheme, hostCores, driver, best.ROICycles(), best.Committed, best.Wall.Round(time.Microsecond))
 	if r.opts.Metrics && best.CoreBusy != nil {
 		bd := breakdownOf(best)
 		r.logf("           sync: simulate %5.1f%%  wait %5.1f%%  manager %8v  events %d\n",
@@ -266,7 +325,7 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 			return nil, err
 		}
 	}
-	return &Run{Workload: name, Scheme: scheme, HostCores: hostCores, Result: best}, nil
+	return &Run{Workload: name, Scheme: scheme, HostCores: hostCores, Driver: driver, Result: best}, nil
 }
 
 // flushFailedTrace best-effort-writes a failed run's trace with a _failed

@@ -28,6 +28,49 @@ func TestTable2Small(t *testing.T) {
 	t.Logf("\n%s", out)
 }
 
+func TestDriverSelection(t *testing.T) {
+	auto := Options{}
+	auto.fillDefaults()
+	for hc, want := range map[int]string{0: "serial", 1: "fused", 2: "parallel", 8: "parallel"} {
+		if got := auto.DriverFor(hc); got != want {
+			t.Errorf("auto DriverFor(%d) = %q, want %q", hc, got, want)
+		}
+	}
+	forced := Options{Driver: "parallel"}
+	forced.fillDefaults()
+	if got := forced.DriverFor(1); got != "parallel" {
+		t.Errorf("forced DriverFor(1) = %q, want parallel", got)
+	}
+	if got := forced.DriverFor(0); got != "serial" {
+		t.Errorf("forced DriverFor(0) = %q, want serial (reference engine)", got)
+	}
+	if _, err := NewRunner(Options{Driver: "warp"}); err == nil {
+		t.Error("NewRunner accepted driver \"warp\"")
+	}
+
+	// A 1-host-core run under auto must execute (and record) the fused
+	// driver end to end.
+	r, err := NewRunner(Options{
+		Workloads:   []string{"ocean"},
+		HostCores:   []int{1},
+		TargetCores: 4,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := r.RunOne("ocean", core.SchemeCC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Driver != "fused" {
+		t.Errorf("Run.Driver = %q, want fused", run.Driver)
+	}
+	if names := r.DriverNames(); names[1] != "fused" || names[0] != "serial" {
+		t.Errorf("DriverNames() = %v", names)
+	}
+}
+
 func TestFigure8Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is slow")
