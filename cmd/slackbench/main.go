@@ -45,7 +45,8 @@ func main() {
 		progress   = flag.Bool("progress", true, "log each run as it completes")
 		breakdown  = flag.Bool("breakdown", false, "print the per-scheme sync-overhead breakdown (simulate/wait/manager)")
 		metricsOn  = flag.Bool("metrics", false, "attach a metrics registry to every run and log per-run breakdowns")
-		traceDir   = flag.String("tracedir", "", "write a Chrome trace-event JSON per run into this directory")
+		traceDir   = flag.String("tracedir", "", "write a Chrome trace-event JSON per run into this directory (named <workload>_<scheme>_<driver>_h<hostcores>.json)")
+		bundleDir  = flag.String("bundle-dir", "slackbench-bundles", "write a post-mortem crash bundle under this directory when a sweep run fails (empty disables)")
 		jsonPath   = flag.String("json", "", "also write the numbers of every requested experiment to this file as JSON")
 		listen     = flag.String("listen", "", "serve live introspection (/metrics, /slack, /stallz, /debug/pprof) on this address during the sweep (implies -metrics)")
 		remoteF    = flag.Bool("remote", false, "sweep the distributed remote-shard backend by worker-process count (loopback TCP workers)")
@@ -79,6 +80,7 @@ func main() {
 		Verify:      *verify,
 		Metrics:     *metricsOn,
 		TraceDir:    *traceDir,
+		BundleDir:   *bundleDir,
 	}
 	var srv *introspect.Server
 	if *listen != "" {

@@ -66,6 +66,7 @@ func run(args []string, out, errw io.Writer) error {
 		stallTO   = fs.Duration("stall-timeout", 0, "abort a parallel run whose simulated time stalls for this host duration (0 = 60s default)")
 		audit     = fs.Bool("audit", false, "enable the sampled runtime invariant auditor (Global <= Local <= MaxLocal)")
 		listen    = fs.String("listen", "", "serve live introspection (/metrics, /slack, /stallz, /debug/pprof) on this address during the run (implies metrics collection)")
+		bundleDir = fs.String("bundle-dir", "", "write a post-mortem crash bundle (trace, metrics, stall report, recovery state, MANIFEST) under this directory when the run fails")
 
 		remoteWorkers = fs.String("remote-workers", "", "comma-separated worker addresses (slackworker -listen) to host the memory shards over TCP")
 		remoteSpawn   = fs.Int("remote-spawn", 0, "spawn this many worker child processes (this binary, -worker-stdio) to host the memory shards")
@@ -194,6 +195,9 @@ func run(args []string, out, errw io.Writer) error {
 		reg = metrics.NewRegistry()
 		m.EnableMetrics(reg)
 	}
+	if *bundleDir != "" {
+		m.SetBundleDir(*bundleDir)
+	}
 	if *listen != "" {
 		isrv, err := introspect.New(*listen)
 		if err != nil {
@@ -267,6 +271,9 @@ func run(args []string, out, errw io.Writer) error {
 		// exit nonzero.
 		fmt.Fprintf(errw, "run FAILED: %v\n", err)
 		writeForensics(errw, *forensics, reportOf(err))
+		if p := m.BundlePath(); p != "" {
+			fmt.Fprintf(errw, "crash bundle: %s\n", p)
+		}
 		return fmt.Errorf("simulation failed (%s scheme)", *schemeStr)
 	}
 	res.Wall = time.Since(start)
@@ -290,6 +297,11 @@ func run(args []string, out, errw io.Writer) error {
 		// it, and an all-zero line is itself the "nothing went wrong" signal.
 		fmt.Fprintf(out, "remote recovery: reconnects=%d replayed_batches=%d checkpoints=%d abandoned_workers=%d migrated_shards=%d\n",
 			rec.Reconnects, rec.ReplayedBatches, rec.Checkpoints, rec.AbandonedWorkers, rec.MigratedShards)
+		// A run that finished but abandoned workers still wrote a bundle
+		// (the fleet shrank — someone will want the incident trail).
+		if p := m.BundlePath(); p != "" {
+			fmt.Fprintf(out, "crash bundle: %s\n", p)
+		}
 	}
 
 	if wl != nil && *verify && !res.Aborted {
@@ -344,7 +356,10 @@ func run(args []string, out, errw io.Writer) error {
 		}
 	}
 	if traceFile != nil {
-		if err := tc.WriteChrome(traceFile); err != nil {
+		// WriteTraceChrome merges the whole fleet for a remote run (worker
+		// tracks rebased onto the parent clock, wire flow events,
+		// supervision incidents); local drivers get the plain export.
+		if err := m.WriteTraceChrome(traceFile); err != nil {
 			return fmt.Errorf("writing trace %s: %w", *traceOut, err)
 		}
 		if err := traceFile.Close(); err != nil {
@@ -364,6 +379,9 @@ func run(args []string, out, errw io.Writer) error {
 		// A MaxCycles abort is a failed run: surface the snapshot and make
 		// the process exit nonzero so scripted sweeps notice.
 		writeForensics(errw, *forensics, res.Forensics)
+		if p := m.BundlePath(); p != "" {
+			fmt.Fprintf(errw, "crash bundle: %s\n", p)
+		}
 		return fmt.Errorf("aborted at %d simulated cycles (cycle limit)", res.EndTime)
 	}
 	return nil

@@ -6,10 +6,17 @@ import "slacksim/internal/metrics"
 // counters in r under cache.l2.*. The engine calls it when a run finishes
 // with metrics enabled; on a nil registry it is a no-op.
 func PublishL2Stats(r *metrics.Registry, st L2Stats) {
+	PublishL2StatsPrefix(r, "", st)
+}
+
+// PublishL2StatsPrefix is PublishL2Stats with a name prefix — remote
+// workers publish each shard's hierarchy under "shard<i>." so the
+// federated parent view keeps the shards distinguishable.
+func PublishL2StatsPrefix(r *metrics.Registry, prefix string, st L2Stats) {
 	if r == nil {
 		return
 	}
-	set := func(name string, v int64) { r.Gauge("cache.l2." + name).Set(v) }
+	set := func(name string, v int64) { r.Gauge(prefix + "cache.l2." + name).Set(v) }
 	set("accesses", st.Accesses)
 	set("hits", st.Hits)
 	set("misses", st.Misses)

@@ -276,6 +276,9 @@ func (m *Machine) takeFault() error {
 	if se, ok := f.(*SimError); ok && se.Report == nil {
 		se.Report = m.snapshot(true, 0)
 	}
+	// Crash-bundle capture (bundle.go): every driver funnels its failures
+	// through here post-join, so this one hook covers them all.
+	m.writeFailureBundle(f)
 	return f
 }
 

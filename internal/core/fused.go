@@ -138,6 +138,32 @@ func fusedEdgeTarget(s Scheme, g int64, ad *adaptState) int64 {
 	return target
 }
 
+// publishFusedHighWaters mirrors the fused driver's pending-event depths
+// into the introspection high-water gauges. The fused loop never touches
+// the InQ/OutQ rings (pending replies live in fusedIn, undelivered
+// events in the round's inboxes), so the ring observers installed by
+// EnableIntrospection would leave /slack reporting zeros; this publishes
+// the equivalent per-core depth instead. No-op when introspection is off.
+func (m *Machine) publishFusedHighWaters(inboxes [][]event.Event) {
+	if m.hwIn == nil {
+		return
+	}
+	for i := range m.hwIn {
+		m.hwIn[i].SetMax(int64(len(m.fusedIn[i]) + len(inboxes[i])))
+	}
+}
+
+// fusedNoteInDepth ratchets core i's inq high-water gauge after a fused
+// pending-reply append. The sampled publishFusedHighWaters would miss a
+// reply that is delivered between two samples — on a register-bound
+// workload a single memory miss is exactly that — so the append sites
+// record the depth directly when introspection is on.
+func (m *Machine) fusedNoteInDepth(core int) {
+	if m.introOn && m.hwIn != nil {
+		m.hwIn[core].SetMax(int64(len(m.fusedIn[core])))
+	}
+}
+
 // fusedDeadlocked is detectDeadlock for the fused driver: the GQ, every
 // pending-reply slice and every undelivered inbox must be empty, and the
 // kernel must report every live thread queued on a synchronisation object.
@@ -230,6 +256,11 @@ func (m *Machine) runFusedLoop(s Scheme) {
 	idleRounds := 0
 	quiet := 0
 	rounds := 0
+
+	// Publish the pending-queue high-waters before the first round: an
+	// introspection client that attaches mid-run must see fused ring
+	// depths immediately, not only after the first sampled round below.
+	m.publishFusedHighWaters(inboxes)
 
 	for !m.done.Load() {
 		rounds++
@@ -441,6 +472,7 @@ func (m *Machine) runFusedLoop(s Scheme) {
 				for i := range m.cores {
 					m.refreshMinLeaf(i)
 				}
+				m.publishFusedHighWaters(inboxes)
 			}
 		}
 		if m.trace != nil && (processed || progress) {

@@ -215,3 +215,78 @@ func TestIntrospectionLiveFused(t *testing.T) {
 		t.Error("/slack done=false after the fused run returned")
 	}
 }
+
+// TestFusedSlackHighWaters guards the fused driver's ring-depth mirror:
+// the fused loop never touches the InQ/OutQ rings (pending replies live
+// in fusedIn, undelivered events in round inboxes), so the ring
+// observers installed by EnableIntrospection would leave /slack showing
+// zero high-waters forever. The driver mirrors its pending-queue depths
+// into the gauges instead — on attach and on the sampled rounds — and a
+// client must see a nonzero inq high-water from the memory replies core
+// 0's fetch misses park across rounds.
+func TestFusedSlackHighWaters(t *testing.T) {
+	srv, err := introspect.New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m := mustMachine(t, longProg, smallConfig(2, ModelOoO))
+	m.EnableMetrics(metrics.NewRegistry())
+	if err := m.EnableIntrospection(srv); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.RunFused(SchemeS9)
+		done <- err
+	}()
+
+	base := "http://" + srv.Addr()
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// Poll until a high-water surfaces mid-run; the gauges only ratchet
+	// up (SetMax), so once seen it stays visible.
+	var snap introspect.SlackSnapshot
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := json.Unmarshal([]byte(get("/slack")), &snap); err != nil {
+			t.Fatalf("bad /slack JSON: %v", err)
+		}
+		if hw := maxInQHighWater(snap); hw > 0 || snap.Done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(get("/slack")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if hw := maxInQHighWater(snap); hw == 0 {
+		t.Errorf("fused run left all inq high-waters at zero: %+v", snap.Cores)
+	}
+}
+
+func maxInQHighWater(snap introspect.SlackSnapshot) int64 {
+	var hw int64
+	for _, c := range snap.Cores {
+		if c.InQHighWater > hw {
+			hw = c.InQHighWater
+		}
+	}
+	return hw
+}

@@ -348,6 +348,13 @@ type Machine struct {
 	schemeLive atomic.Pointer[Scheme]
 	hwIn       []*metrics.Gauge
 	hwOut      []*metrics.Gauge
+
+	// Crash-bundle plumbing (bundle.go; inert unless SetBundleDir ran).
+	// bundleDone latches the first write — takeFault runs once per driver
+	// exit path and the bundle must not be clobbered by a second pass.
+	bundleDir  string
+	bundlePath string
+	bundleDone bool
 }
 
 // NewMachine loads prog into a fresh machine.
@@ -468,6 +475,7 @@ func NewMachine(prog *asm.Program, cfg Config) (*Machine, error) {
 			// floor directly in its next manager phase — no min-tree, no
 			// wake-up.
 			m.fusedIn[core] = append(m.fusedIn[core], grant)
+			m.fusedNoteInDepth(core)
 			m.resumeFloor[core].v.Store(grantAt)
 			m.blocked[core].v.Store(0)
 			return

@@ -199,6 +199,7 @@ func (m *Machine) processMem(ev event.Event) {
 func (m *Machine) pushReply(core int, ev event.Event) {
 	if m.fused {
 		m.fusedIn[core] = append(m.fusedIn[core], ev)
+		m.fusedNoteInDepth(core)
 		return
 	}
 	m.inQ[core].MustPush(ev)

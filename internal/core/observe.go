@@ -116,6 +116,12 @@ func (m *Machine) EnableTrace(c *trace.Collector) {
 			m.shardTW[s] = c.Writer(fmt.Sprintf("shard %d", s), int32(n+1+s))
 		}
 	}
+	if m.remote != nil {
+		// Parent end of the wire-flow correlation: every gate frame the
+		// manager enqueues records a KWireSend whose flow id the worker's
+		// KWireRecv echoes, so the merged export can draw the arrow.
+		m.remote.wireTW = c.Writer("wire", int32(n+1))
+	}
 }
 
 // coreWriter returns core i's trace writer (nil when tracing is off).

@@ -184,6 +184,24 @@ type remoteState struct {
 	wireParent  remote.WireStats
 	wireWorkers remote.WireStats
 	statsOK     int // workers whose stats arrived
+
+	// Fleet observability (remoteobs.go): worker trace chunks and
+	// per-epoch clock-offset estimates collected by the receivers,
+	// supervision incidents appended at lifecycle transitions, and the
+	// once-per-worker trace-drop warning latch. All under obsMu — these
+	// paths are off the per-event hot path (heartbeats, checkpoints,
+	// supervision), so one mutex is cheap and keeps the export side
+	// trivially safe.
+	obsMu     sync.Mutex
+	chunks    map[int]map[int]*remote.TraceChunk // worker -> epoch -> latest chunk
+	clockOff  map[int]map[int]int64              // worker -> epoch -> parent-worker clock offset (ns)
+	incidents []trace.Incident
+	dropWarn  map[int]bool
+
+	// wireTW is the parent's wire trace track: one KWireSend instant per
+	// gate frame enqueued, carrying the flow id the worker's matching
+	// KWireRecv echoes. Manager goroutine only (gates are enqueued there).
+	wireTW *trace.Writer
 }
 
 func newRemoteState(cfg Config) *remoteState {
@@ -199,6 +217,9 @@ func newRemoteState(cfg Config) *remoteState {
 	r.stage = make([][]event.Event, r.n)
 	r.adopted = make([]*adoptedShard, r.n)
 	r.l2stats = make([]cache.L2Stats, r.n)
+	r.chunks = make(map[int]map[int]*remote.TraceChunk)
+	r.clockOff = make(map[int]map[int]int64)
+	r.dropWarn = make(map[int]bool)
 	return r
 }
 
@@ -467,6 +488,15 @@ func (m *Machine) RunRemoteShardedOpts(s Scheme, opts *RemoteOptions) (*Result, 
 	if err := m.takeFault(); err != nil {
 		return nil, err
 	}
+	// A run that finished bit-exact but lost a worker for good is still a
+	// post-mortem: the fleet shrank, and whoever operates it wants the
+	// merged trace and incident log. Capture a bundle on the success path
+	// too when any worker was abandoned.
+	if m.bundleDir != "" && m.remote.abandoned.Load() > 0 {
+		m.writeFailureBundle(fmt.Errorf(
+			"remote: run completed with %d abandoned worker(s), %d shard(s) migrated in-process",
+			m.remote.abandoned.Load(), m.remote.migrated.Load()))
+	}
 	return m.result(time.Since(start)), nil
 }
 
@@ -561,6 +591,10 @@ func (m *Machine) remoteHello(w *remoteWorker, resume bool) *remote.Hello {
 		SessionID:       m.remote.session,
 		ResumeSession:   resume,
 		Epoch:           int(w.epoch.Load()),
+		// Fleet observability rides on the parent's own: a worker only
+		// pays for trace rings and a registry when the parent has somewhere
+		// to merge them, which keeps the disabled-overhead budget intact.
+		Observe: m.tracer != nil || m.met != nil,
 	}
 }
 
@@ -658,7 +692,21 @@ func (m *Machine) remoteReceiver(w *remoteWorker, conn *remote.Conn, skip []int6
 		}
 		switch f.Type {
 		case remote.FHeartbeat:
-			// Liveness only; lastHeard already advanced.
+			// Liveness (lastHeard already advanced) plus, when the worker is
+			// observed, a sample of its trace clock for offset estimation.
+			if ns, ok := remote.DecodeClock(f.Payload); ok {
+				m.noteWorkerClock(w, int(w.epoch.Load()), ns)
+			}
+		case remote.FTraceChunk:
+			var tc remote.TraceChunk
+			if json.Unmarshal(f.Payload, &tc) == nil && tc.WorkerID == w.id {
+				m.storeTraceChunk(w, &tc)
+			}
+		case remote.FMetrics:
+			var up remote.MetricsUpdate
+			if json.Unmarshal(f.Payload, &up) == nil && m.met != nil {
+				m.met.reg.Fold(fmt.Sprintf("worker%d.", w.id), up.Snapshot)
+			}
 		case remote.FCheckpointAck:
 			// Stale resume ack replayed from the journal; harmless.
 		case remote.FReplies:
@@ -737,6 +785,11 @@ func (m *Machine) remoteReceiver(w *remoteWorker, conn *remote.Conn, skip []int6
 		case remote.FStats:
 			var st remote.WorkerStats
 			if json.Unmarshal(f.Payload, &st) == nil {
+				if st.ClockNS > 0 {
+					// Final clock sample: on heartbeat-less short runs this
+					// is the only offset estimate the merge ever gets.
+					m.noteWorkerClock(w, int(w.epoch.Load()), st.ClockNS)
+				}
 				w.stats = st
 				w.gotStats = true
 			}
@@ -772,6 +825,7 @@ func (m *Machine) superviseWorker(w *remoteWorker) {
 		w.mu.Unlock()
 
 		failed := false
+		suspected := false
 		for !failed {
 			select {
 			case <-w.dying:
@@ -795,10 +849,17 @@ func (m *Machine) superviseWorker(w *remoteWorker) {
 				failed = true
 			case <-tickC:
 				since := time.Duration(time.Now().UnixNano() - w.lastHeard.Load())
-				if w.sup.CheckBeat(since, hb) == remote.BeatDead {
+				switch w.sup.CheckBeat(since, hb) {
+				case remote.BeatDead:
 					// Silent hang: force the blocked reader out; the failure
 					// then takes the ordinary recovery path below.
 					conn.Close()
+				case remote.BeatLate:
+					if !suspected {
+						suspected = true
+						m.remoteIncident(w, "suspect",
+							fmt.Sprintf("no frame for %v", since.Round(time.Millisecond)))
+					}
 				}
 			}
 		}
@@ -815,10 +876,13 @@ func (m *Machine) superviseWorker(w *remoteWorker) {
 			return
 		}
 		w.sup.Failure()
+		m.remoteIncident(w, "reconnecting",
+			fmt.Sprintf("connection lost in epoch %d", w.epoch.Load()))
 		if m.recoverWorker(w) {
 			continue
 		}
 		w.sup.Abandon()
+		m.remoteIncident(w, "abandoned", "retry budget exhausted")
 		r.abandoned.Add(1)
 		// Wake the manager's watermark wait so it migrates the shards.
 		select {
@@ -940,6 +1004,8 @@ func (m *Machine) resumeWorker(w *remoteWorker, t remote.Transport) bool {
 	r.replayedBatches.Add(replayed)
 	m.spawnConnGoroutines(w, conn, stopSend, sendDone, recvDone, skip)
 	w.sup.Recovered()
+	m.remoteIncident(w, "recovered",
+		fmt.Sprintf("epoch %d, replaying %d batches", w.epoch.Load(), replayed))
 	return true
 }
 
@@ -1015,6 +1081,8 @@ func (m *Machine) adoptWorker(w *remoteWorker) {
 	m.evShard.Add(dec.Events)
 	r.replayedBatches.Add(replayed)
 	r.migrated.Add(int64(len(dec.Shards)))
+	m.remoteIncident(w, "adopted",
+		fmt.Sprintf("%d shard(s) migrated in-process", len(dec.Shards)))
 }
 
 // adoptAbandonedWorkers migrates the shards of every newly abandoned
@@ -1168,6 +1236,7 @@ func (m *Machine) runRemoteManager(s Scheme) {
 		for _, w := range r.workers {
 			w.enqueue(wireMsg{kind: remote.FGate, gate: math.MaxInt64})
 			w.lastGate = math.MaxInt64
+			r.wireTW.Instant(trace.KWireSend, trace.WireFlowID(w.id, math.MaxInt64))
 		}
 	}
 
@@ -1232,6 +1301,10 @@ func (m *Machine) runRemoteManager(s Scheme) {
 					if !w.adoptedFlag && allowed > w.lastGate {
 						w.lastGate = allowed
 						w.enqueue(wireMsg{kind: remote.FGate, gate: allowed})
+						// Flow-event anchor: the worker's FGate receive records
+						// a KWireRecv with the identical flow id, and the merge
+						// pairs them into an s/f arrow across the processes.
+						r.wireTW.Instant(trace.KWireSend, trace.WireFlowID(w.id, allowed))
 					}
 				}
 				m.waitRemoteWatermarks(allowed)
@@ -1405,6 +1478,13 @@ func (m *Machine) remoteShutdown() {
 				r.l2stats[sl.Shard] = sl.Stats
 			}
 		}
+		// Federation: the worker's final registry snapshot lands under
+		// its "worker<i>." prefix, and its ring-drop counts become
+		// counters plus the once-per-worker stderr warning.
+		if m.met != nil && w.stats.Metrics != nil {
+			m.met.reg.Fold(fmt.Sprintf("worker%d.", w.id), *w.stats.Metrics)
+		}
+		m.warnWorkerDropped(w, w.stats.TraceDropped)
 	}
 	for sh, as := range r.adopted {
 		if as != nil {

@@ -11,7 +11,9 @@ import (
 	"slacksim/internal/cache"
 	"slacksim/internal/event"
 	"slacksim/internal/faultinject"
+	"slacksim/internal/metrics"
 	"slacksim/internal/remote"
+	"slacksim/internal/trace"
 )
 
 // This file is the worker side of the distributed remote-shard backend:
@@ -79,6 +81,9 @@ func ServeRemoteShardsOpts(t remote.Transport, opts *WorkerOptions) error {
 		return err
 	}
 	w := &remoteWorkerLoop{conn: c, hello: hello, opts: opts, logf: opts.Logf}
+	if hello.Observe {
+		w.enableObservability()
+	}
 	for _, idx := range hello.Shards {
 		l2, lerr := cache.NewL2System(hello.Cache)
 		if lerr != nil {
@@ -117,6 +122,111 @@ type remoteWorkerLoop struct {
 	// the checkpoint encode buffer reused across FCheckpoint frames.
 	scratch []event.Event
 	ckptBuf []byte
+
+	// Worker-side observability (all nil unless the Hello set Observe):
+	// the worker's own trace collector and metrics registry, shipped back
+	// over the wire for fleet-wide correlation (see internal/trace/merge
+	// and the parent's fold in remote.go).
+	tracer  *trace.Collector
+	wireTW  *trace.Writer      // wire receive/flow track
+	procTW  *trace.Writer      // processing-pass track
+	reg     *metrics.Registry  // worker registry (federated)
+	metHB   *metrics.Counter   // worker.heartbeats
+	metCkpt *metrics.Counter   // worker.checkpoints
+	metGate *metrics.Counter   // worker.gates
+	metBat  *metrics.Counter   // worker.batches
+	metEv   *metrics.Counter   // worker.events
+	batchH  *metrics.Histogram // worker.batch.events
+	lastObs time.Time          // last periodic trace/metrics ship (throttle)
+}
+
+// workerTraceCapacity keeps per-writer worker rings small enough that a
+// JSON trace chunk (sent with every checkpoint) stays well under the
+// frame ceiling.
+const workerTraceCapacity = 1 << 12
+
+// obsMinInterval throttles the periodic trace/metrics frames that ride
+// behind checkpoints. Each snapshot supersedes its predecessor on the
+// parent, so shipping one per checkpoint under a tight CheckpointEvery
+// is pure wire overhead — a full ring snapshot costs a JSON encode, a
+// synchronous pipe transfer, and a decode, which must stay a small
+// fraction of the interval or the sim ends up feeding its own
+// instrumentation. One second bounds the trace/metrics staleness a
+// worker crash can leave behind; the unconditional pre-FStats chunk
+// still guarantees the merged views are complete at session end.
+const obsMinInterval = time.Second
+
+// enableObservability builds the worker's collector and registry (the
+// parent asked via Hello.Observe).
+func (w *remoteWorkerLoop) enableObservability() {
+	w.tracer = trace.NewWithCapacity(workerTraceCapacity)
+	w.wireTW = w.tracer.Writer("wire", 0)
+	w.procTW = w.tracer.Writer(fmt.Sprintf("worker %d shards", w.hello.WorkerID), 1)
+	w.reg = metrics.NewRegistry()
+	w.metHB = w.reg.Counter("worker.heartbeats")
+	w.metCkpt = w.reg.Counter("worker.checkpoints")
+	w.metGate = w.reg.Counter("worker.gates")
+	w.metBat = w.reg.Counter("worker.batches")
+	w.metEv = w.reg.Counter("worker.events")
+	w.batchH = w.reg.Histogram("worker.batch.events")
+}
+
+// publishShardStats refreshes the per-shard hierarchy gauges in the
+// worker registry (cheap: a handful of gauge stores per shard).
+func (w *remoteWorkerLoop) publishShardStats() {
+	if w.reg == nil {
+		return
+	}
+	for _, sh := range w.shards {
+		cache.PublishL2StatsPrefix(w.reg, fmt.Sprintf("shard%d.", sh.idx), sh.l2.Stats)
+	}
+}
+
+// heartbeatPayload is the worker's clock sample (empty when unobserved);
+// the parent estimates the trace-clock offset from it.
+func (w *remoteWorkerLoop) heartbeatPayload() []byte {
+	if w.tracer == nil {
+		return nil
+	}
+	return remote.AppendClock(nil, w.tracer.Now())
+}
+
+// sendTraceChunk ships the current ring snapshot; each chunk supersedes
+// the previous one parent-side, so periodic sends cost no duplication.
+func (w *remoteWorkerLoop) sendTraceChunk() error {
+	if w.tracer == nil {
+		return nil
+	}
+	ch := remote.TraceChunk{
+		SessionID: w.hello.SessionID,
+		WorkerID:  w.hello.WorkerID,
+		Epoch:     w.hello.Epoch,
+		ClockNS:   w.tracer.Now(),
+		Writers:   w.tracer.Chunk(),
+	}
+	body, err := json.Marshal(&ch)
+	if err != nil {
+		return err
+	}
+	return w.conn.WriteFrame(remote.FTraceChunk, body)
+}
+
+// sendMetricsUpdate ships a live registry snapshot for federation.
+func (w *remoteWorkerLoop) sendMetricsUpdate() error {
+	if w.reg == nil {
+		return nil
+	}
+	w.publishShardStats()
+	up := remote.MetricsUpdate{
+		WorkerID: w.hello.WorkerID,
+		Epoch:    w.hello.Epoch,
+		Snapshot: w.reg.Snapshot(),
+	}
+	body, err := json.Marshal(&up)
+	if err != nil {
+		return err
+	}
+	return w.conn.WriteFrame(remote.FMetrics, body)
 }
 
 func (w *remoteWorkerLoop) logln(format string, args ...any) {
@@ -241,7 +351,8 @@ func (w *remoteWorkerLoop) serve() (err error) {
 					return fmt.Errorf("core: remote worker %d: orphaned (no frame in %v)", w.hello.WorkerID, w.readTimeout())
 				}
 				if w.heartbeat() > 0 {
-					if err := w.conn.WriteFrame(remote.FHeartbeat, nil); err != nil {
+					w.metHB.Inc()
+					if err := w.conn.WriteFrame(remote.FHeartbeat, w.heartbeatPayload()); err != nil {
 						return fmt.Errorf("core: remote worker %d: heartbeat: %w", w.hello.WorkerID, err)
 					}
 					if err := w.conn.Flush(); err != nil {
@@ -259,10 +370,12 @@ func (w *remoteWorkerLoop) serve() (err error) {
 			// stale ack after a resume is harmless by design.)
 		case remote.FEvents:
 			w.batches++
+			w.metBat.Inc()
 			shard, evs, derr := w.conn.DecodeEvents(f.Payload, w.scratch[:0])
 			if derr != nil {
 				return fmt.Errorf("core: remote worker %d: %w", w.hello.WorkerID, derr)
 			}
+			w.batchH.Observe(int64(len(evs)))
 			sh := w.shardByIndex(shard)
 			if sh == nil {
 				return fmt.Errorf("core: remote worker %d: batch for foreign shard %d", w.hello.WorkerID, shard)
@@ -291,6 +404,11 @@ func (w *remoteWorkerLoop) serve() (err error) {
 				w.gate = t
 			}
 			w.gates++
+			w.metGate.Inc()
+			// The receive half of the cross-process flow event: the parent
+			// recorded KWireSend with the same flow id when it wrote this
+			// gate, so the merged timeline draws an arrow across the wire.
+			w.wireTW.Instant(trace.KWireRecv, trace.WireFlowID(w.hello.WorkerID, t))
 			if err := w.processAndReply(); err != nil {
 				return err
 			}
@@ -308,6 +426,19 @@ func (w *remoteWorkerLoop) serve() (err error) {
 			if k := w.hello.CheckpointEvery; k > 0 && w.gates%int64(k) == 0 {
 				if err := w.sendCheckpoint(); err != nil {
 					return err
+				}
+				// Observability piggybacks on the checkpoint cadence — but
+				// throttled: ring and registry snapshots replace, not append,
+				// so at most one ships per obsMinInterval however tight the
+				// checkpoint spacing is.
+				if now := time.Now(); now.Sub(w.lastObs) >= obsMinInterval {
+					w.lastObs = now
+					if err := w.sendTraceChunk(); err != nil {
+						return err
+					}
+					if err := w.sendMetricsUpdate(); err != nil {
+						return err
+					}
 				}
 			}
 			if err := w.conn.Flush(); err != nil {
@@ -335,6 +466,8 @@ func (w *remoteWorkerLoop) shardByIndex(idx int) *remoteShard {
 // shard — in (timestamp, core, seq) order within each shard, exactly the
 // order the in-process shard worker pushes its rings in.
 func (w *remoteWorkerLoop) processAndReply() error {
+	ps := w.procTW.Begin()
+	before := w.events
 	for _, sh := range w.shards {
 		sh.replies = sh.replies[:0]
 		for {
@@ -354,6 +487,10 @@ func (w *remoteWorkerLoop) processAndReply() error {
 				return err
 			}
 		}
+	}
+	if done := w.events - before; done > 0 {
+		w.procTW.Span(trace.KProcess, ps, done)
+		w.metEv.Add(done)
 	}
 	return nil
 }
@@ -387,6 +524,7 @@ func (w *remoteWorkerLoop) sendCheckpoint() error {
 	if err := w.conn.WriteFrame(remote.FCheckpoint, w.ckptBuf); err != nil {
 		return err
 	}
+	w.metCkpt.Inc()
 	w.persistCheckpoint()
 	return nil
 }
@@ -408,8 +546,12 @@ func (w *remoteWorkerLoop) persistCheckpoint() {
 }
 
 // sendStats answers FFinish with the session's counters and says
-// goodbye.
+// goodbye. When observing, the final trace chunk precedes the stats so
+// the parent has the complete rings before it folds the run's results.
 func (w *remoteWorkerLoop) sendStats() error {
+	if err := w.sendTraceChunk(); err != nil {
+		return err
+	}
 	st := remote.WorkerStats{
 		WorkerID: w.hello.WorkerID,
 		Events:   w.events,
@@ -417,6 +559,18 @@ func (w *remoteWorkerLoop) sendStats() error {
 	}
 	for _, sh := range w.shards {
 		st.L2 = append(st.L2, remote.ShardL2{Shard: sh.idx, Stats: sh.l2.Stats})
+	}
+	if w.reg != nil {
+		w.publishShardStats()
+		snap := w.reg.Snapshot()
+		st.Metrics = &snap
+		st.ClockNS = w.tracer.Now()
+		st.TraceDropped = make(map[string]int64)
+		for _, tw := range w.tracer.Writers() {
+			if d := tw.Dropped(); d > 0 {
+				st.TraceDropped[tw.Name()] = d
+			}
+		}
 	}
 	body, err := json.Marshal(st)
 	if err != nil {

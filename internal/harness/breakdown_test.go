@@ -44,7 +44,9 @@ func TestRunOneObservability(t *testing.T) {
 		t.Errorf("log missing the breakdown line:\n%s", log.String())
 	}
 
-	path := filepath.Join(dir, "ocean_S9x_h2.json")
+	// The driver is part of the file name so sweep columns sharing a
+	// host-core count never overwrite each other's traces.
+	path := filepath.Join(dir, "ocean_S9x_parallel_h2.json")
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("trace not written: %v", err)

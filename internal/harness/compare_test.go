@@ -151,6 +151,72 @@ func TestCompareSkipsDriverMismatch(t *testing.T) {
 	}
 }
 
+// TestCompareMissingDriverMetadata pins the backward-compatibility rule:
+// a report written before Host.Drivers existed carries no driver names,
+// and its columns must compare as before — the mismatch gate only fires
+// when BOTH reports recorded a driver and the names disagree.
+func TestCompareMissingDriverMetadata(t *testing.T) {
+	oldR, newR := fixtureReport(), fixtureReport()
+	// Old report predates the metadata; new one records it.
+	newR.Host.Drivers = map[int]string{1: "fused", 4: "parallel"}
+	newR.Table2[0].KIPS = 85               // -15%: a real regression...
+	newR.Figure9.HMeanKIPS["S9*"][4] = 300 // -14%: ...and another
+	c := CompareReports(oldR, newR, 0)
+	// fft KIPS, the table2 harmonic mean it drags down, and the figure9
+	// harmonic mean: all three must be flagged, none gated.
+	if c.Regressions != 3 {
+		t.Fatalf("Regressions = %d, want 3 (missing metadata must not gate)\n%+v",
+			c.Regressions, c.Cells)
+	}
+	if len(c.Skipped) != 0 {
+		t.Fatalf("missing driver metadata produced skips: %v", c.Skipped)
+	}
+
+	// Same with the reports swapped: only the old side has metadata.
+	oldR, newR = fixtureReport(), fixtureReport()
+	oldR.Host.Drivers = map[int]string{1: "parallel", 4: "parallel"}
+	newR.Table2[0].KIPS = 85
+	if c := CompareReports(oldR, newR, 0); c.Regressions != 2 || len(c.Skipped) != 0 {
+		t.Fatalf("one-sided metadata gated the comparison: regressions=%d skipped=%v",
+			c.Regressions, c.Skipped)
+	}
+}
+
+// TestCompareSkipNoteNamesColumn: when the driver gate does fire, the
+// skip note (and its Print rendering) must name the host-core column and
+// both drivers, so a CI log reads as "h4 measured by a different engine"
+// rather than a bare section name.
+func TestCompareSkipNoteNamesColumn(t *testing.T) {
+	oldR, newR := fixtureReport(), fixtureReport()
+	oldR.Host.Drivers = map[int]string{1: "parallel", 4: "parallel"}
+	newR.Host.Drivers = map[int]string{1: "parallel", 4: "sharded"}
+	c := CompareReports(oldR, newR, 0)
+	if len(c.Skipped) == 0 {
+		t.Fatal("h4 driver swap left no skip note")
+	}
+	var found bool
+	for _, s := range c.Skipped {
+		if strings.Contains(s, "h4") {
+			found = true
+			if !strings.Contains(s, "parallel") || !strings.Contains(s, "sharded") {
+				t.Errorf("skip note %q does not name both drivers", s)
+			}
+		}
+		if strings.Contains(s, "h1") {
+			t.Errorf("matching h1 column skipped: %q", s)
+		}
+	}
+	if !found {
+		t.Fatalf("no skip note names the h4 column: %v", c.Skipped)
+	}
+	var sb strings.Builder
+	c.Print(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "h4") || !strings.Contains(out, "drivers differ") {
+		t.Errorf("Print output does not name the skipped column:\n%s", out)
+	}
+}
+
 func TestCompareSkipsMissingSections(t *testing.T) {
 	oldR, newR := fixtureReport(), fixtureReport()
 	newR.Figure8 = nil

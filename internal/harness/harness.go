@@ -60,14 +60,20 @@ type Options struct {
 	Metrics bool
 	// TraceDir, when non-empty, writes a Chrome trace-event JSON per run
 	// into this directory (created if missing), named
-	// <workload>_<scheme>_h<hostcores>.json. A run that dies (SimError,
-	// stall abort) still flushes its trace, suffixed _failed, so the
-	// forensic record is not lost with the run.
+	// <workload>_<scheme>_<driver>_h<hostcores>.json — the driver is in
+	// the name so sweep columns sharing a host-core count cannot
+	// overwrite each other. A run that dies (SimError, stall abort) still
+	// flushes its trace, suffixed _failed, so the forensic record is not
+	// lost with the run.
 	TraceDir string
 	// Introspect, when non-nil, attaches every run to the live
 	// introspection server (implies Metrics: the live views are built from
 	// the registry).
 	Introspect *introspect.Server
+	// BundleDir, when non-empty, arms post-mortem crash bundles: a run
+	// that fails (SimError, stall, abandoned workers) writes a
+	// self-contained forensics directory under it (internal/bundle).
+	BundleDir string
 }
 
 func (o *Options) fillDefaults() {
@@ -269,6 +275,9 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 			tc = trace.New()
 			m.EnableTrace(tc)
 		}
+		if r.opts.BundleDir != "" {
+			m.SetBundleDir(r.opts.BundleDir)
+		}
 		var res *core.Result
 		start := time.Now()
 		r.current.Store(m)
@@ -295,12 +304,14 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 			// The trace holds the events leading up to the failure — flush
 			// it before surfacing the error, or the forensic record dies
 			// with the run.
-			r.flushFailedTrace(tc, name, scheme, hostCores)
+			r.flushFailedTrace(tc, name, scheme, driver, hostCores)
+			r.logBundle(m)
 			return nil, fmt.Errorf("harness: %s/%v: %w", name, scheme, err)
 		}
 		res.Wall = time.Since(start)
 		if res.Aborted {
-			r.flushFailedTrace(tc, name, scheme, hostCores)
+			r.flushFailedTrace(tc, name, scheme, driver, hostCores)
+			r.logBundle(m)
 			return nil, fmt.Errorf("harness: %s/%v aborted at %d cycles", name, scheme, res.EndTime)
 		}
 		if r.opts.Verify {
@@ -321,43 +332,63 @@ func (r *Runner) RunOne(name string, scheme core.Scheme, hostCores int) (*Run, e
 			bd.simPct(), bd.waitPct(), best.ManagerBusy.Round(time.Microsecond), best.EventsProcessed)
 	}
 	if bestTrace != nil {
-		if err := r.writeTrace(bestTrace, name, scheme, hostCores, ""); err != nil {
+		if err := r.writeTrace(bestTrace.WriteChrome, bestTrace.TotalDropped(),
+			traceBase(name, scheme, driver, hostCores, "")); err != nil {
 			return nil, err
 		}
 	}
 	return &Run{Workload: name, Scheme: scheme, HostCores: hostCores, Driver: driver, Result: best}, nil
 }
 
+// logBundle reports a crash-bundle directory the failed machine wrote.
+func (r *Runner) logBundle(m *core.Machine) {
+	if p := m.BundlePath(); p != "" {
+		r.logf("           crash bundle: %s\n", p)
+	}
+}
+
+// traceBase builds a run's trace file base name. The driver is part of
+// the name: an "auto" sweep runs different drivers at different
+// host-core columns, and two columns that happen to share a host-core
+// count (or a re-run under another driver) must not overwrite each
+// other's traces.
+func traceBase(name string, scheme core.Scheme, driver string, hostCores int, suffix string) string {
+	// "S9*" must survive as a file name.
+	sname := strings.ReplaceAll(scheme.String(), "*", "x")
+	return fmt.Sprintf("%s_%s_%s_h%d%s", name, sname, driver, hostCores, suffix)
+}
+
 // flushFailedTrace best-effort-writes a failed run's trace with a _failed
 // suffix. The run is already dead; a trace-write error only gets logged.
-func (r *Runner) flushFailedTrace(tc *trace.Collector, name string, scheme core.Scheme, hostCores int) {
+func (r *Runner) flushFailedTrace(tc *trace.Collector, name string, scheme core.Scheme, driver string, hostCores int) {
 	if tc == nil {
 		return
 	}
-	if err := r.writeTrace(tc, name, scheme, hostCores, "_failed"); err != nil {
+	if err := r.writeTrace(tc.WriteChrome, tc.TotalDropped(),
+		traceBase(name, scheme, driver, hostCores, "_failed")); err != nil {
 		r.logf("           trace (failed run): %v\n", err)
 	}
 }
 
-// writeTrace dumps one run's collector into Options.TraceDir.
-func (r *Runner) writeTrace(tc *trace.Collector, name string, scheme core.Scheme, hostCores int, suffix string) error {
+// writeTrace dumps one run's trace into Options.TraceDir via write
+// (Collector.WriteChrome for local drivers, Machine.WriteTraceChrome for
+// a remote run's merged fleet timeline).
+func (r *Runner) writeTrace(write func(io.Writer) error, dropped int64, base string) error {
 	if err := os.MkdirAll(r.opts.TraceDir, 0o755); err != nil {
 		return fmt.Errorf("harness: %w", err)
 	}
-	// "S9*" must survive as a file name.
-	sname := strings.ReplaceAll(scheme.String(), "*", "x")
-	path := filepath.Join(r.opts.TraceDir, fmt.Sprintf("%s_%s_h%d%s.json", name, sname, hostCores, suffix))
+	path := filepath.Join(r.opts.TraceDir, base+".json")
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("harness: %w", err)
 	}
 	defer f.Close()
-	if err := tc.WriteChrome(f); err != nil {
+	if err := write(f); err != nil {
 		return fmt.Errorf("harness: writing %s: %w", path, err)
 	}
 	r.logf("           trace: %s\n", path)
-	if d := tc.TotalDropped(); d > 0 {
-		r.logf("           trace: %d event(s) dropped (ring wrapped; raise trace ring size)\n", d)
+	if dropped > 0 {
+		r.logf("           trace: %d event(s) dropped (ring wrapped; raise trace ring size)\n", dropped)
 	}
 	return nil
 }

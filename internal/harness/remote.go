@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
 	"slacksim/internal/cache"
 	"slacksim/internal/core"
 	"slacksim/internal/cpu"
+	"slacksim/internal/metrics"
 	"slacksim/internal/remote"
 	"slacksim/internal/stats"
+	"slacksim/internal/trace"
 	"slacksim/internal/workloads"
 )
 
@@ -143,9 +146,14 @@ func startLoopbackWorkers(nw int) (*loopbackWorkers, error) {
 
 // RunOneRemote executes workload name under scheme over the distributed
 // backend with the given shard and worker-endpoint counts, keeping the
-// best of Repeat wall times.
+// best of Repeat wall times. The local observability options apply to
+// the whole fleet: with Metrics the worker registries federate under
+// "worker<i>." prefixes, with TraceDir the kept (or failed) run writes
+// the merged cross-process timeline, and with BundleDir a failed run
+// leaves a crash bundle.
 func (r *Runner) RunOneRemote(name string, scheme core.Scheme, shards, workers int) (*core.Result, error) {
 	var best *core.Result
+	var bestMachine *core.Machine
 	for rep := 0; rep < r.opts.Repeat; rep++ {
 		if r.stop.Load() {
 			return nil, ErrInterrupted
@@ -153,6 +161,22 @@ func (r *Runner) RunOneRemote(name string, scheme core.Scheme, shards, workers i
 		m, w, err := r.remoteMachine(name, shards)
 		if err != nil {
 			return nil, err
+		}
+		if r.opts.Metrics {
+			m.EnableMetrics(metrics.NewRegistry())
+		}
+		if r.opts.Introspect != nil {
+			if err := m.EnableIntrospection(r.opts.Introspect); err != nil {
+				return nil, fmt.Errorf("harness: %s/%v remote: %w", name, scheme, err)
+			}
+		}
+		traced := false
+		if r.opts.TraceDir != "" {
+			m.EnableTrace(trace.New())
+			traced = true
+		}
+		if r.opts.BundleDir != "" {
+			m.SetBundleDir(r.opts.BundleDir)
 		}
 		fleet, err := startLoopbackWorkers(workers)
 		if err != nil {
@@ -169,13 +193,20 @@ func (r *Runner) RunOneRemote(name string, scheme core.Scheme, shards, workers i
 		if r.stop.Load() {
 			return nil, ErrInterrupted
 		}
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s/%v w%d remote: %w", name, scheme, workers, err)
-		}
-		res.Wall = time.Since(start)
-		if res.Aborted {
+		if err != nil || (res != nil && res.Aborted) {
+			if traced {
+				if werr := r.writeTrace(m.WriteTraceChrome, m.FleetTraceDropped(),
+					remoteTraceBase(name, scheme, workers, "_failed")); werr != nil {
+					r.logf("           trace (failed run): %v\n", werr)
+				}
+			}
+			r.logBundle(m)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%v w%d remote: %w", name, scheme, workers, err)
+			}
 			return nil, fmt.Errorf("harness: %s/%v w%d remote aborted at %d cycles", name, scheme, workers, res.EndTime)
 		}
+		res.Wall = time.Since(start)
 		if r.opts.Verify {
 			if err := w.Verify(m.Image(), res.Output, r.opts.Scale); err != nil {
 				return nil, fmt.Errorf("harness: %s/%v w%d remote: %w", name, scheme, workers, err)
@@ -183,9 +214,28 @@ func (r *Runner) RunOneRemote(name string, scheme core.Scheme, shards, workers i
 		}
 		if best == nil || res.Wall < best.Wall {
 			best = res
+			bestMachine = m
 		}
 	}
+	if r.opts.TraceDir != "" && bestMachine != nil {
+		if err := r.writeTrace(bestMachine.WriteTraceChrome, bestMachine.FleetTraceDropped(),
+			remoteTraceBase(name, scheme, workers, "")); err != nil {
+			return nil, err
+		}
+	}
+	// A run can succeed bit-exact yet abandon a worker; the bundle the
+	// machine wrote for it is worth surfacing even on the success path.
+	if bestMachine != nil {
+		r.logBundle(bestMachine)
+	}
 	return best, nil
+}
+
+// remoteTraceBase names a remote run's merged trace file: driver slot
+// "remote" plus the worker count (the remote sweep's scaled dimension).
+func remoteTraceBase(name string, scheme core.Scheme, workers int, suffix string) string {
+	sname := strings.ReplaceAll(scheme.String(), "*", "x")
+	return fmt.Sprintf("%s_%s_remote_w%d%s", name, sname, workers, suffix)
 }
 
 // RemoteSweep runs every workload under every scheme at every worker

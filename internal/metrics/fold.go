@@ -1,0 +1,49 @@
+package metrics
+
+// Federation: a remote worker snapshots its own registry and ships the
+// Snapshot over the wire; the parent folds it into its registry under a
+// per-worker prefix ("worker0."), so one scrape covers the whole fleet.
+// Folding is idempotent — each snapshot replaces the previous one for the
+// same prefix — which makes periodic refreshes and the final stats frame
+// interchangeable.
+
+// store overwrites the counter (federation only: a folded counter mirrors
+// the remote cumulative value rather than accumulating locally).
+func (c *Counter) store(v int64) {
+	if c != nil {
+		c.v.Store(v)
+	}
+}
+
+// SetSnapshot overwrites the histogram's state from a snapshot. Each cell
+// is stored atomically; the set as a whole is as consistent as the
+// snapshot was, which is what scrapes expect.
+func (h *Histogram) SetSnapshot(s HistSnapshot) {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i].Store(s.Buckets[i])
+	}
+	h.count.Store(s.Count)
+	h.sum.Store(s.Sum)
+	h.max.Set(s.Max)
+}
+
+// Fold installs every metric of snap into the registry under prefix,
+// replacing previous values with the same names. A nil registry or an
+// empty snapshot folds to nothing.
+func (r *Registry) Fold(prefix string, snap Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range snap.Counters {
+		r.Counter(prefix + name).store(v)
+	}
+	for name, v := range snap.Gauges {
+		r.Gauge(prefix + name).Set(v)
+	}
+	for name, hs := range snap.Histograms {
+		r.Histogram(prefix + name).SetSnapshot(hs)
+	}
+}

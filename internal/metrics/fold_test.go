@@ -1,0 +1,70 @@
+package metrics
+
+import "testing"
+
+func workerSnapshot(hits, depth int64) Snapshot {
+	r := NewRegistry()
+	r.Counter("cache.l2.hits").Add(hits)
+	r.Gauge("event.shardq.depth").Set(depth)
+	h := r.Histogram("mem.lat")
+	h.Observe(10)
+	h.Observe(100)
+	return r.Snapshot()
+}
+
+func TestFoldInstallsUnderPrefix(t *testing.T) {
+	parent := NewRegistry()
+	parent.Counter("engine.events.processed").Add(7)
+	parent.Fold("worker0.", workerSnapshot(42, 5))
+
+	if got := parent.Counter("worker0.cache.l2.hits").Value(); got != 42 {
+		t.Errorf("folded counter = %d, want 42", got)
+	}
+	if got := parent.Gauge("worker0.event.shardq.depth").Value(); got != 5 {
+		t.Errorf("folded gauge = %d, want 5", got)
+	}
+	if got := parent.Histogram("worker0.mem.lat").Snapshot().Count; got != 2 {
+		t.Errorf("folded histogram count = %d, want 2", got)
+	}
+	// The parent's own metrics are untouched.
+	if got := parent.Counter("engine.events.processed").Value(); got != 7 {
+		t.Errorf("parent counter disturbed: %d", got)
+	}
+}
+
+func TestFoldIsReplaceNotAccumulate(t *testing.T) {
+	parent := NewRegistry()
+	// A periodic snapshot followed by the final one must land on the
+	// final values — cumulative remote counters would double otherwise.
+	parent.Fold("worker0.", workerSnapshot(10, 3))
+	parent.Fold("worker0.", workerSnapshot(25, 1))
+	if got := parent.Counter("worker0.cache.l2.hits").Value(); got != 25 {
+		t.Errorf("refolded counter = %d, want 25 (replace semantics)", got)
+	}
+	if got := parent.Gauge("worker0.event.shardq.depth").Value(); got != 1 {
+		t.Errorf("refolded gauge = %d, want 1", got)
+	}
+	if got := parent.Histogram("worker0.mem.lat").Snapshot().Count; got != 2 {
+		t.Errorf("refolded histogram count = %d, want 2 (replace semantics)", got)
+	}
+}
+
+func TestFoldPerWorkerIsolation(t *testing.T) {
+	parent := NewRegistry()
+	parent.Fold("worker0.", workerSnapshot(1, 0))
+	parent.Fold("worker1.", workerSnapshot(2, 0))
+	if parent.Counter("worker0.cache.l2.hits").Value() != 1 ||
+		parent.Counter("worker1.cache.l2.hits").Value() != 2 {
+		t.Error("per-worker prefixes collided")
+	}
+}
+
+func TestFoldNilAndEmpty(t *testing.T) {
+	var r *Registry
+	r.Fold("worker0.", workerSnapshot(1, 1)) // must not panic
+	parent := NewRegistry()
+	parent.Fold("worker0.", Snapshot{}) // empty snapshot folds to nothing
+	if n := len(parent.Snapshot().Counters); n != 0 {
+		t.Errorf("empty fold created %d counters", n)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"slacksim/internal/cache"
+	"slacksim/internal/metrics"
+	"slacksim/internal/trace"
 )
 
 // Version is the wire-protocol version. The handshake rejects any
@@ -16,7 +18,11 @@ import (
 //
 // v2: CRC32-C frame envelope (remote.go), heartbeat and checkpoint
 // frames, and the resumable-session handshake fields in Hello.
-const Version uint16 = 2
+//
+// v3: fleet observability — trace-chunk and metrics frames, a worker
+// clock sample on every heartbeat (cross-process trace correlation), and
+// the observability fields in Hello/WorkerStats.
+const Version uint16 = 3
 
 // magic opens every Hello frame so a worker fed a non-slacksim stream
 // (wrong port, stray HTTP client) fails fast with a clear error.
@@ -56,7 +62,11 @@ const (
 	// FHeartbeat is the worker's liveness beacon: sent whenever the
 	// connection has been read-idle for one heartbeat interval, so the
 	// parent's supervisor can tell a slow worker from a dead one without
-	// waiting out the full stall timeout. Empty payload.
+	// waiting out the full stall timeout. The payload is the worker's
+	// trace-clock sample (8-byte little-endian ns since the worker's
+	// collector was created, or empty when the worker traces nothing);
+	// the parent subtracts it from its own trace clock at receive time to
+	// estimate the offset that rebases the worker's records.
 	FHeartbeat byte = 0x0B
 	// FCheckpoint carries serialized shard state (checkpoint.go). The
 	// worker emits one every CheckpointEvery gates; the parent stores the
@@ -69,6 +79,15 @@ const (
 	// FCheckpointAck acknowledges a checkpoint with its gate timestamp
 	// (8-byte payload, like FGate/FWatermark).
 	FCheckpointAck byte = 0x0D
+	// FTraceChunk carries a worker's JSON TraceChunk: a session/epoch-
+	// stamped snapshot of its trace rings plus a clock sample. The worker
+	// sends one alongside each checkpoint and a final one before FStats;
+	// each chunk supersedes the previous one for that worker's epoch.
+	FTraceChunk byte = 0x0E
+	// FMetrics carries a worker's JSON MetricsUpdate (a registry
+	// snapshot). Sent periodically so the parent's live /metrics covers
+	// the fleet mid-run; the final snapshot rides in FStats instead.
+	FMetrics byte = 0x0F
 )
 
 // FrameName names a frame type for diagnostics.
@@ -100,6 +119,10 @@ func FrameName(t byte) string {
 		return "checkpoint"
 	case FCheckpointAck:
 		return "checkpoint-ack"
+	case FTraceChunk:
+		return "trace-chunk"
+	case FMetrics:
+		return "metrics"
 	}
 	return fmt.Sprintf("unknown(%#02x)", t)
 }
@@ -144,6 +167,11 @@ type Hello struct {
 	// (0 for the initial connection, +1 per recovery), so logs and
 	// forensics can attribute frames to the right incarnation.
 	Epoch int `json:"epoch,omitempty"`
+	// Observe asks the worker to run its own trace collector and metrics
+	// registry and ship them back (FTraceChunk/FMetrics frames, clock
+	// samples on heartbeats, snapshots in FStats). Off by default so an
+	// unobserved run pays nothing.
+	Observe bool `json:"observe,omitempty"`
 }
 
 // Welcome is the worker's handshake acknowledgment.
@@ -264,10 +292,55 @@ type ShardL2 struct {
 
 // WorkerStats is the FStats payload: everything the parent folds back
 // into the Result so a remote run reports identically to an in-process
-// one.
+// one. The observability fields are populated only when the Hello asked
+// for them (Observe).
 type WorkerStats struct {
 	WorkerID int       `json:"worker_id"`
 	Events   int64     `json:"events"`
 	L2       []ShardL2 `json:"l2"`
 	Wire     WireStats `json:"wire"`
+	// Metrics is the worker registry's final snapshot; the parent folds
+	// it under "worker<i>." so one scrape covers the fleet.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// TraceDropped maps writer name to its ring's wrap-around drop count,
+	// so the parent can warn that the worker's exported trace is
+	// incomplete (the cross-process analog of Collector.TotalDropped).
+	TraceDropped map[string]int64 `json:"trace_dropped,omitempty"`
+	// ClockNS is the worker's trace-clock sample at stats time (ns since
+	// its collector's creation) — a final offset estimate even on runs
+	// too short for a heartbeat.
+	ClockNS int64 `json:"clock_ns,omitempty"`
+}
+
+// TraceChunk is the FTraceChunk payload: one worker's trace-ring
+// snapshot, stamped with the session and connection epoch so the parent
+// can discard chunks from a dead incarnation.
+type TraceChunk struct {
+	SessionID string              `json:"session_id"`
+	WorkerID  int                 `json:"worker_id"`
+	Epoch     int                 `json:"epoch"`
+	ClockNS   int64               `json:"clock_ns"`
+	Writers   []trace.ChunkWriter `json:"writers"`
+}
+
+// MetricsUpdate is the FMetrics payload: a worker registry snapshot for
+// live federation between checkpoints.
+type MetricsUpdate struct {
+	WorkerID int              `json:"worker_id"`
+	Epoch    int              `json:"epoch"`
+	Snapshot metrics.Snapshot `json:"snapshot"`
+}
+
+// AppendClock encodes a trace-clock sample as a heartbeat payload.
+func AppendClock(dst []byte, ns int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(ns))
+}
+
+// DecodeClock reads a heartbeat's clock sample; ok is false for the
+// empty (unobserved) payload.
+func DecodeClock(payload []byte) (ns int64, ok bool) {
+	if len(payload) < 8 {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(payload)), true
 }

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 )
 
 // Chrome trace-event export (the JSON array format of
@@ -23,6 +22,9 @@ type chromeEvent struct {
 	Dur  *float64       `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	ID   *int64         `json:"id,omitempty"` // flow-event correlation id
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	S    string         `json:"s,omitempty"`  // instant-event scope
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -53,21 +55,12 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 			Args: map[string]any{"sort_index": int(wr.tid)},
 		})
 		for _, r := range wr.Records() {
-			evs = append(evs, chromeeventFor(wr, r))
+			evs = append(evs, chromeeventFor(wr.name, wr.tid, 0, r))
 		}
 	}
 	// Stable order: metadata first, then by timestamp. Viewers do not
 	// require sorted input but diffs and golden tests do.
-	sort.SliceStable(evs, func(i, j int) bool {
-		mi, mj := evs[i].Ph == "M", evs[j].Ph == "M"
-		if mi != mj {
-			return mi
-		}
-		if evs[i].TS != evs[j].TS {
-			return evs[i].TS < evs[j].TS
-		}
-		return evs[i].TID < evs[j].TID
-	})
+	sortChromeEvents(evs)
 	enc, err := json.MarshalIndent(evs, "", " ")
 	if err != nil {
 		return err
@@ -79,17 +72,17 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 	return err
 }
 
-func chromeeventFor(wr *Writer, r Rec) chromeEvent {
+func chromeeventFor(name string, tid int32, pid int, r Rec) chromeEvent {
 	switch {
 	case r.Kind.counter():
 		// Counter tracks are keyed by (pid, name), so fold the writer
 		// name in to get one track per core.
 		return chromeEvent{
-			Name: fmt.Sprintf("%s %s", r.Kind, wr.name),
+			Name: fmt.Sprintf("%s %s", r.Kind, name),
 			Ph:   "C",
 			TS:   usec(r.TS),
-			PID:  0,
-			TID:  int(wr.tid),
+			PID:  pid,
+			TID:  int(tid),
 			Args: map[string]any{"value": r.Arg},
 		}
 	case r.Kind.span():
@@ -100,8 +93,8 @@ func chromeeventFor(wr *Writer, r Rec) chromeEvent {
 			Ph:   "X",
 			TS:   usec(r.TS),
 			Dur:  &d,
-			PID:  0,
-			TID:  int(wr.tid),
+			PID:  pid,
+			TID:  int(tid),
 			Args: map[string]any{"arg": r.Arg},
 		}
 	default:
@@ -110,8 +103,8 @@ func chromeeventFor(wr *Writer, r Rec) chromeEvent {
 			Cat:  "engine",
 			Ph:   "i",
 			TS:   usec(r.TS),
-			PID:  0,
-			TID:  int(wr.tid),
+			PID:  pid,
+			TID:  int(tid),
 			Args: map[string]any{"arg": r.Arg},
 		}
 	}

@@ -55,21 +55,34 @@ const (
 	// KPhase marks a scheme phase transition, e.g. the adaptive
 	// controller resizing its window (instant, arg = new window).
 	KPhase
+	// KWireSend marks a frame batch leaving for a remote worker (instant,
+	// arg = WireFlowID). The merged export pairs it with the matching
+	// KWireRecv on the worker's track as a Chrome flow event.
+	KWireSend
+	// KWireRecv marks a frame batch arriving at a remote worker (instant,
+	// arg = WireFlowID, matching the parent-side KWireSend).
+	KWireRecv
+	// KIncident marks a supervision lifecycle transition (instant,
+	// arg = worker id). Merged exports render these prominently.
+	KIncident
 	kindCount
 )
 
 var kindNames = [kindCount]string{
-	KNone:    "none",
-	KSlack:   "slack",
-	KLead:    "lead",
-	KGlobal:  "global",
-	KWindow:  "window",
-	KQDepth:  "gq_depth",
-	KWait:    "window_wait",
-	KFreeze:  "reply_freeze",
-	KProcess: "process",
-	KBarrier: "barrier",
-	KPhase:   "phase",
+	KNone:     "none",
+	KSlack:    "slack",
+	KLead:     "lead",
+	KGlobal:   "global",
+	KWindow:   "window",
+	KQDepth:   "gq_depth",
+	KWait:     "window_wait",
+	KFreeze:   "reply_freeze",
+	KProcess:  "process",
+	KBarrier:  "barrier",
+	KPhase:    "phase",
+	KWireSend: "wire_send",
+	KWireRecv: "wire_recv",
+	KIncident: "incident",
 }
 
 func (k Kind) String() string {
